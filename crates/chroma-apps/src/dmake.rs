@@ -1,0 +1,655 @@
+//! Fault-tolerant distributed make (§4 iv, fig. 8).
+//!
+//! The paper's requirements: (i) exploit the concurrency available —
+//! prerequisites are made consistent in parallel; (ii) proper
+//! concurrency control — while make runs, the files it depends on
+//! cannot be changed by other programs; and (iii) *fault-tolerance* —
+//! "if make fails, any files that have been made consistent should
+//! remain so."
+//!
+//! Requirement (iii) rules out one big atomic action; requirement (ii)
+//! rules out independent top-level actions per target. The fit is a
+//! **serializing action**: each target's rebuild is a constituent step
+//! (top-level for permanence — a finished compile survives anything),
+//! while the wrapper retains every file lock until the whole make ends
+//! (no interleaving mutators).
+//!
+//! Compilation is simulated: a "command" execution derives new content
+//! from the prerequisite contents and stamps it with a logical clock —
+//! which is exactly the part of the experiment that matters (the action
+//! structure), per the substitution note in `DESIGN.md`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use chroma_core::{ActionError, ObjectId, Runtime};
+use chroma_structures::{SerialStep, SerializingAction};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The persistent state of one file: a change-stamp and its content.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileState {
+    /// Logical timestamp of the last change (0 = never built).
+    pub stamp: u64,
+    /// Simulated file content.
+    pub content: String,
+}
+
+/// One makefile rule: a target, its prerequisites, and the command that
+/// re-establishes consistency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The file the rule builds.
+    pub target: String,
+    /// Files the target depends on.
+    pub prerequisites: Vec<String>,
+    /// The (simulated) command.
+    pub command: String,
+}
+
+/// A parsed makefile: the dependency graph driving distributed make.
+///
+/// # Examples
+///
+/// The paper's example makefile parses directly:
+///
+/// ```
+/// use chroma_apps::Makefile;
+///
+/// let mk = Makefile::parse(
+///     "Test: Test0.o Test1.o\n\
+///      \tcc -o Test Test0.o Test1.o\n\
+///      Test0.o: Test0.h Test1.h Test0.c\n\
+///      \tcc -c Test0.c\n\
+///      Test1.o: Test1.h Test1.c\n\
+///      \tcc -c Test1.c\n",
+/// ).unwrap();
+/// assert_eq!(mk.rule("Test").unwrap().prerequisites.len(), 2);
+/// assert!(mk.rule("Test0.c").is_none()); // a source, not a target
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Makefile {
+    rules: HashMap<String, Rule>,
+}
+
+impl Makefile {
+    /// Parses makefile text: `target: prereq...` lines followed by
+    /// tab-indented command lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::Failed`] on malformed lines, duplicate targets,
+    /// or dependency cycles.
+    pub fn parse(text: &str) -> Result<Self, ActionError> {
+        let mut rules: HashMap<String, Rule> = HashMap::new();
+        let mut current: Option<String> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            if line.starts_with('\t') || line.starts_with("    ") {
+                let Some(target) = &current else {
+                    return Err(ActionError::failed(format!(
+                        "line {}: command without a rule",
+                        lineno + 1
+                    )));
+                };
+                let rule = rules.get_mut(target).expect("rule exists");
+                if !rule.command.is_empty() {
+                    rule.command.push_str(" && ");
+                }
+                rule.command.push_str(line.trim());
+            } else {
+                let Some((target, prereqs)) = line.split_once(':') else {
+                    return Err(ActionError::failed(format!(
+                        "line {}: expected 'target: prerequisites'",
+                        lineno + 1
+                    )));
+                };
+                let target = target.trim().to_owned();
+                if rules.contains_key(&target) {
+                    return Err(ActionError::failed(format!(
+                        "duplicate rule for target {target}"
+                    )));
+                }
+                let prerequisites: Vec<String> = prereqs
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect();
+                rules.insert(
+                    target.clone(),
+                    Rule {
+                        target: target.clone(),
+                        prerequisites,
+                        command: String::new(),
+                    },
+                );
+                current = Some(target);
+            }
+        }
+        let makefile = Makefile { rules };
+        makefile.check_acyclic()?;
+        Ok(makefile)
+    }
+
+    /// Returns the rule for `target`, if it is a built (non-source)
+    /// file.
+    #[must_use]
+    pub fn rule(&self, target: &str) -> Option<&Rule> {
+        self.rules.get(target)
+    }
+
+    /// Returns all rule targets, sorted.
+    #[must_use]
+    pub fn targets(&self) -> Vec<String> {
+        let mut targets: Vec<String> = self.rules.keys().cloned().collect();
+        targets.sort();
+        targets
+    }
+
+    /// Returns every file named anywhere (targets and sources), sorted.
+    #[must_use]
+    pub fn files(&self) -> Vec<String> {
+        let mut files: HashSet<String> = HashSet::new();
+        for rule in self.rules.values() {
+            files.insert(rule.target.clone());
+            files.extend(rule.prerequisites.iter().cloned());
+        }
+        let mut files: Vec<String> = files.into_iter().collect();
+        files.sort();
+        files
+    }
+
+    fn check_acyclic(&self) -> Result<(), ActionError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            Visiting,
+            Done,
+        }
+        fn visit(
+            rules: &HashMap<String, Rule>,
+            name: &str,
+            marks: &mut HashMap<String, Mark>,
+        ) -> Result<(), ActionError> {
+            match marks.get(name) {
+                Some(Mark::Done) => return Ok(()),
+                Some(Mark::Visiting) => {
+                    return Err(ActionError::failed(format!(
+                        "dependency cycle through {name}"
+                    )))
+                }
+                None => {}
+            }
+            if let Some(rule) = rules.get(name) {
+                marks.insert(name.to_owned(), Mark::Visiting);
+                for p in &rule.prerequisites {
+                    visit(rules, p, marks)?;
+                }
+            }
+            marks.insert(name.to_owned(), Mark::Done);
+            Ok(())
+        }
+        let mut marks = HashMap::new();
+        for target in self.rules.keys() {
+            visit(&self.rules, target, &mut marks)?;
+        }
+        Ok(())
+    }
+}
+
+/// What one `make` run did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MakeReport {
+    /// Targets whose commands were executed, in completion order.
+    pub rebuilt: Vec<String>,
+    /// Targets found already consistent.
+    pub up_to_date: Vec<String>,
+}
+
+/// The fault-tolerant distributed make engine.
+///
+/// # Examples
+///
+/// ```
+/// use chroma_core::Runtime;
+/// use chroma_apps::{DistMake, Makefile};
+///
+/// # fn main() -> Result<(), chroma_core::ActionError> {
+/// let rt = Runtime::new();
+/// let mk = Makefile::parse("app: lib.c\n\tcc -o app lib.c\n")?;
+/// let make = DistMake::new(&rt, mk)?;
+/// make.write_source("lib.c", "int main(){}")?;
+/// let report = make.make("app")?;
+/// assert_eq!(report.rebuilt, vec!["app".to_owned()]);
+/// // A second make finds everything consistent.
+/// assert!(make.make("app")?.rebuilt.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DistMake {
+    rt: Runtime,
+    makefile: Makefile,
+    files: HashMap<String, ObjectId>,
+    clock: AtomicU64,
+    commands_run: AtomicU64,
+    /// Targets whose command will fail (fault injection for tests and
+    /// experiments).
+    fail_commands: Mutex<HashSet<String>>,
+    /// Simulated duration of each command execution.
+    command_delay: std::time::Duration,
+}
+
+impl DistMake {
+    /// Creates the engine, registering a persistent file object (stamp
+    /// 0, empty) for every file the makefile mentions.
+    ///
+    /// # Errors
+    ///
+    /// Codec failures creating the file objects.
+    pub fn new(rt: &Runtime, makefile: Makefile) -> Result<Self, ActionError> {
+        let mut files = HashMap::new();
+        for name in makefile.files() {
+            let object = rt.create_object(&FileState {
+                stamp: 0,
+                content: String::new(),
+            })?;
+            files.insert(name, object);
+        }
+        Ok(DistMake {
+            rt: rt.clone(),
+            makefile,
+            files,
+            clock: AtomicU64::new(1),
+            commands_run: AtomicU64::new(0),
+            fail_commands: Mutex::new(HashSet::new()),
+            command_delay: std::time::Duration::ZERO,
+        })
+    }
+
+    /// Sets a simulated duration for every command execution (stands in
+    /// for real compiler work when measuring the concurrency gain of
+    /// fig. 8).
+    pub fn set_command_delay(&mut self, delay: std::time::Duration) {
+        self.command_delay = delay;
+    }
+
+    /// Writes a source file's content (bumping its stamp), as a
+    /// top-level atomic action — modelling an editor save.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NoSuchObject`] for unknown files; lock failures if
+    /// a make currently fences the file.
+    pub fn write_source(&self, name: &str, content: &str) -> Result<(), ActionError> {
+        let object = self.object(name)?;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let state = FileState {
+            stamp,
+            content: content.to_owned(),
+        };
+        self.rt.atomic(move |a| a.write(object, &state))
+    }
+
+    /// Bumps a file's stamp without changing content (like `touch`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistMake::write_source`].
+    pub fn touch(&self, name: &str) -> Result<(), ActionError> {
+        let object = self.object(name)?;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.rt
+            .atomic(move |a| a.modify(object, |f: &mut FileState| f.stamp = stamp))
+    }
+
+    /// Reads a file's committed state.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NoSuchObject`] for unknown files.
+    pub fn file_state(&self, name: &str) -> Result<FileState, ActionError> {
+        self.rt.read_committed(self.object(name)?)
+    }
+
+    /// Makes a target fail on its next command execution (fault
+    /// injection).
+    pub fn inject_failure(&self, target: &str) {
+        self.fail_commands.lock().insert(target.to_owned());
+    }
+
+    /// Clears an injected failure.
+    pub fn clear_failure(&self, target: &str) {
+        self.fail_commands.lock().remove(target);
+    }
+
+    /// Returns how many commands have been executed over this engine's
+    /// lifetime (the "work performed" metric of experiment E08).
+    #[must_use]
+    pub fn commands_run(&self) -> u64 {
+        self.commands_run.load(Ordering::Relaxed)
+    }
+
+    /// Runs make for `target` under a serializing action (fig. 8).
+    ///
+    /// Prerequisite subtrees build concurrently; each rebuild is one
+    /// constituent step. On failure, every already-rebuilt file stays
+    /// consistent (its step committed) — re-running make after fixing
+    /// the problem redoes only the missing work.
+    ///
+    /// # Errors
+    ///
+    /// The first command failure or lock/codec failure encountered; the
+    /// serializing wrapper is abandoned (completed steps survive).
+    pub fn make(&self, target: &str) -> Result<MakeReport, ActionError> {
+        self.object(target)?; // validate early
+        let sa = SerializingAction::begin(&self.rt)?;
+        let report = Mutex::new(MakeReport::default());
+        let result = self.build(&sa, target, &report);
+        match result {
+            Ok(_) => {
+                sa.end()?;
+                Ok(report.into_inner())
+            }
+            Err(error) => {
+                sa.abandon();
+                Err(error)
+            }
+        }
+    }
+
+    /// The baseline the paper argues against: the whole make as **one
+    /// atomic action**. A failure anywhere undoes every compile already
+    /// performed (contrast [`DistMake::make`], where completed steps
+    /// survive). Prerequisites still build concurrently as nested
+    /// actions.
+    ///
+    /// # Errors
+    ///
+    /// The first command failure or lock/codec failure; on error, *all*
+    /// work in this run is rolled back.
+    pub fn make_monolithic(&self, target: &str) -> Result<MakeReport, ActionError> {
+        self.object(target)?;
+        let report = Mutex::new(MakeReport::default());
+        let colour = self.rt.universe().fresh()?;
+        let result = self.rt.run_top(
+            chroma_base::ColourSet::single(colour),
+            colour,
+            |scope| self.build_monolithic(scope, colour, target, &report),
+        );
+        self.rt.universe().release(colour);
+        result.map(|_| report.into_inner())
+    }
+
+    fn build_monolithic(
+        &self,
+        scope: &chroma_core::ActionScope<'_>,
+        colour: chroma_base::Colour,
+        name: &str,
+        report: &Mutex<MakeReport>,
+    ) -> Result<u64, ActionError> {
+        let object = self.object(name)?;
+        let Some(rule) = self.makefile.rule(name) else {
+            return Ok(scope.read_in::<FileState>(colour, object)?.stamp);
+        };
+        let newest_prereq = std::thread::scope(|s| {
+            let handles: Vec<_> = rule
+                .prerequisites
+                .iter()
+                .map(|p| s.spawn(move || self.build_monolithic(scope, colour, p, report)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| ActionError::failed("builder panicked"))?)
+                .collect::<Result<Vec<u64>, ActionError>>()
+        })?
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+        let current: FileState = scope.read_in(colour, object)?;
+        if current.stamp != 0 && current.stamp >= newest_prereq {
+            report.lock().up_to_date.push(name.to_owned());
+            return Ok(current.stamp);
+        }
+        if self.fail_commands.lock().contains(&rule.target) {
+            return Err(ActionError::failed(format!(
+                "command failed for target {}",
+                rule.target
+            )));
+        }
+        if !self.command_delay.is_zero() {
+            std::thread::sleep(self.command_delay);
+        }
+        let mut derived = format!("[{}]", rule.command);
+        for p in &rule.prerequisites {
+            let state: FileState = scope.read_in(colour, self.object(p)?)?;
+            derived.push_str(&format!(" {}@{}", p, state.stamp));
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        scope.write_in(
+            colour,
+            object,
+            &FileState {
+                stamp,
+                content: derived,
+            },
+        )?;
+        self.commands_run.fetch_add(1, Ordering::Relaxed);
+        report.lock().rebuilt.push(rule.target.clone());
+        Ok(stamp)
+    }
+
+    /// Recursively ensures `name` is consistent; returns its stamp.
+    fn build(
+        &self,
+        sa: &SerializingAction,
+        name: &str,
+        report: &Mutex<MakeReport>,
+    ) -> Result<u64, ActionError> {
+        let object = self.object(name)?;
+        let Some(rule) = self.makefile.rule(name) else {
+            // A source file: phase (ii) — obtain (and fence) its stamp.
+            return sa.step(|step| Ok(step.read::<FileState>(object)?.stamp));
+        };
+        // Phase (i): make prerequisites consistent, concurrently.
+        let prereq_stamps: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rule
+                .prerequisites
+                .iter()
+                .map(|p| scope.spawn(move || self.build(sa, p, report)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| ActionError::failed("builder panicked"))?)
+                .collect::<Result<Vec<u64>, ActionError>>()
+        })?;
+        let newest_prereq = prereq_stamps.into_iter().max().unwrap_or(0);
+        // Phases (ii)–(iv) as one constituent step: compare stamps,
+        // execute the command if needed.
+        sa.step(|step| {
+            let current: FileState = step.read(object)?;
+            if current.stamp != 0 && current.stamp >= newest_prereq {
+                report.lock().up_to_date.push(name.to_owned());
+                return Ok(current.stamp);
+            }
+            self.execute_command(step, rule, object, report)
+        })
+    }
+
+    /// Simulated command execution: derives the target's content from
+    /// its prerequisites and stamps it now.
+    fn execute_command(
+        &self,
+        step: &SerialStep<'_, '_>,
+        rule: &Rule,
+        object: ObjectId,
+        report: &Mutex<MakeReport>,
+    ) -> Result<u64, ActionError> {
+        if self.fail_commands.lock().contains(&rule.target) {
+            return Err(ActionError::failed(format!(
+                "command failed for target {}",
+                rule.target
+            )));
+        }
+        if !self.command_delay.is_zero() {
+            std::thread::sleep(self.command_delay);
+        }
+        let mut derived = format!("[{}]", rule.command);
+        for p in &rule.prerequisites {
+            let state: FileState = step.read(self.object(p)?)?;
+            derived.push_str(&format!(" {}@{}", p, state.stamp));
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        step.write(
+            object,
+            &FileState {
+                stamp,
+                content: derived,
+            },
+        )?;
+        self.commands_run.fetch_add(1, Ordering::Relaxed);
+        report.lock().rebuilt.push(rule.target.clone());
+        Ok(stamp)
+    }
+
+    fn object(&self, name: &str) -> Result<ObjectId, ActionError> {
+        self.files
+            .get(name)
+            .copied()
+            .ok_or_else(|| ActionError::failed(format!("unknown file {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_MAKEFILE: &str = "Test: Test0.o Test1.o\n\
+                                  \tcc -o Test Test0.o Test1.o\n\
+                                  Test0.o: Test0.h Test1.h Test0.c\n\
+                                  \tcc -c Test0.c\n\
+                                  Test1.o: Test1.h Test1.c\n\
+                                  \tcc -c Test1.c\n";
+
+    fn engine() -> (Runtime, DistMake) {
+        let rt = Runtime::new();
+        let mk = Makefile::parse(PAPER_MAKEFILE).unwrap();
+        let make = DistMake::new(&rt, mk).unwrap();
+        for src in ["Test0.h", "Test1.h", "Test0.c", "Test1.c"] {
+            make.write_source(src, &format!("// {src}")).unwrap();
+        }
+        (rt, make)
+    }
+
+    #[test]
+    fn parses_the_papers_makefile() {
+        let mk = Makefile::parse(PAPER_MAKEFILE).unwrap();
+        assert_eq!(mk.targets(), vec!["Test", "Test0.o", "Test1.o"]);
+        assert_eq!(
+            mk.rule("Test0.o").unwrap().prerequisites,
+            vec!["Test0.h", "Test1.h", "Test0.c"]
+        );
+        assert_eq!(mk.rule("Test").unwrap().command, "cc -o Test Test0.o Test1.o");
+        assert_eq!(mk.files().len(), 7);
+    }
+
+    #[test]
+    fn rejects_cycles_and_garbage() {
+        assert!(Makefile::parse("a: b\n\tx\nb: a\n\ty\n").is_err());
+        assert!(Makefile::parse("no colon here\n").is_err());
+        assert!(Makefile::parse("\tcommand without rule\n").is_err());
+        assert!(Makefile::parse("a: b\n\tx\na: c\n\ty\n").is_err());
+    }
+
+    #[test]
+    fn full_build_then_incremental_noop() {
+        let (_rt, make) = engine();
+        let report = make.make("Test").unwrap();
+        assert_eq!(report.rebuilt.len(), 3);
+        assert_eq!(*report.rebuilt.last().unwrap(), "Test");
+        // Second make: nothing to do.
+        let report = make.make("Test").unwrap();
+        assert!(report.rebuilt.is_empty());
+        assert_eq!(report.up_to_date.len(), 3);
+        assert_eq!(make.commands_run(), 3);
+    }
+
+    #[test]
+    fn touching_a_header_rebuilds_dependents_only() {
+        let (_rt, make) = engine();
+        make.make("Test").unwrap();
+        make.touch("Test1.h").unwrap();
+        let report = make.make("Test").unwrap();
+        // Test1.h is a prerequisite of both .o files -> everything
+        // rebuilds; touching Test1.c instead rebuilds only one chain.
+        assert_eq!(report.rebuilt.len(), 3);
+        make.touch("Test1.c").unwrap();
+        let report = make.make("Test").unwrap();
+        let mut rebuilt = report.rebuilt.clone();
+        rebuilt.sort();
+        assert_eq!(rebuilt, vec!["Test", "Test1.o"]);
+    }
+
+    #[test]
+    fn failed_command_preserves_completed_work() {
+        let (_rt, make) = engine();
+        make.inject_failure("Test0.o");
+        let err = make.make("Test").unwrap_err();
+        assert!(matches!(err, ActionError::Failed(_)));
+        // Requirement (iii): Test1.o may have completed; whatever
+        // completed remains consistent. Fix the problem and re-make:
+        make.clear_failure("Test0.o");
+        let before = make.commands_run();
+        let report = make.make("Test").unwrap();
+        assert!(report.rebuilt.contains(&"Test0.o".to_owned()));
+        assert!(report.rebuilt.contains(&"Test".to_owned()));
+        // Total commands across both makes never exceeds a from-scratch
+        // build plus the retried target's chain.
+        let after = make.commands_run();
+        assert!(after - before <= 3);
+        assert!(after <= 4, "work was redone: {after} commands total");
+    }
+
+    #[test]
+    fn make_fences_files_against_concurrent_edits() {
+        let (rt, make) = engine();
+        make.make("Test").unwrap();
+        make.touch("Test0.c").unwrap();
+        // Start a make that will hold fences; run an editor save in
+        // parallel: it must not interleave with the make's view.
+        let rt2 = rt.clone();
+        let make2 = std::sync::Arc::new(make);
+        let make3 = std::sync::Arc::clone(&make2);
+        let builder = std::thread::spawn(move || make3.make("Test").unwrap());
+        // This write either happens before the make fences Test0.c or
+        // after the whole make ends; the final state is consistent
+        // either way (no torn view).
+        let _ = rt2; // the editor uses the engine API:
+        let edit = std::thread::spawn(move || {
+            let _ = make2.write_source("Test0.c", "edited");
+        });
+        builder.join().unwrap();
+        edit.join().unwrap();
+    }
+
+    #[test]
+    fn crash_during_make_preserves_committed_steps() {
+        let (rt, make) = engine();
+        make.inject_failure("Test");
+        // The two .o steps commit, then the Test command fails; model a
+        // crash at that point.
+        let _ = make.make("Test");
+        rt.crash_and_recover();
+        let o0 = make.file_state("Test0.o").unwrap();
+        let o1 = make.file_state("Test1.o").unwrap();
+        assert!(o0.stamp > 0, "Test0.o lost its compile");
+        assert!(o1.stamp > 0, "Test1.o lost its compile");
+        // The final link never happened.
+        assert_eq!(make.file_state("Test").unwrap().stamp, 0);
+        // Recovery: re-make performs only the link.
+        make.clear_failure("Test");
+        let report = make.make("Test").unwrap();
+        assert_eq!(report.rebuilt, vec!["Test".to_owned()]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Edge-case and baseline-comparison tests for the §4 applications.
+
+use chroma_apps::{
+    schedule_meeting, BulletinBoard, Diary, DistMake, Ledger, Makefile, ScheduleOutcome,
+};
+use chroma_core::{ActionError, Runtime, RuntimeConfig};
+use std::time::Duration;
+
+fn rt_fast() -> Runtime {
+    Runtime::with_config(RuntimeConfig {
+        lock_timeout: Some(Duration::from_millis(300)),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Distributed make: the monolithic baseline and deeper makefiles
+// ---------------------------------------------------------------------
+
+const DIAMOND: &str = "app: left.o right.o\n\
+                       \tld app\n\
+                       left.o: common.h left.c\n\tcc left\n\
+                       right.o: common.h right.c\n\tcc right\n";
+
+fn diamond_engine() -> (Runtime, DistMake) {
+    let rt = Runtime::new();
+    let make = DistMake::new(&rt, Makefile::parse(DIAMOND).unwrap()).unwrap();
+    for src in ["common.h", "left.c", "right.c"] {
+        make.write_source(src, src).unwrap();
+    }
+    (rt, make)
+}
+
+#[test]
+fn monolithic_make_builds_correctly_when_nothing_fails() {
+    let (_rt, make) = diamond_engine();
+    let report = make.make_monolithic("app").unwrap();
+    assert_eq!(report.rebuilt.len(), 3);
+    assert_eq!(*report.rebuilt.last().unwrap(), "app");
+    // Incremental no-op afterwards.
+    assert!(make.make_monolithic("app").unwrap().rebuilt.is_empty());
+}
+
+#[test]
+fn monolithic_make_loses_all_work_on_failure() {
+    let (_rt, make) = diamond_engine();
+    make.inject_failure("app");
+    assert!(make.make_monolithic("app").is_err());
+    // THE contrast with the serializing make: the completed compiles
+    // were rolled back too.
+    assert_eq!(make.file_state("left.o").unwrap().stamp, 0);
+    assert_eq!(make.file_state("right.o").unwrap().stamp, 0);
+    // Retry redoes everything.
+    make.clear_failure("app");
+    let before = make.commands_run();
+    make.make_monolithic("app").unwrap();
+    assert_eq!(make.commands_run() - before, 3);
+}
+
+#[test]
+fn serializing_make_keeps_diamond_prerequisites_on_failure() {
+    let (_rt, make) = diamond_engine();
+    make.inject_failure("app");
+    assert!(make.make("app").is_err());
+    assert!(make.file_state("left.o").unwrap().stamp > 0);
+    assert!(make.file_state("right.o").unwrap().stamp > 0);
+    make.clear_failure("app");
+    let before = make.commands_run();
+    make.make("app").unwrap();
+    assert_eq!(make.commands_run() - before, 1); // only the link
+}
+
+#[test]
+fn shared_header_touch_rebuilds_both_sides() {
+    let (_rt, make) = diamond_engine();
+    make.make("app").unwrap();
+    make.touch("common.h").unwrap();
+    let report = make.make("app").unwrap();
+    let mut rebuilt = report.rebuilt.clone();
+    rebuilt.sort();
+    assert_eq!(rebuilt, vec!["app", "left.o", "right.o"]);
+}
+
+#[test]
+fn unknown_target_is_an_error() {
+    let (_rt, make) = diamond_engine();
+    assert!(make.make("nonexistent").is_err());
+    assert!(make.write_source("nonexistent", "x").is_err());
+    assert!(make.file_state("nonexistent").is_err());
+}
+
+#[test]
+fn failed_make_releases_all_fences() {
+    let (rt, make) = diamond_engine();
+    make.inject_failure("left.o");
+    assert!(make.make("app").is_err());
+    // Nothing stays locked: an editor can immediately modify sources.
+    make.clear_failure("left.o");
+    make.write_source("left.c", "edited").unwrap();
+    assert_eq!(rt.lock_entry_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Diary scheduling under concurrency
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_meetings_over_shared_diaries_get_distinct_slots() {
+    let rt = Runtime::new();
+    let shared = Diary::create(&rt, "shared", 4).unwrap();
+    let a = Diary::create(&rt, "a", 4).unwrap();
+    let b = Diary::create(&rt, "b", 4).unwrap();
+    let first =
+        schedule_meeting(&rt, &[shared.clone(), a.clone()], "standup").unwrap();
+    let second =
+        schedule_meeting(&rt, &[shared.clone(), b.clone()], "review").unwrap();
+    let (ScheduleOutcome::Booked { slot: s1 }, ScheduleOutcome::Booked { slot: s2 }) =
+        (first, second)
+    else {
+        panic!("both meetings should book");
+    };
+    assert_ne!(s1, s2, "the shared diary forced distinct slots");
+}
+
+#[test]
+fn concurrent_schedulers_never_double_book() {
+    let rt = rt_fast();
+    let shared = Diary::create(&rt, "shared", 6).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let rt = rt.clone();
+        let shared = shared.clone();
+        handles.push(std::thread::spawn(move || {
+            let mine = Diary::create(&rt, &format!("p{i}"), 6).unwrap();
+            // Retry on contention-induced failures.
+            for _ in 0..20 {
+                match schedule_meeting(&rt, &[shared.clone(), mine.clone()], &format!("m{i}"))
+                {
+                    Ok(outcome) => return Some(outcome),
+                    Err(e)
+                        if e.is_deadlock_victim()
+                            || matches!(e, ActionError::Lock(_)) =>
+                    {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            None
+        }));
+    }
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // All three booked distinct slots in the shared diary.
+    let mut slots = Vec::new();
+    for outcome in outcomes {
+        match outcome.expect("scheduler starved") {
+            ScheduleOutcome::Booked { slot } => slots.push(slot),
+            ScheduleOutcome::NoSlot => {}
+        }
+    }
+    slots.sort_unstable();
+    let before = slots.len();
+    slots.dedup();
+    assert_eq!(before, slots.len(), "double booking: {slots:?}");
+    assert_eq!(before, 3);
+}
+
+// ---------------------------------------------------------------------
+// Bulletin board & ledger misc
+// ---------------------------------------------------------------------
+
+#[test]
+fn board_reads_from_within_an_action_are_isolated() {
+    let rt = rt_fast();
+    let board = BulletinBoard::create(&rt).unwrap();
+    board.post_async("a", "first").join().unwrap();
+    rt.atomic(|app| {
+        let posts = board.posts_from(app)?;
+        assert_eq!(posts.len(), 1);
+        // While this action holds a read lock on the board, a poster
+        // must wait — posts are serializable with readers.
+        let post = board.post_async("b", "second");
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!post.is_finished(), "poster should be blocked");
+        drop(post); // detach; it completes after we commit
+        Ok(())
+    })
+    .unwrap();
+    // Eventually both posts are there.
+    for _ in 0..100 {
+        if board.posts().unwrap().len() == 2 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("second post never landed");
+}
+
+#[test]
+fn ledger_crash_preserves_charges() {
+    let rt = Runtime::new();
+    let ledger = Ledger::create(&rt).unwrap();
+    rt.atomic(|a| ledger.charge_from(a, "x", "op", 2)).unwrap();
+    rt.crash_and_recover();
+    assert_eq!(ledger.total().unwrap(), 2);
+    assert_eq!(ledger.charges().unwrap().len(), 1);
+}
+
+#[test]
+fn makefile_with_comments_and_blank_lines_parses() {
+    let mk = Makefile::parse(
+        "# build rules\n\
+         \n\
+         app: main.c\n\
+         \tcc main.c\n\
+         \t-o app\n\
+         # trailing comment\n",
+    )
+    .unwrap();
+    assert_eq!(mk.rule("app").unwrap().command, "cc main.c && -o app");
+}

@@ -1,0 +1,76 @@
+//! Property tests for the colour bitset algebra and universe recycling.
+
+use chroma_base::{Colour, ColourSet, ColourUniverse, MAX_LIVE_COLOURS};
+use proptest::prelude::*;
+
+fn colour_vec() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..MAX_LIVE_COLOURS, 0..16)
+}
+
+fn set_of(indices: &[usize]) -> ColourSet {
+    indices.iter().map(|&i| Colour::from_index(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_intersection_distribute(a in colour_vec(), b in colour_vec(), c in colour_vec()) {
+        let (a, b, c) = (set_of(&a), set_of(&b), set_of(&c));
+        // a ∩ (b ∪ c) == (a ∩ b) ∪ (a ∩ c)
+        prop_assert_eq!(
+            a.intersection(b.union(c)),
+            a.intersection(b).union(a.intersection(c))
+        );
+        // a \ (b ∪ c) == (a \ b) \ c
+        prop_assert_eq!(a.minus(b.union(c)), a.minus(b).minus(c));
+    }
+
+    #[test]
+    fn subset_and_intersects_agree(a in colour_vec(), b in colour_vec()) {
+        let (sa, sb) = (set_of(&a), set_of(&b));
+        prop_assert_eq!(sa.is_subset_of(sb), sa.minus(sb).is_empty());
+        prop_assert_eq!(sa.intersects(sb), !sa.intersection(sb).is_empty());
+        prop_assert_eq!(sa.union(sb).len() + sa.intersection(sb).len(), sa.len() + sb.len());
+    }
+
+    #[test]
+    fn iteration_round_trips(a in colour_vec()) {
+        let set = set_of(&a);
+        let rebuilt: ColourSet = set.iter().collect();
+        prop_assert_eq!(rebuilt, set);
+        // Iteration is strictly increasing by index.
+        let indices: Vec<usize> = set.iter().map(Colour::index).collect();
+        prop_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(indices.len(), set.len());
+    }
+
+    #[test]
+    fn with_without_are_inverse(a in colour_vec(), extra in 0..MAX_LIVE_COLOURS) {
+        let set = set_of(&a);
+        let colour = Colour::from_index(extra);
+        if !set.contains(colour) {
+            prop_assert_eq!(set.with(colour).without(colour), set);
+        }
+        prop_assert!(!set.without(colour).contains(colour));
+        prop_assert!(set.with(colour).contains(colour));
+    }
+
+    #[test]
+    fn universe_recycles_released_slots(churn in 1usize..200) {
+        let universe = ColourUniverse::new();
+        // Keep a persistent base colour and churn anonymous ones far
+        // beyond the 64-slot budget: recycling must hold live count low.
+        let base = universe.colour("base");
+        for _ in 0..churn {
+            let c1 = universe.fresh().expect("fresh");
+            let c2 = universe.fresh().expect("fresh");
+            prop_assert_ne!(c1, c2);
+            prop_assert_ne!(c1, base);
+            universe.release(c1);
+            universe.release(c2);
+        }
+        prop_assert!(universe.live_count() <= 2);
+        prop_assert_eq!(universe.colour("base"), base);
+    }
+}

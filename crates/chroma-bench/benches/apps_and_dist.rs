@@ -1,0 +1,187 @@
+//! Benchmarks regenerating figs. 8–9 (the applications) and the
+//! distributed-substrate ablations (A3, A4): two-phase commit and
+//! replication.
+
+use chroma_apps::{schedule_meeting, Diary, DistMake, Makefile, ReplicatedNameServer};
+use chroma_base::ObjectId;
+use chroma_bench::bench_runtime;
+use chroma_dist::{Sim, Write};
+use chroma_store::StoreBytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+const WIDE_MAKEFILE: &str = "app: m0.o m1.o m2.o m3.o\n\
+                             \tld app\n\
+                             m0.o: m0.c\n\tcc m0\n\
+                             m1.o: m1.c\n\tcc m1\n\
+                             m2.o: m2.c\n\tcc m2\n\
+                             m3.o: m3.c\n\tcc m3\n";
+
+fn fresh_make() -> (chroma_core::Runtime, DistMake) {
+    let rt = bench_runtime();
+    let make = DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).unwrap()).unwrap();
+    for i in 0..4 {
+        make.write_source(&format!("m{i}.c"), "src").unwrap();
+    }
+    (rt, make)
+}
+
+/// fig. 8: distributed make — full build, incremental no-op, and the
+/// retry-after-failure comparison against the monolithic baseline.
+fn fig08_dmake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_dmake");
+    group.sample_size(20);
+    group.bench_function("full_build_serializing", |b| {
+        b.iter_batched(
+            fresh_make,
+            |(_rt, make)| make.make("app").unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("full_build_monolithic", |b| {
+        b.iter_batched(
+            fresh_make,
+            |(_rt, make)| make.make_monolithic("app").unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("incremental_noop", |b| {
+        let (_rt, make) = fresh_make();
+        make.make("app").unwrap();
+        b.iter(|| make.make("app").unwrap());
+    });
+    group.bench_function("retry_after_link_failure_serializing", |b| {
+        b.iter_batched(
+            || {
+                let (rt, make) = fresh_make();
+                make.inject_failure("app");
+                let _ = make.make("app");
+                make.clear_failure("app");
+                (rt, make)
+            },
+            |(_rt, make)| make.make("app").unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("retry_after_link_failure_monolithic", |b| {
+        b.iter_batched(
+            || {
+                let (rt, make) = fresh_make();
+                make.inject_failure("app");
+                let _ = make.make_monolithic("app");
+                make.clear_failure("app");
+                (rt, make)
+            },
+            |(_rt, make)| make.make_monolithic("app").unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// fig. 9: scheduling a meeting across diaries.
+fn fig09_diary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_diary");
+    group.sample_size(20);
+    for participants in [2usize, 4, 8] {
+        group.bench_function(format!("schedule_{participants}_participants"), |b| {
+            b.iter_batched(
+                || {
+                    let rt = bench_runtime();
+                    let diaries: Vec<Diary> = (0..participants)
+                        .map(|i| Diary::create(&rt, &format!("p{i}"), 8).unwrap())
+                        .collect();
+                    // Every participant is busy in a distinct early slot.
+                    for (i, d) in diaries.iter().enumerate() {
+                        d.book(&rt, i % 8, "busy").unwrap();
+                    }
+                    (rt, diaries)
+                },
+                |(rt, diaries)| schedule_meeting(&rt, &diaries, "kickoff").unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// A3: one two-phase commit round over the simulated network, clean and
+/// lossy.
+fn ablation_tpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tpc");
+    group.sample_size(30);
+    for (name, loss) in [("clean", 0.0), ("loss_20pct", 0.2)] {
+        group.bench_function(format!("commit_3_participants_{name}"), |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    let mut sim = Sim::new(seed);
+                    sim.net.loss = loss;
+                    let coord = sim.add_node();
+                    let p1 = sim.add_node();
+                    let p2 = sim.add_node();
+                    (sim, coord, p1, p2)
+                },
+                |(mut sim, coord, p1, p2)| {
+                    sim.begin_transaction(
+                        coord,
+                        vec![
+                            (p1, vec![Write {
+                                object: ObjectId::from_raw(1),
+                                state: StoreBytes::from(vec![1]),
+                            }]),
+                            (p2, vec![Write {
+                                object: ObjectId::from_raw(2),
+                                state: StoreBytes::from(vec![2]),
+                            }]),
+                        ],
+                    );
+                    sim.run_to_quiescence();
+                    sim.now()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// A4: replicated reads and writes as replica count grows.
+fn ablation_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replication");
+    group.sample_size(30);
+    for replicas in [1usize, 3, 5] {
+        group.bench_function(format!("write_read_{replicas}_replicas"), |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    let mut sim = Sim::new(seed);
+                    let nodes: Vec<_> = (0..replicas).map(|_| sim.add_node()).collect();
+                    let ns = ReplicatedNameServer::create(
+                        &mut sim,
+                        ObjectId::from_raw(1),
+                        &nodes,
+                    );
+                    (sim, ns)
+                },
+                |(mut sim, ns)| {
+                    assert!(ns.register(&mut sim, "svc", "loc"));
+                    sim.run_to_quiescence();
+                    ns.lookup(&sim, "svc")
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    apps_and_dist,
+    fig08_dmake,
+    fig09_diary,
+    ablation_tpc,
+    ablation_replication,
+);
+criterion_main!(apps_and_dist);

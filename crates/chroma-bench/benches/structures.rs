@@ -1,0 +1,340 @@
+//! Benchmarks regenerating figs. 1–7 and 10–15: the action structures
+//! and their coloured implementations.
+//!
+//! Each group name carries the figure id from `DESIGN.md` §5. The
+//! interesting output is the *relative* shape: how much a structure
+//! costs over a plain action, and that the coloured implementation of a
+//! structure costs the same as the hand scripted colour scheme.
+
+use chroma_base::{ColourSet, LockMode};
+use chroma_bench::bench_runtime;
+use chroma_core::{ActionError, Runtime};
+use chroma_structures::compiler::{assign, Structure};
+use chroma_structures::{
+    independent_async, independent_sync, GluedChain, GluedGroup, SerializingAction,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// fig. 1 / baseline: plain top-level atomic actions, and one- and
+/// two-deep nesting.
+fn fig01_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_nested");
+    let rt = bench_runtime();
+    let o = rt.create_object(&0i64).unwrap();
+    group.bench_function("top_level_action", |b| {
+        b.iter(|| {
+            rt.atomic(|a| a.modify(o, |v: &mut i64| *v += 1)).unwrap();
+        });
+    });
+    group.bench_function("one_nested_level", |b| {
+        b.iter(|| {
+            rt.atomic(|a| a.nested(|n| n.modify(o, |v: &mut i64| *v += 1)))
+                .unwrap();
+        });
+    });
+    group.bench_function("two_nested_levels", |b| {
+        b.iter(|| {
+            rt.atomic(|a| a.nested(|n| n.nested(|m| m.modify(o, |v: &mut i64| *v += 1))))
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+/// fig. 2: the cost of an abort that undoes a nested action's work.
+fn fig02_motivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_motivation");
+    let rt = bench_runtime();
+    let objects: Vec<_> = (0..8).map(|_| rt.create_object(&0i64).unwrap()).collect();
+    group.bench_function("abort_undoing_nested_work", |b| {
+        b.iter(|| {
+            let result: Result<(), ActionError> = rt.atomic(|a| {
+                a.nested(|n| {
+                    for &o in &objects {
+                        n.write(o, &1i64)?;
+                    }
+                    Ok(())
+                })?;
+                Err(ActionError::failed("A aborts"))
+            });
+            assert!(result.is_err());
+        });
+    });
+    group.finish();
+}
+
+/// fig. 3 / fig. 11: serializing action step throughput vs a plain
+/// top-level action doing the same work.
+fn fig03_serializing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_serializing");
+    let rt = bench_runtime();
+    let o = rt.create_object(&0i64).unwrap();
+    group.bench_function("plain_action_per_unit", |b| {
+        b.iter(|| {
+            rt.atomic(|a| a.modify(o, |v: &mut i64| *v += 1)).unwrap();
+        });
+    });
+    group.bench_function("serializing_step_per_unit", |b| {
+        b.iter_batched(
+            || SerializingAction::begin(&rt).unwrap(),
+            |sa| {
+                sa.step(|s| s.modify(o, |v: &mut i64| *v += 1)).unwrap();
+                sa.end().unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("serializing_4_steps", |b| {
+        b.iter_batched(
+            || SerializingAction::begin(&rt).unwrap(),
+            |sa| {
+                for _ in 0..4 {
+                    sa.step(|s| s.modify(o, |v: &mut i64| *v += 1)).unwrap();
+                }
+                sa.end().unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+/// fig. 4: the rejected baselines, timed for completeness.
+fn fig04_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_baselines");
+    let rt = bench_runtime();
+    let objects: Vec<_> = (0..8).map(|_| rt.create_object(&0i64).unwrap()).collect();
+    group.bench_function("two_top_level_actions", |b| {
+        b.iter(|| {
+            rt.atomic(|a| {
+                for &o in &objects {
+                    a.write(o, &1i64)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            rt.atomic(|a| a.modify(objects[0], |v: &mut i64| *v += 1))
+                .unwrap();
+        });
+    });
+    group.bench_function("serializing_pair", |b| {
+        b.iter(|| {
+            let sa = SerializingAction::begin(&rt).unwrap();
+            sa.step(|s| {
+                for &o in &objects {
+                    s.write(o, &1i64)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            sa.step(|s| s.modify(objects[0], |v: &mut i64| *v += 1))
+                .unwrap();
+            sa.end().unwrap();
+        });
+    });
+    group.finish();
+}
+
+/// fig. 5 / fig. 12: glued chain step cost, including the hand-over.
+fn fig05_glued(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_glued");
+    let rt = bench_runtime();
+    let objects: Vec<_> = (0..8).map(|_| rt.create_object(&0i64).unwrap()).collect();
+    group.bench_function("glued_pair_with_handover", |b| {
+        b.iter(|| {
+            let chain = GluedChain::begin(&rt, 2).unwrap();
+            chain
+                .step(|s| {
+                    for &o in &objects {
+                        s.write(o, &1i64)?;
+                    }
+                    s.hand_over(objects[0])
+                })
+                .unwrap();
+            chain
+                .step(|s| s.modify(objects[0], |v: &mut i64| *v += 1))
+                .unwrap();
+            chain.end().unwrap();
+        });
+    });
+    group.bench_function("chain_begin_end_overhead", |b| {
+        b.iter(|| {
+            GluedChain::begin(&rt, 4).unwrap().end().unwrap();
+        });
+    });
+    group.finish();
+}
+
+/// fig. 6: concurrent glued group throughput.
+fn fig06_concurrent_glued(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_concurrent_glued");
+    group.sample_size(20);
+    let rt = bench_runtime();
+    let objects: Vec<_> = (0..4).map(|_| rt.create_object(&0i64).unwrap()).collect();
+    group.bench_function("contribute_receive_x4", |b| {
+        b.iter(|| {
+            let group = GluedGroup::begin(&rt).unwrap();
+            for &o in &objects {
+                group
+                    .contribute(|s| {
+                        s.modify(o, |v: &mut i64| *v += 1)?;
+                        s.hand_over(o)
+                    })
+                    .unwrap();
+            }
+            for &o in &objects {
+                group
+                    .receive(|s| s.modify(o, |v: &mut i64| *v += 1))
+                    .unwrap();
+            }
+            group.end().unwrap();
+        });
+    });
+    group.finish();
+}
+
+/// fig. 7 / fig. 13: independent invocation overhead (sync and async).
+fn fig07_independent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_independent");
+    group.sample_size(30);
+    let rt = bench_runtime();
+    let ledger = rt.create_object(&0i64).unwrap();
+    group.bench_function("sync_independent_from_action", |b| {
+        b.iter(|| {
+            rt.atomic(|a| independent_sync(a, |i| i.modify(ledger, |v: &mut i64| *v += 1)))
+                .unwrap();
+        });
+    });
+    group.bench_function("async_independent_spawn_join", |b| {
+        b.iter(|| {
+            independent_async(&rt, move |i| i.modify(ledger, |v: &mut i64| *v += 1))
+                .join()
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+/// fig. 10: the coloured runtime primitive operations.
+fn fig10_coloured_basics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_coloured_basics");
+    let rt = bench_runtime();
+    let red = rt.universe().colour("red");
+    let blue = rt.universe().colour("blue");
+    let o_red = rt.create_object(&0i32).unwrap();
+    let o_blue = rt.create_object(&0i32).unwrap();
+    group.bench_function("two_colour_nested_commit_abort", |b| {
+        b.iter(|| {
+            let a = rt.begin_top(ColourSet::single(blue)).unwrap();
+            let bb = rt
+                .begin_nested(a, ColourSet::from_iter([red, blue]))
+                .unwrap();
+            {
+                let scope = rt.scope(bb).unwrap();
+                scope.write_in(red, o_red, &1i32).unwrap();
+                scope.write_in(blue, o_blue, &1i32).unwrap();
+            }
+            rt.commit(bb).unwrap();
+            rt.abort(a);
+        });
+    });
+    group.bench_function("single_colour_nested_commit_abort", |b| {
+        b.iter(|| {
+            let a = rt.begin_top(ColourSet::single(blue)).unwrap();
+            let bb = rt.begin_nested(a, ColourSet::single(blue)).unwrap();
+            rt.scope(bb)
+                .unwrap()
+                .write_in(blue, o_blue, &1i32)
+                .unwrap();
+            rt.commit(bb).unwrap();
+            rt.abort(a);
+        });
+    });
+    group.finish();
+}
+
+/// figs. 11/12: the structure APIs vs hand-scripted colour schemes.
+fn fig11_12_structure_vs_script(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_12_structure_vs_script");
+    let rt = bench_runtime();
+    let o = rt.create_object(&0i64).unwrap();
+    group.bench_function("serializing_via_structure", |b| {
+        b.iter(|| {
+            let sa = SerializingAction::begin(&rt).unwrap();
+            sa.step(|s| s.write(o, &1i64)).unwrap();
+            sa.end().unwrap();
+        });
+    });
+    group.bench_function("serializing_via_raw_colours", |b| {
+        b.iter(|| {
+            let fence = rt.universe().fresh().unwrap();
+            let update = rt.universe().fresh().unwrap();
+            let control = rt.begin_top(ColourSet::single(fence)).unwrap();
+            rt.run_nested(control, ColourSet::from_iter([fence, update]), update, |s| {
+                s.lock(fence, o, LockMode::ExclusiveRead)?;
+                s.write_in(update, o, &1i64)
+            })
+            .unwrap();
+            rt.commit(control).unwrap();
+            rt.universe().release(fence);
+            rt.universe().release(update);
+        });
+    });
+    group.finish();
+}
+
+/// figs. 14/15: compiling and executing the n-level structure.
+fn fig14_15_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_15_compiler");
+    group.sample_size(30);
+    let structure = Structure::top(
+        "A",
+        vec![
+            Structure::work("D"),
+            Structure::action(
+                "B",
+                vec![
+                    Structure::independent("C", 2, vec![Structure::work("C.body")]),
+                    Structure::independent("E", 1, vec![Structure::work("E.body")]),
+                ],
+            ),
+            Structure::independent("F", 1, vec![Structure::work("F.body")]),
+        ],
+    );
+    group.bench_function("assign_colours", |b| {
+        b.iter(|| assign(&structure).unwrap());
+    });
+    let plan = assign(&structure).unwrap();
+    group.bench_function("execute_fig14_plan", |b| {
+        b.iter_batched(
+            Runtime::new,
+            |rt| plan.execute(&rt, &|_| true).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("predict_survival_matrix", |b| {
+        b.iter(|| {
+            for work in ["D", "C.body", "E.body", "F.body"] {
+                for aborter in ["A", "B", "C", "E", "F"] {
+                    let _ = plan.undone_by(work, aborter);
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    structures,
+    fig01_nested,
+    fig02_motivation,
+    fig03_serializing,
+    fig04_baselines,
+    fig05_glued,
+    fig06_concurrent_glued,
+    fig07_independent,
+    fig10_coloured_basics,
+    fig11_12_structure_vs_script,
+    fig14_15_compiler,
+);
+criterion_main!(structures);

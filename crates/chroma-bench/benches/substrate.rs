@@ -1,0 +1,241 @@
+//! Benchmarks of the substrates: the lock managers (ablation A5/A1),
+//! the codec, the stable store, and the contention workload (A2's
+//! quantitative companion).
+
+use chroma_base::{ActionId, Colour, LockMode, ObjectId};
+use chroma_bench::bench_runtime;
+use chroma_locks::{ClassicPolicy, ColouredPolicy, FlatAncestry, LockTable};
+use chroma_sim::{run_contention, WorkloadConfig};
+use chroma_store::codec::{from_bytes, to_bytes};
+use chroma_store::{StableStore, StoreBytes};
+use chroma_typed::{EscrowCounter, KeyedDirectory};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use serde::{Deserialize, Serialize};
+
+/// A5: grant-path cost, classic vs coloured rules — the paper's "minor
+/// modifications to the conventional rules" quantified.
+fn ablation_lock_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lock_overhead");
+    let ancestry = FlatAncestry::new();
+    let colour = Colour::from_index(0);
+    group.bench_function("classic_read_grant_release", |b| {
+        let table = LockTable::new(ClassicPolicy);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let action = ActionId::from_raw(i % 4);
+            table
+                .try_acquire(&ancestry, action, ObjectId::from_raw(i % 16), colour, LockMode::Read)
+                .unwrap();
+            if i.is_multiple_of(8) {
+                table.discard_action(action);
+            }
+        });
+    });
+    group.bench_function("coloured_read_grant_release", |b| {
+        let table = LockTable::new(ColouredPolicy);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let action = ActionId::from_raw(i % 4);
+            table
+                .try_acquire(&ancestry, action, ObjectId::from_raw(i % 16), colour, LockMode::Read)
+                .unwrap();
+            if i.is_multiple_of(8) {
+                table.discard_action(action);
+            }
+        });
+    });
+    group.bench_function("coloured_write_deny_path", |b| {
+        let table = LockTable::new(ColouredPolicy);
+        table
+            .try_acquire(
+                &ancestry,
+                ActionId::from_raw(99),
+                ObjectId::from_raw(0),
+                colour,
+                LockMode::Write,
+            )
+            .unwrap();
+        b.iter(|| {
+            let _ = table.try_acquire(
+                &ancestry,
+                ActionId::from_raw(1),
+                ObjectId::from_raw(0),
+                Colour::from_index(1),
+                LockMode::Write,
+            );
+        });
+    });
+    group.finish();
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchRecord {
+    name: String,
+    values: Vec<u64>,
+    tags: Vec<(String, i64)>,
+}
+
+/// Codec throughput (every object state crosses this path).
+fn substrate_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_codec");
+    let record = BenchRecord {
+        name: "payments-shard-7".to_owned(),
+        values: (0..64).collect(),
+        tags: (0..8).map(|i| (format!("tag{i}"), i)).collect(),
+    };
+    let bytes = to_bytes(&record).unwrap();
+    group.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| to_bytes(&record).unwrap()));
+    group.bench_function("decode", |b| {
+        b.iter(|| from_bytes::<BenchRecord>(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+/// Intentions-list commit and recovery cost.
+fn substrate_stable_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_stable_store");
+    group.bench_function("commit_batch_8_objects", |b| {
+        let store = StableStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let updates: Vec<(ObjectId, StoreBytes)> = (0..8)
+                .map(|k| {
+                    (
+                        ObjectId::from_raw(k),
+                        StoreBytes::from(i.to_le_bytes().to_vec()),
+                    )
+                })
+                .collect();
+            store.commit_batch(updates);
+        });
+    });
+    group.bench_function("recover_after_mid_commit_crash", |b| {
+        b.iter_batched(
+            || {
+                let store = StableStore::new();
+                let updates: Vec<(ObjectId, StoreBytes)> = (0..8)
+                    .map(|k| (ObjectId::from_raw(k), StoreBytes::from(vec![k as u8])))
+                    .collect();
+                let _ = store.commit_batch_with_crash(
+                    updates,
+                    chroma_store::CommitCrashPoint::AfterCommitRecord,
+                );
+                store
+            },
+            |store| store.recover(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// A2's quantitative companion: end-to-end workload throughput at two
+/// contention levels.
+fn ablation_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_workload");
+    group.sample_size(10);
+    for (name, hot) in [("uniform", 0.0f64), ("hotspot_50pct", 0.5)] {
+        group.bench_function(format!("contention_{name}"), |b| {
+            b.iter_batched(
+                bench_runtime,
+                |rt| {
+                    run_contention(
+                        &rt,
+                        &WorkloadConfig {
+                            objects: 16,
+                            threads: 4,
+                            actions_per_thread: 50,
+                            ops_per_action: 2,
+                            write_ratio: 0.5,
+                            hot_ratio: hot,
+                            seed: 1,
+                        },
+                    )
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// A7's quantitative companion: typed objects vs naive objects under
+/// multi-threaded contention.
+fn ablation_typed_objects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_typed_objects");
+    group.sample_size(10);
+    group.bench_function("naive_counter_4_threads", |b| {
+        b.iter_batched(
+            || {
+                let rt = bench_runtime();
+                let o = rt.create_object(&0i64).unwrap();
+                (rt, o)
+            },
+            |(rt, o)| {
+                std::thread::scope(|scope| {
+                    for _ in 0..4 {
+                        let rt = rt.clone();
+                        scope.spawn(move || {
+                            for _ in 0..25 {
+                                rt.atomic(|a| a.modify(o, |v: &mut i64| *v += 1)).unwrap();
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("escrow_counter_4_threads", |b| {
+        b.iter_batched(
+            || {
+                let rt = bench_runtime();
+                let counter = std::sync::Arc::new(EscrowCounter::create(&rt, 8).unwrap());
+                (rt, counter)
+            },
+            |(rt, counter)| {
+                std::thread::scope(|scope| {
+                    for _ in 0..4 {
+                        let rt = rt.clone();
+                        let counter = std::sync::Arc::clone(&counter);
+                        scope.spawn(move || {
+                            for _ in 0..25 {
+                                rt.atomic(|a| counter.add(a, 1)).unwrap();
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("keyed_directory_insert_lookup", |b| {
+        let rt = bench_runtime();
+        let dir: KeyedDirectory<u64> = KeyedDirectory::create(&rt, 16).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("k{}", i % 64);
+            rt.atomic(|a| {
+                dir.insert(a, &key, &i)?;
+                dir.lookup(a, &key)
+            })
+            .unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrate,
+    ablation_lock_overhead,
+    substrate_codec,
+    substrate_stable_store,
+    ablation_workload,
+    ablation_typed_objects,
+);
+criterion_main!(substrate);

@@ -1,0 +1,25 @@
+//! Shared helpers for the criterion benchmark harness.
+//!
+//! The benchmarks live in `benches/`, one group per paper figure
+//! (`fig01`…`fig15`) plus the ablations (`ablation_*`); see
+//! `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for the
+//! measured results. Run with:
+//!
+//! ```text
+//! cargo bench -p chroma-bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chroma_core::{Runtime, RuntimeConfig};
+use std::time::Duration;
+
+/// A runtime configured with short lock timeouts, suitable for
+/// benchmark bodies that never contend pathologically.
+#[must_use]
+pub fn bench_runtime() -> Runtime {
+    Runtime::with_config(RuntimeConfig {
+        lock_timeout: Some(Duration::from_secs(2)),
+    })
+}

@@ -1,0 +1,214 @@
+//! Pluggable permanence: where outermost-coloured commits go.
+//!
+//! The paper's trial implementation was non-distributed, with the
+//! stated plan "to embark on building a distributed version". Chroma
+//! keeps the runtime identical in both deployments by routing the
+//! *permanence of effect* step — flushing a colour's updates atomically
+//! when its outermost action commits — through this trait:
+//!
+//! * [`LocalBackend`] installs batches into a single node's
+//!   [`StableStore`] (the paper's trial setup);
+//! * `chroma-dist`'s `PartitionedStore` installs them into object
+//!   stores spread over simulated fail-silent nodes, using two-phase
+//!   commit with replication (the distributed version).
+
+use chroma_base::ObjectId;
+use chroma_store::{DiskStore, StableStore, StoreBytes};
+
+/// Errors a permanence backend can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// The backend could not reach enough object stores to install the
+    /// batch atomically (e.g. every replica of a partition is down).
+    Unavailable(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Unavailable(why) => {
+                write!(f, "permanence backend unavailable: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The permanence-of-effect sink: atomic, crash-surviving installation
+/// of committed object states.
+///
+/// Implementations must make `commit_batch` atomic (all updates or
+/// none survive any crash) and `recover` idempotent.
+pub trait PermanenceBackend: Send + Sync {
+    /// Atomically installs a batch of committed object states.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Unavailable`] if atomic installation is
+    /// currently impossible; the caller keeps the action active so the
+    /// commit can be retried.
+    fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), BackendError>;
+
+    /// Returns the last committed state of `object`, if any.
+    fn read(&self, object: ObjectId) -> Option<StoreBytes>;
+
+    /// Returns `true` if `object` has a committed state.
+    fn contains(&self, object: ObjectId) -> bool {
+        self.read(object).is_some()
+    }
+
+    /// Runs crash recovery (completes or discards interrupted batches).
+    fn recover(&self);
+
+    /// The highest [`ObjectId`] with committed state, if the backend can
+    /// tell. A runtime opened over a pre-existing store continues object
+    /// allocation *after* this id, so new objects never collide with
+    /// persisted ones. `None` (the default) means "empty or unknown".
+    fn max_object(&self) -> Option<ObjectId> {
+        None
+    }
+}
+
+/// Single-node permanence: a [`StableStore`] with intentions-list
+/// commit. The default backend of [`Runtime`](crate::Runtime).
+#[derive(Debug, Default)]
+pub struct LocalBackend {
+    store: StableStore,
+}
+
+impl LocalBackend {
+    /// Creates an empty local backend.
+    #[must_use]
+    pub fn new() -> Self {
+        LocalBackend::default()
+    }
+
+    /// Returns the underlying stable store (tests and tooling).
+    #[must_use]
+    pub fn store(&self) -> &StableStore {
+        &self.store
+    }
+}
+
+impl PermanenceBackend for LocalBackend {
+    fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), BackendError> {
+        self.store.commit_batch(updates);
+        Ok(())
+    }
+
+    fn read(&self, object: ObjectId) -> Option<StoreBytes> {
+        self.store.read(object)
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.store.contains(object)
+    }
+
+    fn recover(&self) {
+        self.store.recover();
+    }
+
+    fn max_object(&self) -> Option<ObjectId> {
+        self.store.object_ids().into_iter().max()
+    }
+}
+
+/// Disk-backed permanence: outermost-coloured commits go to a real
+/// directory through [`DiskStore`]'s write-ahead intentions log — true
+/// on-disk durability for non-simulated deployments.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join(format!("chroma-backend-doc-{}", std::process::id()));
+/// let rt = Runtime::with_backend(
+///     RuntimeConfig::default(),
+///     Arc::new(DiskBackend::open(&dir)?),
+/// );
+/// let o = rt.create_object(&5i64)?;
+/// rt.atomic(|a| a.modify(o, |v: &mut i64| *v *= 2))?;
+/// assert_eq!(rt.read_committed::<i64>(o)?, 10);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DiskBackend {
+    store: DiskStore,
+}
+
+impl DiskBackend {
+    /// Opens (creating if necessary) a disk-backed backend in `dir`,
+    /// running crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures or log corruption
+    /// ([`chroma_store::DiskError`]).
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self, chroma_store::DiskError> {
+        Ok(DiskBackend {
+            store: DiskStore::open(dir)?,
+        })
+    }
+
+    /// Returns the underlying disk store.
+    #[must_use]
+    pub fn store(&self) -> &DiskStore {
+        &self.store
+    }
+}
+
+impl PermanenceBackend for DiskBackend {
+    fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), BackendError> {
+        self.store
+            .commit_batch(updates)
+            .map_err(|e| BackendError::Unavailable(e.to_string()))
+    }
+
+    fn read(&self, object: ObjectId) -> Option<StoreBytes> {
+        self.store.read(object).ok().flatten()
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.store.contains(object)
+    }
+
+    fn recover(&self) {
+        // Recovery runs at open; the log is empty between commits, so
+        // there is nothing to replay mid-process.
+    }
+
+    fn max_object(&self) -> Option<ObjectId> {
+        self.store.object_ids().ok()?.into_iter().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_backend_round_trips() {
+        let backend = LocalBackend::new();
+        let o = ObjectId::from_raw(1);
+        backend
+            .commit_batch(vec![(o, StoreBytes::from(vec![5]))])
+            .unwrap();
+        assert!(backend.contains(o));
+        assert_eq!(backend.read(o).as_deref(), Some(&[5u8][..]));
+        backend.recover();
+        assert_eq!(backend.read(o).as_deref(), Some(&[5u8][..]));
+    }
+
+    #[test]
+    fn backend_error_displays() {
+        let e = BackendError::Unavailable("all replicas down".into());
+        assert!(e.to_string().contains("all replicas down"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The runtime's error type.
+
+use std::error::Error;
+use std::fmt;
+
+use chroma_base::{ActionId, Colour, ColourError, LockError, ObjectId};
+use chroma_store::codec::CodecError;
+
+/// Errors produced while running actions.
+///
+/// An error returned from an action body causes the scoped runner to
+/// abort the action; [`ActionError::failed`] lets application code signal
+/// its own failures through the same channel.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ActionError {
+    /// A lock could not be acquired (denied, deadlock victim, timeout or
+    /// cancelled).
+    Lock(LockError),
+    /// An object state failed to encode or decode.
+    Codec(CodecError),
+    /// The object does not exist in volatile or stable storage.
+    NoSuchObject(ObjectId),
+    /// The action is not active (it already committed or aborted).
+    NotActive(ActionId),
+    /// A nested action was begun under a parent that is not active.
+    ParentNotActive(ActionId),
+    /// Commit was requested while child actions are still active.
+    ChildrenActive(ActionId),
+    /// The action tried to use a colour it does not possess.
+    ColourNotHeld {
+        /// The offending action.
+        action: ActionId,
+        /// The colour it does not possess.
+        colour: Colour,
+    },
+    /// An action was created with an empty colour set.
+    NoColours,
+    /// Colour allocation failed.
+    Colour(ColourError),
+    /// The permanence backend could not install a commit batch.
+    Backend(crate::backend::BackendError),
+    /// An application-level failure (aborts the enclosing action).
+    Failed(String),
+}
+
+impl ActionError {
+    /// Creates an application-level failure that will abort the
+    /// enclosing action when returned from its body.
+    #[must_use]
+    pub fn failed(message: impl Into<String>) -> Self {
+        ActionError::Failed(message.into())
+    }
+
+    /// Returns `true` if the error is a deadlock-victim notification,
+    /// meaning the action should abort and may be retried.
+    #[must_use]
+    pub fn is_deadlock_victim(&self) -> bool {
+        matches!(self, ActionError::Lock(LockError::DeadlockVictim { .. }))
+    }
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::Lock(e) => write!(f, "lock failure: {e}"),
+            ActionError::Codec(e) => write!(f, "state codec failure: {e}"),
+            ActionError::NoSuchObject(o) => write!(f, "no such object: {o}"),
+            ActionError::NotActive(a) => write!(f, "{a} is not active"),
+            ActionError::ParentNotActive(a) => write!(f, "parent {a} is not active"),
+            ActionError::ChildrenActive(a) => {
+                write!(f, "{a} still has active child actions")
+            }
+            ActionError::ColourNotHeld { action, colour } => {
+                write!(f, "{action} does not possess colour {colour}")
+            }
+            ActionError::NoColours => write!(f, "an action must possess at least one colour"),
+            ActionError::Colour(e) => write!(f, "colour allocation failure: {e}"),
+            ActionError::Backend(e) => write!(f, "permanence failure: {e}"),
+            ActionError::Failed(msg) => write!(f, "action failed: {msg}"),
+        }
+    }
+}
+
+impl Error for ActionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ActionError::Lock(e) => Some(e),
+            ActionError::Codec(e) => Some(e),
+            ActionError::Colour(e) => Some(e),
+            ActionError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LockError> for ActionError {
+    fn from(e: LockError) -> Self {
+        ActionError::Lock(e)
+    }
+}
+
+impl From<CodecError> for ActionError {
+    fn from(e: CodecError) -> Self {
+        ActionError::Codec(e)
+    }
+}
+
+impl From<ColourError> for ActionError {
+    fn from(e: ColourError) -> Self {
+        ActionError::Colour(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ActionError::NoSuchObject(ObjectId::from_raw(7));
+        assert!(e.to_string().contains("O7"));
+        let e = ActionError::failed("makefile missing");
+        assert!(e.to_string().contains("makefile missing"));
+    }
+
+    #[test]
+    fn deadlock_victim_is_detected() {
+        let e = ActionError::Lock(LockError::DeadlockVictim {
+            object: ObjectId::from_raw(1),
+        });
+        assert!(e.is_deadlock_victim());
+        assert!(!ActionError::NoColours.is_deadlock_victim());
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = ActionError::Lock(LockError::Timeout {
+            object: ObjectId::from_raw(1),
+        });
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&ActionError::NoColours).is_none());
+    }
+}

@@ -1,0 +1,781 @@
+//! The multi-coloured action runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chroma_base::{ActionId, Colour, ColourSet, ColourUniverse, LockError, LockMode, ObjectId};
+use chroma_locks::{ColouredPolicy, LockTable};
+use chroma_store::{codec, StoreBytes, VolatileStore};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::backend::{LocalBackend, PermanenceBackend};
+use crate::error::ActionError;
+use crate::scope::ActionScope;
+use crate::tree::{ActionState, ActionTree};
+use crate::undo::UndoLog;
+
+/// Tunables for a [`Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Upper bound on any single lock wait. `None` waits indefinitely
+    /// (deadlocks are still broken by the detector). Defaults to 10 s so
+    /// misbehaving workloads fail loudly instead of hanging.
+    pub lock_timeout: Option<Duration>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// A snapshot of runtime counters, taken with [`Runtime::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Actions begun.
+    pub begun: u64,
+    /// Actions committed.
+    pub committed: u64,
+    /// Actions aborted.
+    pub aborted: u64,
+    /// Lock waits that ended with the waiter chosen as deadlock victim.
+    pub deadlock_victims: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    begun: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    deadlock_victims: AtomicU64,
+}
+
+struct Inner {
+    universe: ColourUniverse,
+    default_colour: Colour,
+    tree: ActionTree,
+    locks: LockTable<ColouredPolicy>,
+    volatile: VolatileStore,
+    stable: Arc<dyn PermanenceBackend>,
+    undo: UndoLog,
+    next_action: AtomicU64,
+    next_object: AtomicU64,
+    config: RuntimeConfig,
+    stats: StatCounters,
+}
+
+/// The multi-coloured action runtime: persistent objects, coloured
+/// locking, nested actions, per-colour commit and recovery.
+///
+/// A `Runtime` owns one node's object stores and lock table. It is
+/// cheaply clonable (clones share state) and fully thread-safe: actions
+/// typically run one per thread.
+///
+/// The paper's semantics are implemented exactly:
+///
+/// * an action may possess several colours and specifies one of them for
+///   each lock it takes;
+/// * when an action **commits**, for each of its colours its locks and
+///   before-images pass to the *closest ancestor possessing that
+///   colour*; if there is none, the action is *outermost* for the colour
+///   and the colour's updates are flushed atomically to stable storage
+///   (permanence of effect), after which the colour's locks are
+///   released;
+/// * when an action **aborts**, all its locks are discarded and all its
+///   before-images restored — ancestors keep their own locks and images;
+/// * a system in which every action has the same single colour behaves
+///   exactly like a conventional nested atomic action system.
+///
+/// # Examples
+///
+/// Fig. 10 of the paper — B (red+blue) nested in A (blue); B's red
+/// effects survive A's abort, its blue effects do not:
+///
+/// ```
+/// use chroma_base::ColourSet;
+/// use chroma_core::Runtime;
+///
+/// # fn main() -> Result<(), chroma_core::ActionError> {
+/// let rt = Runtime::new();
+/// let (red, blue) = (rt.universe().colour("red"), rt.universe().colour("blue"));
+/// let o_r = rt.create_object(&0i32)?; // will be written in red
+/// let o_b = rt.create_object(&0i32)?; // will be written in blue
+///
+/// let a = rt.begin_top(ColourSet::single(blue))?;
+/// let b = rt.begin_nested(a, ColourSet::from_iter([red, blue]))?;
+/// rt.scope(b)?.write_in(red, o_r, &1i32)?;
+/// rt.scope(b)?.write_in(blue, o_b, &1i32)?;
+/// rt.commit(b)?; // B outermost red: red effects permanent; blue passes to A
+/// rt.abort(a); // undoes blue only
+///
+/// assert_eq!(rt.read_committed::<i32>(o_r)?, 1);
+/// assert_eq!(rt.read_committed::<i32>(o_b)?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Runtime::with_config(RuntimeConfig::default())
+    }
+
+    /// Creates a runtime with the given configuration and the default
+    /// single-node permanence backend.
+    #[must_use]
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        Runtime::with_backend(config, Arc::new(LocalBackend::new()))
+    }
+
+    /// Creates a runtime whose permanence of effect is provided by
+    /// `backend` — e.g. `chroma-dist`'s partitioned, replicated store
+    /// for the distributed deployment.
+    #[must_use]
+    pub fn with_backend(config: RuntimeConfig, backend: Arc<dyn PermanenceBackend>) -> Self {
+        let universe = ColourUniverse::new();
+        let default_colour = universe.colour("default");
+        // Continue object allocation after anything already persisted
+        // (a disk-backed store re-opened after a restart).
+        let first_object = backend.max_object().map_or(1, |o| o.as_raw() + 1);
+        Runtime {
+            inner: Arc::new(Inner {
+                universe,
+                default_colour,
+                tree: ActionTree::new(),
+                locks: LockTable::new(ColouredPolicy),
+                volatile: VolatileStore::new(),
+                stable: backend,
+                undo: UndoLog::new(),
+                next_action: AtomicU64::new(1),
+                next_object: AtomicU64::new(first_object),
+                config,
+                stats: StatCounters::default(),
+            }),
+        }
+    }
+
+    /// Returns the colour universe of this runtime.
+    #[must_use]
+    pub fn universe(&self) -> &ColourUniverse {
+        &self.inner.universe
+    }
+
+    /// Returns the colour used by single-colour (conventional) actions.
+    #[must_use]
+    pub fn default_colour(&self) -> Colour {
+        self.inner.default_colour
+    }
+
+    /// Returns a snapshot of the runtime counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        let s = &self.inner.stats;
+        RuntimeStats {
+            begun: s.begun.load(Ordering::Relaxed),
+            committed: s.committed.load(Ordering::Relaxed),
+            aborted: s.aborted.load(Ordering::Relaxed),
+            deadlock_victims: s.deadlock_victims.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Objects
+    // ------------------------------------------------------------------
+
+    /// Creates a persistent object with an initial committed state.
+    ///
+    /// This is the bootstrap path, used outside any action; it writes
+    /// the state straight to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActionError::Codec`] if the value fails to encode.
+    pub fn create_object<T: Serialize>(&self, value: &T) -> Result<ObjectId, ActionError> {
+        let bytes = StoreBytes::from(codec::to_bytes(value)?);
+        self.create_object_raw(bytes)
+    }
+
+    /// Creates a persistent object from raw bytes (bootstrap path).
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::Backend`] if the permanence backend cannot
+    /// install the initial state.
+    pub fn create_object_raw(&self, state: StoreBytes) -> Result<ObjectId, ActionError> {
+        let object = ObjectId::from_raw(self.inner.next_object.fetch_add(1, Ordering::Relaxed));
+        self.inner
+            .stable
+            .commit_batch(vec![(object, state)])
+            .map_err(ActionError::Backend)?;
+        Ok(object)
+    }
+
+    /// Reads the last *committed* (stable) state of an object, bypassing
+    /// locks. Intended for bootstrap, assertions and debugging — running
+    /// actions should read through a scope.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NoSuchObject`] if the object has no committed
+    /// state; [`ActionError::Codec`] on decode failure.
+    pub fn read_committed<T: DeserializeOwned>(&self, object: ObjectId) -> Result<T, ActionError> {
+        let bytes = self
+            .inner
+            .stable
+            .read(object)
+            .ok_or(ActionError::NoSuchObject(object))?;
+        Ok(codec::from_bytes(&bytes)?)
+    }
+
+    /// Reads the current *working* state of an object (volatile if
+    /// present, else stable), bypassing locks. Debugging aid.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NoSuchObject`] if the object does not exist;
+    /// [`ActionError::Codec`] on decode failure.
+    pub fn read_current<T: DeserializeOwned>(&self, object: ObjectId) -> Result<T, ActionError> {
+        let bytes = self
+            .current_state(object)
+            .ok_or(ActionError::NoSuchObject(object))?;
+        Ok(codec::from_bytes(&bytes)?)
+    }
+
+    /// Returns `true` if the object exists in volatile or stable storage.
+    #[must_use]
+    pub fn object_exists(&self, object: ObjectId) -> bool {
+        self.inner.volatile.contains(object) || self.inner.stable.contains(object)
+    }
+
+    // ------------------------------------------------------------------
+    // Action lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begins a top-level action possessing `colours`.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NoColours`] if `colours` is empty.
+    pub fn begin_top(&self, colours: ColourSet) -> Result<ActionId, ActionError> {
+        self.begin(None, colours)
+    }
+
+    /// Begins an action nested inside `parent`, possessing `colours`.
+    ///
+    /// The child's colour set is independent of the parent's — that is
+    /// the point of multi-coloured actions (fig. 10: a red+blue action
+    /// inside a blue one).
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::ParentNotActive`] if `parent` is not active;
+    /// [`ActionError::NoColours`] if `colours` is empty.
+    pub fn begin_nested(
+        &self,
+        parent: ActionId,
+        colours: ColourSet,
+    ) -> Result<ActionId, ActionError> {
+        self.begin(Some(parent), colours)
+    }
+
+    fn begin(
+        &self,
+        parent: Option<ActionId>,
+        colours: ColourSet,
+    ) -> Result<ActionId, ActionError> {
+        if colours.is_empty() {
+            return Err(ActionError::NoColours);
+        }
+        if let Some(parent) = parent {
+            if !self.inner.tree.is_active(parent) {
+                return Err(ActionError::ParentNotActive(parent));
+            }
+        }
+        let id = ActionId::from_raw(self.inner.next_action.fetch_add(1, Ordering::Relaxed));
+        self.inner.tree.insert(id, parent, colours);
+        self.inner.stats.begun.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Returns a scope for operating within an active action.
+    ///
+    /// The scope's default colour is the lowest-indexed colour of the
+    /// action; multi-coloured actions normally use the explicit `_in`
+    /// operations.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NotActive`] if the action is not active.
+    pub fn scope(&self, action: ActionId) -> Result<ActionScope<'_>, ActionError> {
+        let colours = self
+            .inner
+            .tree
+            .colours(action)
+            .filter(|_| self.inner.tree.is_active(action))
+            .ok_or(ActionError::NotActive(action))?;
+        let default_colour = colours.iter().next().expect("non-empty colour set");
+        Ok(ActionScope::new(self, action, colours, default_colour))
+    }
+
+    /// Commits an action.
+    ///
+    /// For each colour the action possesses: if a (closest) ancestor
+    /// possesses the colour, locks and before-images pass to it;
+    /// otherwise the action is outermost for the colour, the colour's
+    /// updates are flushed atomically to stable storage and its locks
+    /// released.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NotActive`] if the action is not active;
+    /// [`ActionError::ChildrenActive`] if a child is still active;
+    /// [`ActionError::ParentNotActive`] if the inheritance target
+    /// vanished (runtime misuse).
+    pub fn commit(&self, action: ActionId) -> Result<(), ActionError> {
+        let inner = &self.inner;
+        if !inner.tree.is_active(action) {
+            return Err(ActionError::NotActive(action));
+        }
+        if !inner.tree.active_children(action).is_empty() {
+            return Err(ActionError::ChildrenActive(action));
+        }
+        if let Some(parent) = inner.tree.parent(action) {
+            if !inner.tree.is_active(parent) {
+                return Err(ActionError::ParentNotActive(parent));
+            }
+        }
+        let colours = inner
+            .tree
+            .colours(action)
+            .ok_or(ActionError::NotActive(action))?;
+        for colour in colours {
+            match inner.tree.closest_ancestor_with_colour(action, colour) {
+                Some(ancestor) => {
+                    inner.locks.inherit_colour(action, colour, ancestor);
+                    inner.undo.transfer_colour(action, colour, ancestor);
+                }
+                None => {
+                    let records = inner.undo.take_colour(action, colour);
+                    let updates: Vec<(ObjectId, StoreBytes)> = records
+                        .iter()
+                        .filter_map(|(object, _)| {
+                            inner.volatile.read(*object).map(|state| (*object, state))
+                        })
+                        .collect();
+                    if !updates.is_empty() {
+                        if let Err(e) = inner.stable.commit_batch(updates) {
+                            // Permanence is unreachable: put the undo
+                            // records back and keep the action active
+                            // (with its locks) so commit can be retried
+                            // or the action aborted.
+                            for (object, image) in records {
+                                inner.undo.record_before(action, object, colour, image);
+                            }
+                            return Err(ActionError::Backend(e));
+                        }
+                    }
+                    inner.locks.release_colour(action, colour);
+                }
+            }
+        }
+        inner.tree.set_state(action, ActionState::Committed);
+        inner.locks.clear_interrupt(action);
+        inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Aborts an action: active children are aborted first (deepest
+    /// first), every before-image is restored, every lock discarded.
+    ///
+    /// Aborting a non-active (or unknown) action is a no-op, so abort is
+    /// always safe to call in cleanup paths.
+    pub fn abort(&self, action: ActionId) {
+        let inner = &self.inner;
+        if !inner.tree.is_active(action) {
+            return;
+        }
+        for child in inner.tree.active_children(action) {
+            self.abort(child);
+        }
+        inner.tree.set_state(action, ActionState::Aborted);
+        // Restore before-images while still holding the locks, so no
+        // other action observes a half-restored state (strictness).
+        for (object, _colour, image) in inner.undo.take_all(action) {
+            match image {
+                Some(state) => {
+                    inner.volatile.write(object, state);
+                }
+                None => {
+                    inner.volatile.remove(object);
+                }
+            }
+        }
+        inner.locks.discard_action(action);
+        // If the action's thread is parked in a lock wait, wake it.
+        inner.locks.cancel_waiter(action);
+        inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the lifecycle state of an action, if known.
+    #[must_use]
+    pub fn action_state(&self, action: ActionId) -> Option<crate::tree::ActionState> {
+        self.inner.tree.state(action)
+    }
+
+    /// Returns the colour set of an action, if known.
+    #[must_use]
+    pub fn action_colours(&self, action: ActionId) -> Option<ColourSet> {
+        self.inner.tree.colours(action)
+    }
+
+    /// Returns the parent of an action (`None` for top-level or
+    /// unknown actions).
+    #[must_use]
+    pub fn action_parent(&self, action: ActionId) -> Option<ActionId> {
+        self.inner.tree.parent(action)
+    }
+
+    // ------------------------------------------------------------------
+    // Scoped runners
+    // ------------------------------------------------------------------
+
+    /// Runs a conventional top-level atomic action: single (default)
+    /// colour, commit on `Ok`, abort on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's error after aborting, or any commit error.
+    pub fn atomic<R>(
+        &self,
+        body: impl FnOnce(&mut ActionScope<'_>) -> Result<R, ActionError>,
+    ) -> Result<R, ActionError> {
+        self.run_top(
+            ColourSet::single(self.inner.default_colour),
+            self.inner.default_colour,
+            body,
+        )
+    }
+
+    /// Like [`Runtime::atomic`], but automatically retries (up to
+    /// `attempts` times) when the action is chosen as a deadlock
+    /// victim — the standard reaction to victimisation, safe because
+    /// the aborted attempt left no effects.
+    ///
+    /// A small, growing backoff is applied between attempts: a fresh
+    /// attempt is always the *youngest* action and would otherwise be
+    /// re-selected as victim immediately, livelocking under contention.
+    /// (Prefer [`ActionScope::modify`], which takes the write lock up
+    /// front, over read-then-write bodies that provoke upgrade
+    /// deadlocks in the first place.)
+    ///
+    /// # Errors
+    ///
+    /// The body's error (immediately, for non-deadlock errors), or the
+    /// final deadlock error if every attempt was victimised.
+    pub fn atomic_retry<R>(
+        &self,
+        attempts: usize,
+        mut body: impl FnMut(&mut ActionScope<'_>) -> Result<R, ActionError>,
+    ) -> Result<R, ActionError> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            match self.atomic(&mut body) {
+                Err(e) if e.is_deadlock_victim() => {
+                    last = Some(e);
+                    let backoff_us = 50u64.saturating_mul(1 << attempt.min(8));
+                    std::thread::sleep(Duration::from_micros(backoff_us));
+                }
+                other => return other,
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Runs a top-level action with an explicit colour set and default
+    /// colour; commit on `Ok`, abort on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's error after aborting, or any commit error.
+    pub fn run_top<R>(
+        &self,
+        colours: ColourSet,
+        default_colour: Colour,
+        body: impl FnOnce(&mut ActionScope<'_>) -> Result<R, ActionError>,
+    ) -> Result<R, ActionError> {
+        let id = self.begin_top(colours)?;
+        self.run_body(id, colours, default_colour, body)
+    }
+
+    /// Runs a nested action under `parent`; commit on `Ok`, abort on
+    /// `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's error after aborting, or any commit error.
+    pub fn run_nested<R>(
+        &self,
+        parent: ActionId,
+        colours: ColourSet,
+        default_colour: Colour,
+        body: impl FnOnce(&mut ActionScope<'_>) -> Result<R, ActionError>,
+    ) -> Result<R, ActionError> {
+        let id = self.begin_nested(parent, colours)?;
+        self.run_body(id, colours, default_colour, body)
+    }
+
+    fn run_body<R>(
+        &self,
+        id: ActionId,
+        colours: ColourSet,
+        default_colour: Colour,
+        body: impl FnOnce(&mut ActionScope<'_>) -> Result<R, ActionError>,
+    ) -> Result<R, ActionError> {
+        let mut scope = ActionScope::new(self, id, colours, default_colour);
+        match body(&mut scope) {
+            Ok(value) => match self.commit(id) {
+                Ok(()) => Ok(value),
+                Err(error) => {
+                    // Scoped actions are all-or-nothing from the
+                    // caller's perspective: a failed commit (e.g. the
+                    // permanence backend is unreachable) aborts rather
+                    // than leaking an active action. Callers needing
+                    // commit *retry* use explicit begin/commit.
+                    self.abort(id);
+                    Err(error)
+                }
+            },
+            Err(error) => {
+                self.abort(id);
+                Err(error)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash simulation
+    // ------------------------------------------------------------------
+
+    /// Simulates a node crash followed by recovery: every active action
+    /// is killed (its locks vanish with the volatile lock table), the
+    /// volatile store and undo log are wiped, and the stable store runs
+    /// its recovery protocol.
+    ///
+    /// Effects already committed by outermost coloured actions survive;
+    /// everything else is gone — exactly the paper's failure model.
+    pub fn crash_and_recover(&self) {
+        let inner = &self.inner;
+        // Kill active actions; their threads' next operation fails.
+        let mut killed: Vec<ActionId> = Vec::new();
+        loop {
+            let active = inner.tree.active_actions();
+            let remaining: Vec<ActionId> =
+                active.into_iter().filter(|a| !killed.contains(a)).collect();
+            if remaining.is_empty() {
+                break;
+            }
+            for action in remaining {
+                inner.tree.set_state(action, ActionState::Aborted);
+                inner.locks.discard_action(action);
+                inner.locks.cancel_waiter(action);
+                inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                killed.push(action);
+            }
+        }
+        inner.undo.clear();
+        inner.volatile.crash();
+        inner.stable.recover();
+    }
+
+    /// Drops bookkeeping for terminated actions with no live
+    /// descendants, bounding memory in long-running systems. Returns
+    /// how many were pruned.
+    pub fn prune_terminated(&self) -> usize {
+        self.inner.tree.prune_terminated()
+    }
+
+    // ------------------------------------------------------------------
+    // Operations (called through `ActionScope`)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn op_lock(
+        &self,
+        action: ActionId,
+        colour: Colour,
+        object: ObjectId,
+        mode: LockMode,
+    ) -> Result<(), ActionError> {
+        self.acquire(action, colour, object, mode, false)
+    }
+
+    pub(crate) fn op_try_lock(
+        &self,
+        action: ActionId,
+        colour: Colour,
+        object: ObjectId,
+        mode: LockMode,
+    ) -> Result<(), ActionError> {
+        self.acquire(action, colour, object, mode, true)
+    }
+
+    pub(crate) fn op_read_raw(
+        &self,
+        action: ActionId,
+        colour: Colour,
+        object: ObjectId,
+    ) -> Result<StoreBytes, ActionError> {
+        self.acquire(action, colour, object, LockMode::Read, false)?;
+        self.current_state(object)
+            .ok_or(ActionError::NoSuchObject(object))
+    }
+
+    pub(crate) fn op_write_raw(
+        &self,
+        action: ActionId,
+        colour: Colour,
+        object: ObjectId,
+        state: StoreBytes,
+    ) -> Result<(), ActionError> {
+        self.acquire(action, colour, object, LockMode::Write, false)?;
+        let prior = self.current_state(object);
+        self.inner.undo.record_before(action, object, colour, prior);
+        self.inner.volatile.write(object, state);
+        Ok(())
+    }
+
+    pub(crate) fn op_create_raw(
+        &self,
+        action: ActionId,
+        colour: Colour,
+        state: StoreBytes,
+    ) -> Result<ObjectId, ActionError> {
+        let object = ObjectId::from_raw(self.inner.next_object.fetch_add(1, Ordering::Relaxed));
+        self.acquire(action, colour, object, LockMode::Write, false)?;
+        self.inner.undo.record_before(action, object, colour, None);
+        self.inner.volatile.write(object, state);
+        Ok(object)
+    }
+
+    fn acquire(
+        &self,
+        action: ActionId,
+        colour: Colour,
+        object: ObjectId,
+        mode: LockMode,
+        try_only: bool,
+    ) -> Result<(), ActionError> {
+        let inner = &self.inner;
+        if !inner.tree.is_active(action) {
+            return Err(ActionError::NotActive(action));
+        }
+        let colours = inner
+            .tree
+            .colours(action)
+            .ok_or(ActionError::NotActive(action))?;
+        if !colours.contains(colour) {
+            return Err(ActionError::ColourNotHeld { action, colour });
+        }
+        let result = if try_only {
+            inner
+                .locks
+                .try_acquire(&inner.tree, action, object, colour, mode)
+        } else {
+            inner.locks.acquire(
+                &inner.tree,
+                action,
+                object,
+                colour,
+                mode,
+                inner.config.lock_timeout,
+            )
+        };
+        match result {
+            Ok(_) => Ok(()),
+            Err(e @ LockError::DeadlockVictim { .. }) => {
+                inner
+                    .stats
+                    .deadlock_victims
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ActionError::Lock(e))
+            }
+            Err(e) => Err(ActionError::Lock(e)),
+        }
+    }
+
+    pub(crate) fn current_state(&self, object: ObjectId) -> Option<StoreBytes> {
+        if let Some(state) = self.inner.volatile.read(object) {
+            return Some(state);
+        }
+        let state = self.inner.stable.read(object)?;
+        self.inner.volatile.write(object, state.clone());
+        Some(state)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection used by structures, tests and experiments
+    // ------------------------------------------------------------------
+
+    /// Registers an external wait edge for deadlock detection: `waiter`
+    /// (an action) is blocked on the outcome of `target` outside the
+    /// lock table — e.g. a synchronous independent invocation (§3.3).
+    /// Pair with [`Runtime::remove_external_wait`]. Returns `true` if a
+    /// deadlock was detected (a lock-waiter on the cycle was victimised).
+    pub fn add_external_wait(&self, waiter: ActionId, target: ActionId) -> bool {
+        self.inner.locks.add_external_wait(waiter, target).is_some()
+    }
+
+    /// Removes an external wait edge.
+    pub fn remove_external_wait(&self, waiter: ActionId, target: ActionId) {
+        self.inner.locks.remove_external_wait(waiter, target);
+    }
+
+    /// Returns the locks `action` currently holds (for tests/metrics).
+    #[must_use]
+    pub fn locks_of(&self, action: ActionId) -> Vec<chroma_locks::LockSnapshot> {
+        self.inner.locks.locks_of(action)
+    }
+
+    /// Returns the holders of `object` (for tests/metrics).
+    #[must_use]
+    pub fn holders_of(&self, object: ObjectId) -> Vec<chroma_locks::LockEntry> {
+        self.inner.locks.holders(object)
+    }
+
+    /// Returns the total number of granted lock entries.
+    #[must_use]
+    pub fn lock_entry_count(&self) -> usize {
+        self.inner.locks.entry_count()
+    }
+
+    /// Returns aggregate lock-wait statistics (how often and for how
+    /// long actions blocked on locks) — the measurable cost the §3
+    /// structures exist to reduce.
+    #[must_use]
+    pub fn lock_wait_stats(&self) -> chroma_locks::WaitStats {
+        self.inner.locks.wait_stats()
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("stats", &self.stats())
+            .field("lock_entries", &self.inner.locks.entry_count())
+            .finish()
+    }
+}

@@ -1,0 +1,302 @@
+//! The live action tree.
+
+use std::collections::HashMap;
+
+use chroma_base::{ActionId, Colour, ColourSet};
+use chroma_locks::Ancestry;
+use parking_lot::RwLock;
+
+/// Lifecycle state of an action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionState {
+    /// Running; may acquire locks and perform operations.
+    Active,
+    /// Terminated normally; per-colour effects inherited or persisted.
+    Committed,
+    /// Terminated abnormally; all its effects undone.
+    Aborted,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    parent: Option<ActionId>,
+    colours: ColourSet,
+    state: ActionState,
+    children: Vec<ActionId>,
+}
+
+/// Bookkeeping for every action a runtime has started: parents, colour
+/// sets, lifecycle states.
+///
+/// Implements [`Ancestry`] so the lock table can answer "is this holder
+/// an ancestor of the requester" directly from the live tree.
+#[derive(Debug, Default)]
+pub struct ActionTree {
+    nodes: RwLock<HashMap<ActionId, Node>>,
+}
+
+impl ActionTree {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        ActionTree::default()
+    }
+
+    /// Registers a new active action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered (runtime ids are unique).
+    pub fn insert(&self, id: ActionId, parent: Option<ActionId>, colours: ColourSet) {
+        let mut nodes = self.nodes.write();
+        if let Some(parent) = parent {
+            if let Some(parent_node) = nodes.get_mut(&parent) {
+                parent_node.children.push(id);
+            }
+        }
+        let previous = nodes.insert(
+            id,
+            Node {
+                parent,
+                colours,
+                state: ActionState::Active,
+                children: Vec::new(),
+            },
+        );
+        assert!(previous.is_none(), "duplicate action id {id}");
+    }
+
+    /// Returns the state of `id`, if registered.
+    #[must_use]
+    pub fn state(&self, id: ActionId) -> Option<ActionState> {
+        self.nodes.read().get(&id).map(|n| n.state)
+    }
+
+    /// Returns `true` if `id` is registered and active.
+    #[must_use]
+    pub fn is_active(&self, id: ActionId) -> bool {
+        self.state(id) == Some(ActionState::Active)
+    }
+
+    /// Sets the state of `id`. No-op for unknown ids.
+    pub fn set_state(&self, id: ActionId, state: ActionState) {
+        if let Some(node) = self.nodes.write().get_mut(&id) {
+            node.state = state;
+        }
+    }
+
+    /// Returns the colour set of `id`, if registered.
+    #[must_use]
+    pub fn colours(&self, id: ActionId) -> Option<ColourSet> {
+        self.nodes.read().get(&id).map(|n| n.colours)
+    }
+
+    /// Returns the parent of `id` (`None` for top-level or unknown).
+    #[must_use]
+    pub fn parent(&self, id: ActionId) -> Option<ActionId> {
+        self.nodes.read().get(&id).and_then(|n| n.parent)
+    }
+
+    /// Returns the children of `id` in creation order.
+    #[must_use]
+    pub fn children(&self, id: ActionId) -> Vec<ActionId> {
+        self.nodes
+            .read()
+            .get(&id)
+            .map(|n| n.children.clone())
+            .unwrap_or_default()
+    }
+
+    /// Returns the *active* children of `id`.
+    #[must_use]
+    pub fn active_children(&self, id: ActionId) -> Vec<ActionId> {
+        let nodes = self.nodes.read();
+        nodes
+            .get(&id)
+            .map(|n| {
+                n.children
+                    .iter()
+                    .copied()
+                    .filter(|c| {
+                        nodes
+                            .get(c)
+                            .is_some_and(|cn| cn.state == ActionState::Active)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Walks up from the *parent* of `id` and returns the closest
+    /// ancestor possessing `colour`.
+    ///
+    /// This is the inheritance target of §5.2: "when a coloured action
+    /// commits, its locks of colour a are inherited by the closest
+    /// ancestor coloured a"; `None` means the action is outermost for
+    /// that colour and its colour-`a` effects become permanent.
+    #[must_use]
+    pub fn closest_ancestor_with_colour(&self, id: ActionId, colour: Colour) -> Option<ActionId> {
+        let nodes = self.nodes.read();
+        let mut cursor = nodes.get(&id)?.parent;
+        while let Some(ancestor) = cursor {
+            let node = nodes.get(&ancestor)?;
+            if node.colours.contains(colour) {
+                return Some(ancestor);
+            }
+            cursor = node.parent;
+        }
+        None
+    }
+
+    /// Returns every currently active action, unordered.
+    #[must_use]
+    pub fn active_actions(&self) -> Vec<ActionId> {
+        self.nodes
+            .read()
+            .iter()
+            .filter(|(_, n)| n.state == ActionState::Active)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Removes terminated actions that have no registered descendants,
+    /// bounding memory in long-running systems. Returns how many nodes
+    /// were removed.
+    pub fn prune_terminated(&self) -> usize {
+        let mut nodes = self.nodes.write();
+        let mut removed = 0;
+        loop {
+            let removable: Vec<ActionId> = nodes
+                .iter()
+                .filter(|(_, n)| n.state != ActionState::Active && n.children.is_empty())
+                .map(|(&id, _)| id)
+                .collect();
+            if removable.is_empty() {
+                break;
+            }
+            for id in removable {
+                let parent = nodes.get(&id).and_then(|n| n.parent);
+                nodes.remove(&id);
+                removed += 1;
+                if let Some(parent) = parent {
+                    if let Some(parent_node) = nodes.get_mut(&parent) {
+                        parent_node.children.retain(|&c| c != id);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Returns the number of registered actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Returns `true` if no actions are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.read().is_empty()
+    }
+}
+
+impl Ancestry for ActionTree {
+    fn is_ancestor_or_self(&self, candidate: ActionId, of: ActionId) -> bool {
+        if candidate == of {
+            return true;
+        }
+        let nodes = self.nodes.read();
+        let mut cursor = of;
+        while let Some(node) = nodes.get(&cursor) {
+            match node.parent {
+                Some(parent) if parent == candidate => return true,
+                Some(parent) => cursor = parent,
+                None => return false,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> ActionId {
+        ActionId::from_raw(n)
+    }
+    fn red() -> Colour {
+        Colour::from_index(0)
+    }
+    fn blue() -> Colour {
+        Colour::from_index(1)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let tree = ActionTree::new();
+        tree.insert(a(1), None, ColourSet::single(blue()));
+        tree.insert(a(2), Some(a(1)), ColourSet::single(red()).with(blue()));
+        assert_eq!(tree.state(a(1)), Some(ActionState::Active));
+        assert_eq!(tree.parent(a(2)), Some(a(1)));
+        assert_eq!(tree.children(a(1)), vec![a(2)]);
+        assert!(tree.colours(a(2)).unwrap().contains(red()));
+    }
+
+    #[test]
+    fn ancestry_walks_the_chain() {
+        let tree = ActionTree::new();
+        tree.insert(a(1), None, ColourSet::single(blue()));
+        tree.insert(a(2), Some(a(1)), ColourSet::single(blue()));
+        tree.insert(a(3), Some(a(2)), ColourSet::single(blue()));
+        assert!(tree.is_ancestor_or_self(a(1), a(3)));
+        assert!(tree.is_ancestor_or_self(a(3), a(3)));
+        assert!(!tree.is_ancestor_or_self(a(3), a(1)));
+    }
+
+    #[test]
+    fn closest_coloured_ancestor_skips_uncoloured() {
+        // Fig. 15: E (blue) inside B (red) inside A (red, blue).
+        let tree = ActionTree::new();
+        tree.insert(a(1), None, ColourSet::from_iter([red(), blue()]));
+        tree.insert(a(2), Some(a(1)), ColourSet::single(red()));
+        tree.insert(a(3), Some(a(2)), ColourSet::single(blue()));
+        assert_eq!(tree.closest_ancestor_with_colour(a(3), blue()), Some(a(1)));
+        assert_eq!(tree.closest_ancestor_with_colour(a(2), red()), Some(a(1)));
+        assert_eq!(tree.closest_ancestor_with_colour(a(1), red()), None);
+        assert_eq!(tree.closest_ancestor_with_colour(a(1), blue()), None);
+    }
+
+    #[test]
+    fn active_children_filters_terminated() {
+        let tree = ActionTree::new();
+        tree.insert(a(1), None, ColourSet::single(blue()));
+        tree.insert(a(2), Some(a(1)), ColourSet::single(blue()));
+        tree.insert(a(3), Some(a(1)), ColourSet::single(blue()));
+        tree.set_state(a(2), ActionState::Committed);
+        assert_eq!(tree.active_children(a(1)), vec![a(3)]);
+    }
+
+    #[test]
+    fn prune_removes_terminated_leaves_recursively() {
+        let tree = ActionTree::new();
+        tree.insert(a(1), None, ColourSet::single(blue()));
+        tree.insert(a(2), Some(a(1)), ColourSet::single(blue()));
+        tree.set_state(a(2), ActionState::Committed);
+        tree.set_state(a(1), ActionState::Committed);
+        let removed = tree.prune_terminated();
+        assert_eq!(removed, 2);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_active_subtrees() {
+        let tree = ActionTree::new();
+        tree.insert(a(1), None, ColourSet::single(blue()));
+        tree.insert(a(2), Some(a(1)), ColourSet::single(blue()));
+        tree.set_state(a(1), ActionState::Committed); // parent done, child active
+        assert_eq!(tree.prune_terminated(), 0);
+        assert_eq!(tree.len(), 2);
+    }
+}

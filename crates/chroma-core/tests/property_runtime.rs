@@ -1,0 +1,225 @@
+//! Property tests for the coloured runtime.
+//!
+//! The strongest one builds random coloured action trees, commits or
+//! aborts each node per a random schedule, and checks observed effect
+//! survival against the §5.2 inheritance-chain oracle (the same rule
+//! the structure compiler uses): an effect written in colour `c`
+//! survives iff no node on its chain of successive
+//! closest-`c`-ancestors aborts.
+
+use chroma_core::{ActionError, ActionId, Colour, ColourSet, ObjectId, Runtime};
+use proptest::prelude::*;
+
+/// A random action tree node: parent index (< own index), colour bits
+/// (1..=3 over two colours), commit flag.
+#[derive(Clone, Debug)]
+struct NodeSpec {
+    parent: Option<usize>,
+    colours: u8, // bit 0 = colour red, bit 1 = colour blue (1..=3)
+    commit: bool,
+}
+
+fn tree_strategy(max: usize) -> impl Strategy<Value = Vec<NodeSpec>> {
+    prop::collection::vec((any::<u32>(), 1..=3u8, any::<bool>()), 1..max).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (p, colours, commit))| NodeSpec {
+                parent: if i == 0 { None } else { Some((p as usize) % i) },
+                colours,
+                commit,
+            })
+            .collect()
+    })
+}
+
+fn colour_set(rt: &Runtime, bits: u8) -> (ColourSet, Vec<Colour>) {
+    let red = rt.universe().colour("red");
+    let blue = rt.universe().colour("blue");
+    let mut set = ColourSet::EMPTY;
+    let mut list = Vec::new();
+    if bits & 1 != 0 {
+        set = set.with(red);
+        list.push(red);
+    }
+    if bits & 2 != 0 {
+        set = set.with(blue);
+        list.push(blue);
+    }
+    (set, list)
+}
+
+/// Oracle: does the effect of node `writer` (written in `colour`)
+/// survive, given each node's commit/abort fate? The effect climbs the
+/// closest-`colour`-ancestor chain; it survives iff the writer and
+/// every chain node commit (chain ends at the outermost
+/// colour-possessor).
+fn oracle_survives(specs: &[NodeSpec], writer: usize, colour_bit: u8) -> bool {
+    let mut node = writer;
+    loop {
+        if !specs[node].commit {
+            return false;
+        }
+        // Find closest proper ancestor possessing the colour.
+        let mut cursor = specs[node].parent;
+        let mut next = None;
+        while let Some(i) = cursor {
+            if specs[i].colours & colour_bit != 0 {
+                next = Some(i);
+                break;
+            }
+            cursor = specs[i].parent;
+        }
+        match next {
+            Some(anchor) => node = anchor,
+            None => return true,
+        }
+    }
+}
+
+/// Executes the tree: each node writes one object per colour it owns,
+/// children run before the parent terminates (depth-first), terminations
+/// follow the commit flags. Parents whose fate is "abort" abort AFTER
+/// their children terminated (matching the oracle's model).
+fn execute(
+    rt: &Runtime,
+    specs: &[NodeSpec],
+) -> Result<Vec<Vec<(u8, ObjectId)>>, ActionError> {
+    // Build children lists.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); specs.len()];
+    for (i, spec) in specs.iter().enumerate() {
+        if let Some(p) = spec.parent {
+            children[p].push(i);
+        }
+    }
+    let mut writes: Vec<Vec<(u8, ObjectId)>> = vec![Vec::new(); specs.len()];
+
+    fn run(
+        rt: &Runtime,
+        specs: &[NodeSpec],
+        children: &[Vec<usize>],
+        writes: &mut Vec<Vec<(u8, ObjectId)>>,
+        index: usize,
+        parent: Option<ActionId>,
+    ) -> Result<(), ActionError> {
+        let (set, colours) = colour_set(rt, specs[index].colours);
+        let action = match parent {
+            Some(p) => rt.begin_nested(p, set)?,
+            None => rt.begin_top(set)?,
+        };
+        {
+            let scope = rt.scope(action)?;
+            for colour in colours {
+                let object = scope.create_in(colour, &1u8)?;
+                let bit = if colour == rt.universe().colour("red") {
+                    1
+                } else {
+                    2
+                };
+                writes[index].push((bit, object));
+            }
+        }
+        for &child in &children[index] {
+            run(rt, specs, children, writes, child, Some(action))?;
+        }
+        if specs[index].commit {
+            rt.commit(action)?;
+        } else {
+            rt.abort(action);
+        }
+        Ok(())
+    }
+
+    run(rt, specs, &children, &mut writes, 0, None)?;
+    // Any forest roots beyond index 0's subtree? No: parent < i ensures
+    // a single tree rooted at 0.
+    Ok(writes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Observed effect survival equals the inheritance-chain oracle.
+    #[test]
+    fn survival_matches_inheritance_chain_oracle(specs in tree_strategy(10)) {
+        let rt = Runtime::new();
+        let writes = execute(&rt, &specs).expect("execution succeeds");
+        for (writer, objs) in writes.iter().enumerate() {
+            for &(bit, object) in objs {
+                let survived = rt.object_exists(object)
+                    && rt.read_committed::<u8>(object).is_ok();
+                let predicted = oracle_survives(&specs, writer, bit);
+                prop_assert_eq!(
+                    survived,
+                    predicted,
+                    "node {} colour-bit {} (object {}): observed {} oracle {}\nspecs: {:?}",
+                    writer, bit, object, survived, predicted, specs
+                );
+            }
+        }
+        // No locks or undo state leak.
+        prop_assert_eq!(rt.lock_entry_count(), 0);
+    }
+
+    /// A single action performing random writes then aborting leaves
+    /// every object exactly as it was.
+    #[test]
+    fn abort_restores_every_object(
+        initial in prop::collection::vec(any::<i64>(), 1..8),
+        ops in prop::collection::vec((0..8usize, any::<i64>()), 0..24),
+    ) {
+        let rt = Runtime::new();
+        let objects: Vec<ObjectId> = initial
+            .iter()
+            .map(|v| rt.create_object(v).expect("create"))
+            .collect();
+        let result: Result<(), ActionError> = rt.atomic(|a| {
+            for (index, value) in &ops {
+                let object = objects[index % objects.len()];
+                a.write(object, value)?;
+            }
+            Err(ActionError::failed("abort"))
+        });
+        prop_assert!(result.is_err());
+        for (object, expected) in objects.iter().zip(&initial) {
+            prop_assert_eq!(rt.read_committed::<i64>(*object).expect("read"), *expected);
+            prop_assert_eq!(rt.read_current::<i64>(*object).expect("read"), *expected);
+        }
+        prop_assert_eq!(rt.lock_entry_count(), 0);
+    }
+
+    /// Crash-and-recover after random committed work preserves exactly
+    /// the committed values.
+    #[test]
+    fn crash_preserves_exactly_committed_state(
+        committed in prop::collection::vec(any::<i64>(), 1..6),
+        uncommitted in prop::collection::vec(any::<i64>(), 1..6),
+    ) {
+        let rt = Runtime::new();
+        let objects: Vec<ObjectId> = committed
+            .iter()
+            .map(|v| rt.create_object(v).expect("create"))
+            .collect();
+        // Committed updates.
+        rt.atomic(|a| {
+            for (object, value) in objects.iter().zip(&committed) {
+                a.write(*object, &(value.wrapping_add(1)))?;
+            }
+            Ok(())
+        }).expect("commit");
+        // Uncommitted updates from a still-active action.
+        let top = rt.begin_top(ColourSet::single(rt.default_colour())).expect("begin");
+        {
+            let scope = rt.scope(top).expect("scope");
+            for (object, value) in objects.iter().zip(&uncommitted) {
+                scope.write(*object, value).expect("write");
+            }
+        }
+        rt.crash_and_recover();
+        for (object, value) in objects.iter().zip(&committed) {
+            prop_assert_eq!(
+                rt.read_committed::<i64>(*object).expect("read"),
+                value.wrapping_add(1)
+            );
+        }
+    }
+}

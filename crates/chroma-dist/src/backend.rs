@@ -1,0 +1,334 @@
+//! The distributed permanence backend: the paper's planned
+//! "distributed version".
+//!
+//! A [`PartitionedStore`] spreads object states over a set of simulated
+//! fail-silent nodes, `replication` copies each. It implements
+//! [`PermanenceBackend`], so a [`chroma_core::Runtime`] built with
+//! [`Runtime::with_backend`](chroma_core::Runtime::with_backend) gets
+//! *distributed* permanence of effect: every outermost-coloured commit
+//! becomes a presumed-abort two-phase commit across the object stores
+//! holding the written objects' replicas, atomic despite message loss,
+//! duplication and node crashes.
+//!
+//! Reads are served by the freshest reachable, non-stale replica
+//! (version-stamped states); recovering nodes pull current states from
+//! their peers before serving again. With every replica of some written
+//! object down, a commit reports
+//! [`BackendError::Unavailable`] and the runtime keeps the action
+//! active so the commit can be retried after recovery — permanence is
+//! never silently dropped.
+
+use std::collections::HashMap;
+
+use chroma_base::{NodeId, ObjectId};
+use chroma_core::{BackendError, PermanenceBackend};
+use chroma_store::{codec, StoreBytes};
+use parking_lot::Mutex;
+
+use crate::msg::Write;
+use crate::node::RETRY_INTERVAL;
+use crate::sim::{NetConfig, Sim};
+
+/// How many coordinators a commit tries before reporting
+/// unavailability.
+const COMMIT_ATTEMPTS: usize = 3;
+
+#[derive(Debug)]
+struct PartitionedInner {
+    sim: Sim,
+    nodes: Vec<NodeId>,
+    replication: usize,
+    next_version: u64,
+}
+
+/// Object states partitioned and replicated over simulated nodes, with
+/// two-phase-commit installation.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use chroma_core::{Runtime, RuntimeConfig};
+/// use chroma_dist::PartitionedStore;
+///
+/// # fn main() -> Result<(), chroma_core::ActionError> {
+/// let store = Arc::new(PartitionedStore::new(42, 3, 2));
+/// let rt = Runtime::with_backend(RuntimeConfig::default(), store.clone());
+///
+/// let account = rt.create_object(&100i64)?;
+/// rt.atomic(|a| a.modify(account, |b: &mut i64| *b -= 30))?;
+///
+/// // One storage node crashes; committed state stays readable.
+/// store.crash_node(0);
+/// assert_eq!(rt.read_committed::<i64>(account)?, 70);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PartitionedStore {
+    inner: Mutex<PartitionedInner>,
+}
+
+impl PartitionedStore {
+    /// Creates a store of `node_count` simulated nodes with
+    /// `replication` copies of every object (clamped to `node_count`),
+    /// on a reliable network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    #[must_use]
+    pub fn new(seed: u64, node_count: usize, replication: usize) -> Self {
+        Self::with_net(seed, node_count, replication, NetConfig::default())
+    }
+
+    /// Creates a store whose internal network loses/duplicates/delays
+    /// messages per `net` — the commit protocol masks these failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    #[must_use]
+    pub fn with_net(seed: u64, node_count: usize, replication: usize, net: NetConfig) -> Self {
+        assert!(node_count > 0, "a partitioned store needs nodes");
+        let mut sim = Sim::new(seed);
+        sim.net = net;
+        let nodes: Vec<NodeId> = (0..node_count).map(|_| sim.add_node()).collect();
+        PartitionedStore {
+            inner: Mutex::new(PartitionedInner {
+                sim,
+                nodes,
+                replication: replication.clamp(1, node_count),
+                next_version: 1,
+            }),
+        }
+    }
+
+    /// Returns the number of storage nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// Returns how many storage nodes are currently up.
+    #[must_use]
+    pub fn up_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .nodes
+            .iter()
+            .filter(|&&n| inner.sim.node(n).up)
+            .count()
+    }
+
+    /// Crashes storage node `index` (volatile state lost; its replica
+    /// copies go stale until it recovers and catches up).
+    pub fn crash_node(&self, index: usize) {
+        let mut inner = self.inner.lock();
+        let node = inner.nodes[index];
+        inner.sim.schedule_crash(node, 0);
+        inner.sim.run_to_quiescence();
+    }
+
+    /// Recovers storage node `index`: replays its stable store, resumes
+    /// in-doubt transactions, pulls fresh replica states from peers.
+    pub fn recover_node(&self, index: usize) {
+        let mut inner = self.inner.lock();
+        let node = inner.nodes[index];
+        inner.sim.schedule_recover(node, RETRY_INTERVAL);
+        inner.sim.run_to_quiescence();
+    }
+
+    /// The replica homes of `object`: `replication` consecutive nodes
+    /// starting at a hash of the id.
+    fn replicas_of(inner: &PartitionedInner, object: ObjectId) -> Vec<NodeId> {
+        let n = inner.nodes.len();
+        let start = (object.as_raw() as usize) % n;
+        (0..inner.replication)
+            .map(|k| inner.nodes[(start + k) % n])
+            .collect()
+    }
+}
+
+impl PermanenceBackend for PartitionedStore {
+    fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), BackendError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let version = inner.next_version;
+        inner.next_version += 1;
+
+        // Plan the per-node writes: each object goes to its *up*
+        // replicas, version-stamped; down replicas catch up on recovery
+        // via the pull protocol (peer registration happens here).
+        let mut per_node: HashMap<NodeId, Vec<Write>> = HashMap::new();
+        for (object, state) in &updates {
+            let replicas = Self::replicas_of(&inner, *object);
+            for &replica in &replicas {
+                let peers: Vec<NodeId> =
+                    replicas.iter().copied().filter(|&r| r != replica).collect();
+                inner
+                    .sim
+                    .node_mut(replica)
+                    .replica_peers
+                    .insert(*object, peers);
+            }
+            let up: Vec<NodeId> = replicas
+                .iter()
+                .copied()
+                .filter(|&r| inner.sim.node(r).up)
+                .collect();
+            if up.is_empty() {
+                return Err(BackendError::Unavailable(format!(
+                    "every replica of {object} is down"
+                )));
+            }
+            let payload = codec::to_bytes(&(version, state.to_vec()))
+                .expect("versioned state encodes");
+            for node in up {
+                per_node.entry(node).or_default().push(Write {
+                    object: *object,
+                    state: StoreBytes::from(payload.clone()),
+                });
+            }
+        }
+
+        // Run two-phase commit, retrying with a different coordinator if
+        // the first attempt aborts (e.g. a participant crashed mid-way).
+        let mut candidates: Vec<NodeId> = per_node.keys().copied().collect();
+        candidates.sort();
+        for attempt in 0..COMMIT_ATTEMPTS {
+            let coordinator = candidates[attempt % candidates.len()];
+            if !inner.sim.node(coordinator).up {
+                continue;
+            }
+            let writes: Vec<(NodeId, Vec<Write>)> = per_node
+                .iter()
+                .map(|(&n, w)| (n, w.clone()))
+                .collect();
+            let txn = inner.sim.begin_transaction(coordinator, writes);
+            inner.sim.run_to_quiescence();
+            if inner.sim.coordinator_outcome(coordinator, txn) == Some(true) {
+                return Ok(());
+            }
+        }
+        Err(BackendError::Unavailable(format!(
+            "two-phase commit failed after {COMMIT_ATTEMPTS} attempts"
+        )))
+    }
+
+    fn read(&self, object: ObjectId) -> Option<StoreBytes> {
+        let inner = self.inner.lock();
+        Self::replicas_of(&inner, object)
+            .into_iter()
+            .filter(|&replica| {
+                let node = inner.sim.node(replica);
+                node.up && !node.stale.contains(&object)
+            })
+            .filter_map(|replica| inner.sim.node(replica).read_versioned(object))
+            .max_by_key(|&(version, _)| version)
+            .map(|(_, state)| state)
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.read(object).is_some()
+    }
+
+    fn recover(&self) {
+        let mut inner = self.inner.lock();
+        let down: Vec<NodeId> = inner
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| !inner.sim.node(n).up)
+            .collect();
+        for node in down {
+            inner.sim.schedule_recover(node, RETRY_INTERVAL);
+        }
+        inner.sim.run_to_quiescence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(v: u8) -> StoreBytes {
+        StoreBytes::from(vec![v])
+    }
+
+    #[test]
+    fn commit_and_read_round_trip() {
+        let store = PartitionedStore::new(1, 3, 2);
+        let o = ObjectId::from_raw(7);
+        store.commit_batch(vec![(o, bytes(1))]).unwrap();
+        assert_eq!(store.read(o).as_deref(), Some(&[1u8][..]));
+        store.commit_batch(vec![(o, bytes(2))]).unwrap();
+        assert_eq!(store.read(o).as_deref(), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn survives_minority_crash() {
+        let store = PartitionedStore::new(2, 3, 3);
+        let o = ObjectId::from_raw(1);
+        store.commit_batch(vec![(o, bytes(9))]).unwrap();
+        store.crash_node(0);
+        assert_eq!(store.read(o).as_deref(), Some(&[9u8][..]));
+        // Writes continue against the available copies.
+        store.commit_batch(vec![(o, bytes(10))]).unwrap();
+        assert_eq!(store.read(o).as_deref(), Some(&[10u8][..]));
+        // The crashed node recovers and catches up.
+        store.recover_node(0);
+        assert_eq!(store.read(o).as_deref(), Some(&[10u8][..]));
+        assert_eq!(store.up_count(), 3);
+    }
+
+    #[test]
+    fn unavailable_when_all_replicas_down() {
+        let store = PartitionedStore::new(3, 2, 2);
+        let o = ObjectId::from_raw(1);
+        store.commit_batch(vec![(o, bytes(1))]).unwrap();
+        store.crash_node(0);
+        store.crash_node(1);
+        assert!(store.read(o).is_none());
+        let err = store.commit_batch(vec![(o, bytes(2))]).unwrap_err();
+        assert!(matches!(err, BackendError::Unavailable(_)));
+        // Recovery restores service and the committed state.
+        store.recover();
+        assert_eq!(store.read(o).as_deref(), Some(&[1u8][..]));
+        store.commit_batch(vec![(o, bytes(2))]).unwrap();
+        assert_eq!(store.read(o).as_deref(), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn commits_mask_message_loss() {
+        let store = PartitionedStore::with_net(
+            4,
+            3,
+            2,
+            NetConfig {
+                loss: 0.25,
+                duplication: 0.25,
+                ..NetConfig::default()
+            },
+        );
+        for i in 0..10u64 {
+            let o = ObjectId::from_raw(i);
+            store.commit_batch(vec![(o, bytes(i as u8))]).unwrap();
+            assert_eq!(store.read(o).as_deref(), Some(&[i as u8][..]));
+        }
+    }
+
+    #[test]
+    fn batch_is_atomic_across_partitions() {
+        let store = PartitionedStore::new(5, 4, 2);
+        let objects: Vec<ObjectId> = (0..8).map(ObjectId::from_raw).collect();
+        let updates: Vec<(ObjectId, StoreBytes)> =
+            objects.iter().map(|&o| (o, bytes(3))).collect();
+        store.commit_batch(updates).unwrap();
+        for &o in &objects {
+            assert_eq!(store.read(o).as_deref(), Some(&[3u8][..]));
+        }
+    }
+}

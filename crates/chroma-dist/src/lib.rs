@@ -1,0 +1,33 @@
+//! A deterministic simulated distributed system for chroma: fail-silent
+//! nodes with stable storage, a lossy/duplicating/delaying network,
+//! at-most-once RPC, presumed-abort two-phase commit, and replicated
+//! objects (read-one / write-all-available).
+//!
+//! This crate is the substrate the paper assumes (§2): workstations that
+//! fail silently and recover, stable storage that survives crashes, and
+//! a communication subsystem whose failures (lost/duplicated messages)
+//! are masked by protocol-level retransmission and deduplication.
+//! Everything is driven by a discrete-event simulation ([`Sim`]) with a
+//! single seeded RNG, so fault-injection experiments are exactly
+//! reproducible.
+//!
+//! The commit protocol here is what a *distributed* chroma deployment
+//! would run when an outermost coloured action spans object stores on
+//! several nodes; the experiments in `EXPERIMENTS.md` (A3, A4) validate
+//! its atomicity and the availability gain from replication under
+//! crash/loss schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod msg;
+mod node;
+mod replica;
+mod sim;
+
+pub use backend::PartitionedStore;
+pub use msg::{Effect, Message, TimerTag, TxnId, Write};
+pub use node::{Node, RpcOp, RpcResult, TpcRecord, MAX_DECISION_ATTEMPTS, MAX_PREPARE_ATTEMPTS, RETRY_INTERVAL};
+pub use replica::ReplicatedObject;
+pub use sim::{NetConfig, NetStats, Sim, TraceEntry};

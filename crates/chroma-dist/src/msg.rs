@@ -1,0 +1,162 @@
+//! Message and timer vocabulary for the simulated distributed system.
+
+use chroma_base::{NodeId, ObjectId};
+use chroma_store::StoreBytes;
+
+/// A transaction identifier, unique per simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One write a transaction wants installed at a particular node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Write {
+    /// The object to update.
+    pub object: ObjectId,
+    /// The new state.
+    pub state: StoreBytes,
+}
+
+/// Network message payloads.
+///
+/// The paper's model assumes the network may lose, duplicate or delay
+/// messages; every protocol here is built to tolerate exactly that
+/// (retransmission, deduplication, idempotent installation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    // ---- two-phase commit (presumed abort) ----
+    /// Coordinator → participant: please prepare these writes.
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+        /// Writes destined for the receiving participant.
+        writes: Vec<Write>,
+        /// The coordinator to report back to.
+        coordinator: NodeId,
+    },
+    /// Participant → coordinator: prepared and vote yes.
+    VoteYes {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: vote no (transaction must abort).
+    VoteNo {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Coordinator → participant: the decision.
+    Decision {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+    },
+    /// Participant → coordinator: decision processed.
+    Ack {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Recovering participant → coordinator: what was decided?
+    DecisionQuery {
+        /// The transaction.
+        txn: TxnId,
+    },
+
+    // ---- at-most-once RPC ----
+    /// Client → server: invoke.
+    RpcRequest {
+        /// Client-unique call id (for dedup and reply matching).
+        call: u64,
+        /// Operation payload (application defined).
+        body: StoreBytes,
+    },
+    /// Server → client: reply.
+    RpcReply {
+        /// Echoed call id.
+        call: u64,
+        /// Result payload.
+        body: StoreBytes,
+    },
+
+    // ---- replication (read-one / write-all-available) ----
+    /// Peer → recovering replica: current state of a replicated object.
+    ReplicaState {
+        /// The replicated object.
+        object: ObjectId,
+        /// Version counter.
+        version: u64,
+        /// The state at that version.
+        state: StoreBytes,
+        /// `true` if the sender itself considers its copy stale (it is
+        /// also recovering); such a response still counts towards the
+        /// all-peers-heard quorum but does not by itself prove
+        /// freshness.
+        holder_stale: bool,
+    },
+    /// Peer → recovering replica: I hold no copy of this object.
+    ReplicaNone {
+        /// The replicated object.
+        object: ObjectId,
+    },
+    /// Recovering replica → peer: send me your state for this object.
+    ReplicaPull {
+        /// The replicated object.
+        object: ObjectId,
+    },
+}
+
+/// Timer tags: what a node asked to be woken up for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerTag {
+    /// Coordinator: re-send prepares / give up and abort.
+    CoordinatorRetry(TxnId),
+    /// Coordinator: re-send the decision until all acks arrive.
+    DecisionRetry(TxnId),
+    /// Participant: prepared but no decision yet — query the
+    /// coordinator.
+    QueryDecision(TxnId),
+    /// RPC client: retransmit an outstanding call.
+    RpcRetry(u64),
+}
+
+/// An effect a node wants performed: the simulation schedules it.
+#[derive(Clone, Debug)]
+pub enum Effect {
+    /// Send a message to a node.
+    Send {
+        /// Destination.
+        to: NodeId,
+        /// Payload.
+        msg: Message,
+    },
+    /// Wake me with `tag` after `delay` simulated microseconds.
+    SetTimer {
+        /// Delay from now.
+        delay: u64,
+        /// The tag to deliver.
+        tag: TimerTag,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_display() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+    }
+
+    #[test]
+    fn messages_compare() {
+        let a = Message::VoteYes { txn: TxnId(1) };
+        let b = Message::VoteYes { txn: TxnId(1) };
+        assert_eq!(a, b);
+        assert_ne!(a, Message::VoteNo { txn: TxnId(1) });
+    }
+}

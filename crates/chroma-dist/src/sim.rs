@@ -1,0 +1,563 @@
+//! The deterministic discrete-event simulation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use chroma_base::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::msg::{Effect, Message, TimerTag, TxnId, Write};
+use crate::node::Node;
+
+/// Network behaviour knobs (the paper's §2 failure model: messages may
+/// be lost, duplicated or delayed).
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Probability a message is silently dropped.
+    pub loss: f64,
+    /// Probability a message is delivered twice.
+    pub duplication: f64,
+    /// Minimum delivery delay (simulated µs).
+    pub delay_min: u64,
+    /// Maximum delivery delay (simulated µs).
+    pub delay_max: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            loss: 0.0,
+            duplication: 0.0,
+            delay_min: 500,
+            delay_max: 2_000,
+        }
+    }
+}
+
+/// A scheduled occurrence.
+#[derive(Clone, Debug)]
+enum Event {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    },
+    Timer {
+        node: NodeId,
+        tag: TimerTag,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
+}
+
+/// Counters describing what the network did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered (duplicates counted).
+    pub delivered: u64,
+    /// Messages dropped by loss injection or because the target was
+    /// down.
+    pub dropped: u64,
+    /// Extra deliveries created by duplication injection.
+    pub duplicated: u64,
+}
+
+/// A deterministic simulation of fail-silent nodes on a lossy network.
+///
+/// All randomness (delays, loss, duplication) flows from one seeded RNG:
+/// the same seed and the same call sequence replay the same history,
+/// which is what makes protocol fault-injection tests debuggable.
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::{NodeId, ObjectId};
+/// use chroma_dist::{Sim, Write};
+/// use chroma_store::StoreBytes;
+///
+/// let mut sim = Sim::new(42);
+/// let (a, b) = (sim.add_node(), sim.add_node());
+/// let o = ObjectId::from_raw(1);
+/// let txn = sim.begin_transaction(
+///     a,
+///     vec![(b, vec![Write { object: o, state: StoreBytes::from(vec![7]) }])],
+/// );
+/// sim.run_to_quiescence();
+/// assert_eq!(sim.coordinator_outcome(a, txn), Some(true));
+/// assert_eq!(sim.node(b).store.read(o).as_deref(), Some(&[7u8][..]));
+/// ```
+#[derive(Debug)]
+pub struct Sim {
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    events: HashMap<(u64, u64), Event>,
+    rng: StdRng,
+    nodes: HashMap<NodeId, Node>,
+    next_node: u32,
+    next_txn: u64,
+    /// Network behaviour; adjust freely between runs.
+    pub net: NetConfig,
+    stats: NetStats,
+    /// Severed links (unordered pairs): messages between these nodes are
+    /// dropped until the partition heals.
+    partitions: HashSet<(NodeId, NodeId)>,
+    /// Event trace (bounded), populated when enabled.
+    trace: Option<Vec<TraceEntry>>,
+}
+
+/// One traced simulation event (see [`Sim::enable_trace`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the event (µs).
+    pub at: u64,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>10}µs] {}", self.at, self.what)
+    }
+}
+
+impl Sim {
+    /// Creates a simulation with the given RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            nodes: HashMap::new(),
+            next_node: 0,
+            next_txn: 1,
+            net: NetConfig::default(),
+            stats: NetStats::default(),
+            partitions: HashSet::new(),
+            trace: None,
+        }
+    }
+
+    /// Starts recording an event trace (delivered messages, drops,
+    /// timers, crashes, recoveries). Bounded to the most recent 10 000
+    /// entries; intended for debugging protocol schedules.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Returns the recorded trace (empty if tracing is off).
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, what: String) {
+        let at = self.now;
+        if let Some(trace) = &mut self.trace {
+            if trace.len() >= 10_000 {
+                trace.remove(0);
+            }
+            trace.push(TraceEntry { at, what });
+        }
+    }
+
+    /// Severs the link between `a` and `b` (both directions): messages
+    /// between them are dropped until [`Sim::heal_partition`].
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert(Self::link(a, b));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal_partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&Self::link(a, b));
+    }
+
+    /// Severs every link between the `left` group and the rest of the
+    /// nodes (a clean network split).
+    pub fn partition_group(&mut self, left: &[NodeId]) {
+        let right: Vec<NodeId> = self
+            .node_ids()
+            .into_iter()
+            .filter(|n| !left.contains(n))
+            .collect();
+        for &a in left {
+            for &b in &right {
+                self.partition(a, b);
+            }
+        }
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    fn link(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_raw(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(id, Node::new(id));
+        id
+    }
+
+    /// Returns the current simulated time (µs).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Returns the network counters.
+    #[must_use]
+    pub fn net_stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Returns a reference to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes.get(&id).expect("unknown node")
+    }
+
+    /// Returns a mutable reference to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes.get_mut(&id).expect("unknown node")
+    }
+
+    /// Returns the ids of all nodes.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, at: u64, event: Event) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.queue.push(Reverse(key));
+        self.events.insert(key, event);
+    }
+
+    /// Schedules a crash of `node` after `delay` µs.
+    pub fn schedule_crash(&mut self, node: NodeId, delay: u64) {
+        self.push(self.now + delay, Event::Crash { node });
+    }
+
+    /// Schedules a recovery of `node` after `delay` µs.
+    pub fn schedule_recover(&mut self, node: NodeId, delay: u64) {
+        self.push(self.now + delay, Event::Recover { node });
+    }
+
+    /// Applies a node's effects: messages enter the (lossy) network,
+    /// timers are queued.
+    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.send(origin, to, msg),
+                Effect::SetTimer { delay, tag } => {
+                    self.push(self.now + delay, Event::Timer { node: origin, tag });
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        self.stats.sent += 1;
+        if self.partitions.contains(&Self::link(from, to)) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.rng.gen_bool(self.net.loss.clamp(0.0, 1.0)) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
+        self.push(
+            self.now + delay,
+            Event::Deliver {
+                from,
+                to,
+                msg: msg.clone(),
+            },
+        );
+        if self.rng.gen_bool(self.net.duplication.clamp(0.0, 1.0)) {
+            self.stats.duplicated += 1;
+            let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
+            self.push(self.now + delay, Event::Deliver { from, to, msg });
+        }
+    }
+
+    /// Processes the next event; returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(key)) = self.queue.pop() else {
+            return false;
+        };
+        let event = self.events.remove(&key).expect("event present");
+        self.now = key.0;
+        match event {
+            Event::Deliver { from, to, msg } => {
+                if self.trace.is_some() {
+                    let up = self.nodes.get(&to).is_some_and(|n| n.up);
+                    self.record(format!(
+                        "{from} -> {to}: {msg:?}{}",
+                        if up { "" } else { " (DROPPED: target down)" }
+                    ));
+                }
+                let Some(node) = self.nodes.get_mut(&to) else {
+                    return true;
+                };
+                if !node.up {
+                    self.stats.dropped += 1;
+                    return true;
+                }
+                self.stats.delivered += 1;
+                let effects = node.handle_message(from, msg);
+                self.apply_effects(to, effects);
+            }
+            Event::Timer { node: id, tag } => {
+                let Some(node) = self.nodes.get_mut(&id) else {
+                    return true;
+                };
+                if !node.up {
+                    return true;
+                }
+                let effects = node.handle_timer(tag);
+                self.apply_effects(id, effects);
+            }
+            Event::Crash { node: id } => {
+                self.record(format!("{id} CRASH"));
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.crash();
+                }
+            }
+            Event::Recover { node: id } => {
+                self.record(format!("{id} RECOVER"));
+                let effects = match self.nodes.get_mut(&id) {
+                    Some(node) if !node.up => node.recover(),
+                    _ => Vec::new(),
+                };
+                self.apply_effects(id, effects);
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains or `max_events` is exceeded.
+    /// Returns the number of events processed.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until quiescence with a generous safety bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce within the bound (a
+    /// protocol livelock — a test failure worth loud reporting).
+    pub fn run_to_quiescence(&mut self) {
+        const BOUND: u64 = 2_000_000;
+        let processed = self.run(BOUND);
+        assert!(
+            processed < BOUND,
+            "simulation did not quiesce within {BOUND} events"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Starts a distributed transaction coordinated by `coordinator`;
+    /// `writes` lists `(participant, writes)` pairs. Returns the
+    /// transaction id.
+    pub fn begin_transaction(
+        &mut self,
+        coordinator: NodeId,
+        writes: Vec<(NodeId, Vec<Write>)>,
+    ) -> TxnId {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let map: HashMap<NodeId, Vec<Write>> = writes.into_iter().collect();
+        let effects = self
+            .nodes
+            .get_mut(&coordinator)
+            .expect("unknown coordinator")
+            .begin_transaction(txn, map);
+        self.apply_effects(coordinator, effects);
+        txn
+    }
+
+    /// Returns the coordinator's decision for `txn`, if reached.
+    #[must_use]
+    pub fn coordinator_outcome(&self, coordinator: NodeId, txn: TxnId) -> Option<bool> {
+        self.node(coordinator).coordinator_outcome(txn)
+    }
+
+    /// Starts an at-most-once RPC from `client` to `server`. Returns
+    /// the call id (poll via [`Node::rpc_reply`] on the client).
+    pub fn rpc(&mut self, client: NodeId, server: NodeId, op: &crate::node::RpcOp) -> u64 {
+        let (call, effects) = self
+            .nodes
+            .get_mut(&client)
+            .expect("unknown client")
+            .rpc_call(server, op);
+        self.apply_effects(client, effects);
+        call
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chroma_base::ObjectId;
+    use chroma_store::StoreBytes;
+
+    fn write(n: u64, v: u8) -> Write {
+        Write {
+            object: ObjectId::from_raw(n),
+            state: StoreBytes::from(vec![v]),
+        }
+    }
+
+    #[test]
+    fn clean_commit_installs_everywhere() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let c = sim.add_node();
+        let txn = sim.begin_transaction(
+            a,
+            vec![
+                (b, vec![write(1, 10)]),
+                (c, vec![write(2, 20)]),
+                (a, vec![write(3, 30)]),
+            ],
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.coordinator_outcome(a, txn), Some(true));
+        assert_eq!(
+            sim.node(b).store.read(ObjectId::from_raw(1)).as_deref(),
+            Some(&[10u8][..])
+        );
+        assert_eq!(
+            sim.node(c).store.read(ObjectId::from_raw(2)).as_deref(),
+            Some(&[20u8][..])
+        );
+        assert_eq!(
+            sim.node(a).store.read(ObjectId::from_raw(3)).as_deref(),
+            Some(&[30u8][..])
+        );
+    }
+
+    #[test]
+    fn veto_aborts_and_installs_nothing() {
+        let mut sim = Sim::new(2);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        // b will vote no on the first transaction (TxnId(1)).
+        sim.node_mut(b).veto.insert(TxnId(1));
+        let txn = sim.begin_transaction(
+            a,
+            vec![(a, vec![write(1, 1)]), (b, vec![write(2, 2)])],
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.coordinator_outcome(a, txn), None); // presumed abort
+        assert!(sim.node(a).store.read(ObjectId::from_raw(1)).is_none());
+        assert!(sim.node(b).store.read(ObjectId::from_raw(2)).is_none());
+    }
+
+    #[test]
+    fn commit_survives_message_loss() {
+        let mut sim = Sim::new(3);
+        sim.net.loss = 0.3;
+        sim.net.duplication = 0.2;
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let txn = sim.begin_transaction(a, vec![(b, vec![write(1, 9)])]);
+        sim.run_to_quiescence();
+        // With retries the transaction reaches a decision; if prepare
+        // never got through it aborted — either way both sides agree.
+        match sim.coordinator_outcome(a, txn) {
+            Some(true) => assert_eq!(
+                sim.node(b).store.read(ObjectId::from_raw(1)).as_deref(),
+                Some(&[9u8][..])
+            ),
+            _ => assert!(sim.node(b).store.read(ObjectId::from_raw(1)).is_none()),
+        }
+        assert!(!sim.node(b).in_doubt(txn));
+    }
+
+    #[test]
+    fn rpc_round_trip_with_duplication() {
+        let mut sim = Sim::new(4);
+        sim.net.duplication = 0.5;
+        sim.net.loss = 0.2;
+        let client = sim.add_node();
+        let server = sim.add_node();
+        let call = sim.rpc(client, server, &crate::node::RpcOp::Put(7, vec![1, 2]));
+        sim.run_to_quiescence();
+        assert!(sim.node(client).rpc_reply(call).is_some());
+        // At-most-once: despite duplicates, exactly one execution.
+        assert_eq!(sim.node(server).rpc_executed(), 1);
+        assert_eq!(
+            sim.node(server)
+                .store
+                .read(ObjectId::from_raw(7))
+                .as_deref(),
+            Some(&[1u8, 2][..])
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(seed);
+            sim.net.loss = 0.2;
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let txn = sim.begin_transaction(a, vec![(b, vec![write(1, 5)])]);
+            sim.run_to_quiescence();
+            (
+                sim.coordinator_outcome(a, txn),
+                sim.net_stats(),
+                sim.now(),
+            )
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

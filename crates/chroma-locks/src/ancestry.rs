@@ -1,0 +1,145 @@
+//! The ancestry oracle the lock rules consult.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chroma_base::ActionId;
+use parking_lot::RwLock;
+
+/// Oracle answering ancestry queries over the action tree.
+///
+/// Both rule-sets of §5.2 grant exclusive locks only when every existing
+/// holder is an *ancestor* of the requester. Like Moss, chroma treats an
+/// action as an ancestor of itself, which is what permits lock conversion
+/// (upgrading a held read lock to a write lock) and re-acquisition.
+///
+/// The core runtime implements this trait over its live action tree; the
+/// standalone [`FlatAncestry`] implementation is useful for tests and for
+/// non-nested workloads.
+pub trait Ancestry {
+    /// Returns `true` if `candidate` is `of` itself or a (transitive)
+    /// parent of `of` in the action tree.
+    fn is_ancestor_or_self(&self, candidate: ActionId, of: ActionId) -> bool;
+}
+
+impl<T: Ancestry + ?Sized> Ancestry for &T {
+    fn is_ancestor_or_self(&self, candidate: ActionId, of: ActionId) -> bool {
+        (**self).is_ancestor_or_self(candidate, of)
+    }
+}
+
+impl<T: Ancestry + ?Sized> Ancestry for Arc<T> {
+    fn is_ancestor_or_self(&self, candidate: ActionId, of: ActionId) -> bool {
+        (**self).is_ancestor_or_self(candidate, of)
+    }
+}
+
+/// An explicit parent map usable as an [`Ancestry`] oracle.
+///
+/// Actions without a registered parent are top-level; with no
+/// registrations at all, every action is top-level and the only ancestor
+/// of an action is itself (hence "flat").
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::ActionId;
+/// use chroma_locks::{Ancestry, FlatAncestry};
+///
+/// let (parent, child) = (ActionId::from_raw(1), ActionId::from_raw(2));
+/// let tree = FlatAncestry::new();
+/// tree.set_parent(child, parent);
+/// assert!(tree.is_ancestor_or_self(parent, child));
+/// assert!(tree.is_ancestor_or_self(child, child));
+/// assert!(!tree.is_ancestor_or_self(child, parent));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FlatAncestry {
+    parents: Arc<RwLock<HashMap<ActionId, ActionId>>>,
+}
+
+impl FlatAncestry {
+    /// Creates an oracle with no parent links.
+    #[must_use]
+    pub fn new() -> Self {
+        FlatAncestry::default()
+    }
+
+    /// Registers `parent` as the parent of `child`.
+    pub fn set_parent(&self, child: ActionId, parent: ActionId) {
+        self.parents.write().insert(child, parent);
+    }
+
+    /// Removes the parent link of `child`, making it top-level.
+    pub fn clear_parent(&self, child: ActionId) {
+        self.parents.write().remove(&child);
+    }
+}
+
+impl Ancestry for FlatAncestry {
+    fn is_ancestor_or_self(&self, candidate: ActionId, of: ActionId) -> bool {
+        if candidate == of {
+            return true;
+        }
+        let parents = self.parents.read();
+        let mut cursor = of;
+        while let Some(&parent) = parents.get(&cursor) {
+            if parent == candidate {
+                return true;
+            }
+            cursor = parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_is_ancestor() {
+        let tree = FlatAncestry::new();
+        let a = ActionId::from_raw(1);
+        assert!(tree.is_ancestor_or_self(a, a));
+    }
+
+    #[test]
+    fn transitive_ancestry() {
+        let tree = FlatAncestry::new();
+        let (a, b, c) = (
+            ActionId::from_raw(1),
+            ActionId::from_raw(2),
+            ActionId::from_raw(3),
+        );
+        tree.set_parent(b, a);
+        tree.set_parent(c, b);
+        assert!(tree.is_ancestor_or_self(a, c));
+        assert!(tree.is_ancestor_or_self(b, c));
+        assert!(!tree.is_ancestor_or_self(c, a));
+        assert!(!tree.is_ancestor_or_self(c, b));
+    }
+
+    #[test]
+    fn siblings_are_unrelated() {
+        let tree = FlatAncestry::new();
+        let (p, x, y) = (
+            ActionId::from_raw(1),
+            ActionId::from_raw(2),
+            ActionId::from_raw(3),
+        );
+        tree.set_parent(x, p);
+        tree.set_parent(y, p);
+        assert!(!tree.is_ancestor_or_self(x, y));
+        assert!(!tree.is_ancestor_or_self(y, x));
+    }
+
+    #[test]
+    fn clear_parent_detaches() {
+        let tree = FlatAncestry::new();
+        let (p, c) = (ActionId::from_raw(1), ActionId::from_raw(2));
+        tree.set_parent(c, p);
+        tree.clear_parent(c);
+        assert!(!tree.is_ancestor_or_self(p, c));
+    }
+}

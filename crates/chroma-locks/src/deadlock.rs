@@ -1,0 +1,274 @@
+//! Deadlock detection over a wait-for graph.
+//!
+//! The graph records which action is waiting for which others. Edges come
+//! from two sources:
+//!
+//! * **lock waits** — registered automatically by the
+//!   [`LockTable`](crate::LockTable) while a blocking acquire is parked;
+//! * **external waits** — registered by higher layers, e.g. a parent
+//!   action blocked on the outcome of a synchronously invoked top-level
+//!   independent action (the fig. 13 caveat: if the invoked action needs
+//!   conflicting access to the invoker's objects, the pair deadlocks; the
+//!   coloured implementation detects the cycle instead of hanging).
+//!
+//! Detection is run whenever a new edge is added; the victim is the
+//! youngest (highest-numbered) *interruptible* waiter on the cycle, on
+//! the usual grounds that it has done the least work.
+
+use std::collections::{HashMap, HashSet};
+
+use chroma_base::ActionId;
+
+/// Outcome of a cycle search: the cycle found and the victim chosen.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The actions on the cycle, in wait order starting from the victim.
+    pub cycle: Vec<ActionId>,
+    /// The waiter chosen to be aborted.
+    pub victim: ActionId,
+}
+
+#[derive(Clone, Debug, Default)]
+struct EdgeSet {
+    /// Actions this waiter is waiting for, with a count per target so
+    /// that duplicate registrations (several blocking holders, an
+    /// external wait plus a lock wait) are tracked correctly.
+    targets: HashMap<ActionId, usize>,
+}
+
+/// A wait-for graph with cycle detection and victim selection.
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::ActionId;
+/// use chroma_locks::WaitForGraph;
+///
+/// let mut g = WaitForGraph::new();
+/// let (a, b) = (ActionId::from_raw(1), ActionId::from_raw(2));
+/// g.add_wait(a, b, true);
+/// let report = g.add_wait(b, a, true).expect("cycle");
+/// assert_eq!(report.victim, b); // youngest interruptible waiter
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WaitForGraph {
+    edges: HashMap<ActionId, EdgeSet>,
+    /// Waiters that can be told to give up (lock-table waiters); external
+    /// waiters (threads blocked in a join) cannot be interrupted by the
+    /// table and are never chosen as victims.
+    interruptible: HashSet<ActionId>,
+}
+
+impl WaitForGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        WaitForGraph::default()
+    }
+
+    /// Records that `waiter` now waits for `target`, and checks for a
+    /// cycle through the new edge.
+    ///
+    /// `interruptible` states whether this waiter can be chosen as a
+    /// deadlock victim (lock waits can; external joins cannot).
+    ///
+    /// Returns a report if the edge closes a cycle. The caller is
+    /// responsible for acting on the report and for eventually removing
+    /// the edge again.
+    pub fn add_wait(
+        &mut self,
+        waiter: ActionId,
+        target: ActionId,
+        interruptible: bool,
+    ) -> Option<DeadlockReport> {
+        *self
+            .edges
+            .entry(waiter)
+            .or_default()
+            .targets
+            .entry(target)
+            .or_insert(0) += 1;
+        if interruptible {
+            self.interruptible.insert(waiter);
+        }
+        self.find_cycle_through(waiter)
+    }
+
+    /// Removes one `waiter -> target` edge previously added with
+    /// [`add_wait`](WaitForGraph::add_wait).
+    pub fn remove_wait(&mut self, waiter: ActionId, target: ActionId) {
+        let mut drop_waiter = false;
+        if let Some(set) = self.edges.get_mut(&waiter) {
+            if let Some(count) = set.targets.get_mut(&target) {
+                *count -= 1;
+                if *count == 0 {
+                    set.targets.remove(&target);
+                }
+            }
+            drop_waiter = set.targets.is_empty();
+        }
+        if drop_waiter {
+            self.edges.remove(&waiter);
+            self.interruptible.remove(&waiter);
+        }
+    }
+
+    /// Removes every edge from or to `action` (it terminated).
+    pub fn remove_action(&mut self, action: ActionId) {
+        self.edges.remove(&action);
+        self.interruptible.remove(&action);
+        for set in self.edges.values_mut() {
+            set.targets.remove(&action);
+        }
+        self.edges.retain(|_, set| !set.targets.is_empty());
+    }
+
+    /// Returns `true` if `action` currently waits for anything.
+    #[must_use]
+    pub fn is_waiting(&self, action: ActionId) -> bool {
+        self.edges.contains_key(&action)
+    }
+
+    /// Searches for a cycle reachable from `start` and selects a victim.
+    ///
+    /// The victim is the youngest interruptible waiter on the cycle;
+    /// returns `None` if there is no cycle. If a cycle exists but has no
+    /// interruptible member, it is reported with `start` as the victim so
+    /// the caller can at least surface the situation.
+    fn find_cycle_through(&self, start: ActionId) -> Option<DeadlockReport> {
+        // Iterative DFS tracking the path, since cycles are tiny but the
+        // graph can momentarily be large under heavy contention.
+        let mut path: Vec<ActionId> = vec![start];
+        let mut iters: Vec<std::collections::hash_map::Keys<'_, ActionId, usize>> =
+            vec![self.edges.get(&start)?.targets.keys()];
+        let mut on_path: HashSet<ActionId> = HashSet::from([start]);
+        let mut visited: HashSet<ActionId> = HashSet::from([start]);
+
+        while let Some(iter) = iters.last_mut() {
+            match iter.next() {
+                Some(&next) => {
+                    if on_path.contains(&next) {
+                        // Found a cycle: the suffix of `path` from `next`.
+                        let pos = path.iter().position(|&a| a == next).expect("on path");
+                        let cycle: Vec<ActionId> = path[pos..].to_vec();
+                        let victim = cycle
+                            .iter()
+                            .copied()
+                            .filter(|a| self.interruptible.contains(a))
+                            .max()
+                            .unwrap_or(start);
+                        // Rotate so the victim leads the reported cycle.
+                        let vpos = cycle.iter().position(|&a| a == victim).unwrap_or(0);
+                        let mut rotated = cycle[vpos..].to_vec();
+                        rotated.extend_from_slice(&cycle[..vpos]);
+                        return Some(DeadlockReport {
+                            cycle: rotated,
+                            victim,
+                        });
+                    }
+                    if visited.insert(next) {
+                        if let Some(set) = self.edges.get(&next) {
+                            path.push(next);
+                            on_path.insert(next);
+                            iters.push(set.targets.keys());
+                        }
+                    }
+                }
+                None => {
+                    iters.pop();
+                    if let Some(done) = path.pop() {
+                        on_path.remove(&done);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> ActionId {
+        ActionId::from_raw(n)
+    }
+
+    #[test]
+    fn no_cycle_no_report() {
+        let mut g = WaitForGraph::new();
+        assert!(g.add_wait(a(1), a(2), true).is_none());
+        assert!(g.add_wait(a(2), a(3), true).is_none());
+    }
+
+    #[test]
+    fn two_cycle_detected_with_youngest_victim() {
+        let mut g = WaitForGraph::new();
+        g.add_wait(a(1), a(2), true);
+        let report = g.add_wait(a(2), a(1), true).expect("cycle");
+        assert_eq!(report.victim, a(2));
+        assert_eq!(report.cycle.len(), 2);
+        assert_eq!(report.cycle[0], a(2));
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.add_wait(a(3), a(1), true);
+        g.add_wait(a(1), a(2), true);
+        let report = g.add_wait(a(2), a(3), true).expect("cycle");
+        assert_eq!(report.victim, a(3));
+        assert_eq!(report.cycle.len(), 3);
+    }
+
+    #[test]
+    fn external_waiters_are_not_victims() {
+        let mut g = WaitForGraph::new();
+        // Parent 9 waits on child 1 externally (not interruptible).
+        g.add_wait(a(9), a(1), false);
+        // Child 1 waits on a lock held by 9 -> cycle; victim must be 1
+        // even though 9 is younger than... (9 > 1) — 9 is excluded.
+        let report = g.add_wait(a(1), a(9), true).expect("cycle");
+        assert_eq!(report.victim, a(1));
+    }
+
+    #[test]
+    fn duplicate_edges_need_matching_removals() {
+        let mut g = WaitForGraph::new();
+        g.add_wait(a(1), a(2), true);
+        g.add_wait(a(1), a(2), true);
+        g.remove_wait(a(1), a(2));
+        assert!(g.is_waiting(a(1)));
+        g.remove_wait(a(1), a(2));
+        assert!(!g.is_waiting(a(1)));
+    }
+
+    #[test]
+    fn remove_action_clears_incident_edges() {
+        let mut g = WaitForGraph::new();
+        g.add_wait(a(1), a(2), true);
+        g.add_wait(a(3), a(1), true);
+        g.remove_action(a(1));
+        assert!(!g.is_waiting(a(1)));
+        assert!(!g.is_waiting(a(3)));
+        // No stale cycle possible.
+        assert!(g.add_wait(a(2), a(3), true).is_none());
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        let mut g = WaitForGraph::new();
+        let report = g.add_wait(a(5), a(5), true).expect("self cycle");
+        assert_eq!(report.victim, a(5));
+        assert_eq!(report.cycle, vec![a(5)]);
+    }
+
+    #[test]
+    fn diamond_without_cycle_is_clean() {
+        let mut g = WaitForGraph::new();
+        g.add_wait(a(1), a(2), true);
+        g.add_wait(a(1), a(3), true);
+        g.add_wait(a(2), a(4), true);
+        assert!(g.add_wait(a(3), a(4), true).is_none());
+    }
+}

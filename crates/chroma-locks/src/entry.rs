@@ -1,0 +1,62 @@
+//! Lock entries and snapshots.
+
+use chroma_base::{ActionId, Colour, LockMode, ObjectId};
+
+/// One granted lock: an action holding an object in a mode, in a colour.
+///
+/// Under the classic rules the colour is still carried (the table is
+/// shared machinery) but the policy ignores it; conventional systems are
+/// exactly single-colour systems.
+///
+/// An action holds at most one entry per `(object, colour)`; conversions
+/// strengthen the mode of the existing entry in place.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LockEntry {
+    /// The action holding the lock.
+    pub action: ActionId,
+    /// The colour the lock was acquired in.
+    pub colour: Colour,
+    /// The mode the lock is held in.
+    pub mode: LockMode,
+}
+
+impl LockEntry {
+    /// Creates a lock entry.
+    #[must_use]
+    pub const fn new(action: ActionId, colour: Colour, mode: LockMode) -> Self {
+        LockEntry {
+            action,
+            colour,
+            mode,
+        }
+    }
+}
+
+/// A lock held by an action, as reported by
+/// [`LockTable::locks_of`](crate::LockTable::locks_of).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LockSnapshot {
+    /// The object the lock is held on.
+    pub object: ObjectId,
+    /// The colour the lock is held in.
+    pub colour: Colour,
+    /// The mode the lock is held in.
+    pub mode: LockMode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_construction() {
+        let e = LockEntry::new(
+            ActionId::from_raw(1),
+            Colour::from_index(2),
+            LockMode::Write,
+        );
+        assert_eq!(e.action, ActionId::from_raw(1));
+        assert_eq!(e.colour, Colour::from_index(2));
+        assert_eq!(e.mode, LockMode::Write);
+    }
+}

@@ -1,0 +1,793 @@
+//! The lock table: granted locks, blocked waiters, inheritance.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use chroma_base::{ActionId, Colour, LockError, LockMode, ObjectId};
+use parking_lot::{Condvar, Mutex};
+
+use crate::deadlock::WaitForGraph;
+use crate::entry::{LockEntry, LockSnapshot};
+use crate::policy::{DynAncestry, LockPolicy};
+
+/// How an acquisition request concluded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcquireOutcome {
+    /// A new lock entry was created for the requester.
+    Granted,
+    /// The requester already held the lock in a covering mode; nothing
+    /// changed.
+    AlreadyHeld,
+    /// The requester held the lock in a weaker mode and it was
+    /// strengthened in place (for example read → write conversion).
+    Upgraded,
+}
+
+#[derive(Default)]
+struct TableState {
+    objects: HashMap<ObjectId, Vec<LockEntry>>,
+    graph: WaitForGraph,
+    /// Waiters that must give up with the recorded error next time they
+    /// observe the state (deadlock victims, externally cancelled actions).
+    interrupts: HashMap<ActionId, Interrupt>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Interrupt {
+    DeadlockVictim,
+    Cancelled,
+}
+
+/// A table of object locks shared by every action of one runtime (or one
+/// node, in the distributed setting).
+///
+/// The table is parametric in its [`LockPolicy`]: instantiate it with
+/// [`ColouredPolicy`](crate::ColouredPolicy) for a multi-coloured system
+/// or [`ClassicPolicy`](crate::ClassicPolicy) for the conventional
+/// nested-action baseline. Everything else — waiting, wake-ups, deadlock
+/// detection, per-colour inheritance and release — is rule-set
+/// independent, mirroring the paper's observation that colours require
+/// only "minor modifications to the conventional rules".
+///
+/// Blocking acquisition parks the calling thread until the request can be
+/// granted, the optional timeout expires, the waiter is chosen as a
+/// deadlock victim, or the action is cancelled from another thread.
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::{ActionId, Colour, LockMode, ObjectId};
+/// use chroma_locks::{AcquireOutcome, ColouredPolicy, FlatAncestry, LockTable};
+///
+/// let table = LockTable::new(ColouredPolicy);
+/// let ctx = FlatAncestry::new();
+/// let (red, a, o) = (
+///     Colour::from_index(0),
+///     ActionId::from_raw(1),
+///     ObjectId::from_raw(1),
+/// );
+/// assert_eq!(
+///     table.try_acquire(&ctx, a, o, red, LockMode::Read)?,
+///     AcquireOutcome::Granted
+/// );
+/// assert_eq!(
+///     table.try_acquire(&ctx, a, o, red, LockMode::Write)?,
+///     AcquireOutcome::Upgraded
+/// );
+/// # Ok::<(), chroma_base::LockError>(())
+/// ```
+pub struct LockTable<P> {
+    policy: P,
+    state: Mutex<TableState>,
+    changed: Condvar,
+    waits_started: AtomicU64,
+    wait_micros: AtomicU64,
+}
+
+/// Aggregate waiting statistics of a [`LockTable`], from
+/// [`LockTable::wait_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Blocking acquisitions that had to park at least once.
+    pub waits: u64,
+    /// Total parked time across all waits, in microseconds.
+    pub total_wait_micros: u64,
+}
+
+impl WaitStats {
+    /// Mean parked time per wait, in microseconds (0 if no waits).
+    #[must_use]
+    pub fn mean_wait_micros(&self) -> f64 {
+        if self.waits == 0 {
+            0.0
+        } else {
+            self.total_wait_micros as f64 / self.waits as f64
+        }
+    }
+}
+
+impl<P: LockPolicy> LockTable<P> {
+    /// Creates an empty table using `policy` for grant decisions.
+    #[must_use]
+    pub fn new(policy: P) -> Self {
+        LockTable {
+            policy,
+            state: Mutex::new(TableState::default()),
+            changed: Condvar::new(),
+            waits_started: AtomicU64::new(0),
+            wait_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns aggregate waiting statistics (how often and how long
+    /// blocking acquisitions parked) — the raw data behind the lock
+    /// availability experiments.
+    #[must_use]
+    pub fn wait_stats(&self) -> WaitStats {
+        WaitStats {
+            waits: self.waits_started.load(Ordering::Relaxed),
+            total_wait_micros: self.wait_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Attempts to acquire a lock without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::Denied`] with the blocking reason if the
+    /// request cannot be granted immediately.
+    pub fn try_acquire(
+        &self,
+        ancestry: &dyn DynAncestry,
+        action: ActionId,
+        object: ObjectId,
+        colour: Colour,
+        mode: LockMode,
+    ) -> Result<AcquireOutcome, LockError> {
+        let mut state = self.state.lock();
+        match self.check_and_apply(&mut state, ancestry, action, object, colour, mode) {
+            Ok(outcome) => Ok(outcome),
+            Err(reason) => Err(LockError::Denied { object, reason }),
+        }
+    }
+
+    /// Acquires a lock, waiting if necessary.
+    ///
+    /// `timeout` bounds the total wait; `None` waits indefinitely (the
+    /// deadlock detector still guarantees progress among waiters it can
+    /// see).
+    ///
+    /// # Errors
+    ///
+    /// * [`LockError::DeadlockVictim`] — the waiter was selected to break
+    ///   a wait-for cycle and should abort its action;
+    /// * [`LockError::Timeout`] — the deadline passed;
+    /// * [`LockError::ActionNotActive`] — the action was cancelled via
+    ///   [`LockTable::cancel_waiter`] while waiting.
+    pub fn acquire(
+        &self,
+        ancestry: &dyn DynAncestry,
+        action: ActionId,
+        object: ObjectId,
+        colour: Colour,
+        mode: LockMode,
+        timeout: Option<Duration>,
+    ) -> Result<AcquireOutcome, LockError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = self.state.lock();
+        let mut registered: Vec<ActionId> = Vec::new();
+        let mut parked_since: Option<Instant> = None;
+        let result = loop {
+            if let Some(interrupt) = state.interrupts.remove(&action) {
+                break Err(match interrupt {
+                    Interrupt::DeadlockVictim => LockError::DeadlockVictim { object },
+                    Interrupt::Cancelled => LockError::ActionNotActive { action },
+                });
+            }
+            match self.check_and_apply(&mut state, ancestry, action, object, colour, mode) {
+                Ok(outcome) => break Ok(outcome),
+                Err(_reason) => {
+                    // Refresh the wait-for edges to the current blockers.
+                    let blockers = Self::blockers(&state, ancestry, action, object, colour, mode);
+                    for &old in &registered {
+                        state.graph.remove_wait(action, old);
+                    }
+                    registered.clear();
+                    let mut victim_is_self = false;
+                    for blocker in blockers {
+                        registered.push(blocker);
+                        if let Some(report) = state.graph.add_wait(action, blocker, true) {
+                            if report.victim == action {
+                                victim_is_self = true;
+                            } else {
+                                state.interrupts.insert(report.victim, Interrupt::DeadlockVictim);
+                                self.changed.notify_all();
+                            }
+                        }
+                    }
+                    if victim_is_self {
+                        break Err(LockError::DeadlockVictim { object });
+                    }
+                    if parked_since.is_none() {
+                        parked_since = Some(Instant::now());
+                        self.waits_started.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let timed_out = match deadline {
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                true
+                            } else {
+                                self.changed
+                                    .wait_for(&mut state, deadline - now)
+                                    .timed_out()
+                            }
+                        }
+                        None => {
+                            self.changed.wait(&mut state);
+                            false
+                        }
+                    };
+                    if timed_out {
+                        break Err(LockError::Timeout { object });
+                    }
+                }
+            }
+        };
+        for &old in &registered {
+            state.graph.remove_wait(action, old);
+        }
+        if let Some(since) = parked_since {
+            self.wait_micros.fetch_add(
+                u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+        }
+        result
+    }
+
+    /// Registers an *external* wait edge (e.g. a parent joined on a
+    /// synchronously invoked independent action) and reports whether it
+    /// closes a cycle.
+    ///
+    /// External waiters are never chosen as deadlock victims; if the
+    /// cycle has an interruptible lock-waiter, that waiter is flagged and
+    /// woken. The caller must pair this with
+    /// [`LockTable::remove_external_wait`].
+    pub fn add_external_wait(
+        &self,
+        waiter: ActionId,
+        target: ActionId,
+    ) -> Option<crate::DeadlockReport> {
+        let mut state = self.state.lock();
+        let report = state.graph.add_wait(waiter, target, false);
+        if let Some(report) = &report {
+            if report.victim != waiter {
+                state
+                    .interrupts
+                    .insert(report.victim, Interrupt::DeadlockVictim);
+                self.changed.notify_all();
+            }
+        }
+        report
+    }
+
+    /// Removes an external wait edge added with
+    /// [`LockTable::add_external_wait`].
+    pub fn remove_external_wait(&self, waiter: ActionId, target: ActionId) {
+        self.state.lock().graph.remove_wait(waiter, target);
+    }
+
+    /// Makes any in-progress or future wait by `action` fail with
+    /// [`LockError::ActionNotActive`]. Used when an action is aborted
+    /// from another thread.
+    pub fn cancel_waiter(&self, action: ActionId) {
+        let mut state = self.state.lock();
+        state.interrupts.insert(action, Interrupt::Cancelled);
+        self.changed.notify_all();
+    }
+
+    /// Discards a pending interrupt for `action`, if any (the action
+    /// finished its work without needing another lock).
+    pub fn clear_interrupt(&self, action: ActionId) {
+        self.state.lock().interrupts.remove(&action);
+    }
+
+    /// Releases every lock `action` holds in `colour` (the action is
+    /// outermost for that colour and committed). Returns the objects
+    /// whose lock sets changed.
+    pub fn release_colour(&self, action: ActionId, colour: Colour) -> Vec<ObjectId> {
+        let mut state = self.state.lock();
+        let mut touched = Vec::new();
+        state.objects.retain(|&object, holders| {
+            let before = holders.len();
+            holders.retain(|e| !(e.action == action && e.colour == colour));
+            if holders.len() != before {
+                touched.push(object);
+            }
+            !holders.is_empty()
+        });
+        if !touched.is_empty() {
+            self.changed.notify_all();
+        }
+        touched
+    }
+
+    /// Transfers every lock `from` holds in `colour` to `to` (the
+    /// committing action's closest ancestor possessing `colour`).
+    ///
+    /// If the ancestor already holds a lock on the same object in the
+    /// same colour, the two merge into the strongest mode — the paper's
+    /// "the parent will hold each of the locks in the same mode as the
+    /// child held them". Returns the objects affected.
+    pub fn inherit_colour(&self, from: ActionId, colour: Colour, to: ActionId) -> Vec<ObjectId> {
+        let mut state = self.state.lock();
+        let mut touched = Vec::new();
+        for (&object, holders) in state.objects.iter_mut() {
+            let Some(pos) = holders
+                .iter()
+                .position(|e| e.action == from && e.colour == colour)
+            else {
+                continue;
+            };
+            let child_mode = holders[pos].mode;
+            holders.remove(pos);
+            match holders
+                .iter_mut()
+                .find(|e| e.action == to && e.colour == colour)
+            {
+                Some(parent_entry) => {
+                    parent_entry.mode = parent_entry.mode.strongest(child_mode);
+                }
+                None => holders.push(LockEntry::new(to, colour, child_mode)),
+            }
+            touched.push(object);
+        }
+        if !touched.is_empty() {
+            self.changed.notify_all();
+        }
+        touched
+    }
+
+    /// Discards every lock `action` holds, in every colour and mode (the
+    /// action aborted). Ancestors holding the same locks keep them.
+    /// Returns the objects whose lock sets changed.
+    pub fn discard_action(&self, action: ActionId) -> Vec<ObjectId> {
+        let mut state = self.state.lock();
+        let mut touched = Vec::new();
+        state.objects.retain(|&object, holders| {
+            let before = holders.len();
+            holders.retain(|e| e.action != action);
+            if holders.len() != before {
+                touched.push(object);
+            }
+            !holders.is_empty()
+        });
+        state.graph.remove_action(action);
+        state.interrupts.remove(&action);
+        self.changed.notify_all();
+        touched
+    }
+
+    /// Returns the current holders of `object`.
+    #[must_use]
+    pub fn holders(&self, object: ObjectId) -> Vec<LockEntry> {
+        self.state
+            .lock()
+            .objects
+            .get(&object)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Returns every lock held by `action`, across all objects and
+    /// colours.
+    #[must_use]
+    pub fn locks_of(&self, action: ActionId) -> Vec<LockSnapshot> {
+        let state = self.state.lock();
+        let mut snapshots: Vec<LockSnapshot> = state
+            .objects
+            .iter()
+            .flat_map(|(&object, holders)| {
+                holders
+                    .iter()
+                    .filter(|e| e.action == action)
+                    .map(move |e| LockSnapshot {
+                        object,
+                        colour: e.colour,
+                        mode: e.mode,
+                    })
+            })
+            .collect();
+        snapshots.sort_by_key(|s| (s.object, s.colour));
+        snapshots
+    }
+
+    /// Returns the objects `action` holds in `colour`, with the held
+    /// mode. Drives per-colour commit in the runtime.
+    #[must_use]
+    pub fn locks_of_colour(&self, action: ActionId, colour: Colour) -> Vec<(ObjectId, LockMode)> {
+        let state = self.state.lock();
+        let mut locks: Vec<(ObjectId, LockMode)> = state
+            .objects
+            .iter()
+            .flat_map(|(&object, holders)| {
+                holders
+                    .iter()
+                    .filter(|e| e.action == action && e.colour == colour)
+                    .map(move |e| (object, e.mode))
+            })
+            .collect();
+        locks.sort_by_key(|&(object, _)| object);
+        locks
+    }
+
+    /// Returns the total number of granted lock entries (for tests and
+    /// metrics).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.state.lock().objects.values().map(Vec::len).sum()
+    }
+
+    fn check_and_apply(
+        &self,
+        state: &mut TableState,
+        ancestry: &dyn DynAncestry,
+        action: ActionId,
+        object: ObjectId,
+        colour: Colour,
+        mode: LockMode,
+    ) -> Result<AcquireOutcome, chroma_base::LockDenied> {
+        let holders = state.objects.entry(object).or_default();
+        if let Some(own) = holders
+            .iter()
+            .find(|e| e.action == action && e.colour == colour)
+        {
+            if own.mode >= mode {
+                if holders.is_empty() {
+                    state.objects.remove(&object);
+                }
+                return Ok(AcquireOutcome::AlreadyHeld);
+            }
+        }
+        self.policy.permits(ancestry, holders, action, colour, mode)?;
+        match holders
+            .iter_mut()
+            .find(|e| e.action == action && e.colour == colour)
+        {
+            Some(own) => {
+                own.mode = own.mode.strongest(mode);
+                Ok(AcquireOutcome::Upgraded)
+            }
+            None => {
+                holders.push(LockEntry::new(action, colour, mode));
+                Ok(AcquireOutcome::Granted)
+            }
+        }
+    }
+
+    /// Identifies the holders that currently block `action`'s request
+    /// (for wait-for edges). Mirrors the policy's conflict structure
+    /// conservatively: any non-ancestor exclusive holder, every
+    /// non-ancestor holder for exclusive requests, and any differently
+    /// coloured write holder for write requests.
+    fn blockers(
+        state: &TableState,
+        ancestry: &dyn DynAncestry,
+        action: ActionId,
+        object: ObjectId,
+        colour: Colour,
+        mode: LockMode,
+    ) -> Vec<ActionId> {
+        let Some(holders) = state.objects.get(&object) else {
+            return Vec::new();
+        };
+        let mut blockers: HashSet<ActionId> = HashSet::new();
+        for holder in holders {
+            if holder.action == action {
+                continue;
+            }
+            let ancestor = ancestry.is_ancestor_or_self(holder.action, action);
+            let conflicting = match mode {
+                LockMode::Read => holder.mode.is_exclusive() && !ancestor,
+                LockMode::ExclusiveRead => !ancestor,
+                LockMode::Write => {
+                    !ancestor || (holder.mode == LockMode::Write && holder.colour != colour)
+                }
+            };
+            if conflicting {
+                blockers.insert(holder.action);
+            }
+        }
+        let mut blockers: Vec<ActionId> = blockers.into_iter().collect();
+        blockers.sort();
+        blockers
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for LockTable<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("LockTable")
+            .field("policy", &self.policy)
+            .field("objects", &state.objects.len())
+            .field(
+                "entries",
+                &state.objects.values().map(Vec::len).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassicPolicy, ColouredPolicy, FlatAncestry};
+    use std::sync::Arc;
+
+    fn a(n: u64) -> ActionId {
+        ActionId::from_raw(n)
+    }
+    fn o(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+    fn red() -> Colour {
+        Colour::from_index(0)
+    }
+    fn blue() -> Colour {
+        Colour::from_index(1)
+    }
+
+    #[test]
+    fn grant_upgrade_already_held() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        assert_eq!(
+            table
+                .try_acquire(&ctx, a(1), o(1), red(), LockMode::Read)
+                .unwrap(),
+            AcquireOutcome::Granted
+        );
+        assert_eq!(
+            table
+                .try_acquire(&ctx, a(1), o(1), red(), LockMode::Read)
+                .unwrap(),
+            AcquireOutcome::AlreadyHeld
+        );
+        assert_eq!(
+            table
+                .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+                .unwrap(),
+            AcquireOutcome::Upgraded
+        );
+        assert_eq!(
+            table
+                .try_acquire(&ctx, a(1), o(1), red(), LockMode::Read)
+                .unwrap(),
+            AcquireOutcome::AlreadyHeld
+        );
+    }
+
+    #[test]
+    fn xread_then_write_same_colour_upgrades() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::ExclusiveRead)
+            .unwrap();
+        assert_eq!(
+            table
+                .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+                .unwrap(),
+            AcquireOutcome::Upgraded
+        );
+    }
+
+    #[test]
+    fn conflicting_try_acquire_is_denied() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        let err = table
+            .try_acquire(&ctx, a(2), o(1), red(), LockMode::Read)
+            .unwrap_err();
+        assert!(matches!(err, LockError::Denied { .. }));
+    }
+
+    #[test]
+    fn release_colour_frees_only_that_colour() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        table
+            .try_acquire(&ctx, a(1), o(2), blue(), LockMode::Write)
+            .unwrap();
+        let touched = table.release_colour(a(1), red());
+        assert_eq!(touched, vec![o(1)]);
+        assert!(table.holders(o(1)).is_empty());
+        assert_eq!(table.holders(o(2)).len(), 1);
+    }
+
+    #[test]
+    fn inherit_moves_locks_to_parent_with_merge() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        ctx.set_parent(a(2), a(1));
+        // Parent already read-holds o1 in red; child write-holds o1 and o2.
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Read)
+            .unwrap();
+        table
+            .try_acquire(&ctx, a(2), o(1), red(), LockMode::Write)
+            .unwrap();
+        table
+            .try_acquire(&ctx, a(2), o(2), red(), LockMode::Write)
+            .unwrap();
+        let mut touched = table.inherit_colour(a(2), red(), a(1));
+        touched.sort();
+        assert_eq!(touched, vec![o(1), o(2)]);
+        let holders = table.holders(o(1));
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].action, a(1));
+        assert_eq!(holders[0].mode, LockMode::Write); // merged to strongest
+        assert_eq!(table.holders(o(2))[0].action, a(1));
+    }
+
+    #[test]
+    fn discard_keeps_ancestor_locks() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        ctx.set_parent(a(2), a(1));
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        table
+            .try_acquire(&ctx, a(2), o(1), red(), LockMode::Write)
+            .unwrap();
+        table.discard_action(a(2));
+        let holders = table.holders(o(1));
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].action, a(1));
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let table = Arc::new(LockTable::new(ColouredPolicy));
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        let t2 = Arc::clone(&table);
+        let ctx2 = ctx.clone();
+        let handle = std::thread::spawn(move || {
+            t2.acquire(
+                &ctx2,
+                a(2),
+                o(1),
+                red(),
+                LockMode::Write,
+                Some(Duration::from_secs(5)),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        table.release_colour(a(1), red());
+        let outcome = handle.join().unwrap().unwrap();
+        assert_eq!(outcome, AcquireOutcome::Granted);
+    }
+
+    #[test]
+    fn blocking_acquire_times_out() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        let err = table
+            .acquire(
+                &ctx,
+                a(2),
+                o(1),
+                red(),
+                LockMode::Write,
+                Some(Duration::from_millis(30)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+    }
+
+    #[test]
+    fn deadlock_is_broken_by_victim_selection() {
+        let table = Arc::new(LockTable::new(ClassicPolicy));
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        table
+            .try_acquire(&ctx, a(2), o(2), red(), LockMode::Write)
+            .unwrap();
+        // a(1) waits for o2 (held by a2); a(2) waits for o1 (held by a1).
+        let t1 = Arc::clone(&table);
+        let c1 = ctx.clone();
+        let h1 = std::thread::spawn(move || {
+            t1.acquire(
+                &c1,
+                a(1),
+                o(2),
+                red(),
+                LockMode::Write,
+                Some(Duration::from_secs(5)),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let r2 = table.acquire(
+            &ctx,
+            a(2),
+            o(1),
+            red(),
+            LockMode::Write,
+            Some(Duration::from_secs(5)),
+        );
+        // a(2) is the youngest waiter on the cycle: it is the victim.
+        assert!(matches!(r2, Err(LockError::DeadlockVictim { .. })));
+        // Release a(2)'s locks as its abort would; a(1) then proceeds.
+        table.discard_action(a(2));
+        assert!(h1.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn cancelled_waiter_returns_not_active() {
+        let table = Arc::new(LockTable::new(ColouredPolicy));
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        let t2 = Arc::clone(&table);
+        let ctx2 = ctx.clone();
+        let handle = std::thread::spawn(move || {
+            t2.acquire(&ctx2, a(2), o(1), red(), LockMode::Write, None)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        table.cancel_waiter(a(2));
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(matches!(err, LockError::ActionNotActive { .. }));
+    }
+
+    #[test]
+    fn locks_of_reports_all_colours() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), blue(), LockMode::Write)
+            .unwrap();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::ExclusiveRead)
+            .unwrap();
+        let locks = table.locks_of(a(1));
+        assert_eq!(locks.len(), 2);
+        assert_eq!(table.locks_of_colour(a(1), red()).len(), 1);
+        assert_eq!(table.locks_of_colour(a(1), blue()).len(), 1);
+        assert_eq!(table.entry_count(), 2);
+    }
+
+    #[test]
+    fn nested_child_gets_ancestor_held_lock() {
+        let table = LockTable::new(ClassicPolicy);
+        let ctx = FlatAncestry::new();
+        ctx.set_parent(a(2), a(1));
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        assert!(table
+            .try_acquire(&ctx, a(2), o(1), red(), LockMode::Write)
+            .is_ok());
+        // A stranger still cannot.
+        assert!(table
+            .try_acquire(&ctx, a(3), o(1), red(), LockMode::Write)
+            .is_err());
+    }
+}

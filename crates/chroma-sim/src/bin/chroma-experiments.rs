@@ -1,0 +1,23 @@
+//! Regenerates every experiment of `EXPERIMENTS.md` and prints the
+//! reports as markdown. Run with `--release` for representative timing
+//! rows.
+
+fn main() {
+    let reports = chroma_sim::experiments::run_all();
+    println!("# Chroma experiment reports\n");
+    let mut failures = 0;
+    for report in &reports {
+        println!("{}", report.to_markdown());
+        if !report.pass {
+            failures += 1;
+        }
+    }
+    println!(
+        "\n## Summary: {}/{} experiments reproduced\n",
+        reports.len() - failures,
+        reports.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Workloads, metrics and the experiment harness for chroma.
+//!
+//! * [`metrics`] — duration summaries and [`metrics::ExperimentReport`],
+//!   the structured result each experiment produces;
+//! * [`workload`] — configurable contention workloads over the runtime;
+//! * [`experiments`] — one function per paper figure (E01–E15) and per
+//!   ablation (A1–A5); [`experiments::run_all`] regenerates every row
+//!   of `EXPERIMENTS.md`.
+//!
+//! The `chroma-experiments` binary prints all reports as markdown:
+//!
+//! ```text
+//! cargo run --release -p chroma-sim --bin chroma-experiments
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod workload;
+
+pub use metrics::{ExperimentReport, Row, Summary};
+pub use workload::{run_contention, WorkloadConfig, WorkloadResult};

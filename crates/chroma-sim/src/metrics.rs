@@ -1,0 +1,157 @@
+//! Small measurement utilities for the experiment harness.
+
+use std::time::Duration;
+
+/// Summary statistics over a set of duration samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean, in microseconds.
+    pub mean_us: f64,
+    /// Median, in microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, in microseconds.
+    pub p95_us: f64,
+    /// Maximum, in microseconds.
+    pub max_us: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics from duration samples.
+    #[must_use]
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let count = us.len();
+        let mean_us = us.iter().sum::<f64>() / count as f64;
+        let pick = |q: f64| us[(((count - 1) as f64) * q).round() as usize];
+        Summary {
+            count,
+            mean_us,
+            p50_us: pick(0.5),
+            p95_us: pick(0.95),
+            max_us: us[count - 1],
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs max={:.1}µs",
+            self.count, self.mean_us, self.p50_us, self.p95_us, self.max_us
+        )
+    }
+}
+
+/// One metric row of an experiment report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Metric name (e.g. `"work preserved (serializing)"`).
+    pub metric: String,
+    /// Rendered value.
+    pub value: String,
+}
+
+/// The outcome of regenerating one paper figure or ablation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExperimentReport {
+    /// Experiment id (`E01`…`E15`, `A1`…`A5`).
+    pub id: String,
+    /// Short title.
+    pub title: String,
+    /// The paper's claim being reproduced.
+    pub claim: String,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+    /// Whether the measurements support the claim.
+    pub pass: bool,
+}
+
+impl ExperimentReport {
+    /// Creates a report shell.
+    #[must_use]
+    pub fn new(id: &str, title: &str, claim: &str) -> Self {
+        ExperimentReport {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            claim: claim.to_owned(),
+            rows: Vec::new(),
+            pass: true,
+        }
+    }
+
+    /// Appends a metric row.
+    pub fn row(&mut self, metric: impl Into<String>, value: impl std::fmt::Display) {
+        self.rows.push(Row {
+            metric: metric.into(),
+            value: value.to_string(),
+        });
+    }
+
+    /// Records a check: all checks must hold for the report to pass.
+    pub fn check(&mut self, name: &str, ok: bool) {
+        self.rows.push(Row {
+            metric: format!("check: {name}"),
+            value: if ok { "ok".to_owned() } else { "FAILED".to_owned() },
+        });
+        self.pass &= ok;
+    }
+
+    /// Renders the report as a markdown section.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "### {} — {}\n\n*Claim:* {}\n\n| metric | value |\n|---|---|\n",
+            self.id, self.title, self.claim
+        );
+        for row in &self.rows {
+            out.push_str(&format!("| {} | {} |\n", row.metric, row.value));
+        }
+        out.push_str(&format!(
+            "\n**Verdict:** {}\n",
+            if self.pass { "reproduced" } else { "NOT reproduced" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zeroes() {
+        assert_eq!(Summary::from_durations(&[]).count, 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = Summary::from_durations(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_us - 50.5).abs() < 0.01);
+        assert!((s.p50_us - 50.0).abs() <= 1.0);
+        assert!((s.p95_us - 95.0).abs() <= 1.0);
+        assert!((s.max_us - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn report_markdown_and_pass_tracking() {
+        let mut report = ExperimentReport::new("E99", "demo", "things hold");
+        report.row("speedup", "1.9x");
+        report.check("invariant", true);
+        assert!(report.pass);
+        report.check("other", false);
+        assert!(!report.pass);
+        let md = report.to_markdown();
+        assert!(md.contains("E99"));
+        assert!(md.contains("1.9x"));
+        assert!(md.contains("NOT reproduced"));
+    }
+}

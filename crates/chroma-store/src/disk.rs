@@ -1,0 +1,424 @@
+//! A disk-backed stable store: the same intentions-list protocol as
+//! [`StableStore`](crate::StableStore), persisted to a real directory.
+//!
+//! The in-memory [`StableStore`] *models* stable storage for simulation
+//! and fault-injection; `DiskStore` *is* stable storage: object states
+//! live in one file per object, updates go through a write-ahead
+//! intentions log that is fsynced before the commit marker, and
+//! [`DiskStore::open`] replays the log — completing committed batches
+//! and discarding uncommitted ones — so a process crash at any point
+//! leaves an all-or-nothing outcome.
+//!
+//! Layout inside the store directory:
+//!
+//! ```text
+//! store/
+//! ├── log              the intentions log (records framed with lengths)
+//! └── objects/
+//!     └── o<id>.bin    installed state of each object
+//! ```
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use chroma_base::ObjectId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::codec;
+use crate::StoreBytes;
+
+/// Errors from the disk store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DiskError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The log contained a record that failed to decode (corruption
+    /// past the last valid record is tolerated and truncated; this is
+    /// corruption *within* the committed prefix).
+    CorruptLog(String),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "disk store I/O failure: {e}"),
+            DiskError::CorruptLog(what) => write!(f, "corrupt intentions log: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io(e) => Some(e),
+            DiskError::CorruptLog(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DiskError {
+    fn from(e: io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}
+
+/// One framed record in the on-disk intentions log.
+#[derive(Debug, Serialize, Deserialize)]
+enum DiskRecord {
+    Intent { batch: u64, object: u64, state: Vec<u8> },
+    Commit { batch: u64 },
+}
+
+/// A crash-safe object store on the local filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::ObjectId;
+/// use chroma_store::{DiskStore, StoreBytes};
+///
+/// # fn main() -> Result<(), chroma_store::DiskError> {
+/// let dir = std::env::temp_dir().join(format!("chroma-doc-{}", std::process::id()));
+/// let store = DiskStore::open(&dir)?;
+/// let o = ObjectId::from_raw(1);
+/// store.commit_batch(vec![(o, StoreBytes::from(vec![7]))])?;
+///
+/// // Re-open (as after a process restart): the state is still there.
+/// drop(store);
+/// let store = DiskStore::open(&dir)?;
+/// assert_eq!(store.read(o)?.as_deref(), Some(&[7u8][..]));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    /// Serialises commits (one log writer at a time).
+    commit_lock: Mutex<u64>, // next batch id
+}
+
+impl DiskStore {
+    /// Opens (creating if necessary) a store in `dir`, running crash
+    /// recovery on the intentions log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption within the log's committed prefix.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, DiskError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(dir.join("objects"))?;
+        let store = DiskStore {
+            dir,
+            commit_lock: Mutex::new(0),
+        };
+        let max_batch = store.recover_log()?;
+        *store.commit_lock.lock() = max_batch + 1;
+        Ok(store)
+    }
+
+    fn log_path(&self) -> PathBuf {
+        self.dir.join("log")
+    }
+
+    fn object_path(&self, object: ObjectId) -> PathBuf {
+        self.dir.join("objects").join(format!("o{}.bin", object.as_raw()))
+    }
+
+    /// Reads the installed state of `object`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than not-found.
+    pub fn read(&self, object: ObjectId) -> Result<Option<StoreBytes>, DiskError> {
+        match fs::read(self.object_path(object)) {
+            Ok(bytes) => Ok(Some(StoreBytes::from(bytes))),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Returns `true` if `object` has an installed state.
+    #[must_use]
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.object_path(object).exists()
+    }
+
+    /// Returns the ids of all installed objects, unordered.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures listing the objects directory.
+    pub fn object_ids(&self) -> Result<Vec<ObjectId>, DiskError> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(self.dir.join("objects"))? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(raw) = name
+                .strip_prefix('o')
+                .and_then(|rest| rest.strip_suffix(".bin"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                ids.push(ObjectId::from_raw(raw));
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Atomically installs a batch of updates: intents are appended and
+    /// fsynced, the commit marker is appended and fsynced (the commit
+    /// point), then states are installed via write-to-temp + rename and
+    /// the log is truncated.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; on error before the commit marker the batch is
+    /// guaranteed absent after recovery.
+    pub fn commit_batch(
+        &self,
+        updates: Vec<(ObjectId, StoreBytes)>,
+    ) -> Result<(), DiskError> {
+        let mut next_batch = self.commit_lock.lock();
+        let batch = *next_batch;
+        *next_batch += 1;
+
+        // 1-2. Log intents + commit marker, fsynced.
+        let mut log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.log_path())?;
+        for (object, state) in &updates {
+            Self::append_record(
+                &mut log,
+                &DiskRecord::Intent {
+                    batch,
+                    object: object.as_raw(),
+                    state: state.to_vec(),
+                },
+            )?;
+        }
+        log.sync_all()?;
+        Self::append_record(&mut log, &DiskRecord::Commit { batch })?;
+        log.sync_all()?; // the commit point
+        drop(log);
+
+        // 3. Install (idempotent, crash-retryable from the log).
+        for (object, state) in &updates {
+            self.install(*object, state)?;
+        }
+        // 4. Truncate the log (every logged batch is installed).
+        fs::write(self.log_path(), b"")?;
+        Ok(())
+    }
+
+    fn install(&self, object: ObjectId, state: &[u8]) -> Result<(), DiskError> {
+        let final_path = self.object_path(object);
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(state)?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    fn append_record(log: &mut File, record: &DiskRecord) -> Result<(), DiskError> {
+        let bytes =
+            codec::to_bytes(record).map_err(|e| DiskError::CorruptLog(e.to_string()))?;
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| DiskError::CorruptLog("record too large".into()))?;
+        log.write_all(&len.to_le_bytes())?;
+        log.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Replays the intentions log: committed batches are (re)installed,
+    /// uncommitted intents are discarded, the log is truncated. Returns
+    /// the highest batch id seen.
+    fn recover_log(&self) -> Result<u64, DiskError> {
+        let raw = match fs::read(self.log_path()) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        let mut cursor = &raw[..];
+        loop {
+            if cursor.len() < 4 {
+                break; // torn tail (crash mid-append): discard
+            }
+            let mut len_bytes = [0u8; 4];
+            (&cursor[..4]).read_exact(&mut len_bytes)?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if cursor.len() < 4 + len {
+                break; // torn record
+            }
+            match codec::from_bytes::<DiskRecord>(&cursor[4..4 + len]) {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    // A decodable-length but garbled record inside the
+                    // prefix is real corruption.
+                    return Err(DiskError::CorruptLog(e.to_string()));
+                }
+            }
+            cursor = &cursor[4 + len..];
+        }
+        let committed: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                DiskRecord::Commit { batch } => Some(*batch),
+                DiskRecord::Intent { .. } => None,
+            })
+            .collect();
+        let mut max_batch = 0;
+        for record in &records {
+            if let DiskRecord::Intent { batch, object, state } = record {
+                max_batch = max_batch.max(*batch);
+                if committed.contains(batch) {
+                    self.install(ObjectId::from_raw(*object), state)?;
+                }
+            }
+            if let DiskRecord::Commit { batch } = record {
+                max_batch = max_batch.max(*batch);
+            }
+        }
+        fs::write(self.log_path(), b"")?;
+        Ok(max_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chroma-disk-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn o(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+    fn bytes(v: &[u8]) -> StoreBytes {
+        StoreBytes::from(v.to_vec())
+    }
+
+    #[test]
+    fn round_trip_across_reopen() {
+        let dir = temp_dir();
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store
+                .commit_batch(vec![(o(1), bytes(b"one")), (o(2), bytes(b"two"))])
+                .unwrap();
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(store.read(o(2)).unwrap().as_deref(), Some(&b"two"[..]));
+        assert!(store.contains(o(1)));
+        assert!(store.read(o(9)).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn later_batches_overwrite() {
+        let dir = temp_dir();
+        let store = DiskStore::open(&dir).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"a"))]).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"b"))]).unwrap();
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"b"[..]));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn committed_log_without_install_replays_on_open() {
+        // Simulate a crash after the commit marker but before install:
+        // hand-write the log, then open.
+        let dir = temp_dir();
+        fs::create_dir_all(dir.join("objects")).unwrap();
+        let mut log = File::create(dir.join("log")).unwrap();
+        DiskStore::append_record(
+            &mut log,
+            &DiskRecord::Intent {
+                batch: 3,
+                object: 7,
+                state: b"recovered".to_vec(),
+            },
+        )
+        .unwrap();
+        DiskStore::append_record(&mut log, &DiskRecord::Commit { batch: 3 }).unwrap();
+        drop(log);
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(
+            store.read(o(7)).unwrap().as_deref(),
+            Some(&b"recovered"[..])
+        );
+        // Batch ids continue past the recovered one.
+        store.commit_batch(vec![(o(8), bytes(b"next"))]).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_intents_are_discarded_on_open() {
+        let dir = temp_dir();
+        fs::create_dir_all(dir.join("objects")).unwrap();
+        let mut log = File::create(dir.join("log")).unwrap();
+        DiskStore::append_record(
+            &mut log,
+            &DiskRecord::Intent {
+                batch: 1,
+                object: 5,
+                state: b"never committed".to_vec(),
+            },
+        )
+        .unwrap();
+        drop(log);
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.read(o(5)).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_log_tail_is_tolerated() {
+        let dir = temp_dir();
+        fs::create_dir_all(dir.join("objects")).unwrap();
+        let mut log = File::create(dir.join("log")).unwrap();
+        DiskStore::append_record(
+            &mut log,
+            &DiskRecord::Intent {
+                batch: 1,
+                object: 1,
+                state: b"full".to_vec(),
+            },
+        )
+        .unwrap();
+        DiskStore::append_record(&mut log, &DiskRecord::Commit { batch: 1 }).unwrap();
+        // A torn append: length prefix promising more bytes than exist.
+        log.write_all(&100u32.to_le_bytes()).unwrap();
+        log.write_all(b"short").unwrap();
+        drop(log);
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"full"[..]));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let dir = temp_dir();
+        let store = DiskStore::open(&dir).unwrap();
+        store.commit_batch(Vec::new()).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! The volatile (crash-losable) half of a node's storage.
+
+use std::collections::HashMap;
+
+use chroma_base::ObjectId;
+use parking_lot::RwLock;
+
+use crate::StoreBytes;
+
+/// In-memory object states: the working copies actions read and write.
+///
+/// A [`crash`](VolatileStore::crash) wipes everything, modelling the
+/// paper's assumption that "all of the data stored on volatile storage is
+/// lost when a crash occurs". After a crash, the owning node re-populates
+/// working state lazily from its [`StableStore`](crate::StableStore).
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::ObjectId;
+/// use chroma_store::{StoreBytes, VolatileStore};
+///
+/// let store = VolatileStore::new();
+/// let o = ObjectId::from_raw(9);
+/// store.write(o, StoreBytes::from(vec![1]));
+/// assert!(store.read(o).is_some());
+/// store.crash();
+/// assert!(store.read(o).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct VolatileStore {
+    states: RwLock<HashMap<ObjectId, StoreBytes>>,
+}
+
+impl VolatileStore {
+    /// Creates an empty volatile store.
+    #[must_use]
+    pub fn new() -> Self {
+        VolatileStore::default()
+    }
+
+    /// Returns the current state of `object`, if present.
+    #[must_use]
+    pub fn read(&self, object: ObjectId) -> Option<StoreBytes> {
+        self.states.read().get(&object).cloned()
+    }
+
+    /// Sets the state of `object`, returning the previous state if any.
+    pub fn write(&self, object: ObjectId, state: StoreBytes) -> Option<StoreBytes> {
+        self.states.write().insert(object, state)
+    }
+
+    /// Removes `object`, returning its state if it was present.
+    pub fn remove(&self, object: ObjectId) -> Option<StoreBytes> {
+        self.states.write().remove(&object)
+    }
+
+    /// Returns `true` if `object` has a state.
+    #[must_use]
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.states.read().contains_key(&object)
+    }
+
+    /// Returns the identifiers of all stored objects, unordered.
+    #[must_use]
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.states.read().keys().copied().collect()
+    }
+
+    /// Returns the number of stored objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.read().len()
+    }
+
+    /// Returns `true` if no objects are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.read().is_empty()
+    }
+
+    /// Drops every state: the node crashed.
+    pub fn crash(&self) {
+        self.states.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn write_read_remove() {
+        let store = VolatileStore::new();
+        assert!(store.write(o(1), StoreBytes::from(vec![1])).is_none());
+        assert_eq!(
+            store.write(o(1), StoreBytes::from(vec![2])).as_deref(),
+            Some(&[1u8][..])
+        );
+        assert_eq!(store.read(o(1)).as_deref(), Some(&[2u8][..]));
+        assert_eq!(store.remove(o(1)).as_deref(), Some(&[2u8][..]));
+        assert!(store.read(o(1)).is_none());
+    }
+
+    #[test]
+    fn crash_clears_everything() {
+        let store = VolatileStore::new();
+        store.write(o(1), StoreBytes::from(vec![1]));
+        store.write(o(2), StoreBytes::from(vec![2]));
+        assert_eq!(store.len(), 2);
+        store.crash();
+        assert!(store.is_empty());
+        assert!(!store.contains(o(1)));
+    }
+
+    #[test]
+    fn object_ids_lists_all() {
+        let store = VolatileStore::new();
+        store.write(o(1), StoreBytes::from(vec![1]));
+        store.write(o(2), StoreBytes::from(vec![2]));
+        let mut ids = store.object_ids();
+        ids.sort();
+        assert_eq!(ids, vec![o(1), o(2)]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Compensating chains: the §3.4 follow-up the paper leaves open.
+//!
+//! "Note that once a top-level action commits, its effects can only be
+//! 'undone' by running one or more application specific compensating
+//! actions [8]. Developing mechanisms for compensation within the
+//! framework proposed here is left as a topic for further research."
+//!
+//! A [`CompensatingChain`] is that mechanism in its simplest useful
+//! form (what later literature calls a saga, and what the paper's
+//! split-transaction reference [13] gestures at): a sequence of
+//! top-level steps, each paired with an application-specific
+//! compensating action. Steps commit immediately — their effects are
+//! visible and permanent, maximising concurrency, exactly like a chain
+//! of independent actions. If the whole activity later has to be
+//! abandoned, [`unwind`](CompensatingChain::unwind) runs the registered
+//! compensations in reverse order, each itself a top-level action.
+//!
+//! This is weaker than failure atomicity (intermediate states were
+//! visible) but is the only option once permanence has been granted —
+//! which is the trade the paper's bulletin-board discussion makes
+//! explicitly.
+
+use chroma_base::ColourSet;
+use chroma_core::{ActionError, ActionScope, Runtime};
+use parking_lot::Mutex;
+
+type CompensationFn = Box<dyn FnOnce(&mut ActionScope<'_>) -> Result<(), ActionError> + Send>;
+
+/// What [`CompensatingChain::unwind`] did.
+#[derive(Debug, Default)]
+pub struct UnwindReport {
+    /// Labels of steps successfully compensated, in unwind (reverse)
+    /// order.
+    pub compensated: Vec<String>,
+    /// Compensations that themselves failed, with their errors. These
+    /// require operator attention — compensation failures cannot be
+    /// rolled back further.
+    pub failed: Vec<(String, ActionError)>,
+}
+
+impl UnwindReport {
+    /// `true` if every registered compensation committed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// A chain of immediately-committed steps with registered
+/// compensations.
+///
+/// # Examples
+///
+/// A two-step booking where the second step fails and the first is
+/// compensated:
+///
+/// ```
+/// use chroma_core::{ActionError, Runtime};
+/// use chroma_structures::CompensatingChain;
+///
+/// # fn main() -> Result<(), ActionError> {
+/// let rt = Runtime::new();
+/// let seats = rt.create_object(&10i64)?;
+/// let hotel = rt.create_object(&5i64)?;
+///
+/// let chain = CompensatingChain::begin(&rt);
+/// chain.step(
+///     "reserve-seat",
+///     |a| a.modify(seats, |n: &mut i64| *n -= 1),
+///     move |a| a.modify(seats, |n: &mut i64| *n += 1),
+/// )?;
+/// let hotel_result: Result<(), ActionError> = chain.step(
+///     "reserve-room",
+///     |a| {
+///         a.modify(hotel, |n: &mut i64| *n -= 1)?;
+///         Err(ActionError::failed("no rooms after all"))
+///     },
+///     move |a| a.modify(hotel, |n: &mut i64| *n += 1),
+/// );
+/// assert!(hotel_result.is_err());
+///
+/// let report = chain.unwind()?;
+/// assert!(report.is_clean());
+/// assert_eq!(rt.read_committed::<i64>(seats)?, 10); // compensated
+/// assert_eq!(rt.read_committed::<i64>(hotel)?, 5); // step aborted itself
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompensatingChain {
+    rt: Runtime,
+    registered: Mutex<Vec<(String, CompensationFn)>>,
+}
+
+impl CompensatingChain {
+    /// Begins an empty chain.
+    #[must_use]
+    pub fn begin(rt: &Runtime) -> Self {
+        CompensatingChain {
+            rt: rt.clone(),
+            registered: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns how many compensations are currently registered.
+    #[must_use]
+    pub fn registered_count(&self) -> usize {
+        self.registered.lock().len()
+    }
+
+    /// Runs `body` as a top-level action (fresh colour — independent of
+    /// everything); on commit, registers `compensation` to undo it if
+    /// the chain unwinds.
+    ///
+    /// On failure the step is aborted as usual and **no** compensation
+    /// is registered — the step never happened.
+    ///
+    /// # Errors
+    ///
+    /// The body's error, after the step aborted.
+    pub fn step<R>(
+        &self,
+        label: &str,
+        body: impl FnOnce(&mut ActionScope<'_>) -> Result<R, ActionError>,
+        compensation: impl FnOnce(&mut ActionScope<'_>) -> Result<(), ActionError> + Send + 'static,
+    ) -> Result<R, ActionError> {
+        let colour = self.rt.universe().fresh()?;
+        let result = self.rt.run_top(ColourSet::single(colour), colour, body);
+        self.rt.universe().release(colour);
+        let value = result?;
+        self.registered
+            .lock()
+            .push((label.to_owned(), Box::new(compensation)));
+        Ok(value)
+    }
+
+    /// Completes the chain successfully: all compensations are
+    /// discarded; the steps' effects stand.
+    pub fn complete(self) {
+        self.registered.lock().clear();
+    }
+
+    /// Unwinds the chain: every registered compensation runs as its own
+    /// top-level action, in reverse registration order. Compensations
+    /// that fail are reported (they cannot be retried through this
+    /// chain; the report carries their errors).
+    ///
+    /// # Errors
+    ///
+    /// Colour allocation failures only; individual compensation
+    /// failures are *reported*, not propagated, so later compensations
+    /// still run.
+    pub fn unwind(self) -> Result<UnwindReport, ActionError> {
+        let mut report = UnwindReport::default();
+        let mut registered = std::mem::take(&mut *self.registered.lock());
+        while let Some((label, compensation)) = registered.pop() {
+            let colour = self.rt.universe().fresh()?;
+            let outcome = self
+                .rt
+                .run_top(ColourSet::single(colour), colour, compensation);
+            self.rt.universe().release(colour);
+            match outcome {
+                Ok(()) => report.compensated.push(label),
+                Err(error) => report.failed.push((label, error)),
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for CompensatingChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompensatingChain")
+            .field("registered", &self.registered_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_keeps_all_effects() {
+        let rt = Runtime::new();
+        let a = rt.create_object(&0i64).unwrap();
+        let b = rt.create_object(&0i64).unwrap();
+        let chain = CompensatingChain::begin(&rt);
+        chain
+            .step("a", |s| s.write(a, &1i64), move |s| s.write(a, &0i64))
+            .unwrap();
+        chain
+            .step("b", |s| s.write(b, &1i64), move |s| s.write(b, &0i64))
+            .unwrap();
+        assert_eq!(chain.registered_count(), 2);
+        chain.complete();
+        assert_eq!(rt.read_committed::<i64>(a).unwrap(), 1);
+        assert_eq!(rt.read_committed::<i64>(b).unwrap(), 1);
+    }
+
+    #[test]
+    fn unwind_runs_in_reverse_order() {
+        let rt = Runtime::new();
+        let log = rt.create_object(&Vec::<String>::new()).unwrap();
+        let chain = CompensatingChain::begin(&rt);
+        for name in ["first", "second", "third"] {
+            let label = name.to_owned();
+            chain
+                .step(name, |_| Ok(()), move |s| {
+                    s.modify(log, |l: &mut Vec<String>| l.push(label))
+                })
+                .unwrap();
+        }
+        let report = chain.unwind().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.compensated, vec!["third", "second", "first"]);
+        let order: Vec<String> = rt.read_committed(log).unwrap();
+        assert_eq!(order, vec!["third", "second", "first"]);
+    }
+
+    #[test]
+    fn failed_step_registers_no_compensation() {
+        let rt = Runtime::new();
+        let o = rt.create_object(&0i64).unwrap();
+        let chain = CompensatingChain::begin(&rt);
+        let result = chain.step(
+            "fails",
+            |s| {
+                s.write(o, &9i64)?;
+                Err::<(), _>(ActionError::failed("boom"))
+            },
+            move |s| s.write(o, &-1i64),
+        );
+        assert!(result.is_err());
+        assert_eq!(chain.registered_count(), 0);
+        let report = chain.unwind().unwrap();
+        assert!(report.compensated.is_empty());
+        assert_eq!(rt.read_committed::<i64>(o).unwrap(), 0);
+    }
+
+    #[test]
+    fn failed_compensation_is_reported_but_others_run() {
+        let rt = Runtime::new();
+        let good = rt.create_object(&1i64).unwrap();
+        let chain = CompensatingChain::begin(&rt);
+        chain
+            .step("good", |_| Ok(()), move |s| s.write(good, &0i64))
+            .unwrap();
+        chain
+            .step(
+                "bad",
+                |_| Ok(()),
+                |_| Err(ActionError::failed("compensation broken")),
+            )
+            .unwrap();
+        let report = chain.unwind().unwrap();
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, "bad");
+        assert_eq!(report.compensated, vec!["good"]);
+        assert!(!report.is_clean());
+        assert_eq!(rt.read_committed::<i64>(good).unwrap(), 0);
+    }
+
+    #[test]
+    fn steps_are_visible_immediately() {
+        let rt = Runtime::new();
+        let o = rt.create_object(&0i64).unwrap();
+        let chain = CompensatingChain::begin(&rt);
+        chain
+            .step("publish", |s| s.write(o, &7i64), move |s| s.write(o, &0i64))
+            .unwrap();
+        // Visible to everyone before the chain resolves — the defining
+        // difference from a serializing action.
+        assert_eq!(rt.atomic(|a| a.read::<i64>(o)).unwrap(), 7);
+        chain.complete();
+    }
+}

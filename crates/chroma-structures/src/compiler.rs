@@ -1,0 +1,768 @@
+//! Automatic colour assignment for action structures.
+//!
+//! The paper's concluding remarks describe the intended workflow: "let
+//! the application builder think in terms of the action structures of
+//! section 3 and generate colour assignments automatically, thus
+//! ensuring that coloured actions are used in a controlled manner."
+//! This module is that generator.
+//!
+//! A [`Structure`] describes an application's action shape — work units,
+//! nesting, serializing/glued composition, and n-level independence.
+//! [`assign`] compiles it to an [`AssignedPlan`]: a tree of actions with
+//! concrete colour sets, exactly reproducing the paper's hand-drawn
+//! schemes (fig. 11 for serializing, fig. 12 for glued, fig. 15 for
+//! n-level independence).
+//!
+//! The plan is both *analysable* — [`AssignedPlan::undone_by`] predicts
+//! which aborts undo which effects — and *executable* —
+//! [`AssignedPlan::execute`] runs it against a real [`Runtime`] with an
+//! injected outcome per action, so tests can check the prediction
+//! against observed behaviour.
+
+use std::collections::HashMap;
+
+use chroma_base::{Colour, ColourSet, LockMode};
+use chroma_core::{ActionError, ActionId, ObjectId, Runtime};
+
+/// A description of an application's action structure.
+///
+/// # Examples
+///
+/// Fig. 14 of the paper (C and F top-level independent, E independent of
+/// B but not of A):
+///
+/// ```
+/// use chroma_structures::compiler::Structure;
+///
+/// let fig14 = Structure::top(
+///     "A",
+///     vec![
+///         Structure::work("D"),
+///         Structure::action(
+///             "B",
+///             vec![
+///                 Structure::independent("C", 2, vec![Structure::work("C.body")]),
+///                 Structure::independent("E", 1, vec![Structure::work("E.body")]),
+///             ],
+///         ),
+///         Structure::independent("F", 1, vec![Structure::work("F.body")]),
+///     ],
+/// );
+/// # let _ = fig14;
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// A unit of work: performs one write under its action's update
+    /// colour. Leaves are where effects happen.
+    Work {
+        /// Name used to identify the effect in reports.
+        name: String,
+    },
+    /// An action enclosing sub-structures (a conventional action; its
+    /// children see it as their parent).
+    Action {
+        /// Name used in reports and outcome injection.
+        name: String,
+        /// Executed in order.
+        children: Vec<Structure>,
+    },
+    /// An action independent of its `levels` closest enclosing actions:
+    /// `levels = 1` survives its parent's abort, `levels = 2` its
+    /// grandparent's, and so on (figs. 14–15).
+    Independent {
+        /// Name used in reports and outcome injection.
+        name: String,
+        /// How many enclosing actions it is independent of.
+        levels: usize,
+        /// Executed in order inside the independent action.
+        children: Vec<Structure>,
+    },
+    /// A serializing action (fig. 3/11): each child is a constituent
+    /// step, top-level for permanence, with every lock retained by the
+    /// wrapper between steps.
+    Serializing {
+        /// Name of the wrapper.
+        name: String,
+        /// The constituent steps, in order.
+        steps: Vec<Structure>,
+    },
+    /// A glued chain (fig. 5/9/12): each child is a top-level step;
+    /// locks on handed-over objects pass from step to step.
+    Glued {
+        /// Name of the chain.
+        name: String,
+        /// The chain's steps, in order.
+        steps: Vec<Structure>,
+    },
+}
+
+impl Structure {
+    /// Creates a work leaf.
+    #[must_use]
+    pub fn work(name: impl Into<String>) -> Self {
+        Structure::Work { name: name.into() }
+    }
+
+    /// Creates a named enclosing action.
+    #[must_use]
+    pub fn action(name: impl Into<String>, children: Vec<Structure>) -> Self {
+        Structure::Action {
+            name: name.into(),
+            children,
+        }
+    }
+
+    /// Creates a top-level action (alias of [`Structure::action`] for
+    /// readability at the root).
+    #[must_use]
+    pub fn top(name: impl Into<String>, children: Vec<Structure>) -> Self {
+        Structure::action(name, children)
+    }
+
+    /// Creates an action independent of `levels` enclosing actions.
+    #[must_use]
+    pub fn independent(name: impl Into<String>, levels: usize, children: Vec<Structure>) -> Self {
+        Structure::Independent {
+            name: name.into(),
+            levels,
+            children,
+        }
+    }
+
+    /// Creates a serializing action with the given steps.
+    #[must_use]
+    pub fn serializing(name: impl Into<String>, steps: Vec<Structure>) -> Self {
+        Structure::Serializing {
+            name: name.into(),
+            steps,
+        }
+    }
+
+    /// Creates a glued chain with the given steps.
+    #[must_use]
+    pub fn glued(name: impl Into<String>, steps: Vec<Structure>) -> Self {
+        Structure::Glued {
+            name: name.into(),
+            steps,
+        }
+    }
+}
+
+/// What kind of plan node an action is (affects execution and reports).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanKind {
+    /// Performs a write under its update colour.
+    Work,
+    /// A plain enclosing action.
+    Action,
+    /// A control/wrapper action that performs no writes (serializing
+    /// wrapper, glued gap wrapper).
+    Control,
+}
+
+/// One action in an assigned plan.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// The action's name (synthetic for generated wrappers).
+    pub name: String,
+    /// The node kind.
+    pub kind: PlanKind,
+    /// Index of the parent node in [`AssignedPlan::nodes`].
+    pub parent: Option<usize>,
+    /// The action's assigned colour set (symbolic: indices into the
+    /// plan's own colour space).
+    pub colours: ColourSet,
+    /// The colour the node's writes use (work and step nodes).
+    pub update: Option<Colour>,
+    /// Colours this node additionally takes *fence* locks in
+    /// (exclusive-read) on the objects it writes — the serializing/glued
+    /// hand-over mechanism.
+    pub fences: ColourSet,
+    /// Child node indices, in execution order.
+    pub children: Vec<usize>,
+}
+
+/// A compiled action structure: concrete colour sets per action.
+#[derive(Clone, Debug, Default)]
+pub struct AssignedPlan {
+    /// All nodes; index 0 is the root.
+    pub nodes: Vec<PlanNode>,
+    colours_used: usize,
+}
+
+/// Result of executing a plan: which work effects survived.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// For each work node name: `true` if its effect is permanent after
+    /// the whole plan terminated.
+    pub survived: HashMap<String, bool>,
+}
+
+/// Compiles a structure into a colour-assigned plan.
+///
+/// Colour assignment rules (mirroring §5.3–§5.6):
+///
+/// * a plain action shares its parent's *ambient* colour;
+/// * `Independent(levels = k)` gets a fresh colour which is *also added
+///   to* the ancestor `k` levels up (fig. 15: E's blue is added to A) —
+///   or to no one for fully independent actions (C's and F's green);
+/// * `Serializing` introduces a fresh fence colour on a control wrapper;
+///   each step gets `{fence, fresh update}` and fences its writes
+///   (fig. 11);
+/// * `Glued` introduces one gap wrapper per hand-over, nested
+///   outermost-first; step *i* gets `{gap_i, fresh update}` and fences
+///   its writes in `gap_i` (fig. 12 generalised to chains).
+///
+/// # Errors
+///
+/// [`ActionError::Failed`] if an `Independent` level reaches above the
+/// root in a malformed way, or if more than 64 colours are needed.
+pub fn assign(structure: &Structure) -> Result<AssignedPlan, ActionError> {
+    let mut plan = AssignedPlan::default();
+    let root_colour = plan.fresh_colour()?;
+    build(
+        &mut plan,
+        structure,
+        None,
+        root_colour,
+        &mut Vec::new(),
+    )?;
+    Ok(plan)
+}
+
+/// Recursively builds plan nodes.
+///
+/// `ambient` is the colour a plain child shares with its parent;
+/// `action_stack` holds indices of enclosing *action* nodes (not
+/// controls), innermost last, for independence anchoring.
+fn build(
+    plan: &mut AssignedPlan,
+    structure: &Structure,
+    parent: Option<usize>,
+    ambient: Colour,
+    action_stack: &mut Vec<usize>,
+) -> Result<usize, ActionError> {
+    match structure {
+        Structure::Work { name } => Ok(plan.push(PlanNode {
+            name: name.clone(),
+            kind: PlanKind::Work,
+            parent,
+            colours: ColourSet::single(ambient),
+            update: Some(ambient),
+            fences: ColourSet::EMPTY,
+            children: Vec::new(),
+        })),
+        Structure::Action { name, children } => {
+            let index = plan.push(PlanNode {
+                name: name.clone(),
+                kind: PlanKind::Action,
+                parent,
+                colours: ColourSet::single(ambient),
+                update: Some(ambient),
+                fences: ColourSet::EMPTY,
+                children: Vec::new(),
+            });
+            action_stack.push(index);
+            for child in children {
+                let c = build(plan, child, Some(index), ambient, action_stack)?;
+                plan.nodes[index].children.push(c);
+            }
+            action_stack.pop();
+            Ok(index)
+        }
+        Structure::Independent {
+            name,
+            levels,
+            children,
+        } => {
+            let colour = plan.fresh_colour()?;
+            // Independent of the `levels` closest enclosing actions: the
+            // fresh colour is anchored on the ancestor at distance
+            // `levels + 1` (fig. 15: E, independent of B only, anchors
+            // blue at A). If no such ancestor exists the action is fully
+            // independent (C's and F's green anchor nowhere).
+            if *levels < action_stack.len() {
+                let anchor = action_stack[action_stack.len() - 1 - *levels];
+                plan.nodes[anchor].colours = plan.nodes[anchor].colours.with(colour);
+            }
+            let index = plan.push(PlanNode {
+                name: name.clone(),
+                kind: PlanKind::Action,
+                parent,
+                colours: ColourSet::single(colour),
+                update: Some(colour),
+                fences: ColourSet::EMPTY,
+                children: Vec::new(),
+            });
+            action_stack.push(index);
+            for child in children {
+                let c = build(plan, child, Some(index), colour, action_stack)?;
+                plan.nodes[index].children.push(c);
+            }
+            action_stack.pop();
+            Ok(index)
+        }
+        Structure::Serializing { name, steps } => {
+            let fence = plan.fresh_colour()?;
+            let wrapper = plan.push(PlanNode {
+                name: name.clone(),
+                kind: PlanKind::Control,
+                parent,
+                colours: ColourSet::single(fence),
+                update: None,
+                fences: ColourSet::EMPTY,
+                children: Vec::new(),
+            });
+            for step in steps {
+                let update = plan.fresh_colour()?;
+                let step_index = plan.push(PlanNode {
+                    name: format!("{name}.step{}", plan.nodes[wrapper].children.len() + 1),
+                    kind: PlanKind::Action,
+                    parent: Some(wrapper),
+                    colours: ColourSet::from_iter([fence, update]),
+                    update: Some(update),
+                    fences: ColourSet::single(fence),
+                    children: Vec::new(),
+                });
+                action_stack.push(step_index);
+                let c = build(plan, step, Some(step_index), update, action_stack)?;
+                plan.nodes[step_index].children.push(c);
+                action_stack.pop();
+                plan.nodes[wrapper].children.push(step_index);
+            }
+            Ok(wrapper)
+        }
+        Structure::Glued { name, steps } => {
+            // Gap wrappers nested outermost-first: F_{n-1} ⊃ … ⊃ F_1,
+            // one per gap between consecutive steps; step 1 and 2 live
+            // in F_1, step i+1 in F_i. The node returned to the caller
+            // (which links it into its children) is the outermost
+            // wrapper, or the single step when there is no gap.
+            let gap_count = steps.len().saturating_sub(1);
+            let mut wrappers = Vec::with_capacity(gap_count);
+            let mut inner_parent: Option<usize> = None; // within this chain
+            for g in (1..=gap_count).rev() {
+                let gap = plan.fresh_colour()?;
+                let wrapper = plan.push(PlanNode {
+                    name: format!("{name}.gap{g}"),
+                    kind: PlanKind::Control,
+                    parent: inner_parent.or(parent),
+                    colours: ColourSet::single(gap),
+                    update: None,
+                    fences: ColourSet::EMPTY,
+                    children: Vec::new(),
+                });
+                // Link inner wrappers to their enclosing wrapper; the
+                // outermost one is linked by our caller.
+                if let Some(p) = inner_parent {
+                    plan.nodes[p].children.push(wrapper);
+                }
+                inner_parent = Some(wrapper);
+                wrappers.push((wrapper, gap));
+            }
+            // wrappers is outermost-first; the innermost hosts steps 1,2.
+            let outermost = wrappers.first().map(|&(w, _)| w);
+            let mut single_step = None;
+            for (i, step) in steps.iter().enumerate() {
+                // Host wrapper: F_1 for steps 0 and 1, F_i for step i;
+                // a gapless (single-step) chain has no host wrapper.
+                let host = if gap_count == 0 {
+                    None
+                } else {
+                    let host_rank = i.max(1).min(gap_count); // 1-based F index
+                    Some(wrappers[wrappers.len() - host_rank].0)
+                };
+                // Fence colour: the gap this step hands over through
+                // (gap_{i+1} — owned by F_{i+1} — except step 0 fences
+                // via its own host F_1, and the final step fences
+                // nothing).
+                let fence_rank = i + 1; // gap index the step fences in
+                let fence = if fence_rank <= gap_count {
+                    Some(wrappers[wrappers.len() - fence_rank].1)
+                } else {
+                    None
+                };
+                let update = plan.fresh_colour()?;
+                let mut colours = ColourSet::single(update);
+                if let Some(f) = fence {
+                    colours = colours.with(f);
+                }
+                let step_index = plan.push(PlanNode {
+                    name: format!("{name}.step{}", i + 1),
+                    kind: PlanKind::Action,
+                    parent: host.or(parent),
+                    colours,
+                    update: Some(update),
+                    fences: fence.map(ColourSet::single).unwrap_or_default(),
+                    children: Vec::new(),
+                });
+                match host {
+                    Some(host) => plan.nodes[host].children.push(step_index),
+                    None => single_step = Some(step_index), // caller links it
+                }
+                action_stack.push(step_index);
+                let c = build(plan, step, Some(step_index), update, action_stack)?;
+                plan.nodes[step_index].children.push(c);
+                action_stack.pop();
+            }
+            outermost
+                .or(single_step)
+                .ok_or_else(|| ActionError::failed("a glued chain needs at least one step"))
+        }
+    }
+}
+
+impl AssignedPlan {
+    fn push(&mut self, node: PlanNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn fresh_colour(&mut self) -> Result<Colour, ActionError> {
+        if self.colours_used >= chroma_base::MAX_LIVE_COLOURS {
+            return Err(ActionError::failed("plan needs more than 64 colours"));
+        }
+        let colour = Colour::from_index(self.colours_used);
+        self.colours_used += 1;
+        Ok(colour)
+    }
+
+    /// Returns the number of distinct colours the plan uses.
+    #[must_use]
+    pub fn colour_count(&self) -> usize {
+        self.colours_used
+    }
+
+    /// Returns the index of the node named `name`, if any.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Predicts whether aborting `aborter` (at its normal termination
+    /// point, everything else committing) undoes the effect of the work
+    /// node `work`.
+    ///
+    /// The rule follows §5.2 inheritance: an effect written in colour
+    /// `c` climbs the chain of closest-`c`-ancestors; it is undone
+    /// exactly by aborts of nodes on that chain (including the work node
+    /// itself and enclosing actions up to the first anchor), and becomes
+    /// permanent when the chain's outermost member commits.
+    ///
+    /// Returns `None` if either name is unknown or `work` is not a work
+    /// node.
+    #[must_use]
+    pub fn undone_by(&self, work: &str, aborter: &str) -> Option<bool> {
+        let work_index = self.find(work)?;
+        let aborter_index = self.find(aborter)?;
+        let colour = self.nodes[work_index].update?;
+        if self.nodes[work_index].kind != PlanKind::Work {
+            return None;
+        }
+        // Climb: every node from `work` upward is on the vulnerable
+        // chain while it possesses... precisely: the effect sits at the
+        // work node; on commit it moves to the closest ancestor with
+        // `colour`; and so on. Nodes holding the effect at some point:
+        // work itself, then each successive closest-`colour`-ancestor.
+        let mut chain = vec![work_index];
+        let mut cursor = work_index;
+        while let Some(anchor) = self.closest_ancestor_with(cursor, colour) {
+            chain.push(anchor);
+            cursor = anchor;
+        }
+        Some(chain.contains(&aborter_index))
+    }
+
+    fn closest_ancestor_with(&self, index: usize, colour: Colour) -> Option<usize> {
+        let mut cursor = self.nodes[index].parent;
+        while let Some(i) = cursor {
+            if self.nodes[i].colours.contains(colour) {
+                return Some(i);
+            }
+            cursor = self.nodes[i].parent;
+        }
+        None
+    }
+
+    /// Executes the plan against a real runtime.
+    ///
+    /// Each work node writes `1` to its own freshly created object (in
+    /// the node's update colour, with the node's fence locks). Each
+    /// action terminates according to `outcome(name)`: `true` = commit,
+    /// `false` = abort (children still execute first — this models "the
+    /// action fails at its end", the interesting case for survival).
+    ///
+    /// Returns which work effects are permanent afterwards; compare with
+    /// [`AssignedPlan::undone_by`] to validate the compiler (that is
+    /// exactly what the fig. 15 experiment does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures (colour exhaustion, lock errors —
+    /// none occur for well-formed plans).
+    pub fn execute(
+        &self,
+        rt: &Runtime,
+        outcome: &dyn Fn(&str) -> bool,
+    ) -> Result<ExecutionReport, ActionError> {
+        if self.nodes.is_empty() {
+            return Ok(ExecutionReport::default());
+        }
+        // Map plan colours to fresh runtime colours.
+        let mut colour_map = Vec::with_capacity(self.colours_used);
+        for _ in 0..self.colours_used {
+            colour_map.push(rt.universe().fresh()?);
+        }
+        let mut objects: HashMap<usize, ObjectId> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == PlanKind::Work {
+                objects.insert(i, rt.create_object(&0u8)?);
+            }
+        }
+        self.run_node(rt, 0, None, &colour_map, &objects, outcome)?;
+        let mut survived = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == PlanKind::Work {
+                let value: u8 = rt.read_committed(objects[&i])?;
+                survived.insert(node.name.clone(), value == 1);
+            }
+        }
+        for colour in colour_map {
+            rt.universe().release(colour);
+        }
+        Ok(ExecutionReport { survived })
+    }
+
+    fn run_node(
+        &self,
+        rt: &Runtime,
+        index: usize,
+        parent_action: Option<ActionId>,
+        colour_map: &[Colour],
+        objects: &HashMap<usize, ObjectId>,
+        outcome: &dyn Fn(&str) -> bool,
+    ) -> Result<(), ActionError> {
+        let node = &self.nodes[index];
+        let colours: ColourSet = node
+            .colours
+            .iter()
+            .map(|c| colour_map[c.index()])
+            .collect();
+        let action = match parent_action {
+            Some(parent) => rt.begin_nested(parent, colours)?,
+            None => rt.begin_top(colours)?,
+        };
+        // Perform the node's own write (work nodes only).
+        if node.kind == PlanKind::Work {
+            let update = colour_map[node.update.expect("work has update").index()];
+            let object = objects[&index];
+            let scope = rt.scope(action)?;
+            for fence in node.fences.iter() {
+                scope.lock(colour_map[fence.index()], object, LockMode::ExclusiveRead)?;
+            }
+            scope.write_in(update, object, &1u8)?;
+        }
+        // Children run in order; a child subtree's failure is contained
+        // (independent or nested, the parent decides — here: continue).
+        for &child in &node.children {
+            // Steps with their own fences lock their work objects too.
+            self.run_node(rt, child, Some(action), colour_map, objects, outcome)?;
+        }
+        if node.kind != PlanKind::Work && !node.fences.is_empty() {
+            // Step nodes fence the objects written beneath them.
+            let scope = rt.scope(action)?;
+            for &child in &node.children {
+                if let Some(&object) = objects.get(&child) {
+                    for fence in node.fences.iter() {
+                        scope.lock(
+                            colour_map[fence.index()],
+                            object,
+                            LockMode::ExclusiveRead,
+                        )?;
+                    }
+                }
+            }
+        }
+        if outcome(&node.name) {
+            rt.commit(action)?;
+        } else {
+            rt.abort(action);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig14() -> Structure {
+        Structure::top(
+            "A",
+            vec![
+                Structure::work("D"),
+                Structure::action(
+                    "B",
+                    vec![
+                        Structure::independent("C", 2, vec![Structure::work("C.body")]),
+                        Structure::independent("E", 1, vec![Structure::work("E.body")]),
+                    ],
+                ),
+                Structure::independent("F", 1, vec![Structure::work("F.body")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn fig15_assignment_shape() {
+        let plan = assign(&fig14()).unwrap();
+        // A gains E's anchor colour: |colours(A)| == 2 (red + blue).
+        let a = &plan.nodes[plan.find("A").unwrap()];
+        assert_eq!(a.colours.len(), 2, "A should be red+blue: {a:?}");
+        // B keeps only the ambient colour (red).
+        let b = &plan.nodes[plan.find("B").unwrap()];
+        assert_eq!(b.colours.len(), 1);
+        assert!(b.colours.is_subset_of(a.colours));
+        // C and F have fresh colours disjoint from A's.
+        let c = &plan.nodes[plan.find("C").unwrap()];
+        let f = &plan.nodes[plan.find("F").unwrap()];
+        assert!(!c.colours.intersects(a.colours));
+        assert!(!f.colours.intersects(a.colours));
+        // E's colour is possessed by A but not by B.
+        let e = &plan.nodes[plan.find("E").unwrap()];
+        assert!(e.colours.is_subset_of(a.colours));
+        assert!(!e.colours.intersects(b.colours));
+    }
+
+    #[test]
+    fn fig14_survival_predictions() {
+        let plan = assign(&fig14()).unwrap();
+        // "If A aborts, any effects of D, B and E will be undone."
+        assert_eq!(plan.undone_by("D", "A"), Some(true));
+        assert_eq!(plan.undone_by("E.body", "A"), Some(true));
+        // "...on the other hand if B aborts after invoking E, the
+        // effects of E will not be undone."
+        assert_eq!(plan.undone_by("E.body", "B"), Some(false));
+        // C and F survive everything except themselves.
+        assert_eq!(plan.undone_by("C.body", "A"), Some(false));
+        assert_eq!(plan.undone_by("C.body", "B"), Some(false));
+        assert_eq!(plan.undone_by("F.body", "A"), Some(false));
+        assert_eq!(plan.undone_by("C.body", "C"), Some(true));
+    }
+
+    #[test]
+    fn serializing_assignment_matches_fig11() {
+        let s = Structure::serializing(
+            "S",
+            vec![Structure::work("B.body"), Structure::work("C.body")],
+        );
+        let plan = assign(&s).unwrap();
+        let wrapper = &plan.nodes[plan.find("S").unwrap()];
+        assert_eq!(wrapper.kind, PlanKind::Control);
+        assert_eq!(wrapper.colours.len(), 1);
+        let step1 = &plan.nodes[plan.find("S.step1").unwrap()];
+        let step2 = &plan.nodes[plan.find("S.step2").unwrap()];
+        // Each step: fence colour + private update colour.
+        assert_eq!(step1.colours.len(), 2);
+        assert!(wrapper.colours.is_subset_of(step1.colours));
+        assert!(wrapper.colours.is_subset_of(step2.colours));
+        // Update colours are private.
+        assert!(!step1
+            .colours
+            .minus(wrapper.colours)
+            .intersects(step2.colours));
+        // Steps are undone only by themselves (top-level for permanence).
+        assert_eq!(plan.undone_by("B.body", "S"), Some(false));
+        assert_eq!(plan.undone_by("B.body", "S.step2"), Some(false));
+        assert_eq!(plan.undone_by("B.body", "S.step1"), Some(true));
+    }
+
+    #[test]
+    fn glued_assignment_nests_gap_wrappers() {
+        let g = Structure::glued(
+            "G",
+            vec![
+                Structure::work("I1.body"),
+                Structure::work("I2.body"),
+                Structure::work("I3.body"),
+            ],
+        );
+        let plan = assign(&g).unwrap();
+        // Two gaps: wrappers G.gap2 ⊃ G.gap1.
+        let gap2 = plan.find("G.gap2").unwrap();
+        let gap1 = plan.find("G.gap1").unwrap();
+        assert_eq!(plan.nodes[gap1].parent, Some(gap2));
+        // Steps 1 and 2 live in gap1, step 3 in gap2.
+        let s1 = plan.find("G.step1").unwrap();
+        let s2 = plan.find("G.step2").unwrap();
+        let s3 = plan.find("G.step3").unwrap();
+        assert_eq!(plan.nodes[s1].parent, Some(gap1));
+        assert_eq!(plan.nodes[s2].parent, Some(gap1));
+        assert_eq!(plan.nodes[s3].parent, Some(gap2));
+        // Step 2 fences via gap2's colour.
+        assert!(plan.nodes[s2]
+            .fences
+            .is_subset_of(plan.nodes[gap2].colours));
+        // The final step fences nothing.
+        assert!(plan.nodes[s3].fences.is_empty());
+        // Steps are independent of the wrappers.
+        assert_eq!(plan.undone_by("I1.body", "G.gap1"), Some(false));
+        assert_eq!(plan.undone_by("I2.body", "G.gap2"), Some(false));
+    }
+
+    #[test]
+    fn execution_matches_prediction_for_fig14() {
+        let structure = fig14();
+        let plan = assign(&structure).unwrap();
+        let work_nodes = ["D", "C.body", "E.body", "F.body"];
+        let aborters = ["A", "B", "C", "E", "F"];
+        for aborter in aborters {
+            let rt = Runtime::new();
+            let report = plan
+                .execute(&rt, &|name| name != aborter)
+                .unwrap();
+            for work in work_nodes {
+                // A work node under an aborted action never commits its
+                // own effect in this model only if its *enclosing*
+                // aborts before... our model: work always commits, the
+                // aborter aborts at its end. Prediction applies.
+                let predicted_undone = plan.undone_by(work, aborter).unwrap();
+                let survived = report.survived[work];
+                assert_eq!(
+                    survived, !predicted_undone,
+                    "aborter={aborter} work={work}: survived={survived}, predicted undone={predicted_undone}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn execution_all_commit_everything_survives() {
+        let plan = assign(&fig14()).unwrap();
+        let rt = Runtime::new();
+        let report = plan.execute(&rt, &|_| true).unwrap();
+        assert!(report.survived.values().all(|&s| s));
+        assert_eq!(report.survived.len(), 4);
+    }
+
+    #[test]
+    fn single_colour_plan_for_plain_nesting() {
+        let s = Structure::top(
+            "T",
+            vec![Structure::action("N", vec![Structure::work("w")])],
+        );
+        let plan = assign(&s).unwrap();
+        assert_eq!(plan.colour_count(), 1);
+        assert_eq!(plan.undone_by("w", "T"), Some(true));
+        assert_eq!(plan.undone_by("w", "N"), Some(true));
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        let plan = assign(&fig14()).unwrap();
+        assert_eq!(plan.undone_by("nope", "A"), None);
+        assert_eq!(plan.undone_by("D", "nope"), None);
+        // Non-work first argument.
+        assert_eq!(plan.undone_by("B", "A"), None);
+    }
+}

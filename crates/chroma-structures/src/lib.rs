@@ -1,0 +1,48 @@
+//! The paper's action structures (§3), implemented uniformly on
+//! multi-coloured actions (§5).
+//!
+//! | Structure | Paper | Type / function |
+//! |---|---|---|
+//! | Serializing action | §3.1, figs. 3, 11 | [`SerializingAction`] |
+//! | Glued actions (chain) | §3.2, figs. 5, 9, 12 | [`GluedChain`] |
+//! | Glued actions (concurrent) | fig. 6 | [`GluedGroup`] |
+//! | Top-level independent (sync) | §3.3, figs. 7a, 13 | [`independent_sync`] |
+//! | Top-level independent (async) | fig. 7b | [`independent_async`] |
+//! | N-level independent | figs. 14–15 | [`independent_at_level`] |
+//! | Automatic colour assignment | §6 | [`compiler`] |
+//! | Compensating chain (further work, §3.4) | §3.4 | [`CompensatingChain`] |
+//!
+//! Conventional (single-colour) atomic and nested actions are provided
+//! directly by [`chroma_core::Runtime::atomic`] and
+//! [`chroma_core::ActionScope::nested`]; a coloured system in which all
+//! actions share one colour *is* the conventional system (§5.1).
+//!
+//! # Choosing a structure
+//!
+//! * Use a plain atomic action when the whole job is short and must be
+//!   all-or-nothing.
+//! * Use a **serializing action** when the job splits into steps whose
+//!   completed work must survive later failures, but no other action
+//!   may interpose between steps (distributed make, fig. 8).
+//! * Use a **glued chain** when, additionally, each step should release
+//!   everything it no longer needs (diary scheduling, fig. 9).
+//! * Use an **independent action** for side ledgers that must not be
+//!   rolled back with the invoker: bulletin boards, name servers,
+//!   billing (§4 i–iii).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+mod compensating;
+mod glued;
+mod independent;
+mod serializing;
+
+pub use compensating::{CompensatingChain, UnwindReport};
+pub use glued::{GluedChain, GluedGroup, GluedStep};
+pub use independent::{
+    independent_async, independent_at_level, independent_sync, independent_with_compensation,
+    probe_conflict, Compensation, IndependentHandle,
+};
+pub use serializing::{SerialStep, SerializingAction};

@@ -1,0 +1,63 @@
+//! The paper's §4(v) example: arranging a meeting across personal
+//! diaries with glued actions (fig. 9).
+//!
+//! ```text
+//! cargo run --example meeting_scheduler
+//! ```
+
+use chroma::apps::{schedule_meeting, Diary, ScheduleOutcome};
+use chroma::core::{ActionError, Runtime};
+
+fn main() -> Result<(), ActionError> {
+    let rt = Runtime::new();
+    let slots = 8; // say, 9:00..17:00
+
+    let ada = Diary::create(&rt, "ada", slots)?;
+    let bob = Diary::create(&rt, "bob", slots)?;
+    let cleo = Diary::create(&rt, "cleo", slots)?;
+
+    // Pre-existing appointments.
+    ada.book(&rt, 0, "standup")?;
+    ada.book(&rt, 1, "1:1")?;
+    bob.book(&rt, 2, "dentist")?;
+    bob.book(&rt, 3, "review")?;
+    cleo.book(&rt, 4, "deep work")?;
+
+    println!("diaries before scheduling:");
+    for diary in [&ada, &bob, &cleo] {
+        let row: Vec<String> = (0..slots)
+            .map(|i| {
+                diary
+                    .slot_state(&rt, i)
+                    .map(|s| s.appointment.unwrap_or_else(|| "-".into()))
+                    .unwrap_or_else(|_| "?".into())
+            })
+            .collect();
+        println!("  {:>5}: {row:?}", diary.owner);
+    }
+
+    // Negotiate round by round; rejected slots are released as soon as a
+    // round rules them out (fig. 9's point), and the final booking is
+    // atomic across all three diaries.
+    let outcome = schedule_meeting(&rt, &[ada.clone(), bob.clone(), cleo.clone()], "design sync")?;
+    match outcome {
+        ScheduleOutcome::Booked { slot } => println!("\nbooked slot {slot} for everyone"),
+        ScheduleOutcome::NoSlot => println!("\nno common slot"),
+    }
+
+    println!("\ndiaries after scheduling:");
+    for diary in [&ada, &bob, &cleo] {
+        let row: Vec<String> = (0..slots)
+            .map(|i| {
+                diary
+                    .slot_state(&rt, i)
+                    .map(|s| s.appointment.unwrap_or_else(|| "-".into()))
+                    .unwrap_or_else(|_| "?".into())
+            })
+            .collect();
+        println!("  {:>5}: {row:?}", diary.owner);
+    }
+    assert_eq!(outcome, ScheduleOutcome::Booked { slot: 5 });
+    println!("\nok");
+    Ok(())
+}

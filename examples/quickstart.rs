@@ -1,0 +1,67 @@
+//! Quickstart: persistent objects, atomic actions, nesting, recovery.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use chroma::core::{ActionError, Runtime};
+
+fn main() -> Result<(), ActionError> {
+    let rt = Runtime::new();
+
+    // Persistent objects live in the runtime's object store.
+    let checking = rt.create_object(&100i64)?;
+    let savings = rt.create_object(&50i64)?;
+
+    // A top-level atomic action: all-or-nothing, serializable,
+    // permanent once committed.
+    rt.atomic(|a| {
+        let amount = 30i64;
+        a.modify(checking, |b: &mut i64| *b -= amount)?;
+        a.modify(savings, |b: &mut i64| *b += amount)?;
+        Ok(())
+    })?;
+    println!(
+        "after transfer: checking={} savings={}",
+        rt.read_committed::<i64>(checking)?,
+        rt.read_committed::<i64>(savings)?
+    );
+
+    // Failure atomicity: an error aborts the action and undoes its
+    // effects.
+    let result: Result<(), ActionError> = rt.atomic(|a| {
+        a.modify(checking, |b: &mut i64| *b -= 1000)?;
+        let balance: i64 = a.read(checking)?;
+        if balance < 0 {
+            return Err(ActionError::failed("insufficient funds"));
+        }
+        Ok(())
+    });
+    println!(
+        "overdraft attempt: {:?}; checking={}",
+        result.err().map(|e| e.to_string()),
+        rt.read_committed::<i64>(checking)?
+    );
+
+    // Nested actions contain failures without aborting the parent.
+    rt.atomic(|a| {
+        let risky: Result<(), ActionError> = a.nested(|n| {
+            n.modify(checking, |b: &mut i64| *b -= 5)?;
+            Err(ActionError::failed("sub-task failed"))
+        });
+        println!("nested failure contained: {}", risky.is_err());
+        a.modify(savings, |b: &mut i64| *b += 1) // parent continues
+    })?;
+
+    // Permanence of effect: committed state survives a crash.
+    rt.crash_and_recover();
+    println!(
+        "after crash+recovery: checking={} savings={}",
+        rt.read_committed::<i64>(checking)?,
+        rt.read_committed::<i64>(savings)?
+    );
+    assert_eq!(rt.read_committed::<i64>(checking)?, 70);
+    assert_eq!(rt.read_committed::<i64>(savings)?, 81);
+    println!("ok");
+    Ok(())
+}

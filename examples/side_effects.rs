@@ -1,0 +1,64 @@
+//! The paper's §4(i–iii) examples in one scenario: bulletin board,
+//! name server and billing — side effects that must *survive* the
+//! invoking action's abort, via top-level independent actions (fig. 7).
+//!
+//! ```text
+//! cargo run --example side_effects
+//! ```
+
+use chroma::apps::{BulletinBoard, Ledger, NameServer};
+use chroma::core::{ActionError, Runtime};
+
+fn main() -> Result<(), ActionError> {
+    let rt = Runtime::new();
+    let board = BulletinBoard::create(&rt)?;
+    let names = NameServer::create(&rt)?;
+    let ledger = Ledger::create(&rt)?;
+    names.register("builder", "node-1")?;
+
+    // An application action that uses all three services and then
+    // fails. The paper's argument: none of the three side effects
+    // should be rolled back with it.
+    let result: Result<(), ActionError> = rt.atomic(|app| {
+        // (iii) Billing: the user pays for the attempt, not the outcome.
+        ledger.charge_from(app, "ada", "build-slot", 5)?;
+
+        // (ii) Name server: the app noticed a stale binding and repairs
+        // it asynchronously while carrying on.
+        let repair = names.update_async("builder", "node-2");
+
+        // (i) Bulletin board: progress announcements become visible to
+        // everyone immediately.
+        board.post_from(app, "ada", "build started on node-2")?;
+
+        repair.join()?;
+        Err(ActionError::failed("the build itself crashed"))
+    });
+    println!("application outcome: {:?}", result.err().map(|e| e.to_string()));
+
+    // All three side effects survived.
+    println!("\nledger total: {} (charge stands)", ledger.total()?);
+    println!(
+        "name server: builder -> {:?} (repair stands)",
+        names.lookup("builder")?
+    );
+    let posts = board.posts()?;
+    println!("bulletin board: {} post(s)", posts.len());
+    for post in &posts {
+        println!("  [{}] {}: {}", post.seq, post.author, post.text);
+    }
+
+    assert_eq!(ledger.total()?, 5);
+    assert_eq!(names.lookup("builder")?, Some("node-2".to_owned()));
+    assert_eq!(posts.len(), 1);
+
+    // Compensation (the paper's note on bulletin boards): a retraction
+    // is a *new* top-level action, not a rollback.
+    board.retract(posts[0].seq)?;
+    println!(
+        "\nafter compensation: post retracted = {}",
+        board.posts()?[0].retracted
+    );
+    println!("ok");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # Chroma — objects and multi-coloured actions
+//!
+//! Chroma is a fault-tolerance toolkit built around **atomic actions**
+//! (atomic transactions) on persistent objects, reproducing
+//! Shrivastava & Wheater, *"Implementing Fault-Tolerant Distributed
+//! Applications Using Objects and Multi-Coloured Actions"* (ICDCS 1990).
+//!
+//! The crate is a façade over the workspace:
+//!
+//! * [`base`] — identifiers, colours, lock modes;
+//! * [`locks`] — the coloured lock manager plus the classic (Moss)
+//!   nested-action baseline, with deadlock detection;
+//! * [`store`] — volatile and stable object stores, intentions-list
+//!   commit, crash semantics;
+//! * [`core`] — the multi-coloured action runtime (begin / commit /
+//!   abort with per-colour inheritance, permanence and recovery);
+//! * [`structures`] — the paper's action structures implemented on top of
+//!   colours: serializing, glued and top-level/n-level independent
+//!   actions, plus the automatic colour-assignment compiler;
+//! * [`dist`] — a deterministic simulated distributed system (fail-silent
+//!   nodes, lossy network, RPC, two-phase commit, replication);
+//! * [`apps`] — the paper's five example applications;
+//! * [`sim`] — workload generators and metrics used by the experiment
+//!   harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chroma::core::Runtime;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rt = Runtime::new();
+//! let account = rt.create_object(&100i64)?;
+//!
+//! // A conventional top-level atomic action: all-or-nothing.
+//! rt.atomic(|a| {
+//!     let balance: i64 = a.read(account)?;
+//!     a.write(account, &(balance - 30))?;
+//!     Ok(())
+//! })?;
+//!
+//! assert_eq!(rt.read_committed::<i64>(account)?, 70);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use chroma_apps as apps;
+pub use chroma_base as base;
+pub use chroma_core as core;
+pub use chroma_dist as dist;
+pub use chroma_locks as locks;
+pub use chroma_sim as sim;
+pub use chroma_store as store;
+pub use chroma_structures as structures;
+pub use chroma_typed as typed;
