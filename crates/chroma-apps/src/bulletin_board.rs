@@ -137,10 +137,9 @@ impl BulletinBoard {
     pub fn retract(&self, seq: u64) -> Result<bool, ActionError> {
         let board = self.board;
         let colour = self.rt.universe().fresh()?;
-        let result = self.rt.run_top(
-            chroma_core::ColourSet::single(colour),
-            colour,
-            |scope| {
+        let result = self
+            .rt
+            .run_top(chroma_core::ColourSet::single(colour), colour, |scope| {
                 scope.modify(board, |state: &mut BoardState| {
                     match state.posts.iter_mut().find(|p| p.seq == seq) {
                         Some(post) => {
@@ -150,8 +149,7 @@ impl BulletinBoard {
                         None => false,
                     }
                 })
-            },
-        );
+            });
         self.rt.universe().release(colour);
         result
     }

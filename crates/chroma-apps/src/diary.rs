@@ -77,9 +77,7 @@ impl Diary {
     pub fn book(&self, rt: &Runtime, index: usize, text: &str) -> Result<(), ActionError> {
         let slot = self.slot(index);
         let text = text.to_owned();
-        rt.atomic(move |a| {
-            a.modify(slot, |s: &mut Slot| s.appointment = Some(text))
-        })
+        rt.atomic(move |a| a.modify(slot, |s: &mut Slot| s.appointment = Some(text)))
     }
 
     /// Reads the committed state of slot `index`.
@@ -129,11 +127,7 @@ pub fn schedule_meeting(
     if diaries.is_empty() {
         return Ok(ScheduleOutcome::NoSlot);
     }
-    let slot_count = diaries
-        .iter()
-        .map(Diary::slot_count)
-        .min()
-        .unwrap_or(0);
+    let slot_count = diaries.iter().map(Diary::slot_count).min().unwrap_or(0);
     let chain = GluedChain::begin(rt, diaries.len() + 1)?;
     let mut candidates: Vec<usize> = (0..slot_count).collect();
 
@@ -201,8 +195,7 @@ mod tests {
         a.book(&rt, 0, "dentist").unwrap();
         b.book(&rt, 1, "gym").unwrap();
         c.book(&rt, 0, "call").unwrap();
-        let outcome = schedule_meeting(&rt, &[a.clone(), b.clone(), c.clone()], "kickoff")
-            .unwrap();
+        let outcome = schedule_meeting(&rt, &[a.clone(), b.clone(), c.clone()], "kickoff").unwrap();
         assert_eq!(outcome, ScheduleOutcome::Booked { slot: 2 });
         for diary in [&a, &b, &c] {
             assert_eq!(

@@ -113,10 +113,8 @@ impl Makefile {
                         "duplicate rule for target {target}"
                     )));
                 }
-                let prerequisites: Vec<String> = prereqs
-                    .split_whitespace()
-                    .map(str::to_owned)
-                    .collect();
+                let prerequisites: Vec<String> =
+                    prereqs.split_whitespace().map(str::to_owned).collect();
                 rules.insert(
                     target.clone(),
                     Rule {
@@ -373,11 +371,11 @@ impl DistMake {
         self.object(target)?;
         let report = Mutex::new(MakeReport::default());
         let colour = self.rt.universe().fresh()?;
-        let result = self.rt.run_top(
-            chroma_base::ColourSet::single(colour),
-            colour,
-            |scope| self.build_monolithic(scope, colour, target, &report),
-        );
+        let result = self
+            .rt
+            .run_top(chroma_base::ColourSet::single(colour), colour, |scope| {
+                self.build_monolithic(scope, colour, target, &report)
+            });
         self.rt.universe().release(colour);
         result.map(|_| report.into_inner())
     }
@@ -401,7 +399,10 @@ impl DistMake {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().map_err(|_| ActionError::failed("builder panicked"))?)
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| ActionError::failed("builder panicked"))?
+                })
                 .collect::<Result<Vec<u64>, ActionError>>()
         })?
         .into_iter()
@@ -461,7 +462,10 @@ impl DistMake {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().map_err(|_| ActionError::failed("builder panicked"))?)
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| ActionError::failed("builder panicked"))?
+                })
                 .collect::<Result<Vec<u64>, ActionError>>()
         })?;
         let newest_prereq = prereq_stamps.into_iter().max().unwrap_or(0);
@@ -550,7 +554,10 @@ mod tests {
             mk.rule("Test0.o").unwrap().prerequisites,
             vec!["Test0.h", "Test1.h", "Test0.c"]
         );
-        assert_eq!(mk.rule("Test").unwrap().command, "cc -o Test Test0.o Test1.o");
+        assert_eq!(
+            mk.rule("Test").unwrap().command,
+            "cc -o Test Test0.o Test1.o"
+        );
         assert_eq!(mk.files().len(), 7);
     }
 

@@ -93,9 +93,8 @@ impl NameServer {
     pub fn lookup(&self, name: &str) -> Result<Option<String>, ActionError> {
         let directory = self.directory;
         let name = name.to_owned();
-        self.rt.atomic(move |a| {
-            Ok(a.read::<Directory>(directory)?.bindings.get(&name).cloned())
-        })
+        self.rt
+            .atomic(move |a| Ok(a.read::<Directory>(directory)?.bindings.get(&name).cloned()))
     }
 
     /// Re-binds `name` asynchronously from inside an application action
@@ -178,8 +177,7 @@ impl ReplicatedNameServer {
         let Some((_, bytes)) = self.replica.read(sim) else {
             return false;
         };
-        let mut directory: Directory =
-            chroma_store::codec::from_bytes(&bytes).unwrap_or_default();
+        let mut directory: Directory = chroma_store::codec::from_bytes(&bytes).unwrap_or_default();
         directory
             .bindings
             .insert(name.to_owned(), location.to_owned());

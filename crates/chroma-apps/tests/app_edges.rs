@@ -109,10 +109,8 @@ fn two_meetings_over_shared_diaries_get_distinct_slots() {
     let shared = Diary::create(&rt, "shared", 4).unwrap();
     let a = Diary::create(&rt, "a", 4).unwrap();
     let b = Diary::create(&rt, "b", 4).unwrap();
-    let first =
-        schedule_meeting(&rt, &[shared.clone(), a.clone()], "standup").unwrap();
-    let second =
-        schedule_meeting(&rt, &[shared.clone(), b.clone()], "review").unwrap();
+    let first = schedule_meeting(&rt, &[shared.clone(), a.clone()], "standup").unwrap();
+    let second = schedule_meeting(&rt, &[shared.clone(), b.clone()], "review").unwrap();
     let (ScheduleOutcome::Booked { slot: s1 }, ScheduleOutcome::Booked { slot: s2 }) =
         (first, second)
     else {
@@ -133,13 +131,9 @@ fn concurrent_schedulers_never_double_book() {
             let mine = Diary::create(&rt, &format!("p{i}"), 6).unwrap();
             // Retry on contention-induced failures.
             for _ in 0..20 {
-                match schedule_meeting(&rt, &[shared.clone(), mine.clone()], &format!("m{i}"))
-                {
+                match schedule_meeting(&rt, &[shared.clone(), mine.clone()], &format!("m{i}")) {
                     Ok(outcome) => return Some(outcome),
-                    Err(e)
-                        if e.is_deadlock_victim()
-                            || matches!(e, ActionError::Lock(_)) =>
-                    {
+                    Err(e) if e.is_deadlock_victim() || matches!(e, ActionError::Lock(_)) => {
                         std::thread::sleep(Duration::from_millis(10));
                     }
                     Err(e) => panic!("unexpected: {e}"),

@@ -126,14 +126,20 @@ fn ablation_tpc(c: &mut Criterion) {
                     sim.begin_transaction(
                         coord,
                         vec![
-                            (p1, vec![Write {
-                                object: ObjectId::from_raw(1),
-                                state: StoreBytes::from(vec![1]),
-                            }]),
-                            (p2, vec![Write {
-                                object: ObjectId::from_raw(2),
-                                state: StoreBytes::from(vec![2]),
-                            }]),
+                            (
+                                p1,
+                                vec![Write {
+                                    object: ObjectId::from_raw(1),
+                                    state: StoreBytes::from(vec![1]),
+                                }],
+                            ),
+                            (
+                                p2,
+                                vec![Write {
+                                    object: ObjectId::from_raw(2),
+                                    state: StoreBytes::from(vec![2]),
+                                }],
+                            ),
                         ],
                     );
                     sim.run_to_quiescence();
@@ -158,11 +164,7 @@ fn ablation_replication(c: &mut Criterion) {
                     seed += 1;
                     let mut sim = Sim::new(seed);
                     let nodes: Vec<_> = (0..replicas).map(|_| sim.add_node()).collect();
-                    let ns = ReplicatedNameServer::create(
-                        &mut sim,
-                        ObjectId::from_raw(1),
-                        &nodes,
-                    );
+                    let ns = ReplicatedNameServer::create(&mut sim, ObjectId::from_raw(1), &nodes);
                     (sim, ns)
                 },
                 |(mut sim, ns)| {

@@ -242,10 +242,7 @@ fn fig10_coloured_basics(c: &mut Criterion) {
         b.iter(|| {
             let a = rt.begin_top(ColourSet::single(blue)).unwrap();
             let bb = rt.begin_nested(a, ColourSet::single(blue)).unwrap();
-            rt.scope(bb)
-                .unwrap()
-                .write_in(blue, o_blue, &1i32)
-                .unwrap();
+            rt.scope(bb).unwrap().write_in(blue, o_blue, &1i32).unwrap();
             rt.commit(bb).unwrap();
             rt.abort(a);
         });
@@ -270,10 +267,15 @@ fn fig11_12_structure_vs_script(c: &mut Criterion) {
             let fence = rt.universe().fresh().unwrap();
             let update = rt.universe().fresh().unwrap();
             let control = rt.begin_top(ColourSet::single(fence)).unwrap();
-            rt.run_nested(control, ColourSet::from_iter([fence, update]), update, |s| {
-                s.lock(fence, o, LockMode::ExclusiveRead)?;
-                s.write_in(update, o, &1i64)
-            })
+            rt.run_nested(
+                control,
+                ColourSet::from_iter([fence, update]),
+                update,
+                |s| {
+                    s.lock(fence, o, LockMode::ExclusiveRead)?;
+                    s.write_in(update, o, &1i64)
+                },
+            )
             .unwrap();
             rt.commit(control).unwrap();
             rt.universe().release(fence);

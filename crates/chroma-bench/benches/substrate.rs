@@ -25,7 +25,13 @@ fn ablation_lock_overhead(c: &mut Criterion) {
             i += 1;
             let action = ActionId::from_raw(i % 4);
             table
-                .try_acquire(&ancestry, action, ObjectId::from_raw(i % 16), colour, LockMode::Read)
+                .try_acquire(
+                    &ancestry,
+                    action,
+                    ObjectId::from_raw(i % 16),
+                    colour,
+                    LockMode::Read,
+                )
                 .unwrap();
             if i.is_multiple_of(8) {
                 table.discard_action(action);
@@ -39,7 +45,13 @@ fn ablation_lock_overhead(c: &mut Criterion) {
             i += 1;
             let action = ActionId::from_raw(i % 4);
             table
-                .try_acquire(&ancestry, action, ObjectId::from_raw(i % 16), colour, LockMode::Read)
+                .try_acquire(
+                    &ancestry,
+                    action,
+                    ObjectId::from_raw(i % 16),
+                    colour,
+                    LockMode::Read,
+                )
                 .unwrap();
             if i.is_multiple_of(8) {
                 table.discard_action(action);

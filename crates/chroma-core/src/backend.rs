@@ -69,6 +69,13 @@ pub trait PermanenceBackend: Send + Sync {
     fn max_object(&self) -> Option<ObjectId> {
         None
     }
+
+    /// Installs an observability handle so the backend can emit WAL
+    /// events. Backends without instrumentation ignore it (the
+    /// default).
+    fn install_obs(&self, obs: chroma_obs::Obs) {
+        let _ = obs;
+    }
 }
 
 /// Single-node permanence: a [`StableStore`] with intentions-list
@@ -112,6 +119,10 @@ impl PermanenceBackend for LocalBackend {
 
     fn max_object(&self) -> Option<ObjectId> {
         self.store.object_ids().into_iter().max()
+    }
+
+    fn install_obs(&self, obs: chroma_obs::Obs) {
+        self.store.set_obs(obs);
     }
 }
 

@@ -42,6 +42,5 @@ pub use undo::{BeforeImage, UndoLog};
 
 // Re-export the vocabulary types so most users need only this crate.
 pub use chroma_base::{
-    ActionId, Colour, ColourSet, ColourUniverse, LockDenied, LockError, LockMode, NodeId,
-    ObjectId,
+    ActionId, Colour, ColourSet, ColourUniverse, LockDenied, LockError, LockMode, NodeId, ObjectId,
 };

@@ -2,10 +2,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use chroma_base::{ActionId, Colour, ColourSet, ColourUniverse, LockError, LockMode, ObjectId};
+use chroma_base::{
+    ActionId, Colour, ColourSet, ColourUniverse, LockError, LockMode, NodeId, ObjectId,
+};
 use chroma_locks::{ColouredPolicy, LockTable};
+use chroma_obs::{EventBus, EventKind, Obs, ObsCell};
 use chroma_store::{codec, StoreBytes, VolatileStore};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -66,6 +69,7 @@ struct Inner {
     next_object: AtomicU64,
     config: RuntimeConfig,
     stats: StatCounters,
+    obs: ObsCell,
 }
 
 /// The multi-coloured action runtime: persistent objects, coloured
@@ -165,8 +169,19 @@ impl Runtime {
                 next_object: AtomicU64::new(first_object),
                 config,
                 stats: StatCounters::default(),
+                obs: ObsCell::new(),
             }),
         }
+    }
+
+    /// Installs an event bus: the runtime, its lock table and its
+    /// permanence backend start emitting lifecycle, lock and WAL
+    /// events, and commit latency feeds the `core.commit_us` histogram.
+    pub fn install_obs(&self, bus: Arc<EventBus>) {
+        let obs = Obs::new(bus);
+        self.inner.obs.set(obs.clone());
+        self.inner.locks.set_obs(obs.clone());
+        self.inner.stable.install_obs(obs);
     }
 
     /// Returns the colour universe of this runtime.
@@ -293,11 +308,7 @@ impl Runtime {
         self.begin(Some(parent), colours)
     }
 
-    fn begin(
-        &self,
-        parent: Option<ActionId>,
-        colours: ColourSet,
-    ) -> Result<ActionId, ActionError> {
+    fn begin(&self, parent: Option<ActionId>, colours: ColourSet) -> Result<ActionId, ActionError> {
         if colours.is_empty() {
             return Err(ActionError::NoColours);
         }
@@ -309,6 +320,11 @@ impl Runtime {
         let id = ActionId::from_raw(self.inner.next_action.fetch_add(1, Ordering::Relaxed));
         self.inner.tree.insert(id, parent, colours);
         self.inner.stats.begun.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.get().emit(EventKind::ActionBegin {
+            action: id,
+            parent,
+            colours: colour_bits(colours),
+        });
         Ok(id)
     }
 
@@ -348,6 +364,8 @@ impl Runtime {
     /// vanished (runtime misuse).
     pub fn commit(&self, action: ActionId) -> Result<(), ActionError> {
         let inner = &self.inner;
+        let obs = inner.obs.get();
+        let started = obs.enabled().then(Instant::now);
         if !inner.tree.is_active(action) {
             return Err(ActionError::NotActive(action));
         }
@@ -396,6 +414,13 @@ impl Runtime {
         inner.tree.set_state(action, ActionState::Committed);
         inner.locks.clear_interrupt(action);
         inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+        obs.emit(EventKind::ActionCommit { action });
+        if let Some(started) = started {
+            obs.observe(
+                "core.commit_us",
+                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            );
+        }
         Ok(())
     }
 
@@ -429,6 +454,7 @@ impl Runtime {
         // If the action's thread is parked in a lock wait, wake it.
         inner.locks.cancel_waiter(action);
         inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        inner.obs.get().emit(EventKind::ActionAbort { action });
     }
 
     /// Returns the lifecycle state of an action, if known.
@@ -580,6 +606,12 @@ impl Runtime {
     /// everything else is gone — exactly the paper's failure model.
     pub fn crash_and_recover(&self) {
         let inner = &self.inner;
+        let obs = inner.obs.get();
+        // A local runtime is "node 0" in traces; the distributed layer
+        // stamps real node ids through its own simulator.
+        obs.emit(EventKind::NodeCrash {
+            node: NodeId::from_raw(0),
+        });
         // Kill active actions; their threads' next operation fails.
         let mut killed: Vec<ActionId> = Vec::new();
         loop {
@@ -594,12 +626,16 @@ impl Runtime {
                 inner.locks.discard_action(action);
                 inner.locks.cancel_waiter(action);
                 inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                obs.emit(EventKind::ActionAbort { action });
                 killed.push(action);
             }
         }
         inner.undo.clear();
         inner.volatile.crash();
         inner.stable.recover();
+        obs.emit(EventKind::NodeRecover {
+            node: NodeId::from_raw(0),
+        });
     }
 
     /// Drops bookkeeping for terminated actions with no live
@@ -654,6 +690,11 @@ impl Runtime {
         self.acquire(action, colour, object, LockMode::Write, false)?;
         let prior = self.current_state(object);
         self.inner.undo.record_before(action, object, colour, prior);
+        self.inner.obs.get().emit(EventKind::UndoRecord {
+            action,
+            object,
+            colour,
+        });
         self.inner.volatile.write(object, state);
         Ok(())
     }
@@ -667,6 +708,11 @@ impl Runtime {
         let object = ObjectId::from_raw(self.inner.next_object.fetch_add(1, Ordering::Relaxed));
         self.acquire(action, colour, object, LockMode::Write, false)?;
         self.inner.undo.record_before(action, object, colour, None);
+        self.inner.obs.get().emit(EventKind::UndoRecord {
+            action,
+            object,
+            colour,
+        });
         self.inner.volatile.write(object, state);
         Ok(object)
     }
@@ -707,10 +753,7 @@ impl Runtime {
         match result {
             Ok(_) => Ok(()),
             Err(e @ LockError::DeadlockVictim { .. }) => {
-                inner
-                    .stats
-                    .deadlock_victims
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.stats.deadlock_victims.fetch_add(1, Ordering::Relaxed);
                 Err(ActionError::Lock(e))
             }
             Err(e) => Err(ActionError::Lock(e)),
@@ -769,6 +812,14 @@ impl Runtime {
     pub fn lock_wait_stats(&self) -> chroma_locks::WaitStats {
         self.inner.locks.wait_stats()
     }
+}
+
+/// Encodes a colour set as the bitmask traces carry (bit *i* = colour
+/// index *i*).
+fn colour_bits(colours: ColourSet) -> u64 {
+    colours
+        .iter()
+        .fold(0u64, |mask, c| mask | (1u64 << c.index()))
 }
 
 impl std::fmt::Debug for Runtime {

@@ -117,11 +117,7 @@ impl<'rt> ActionScope<'rt> {
     /// # Errors
     ///
     /// Lock failures or [`ActionError::NoSuchObject`].
-    pub fn read_raw_in(
-        &self,
-        colour: Colour,
-        object: ObjectId,
-    ) -> Result<StoreBytes, ActionError> {
+    pub fn read_raw_in(&self, colour: Colour, object: ObjectId) -> Result<StoreBytes, ActionError> {
         self.runtime.op_read_raw(self.id, colour, object)
     }
 

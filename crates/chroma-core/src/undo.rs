@@ -67,20 +67,13 @@ impl UndoLog {
     /// Removes and returns the records `action` holds in `colour`
     /// (outermost commit: these identify the permanence batch).
     #[must_use]
-    pub fn take_colour(
-        &self,
-        action: ActionId,
-        colour: Colour,
-    ) -> Vec<(ObjectId, BeforeImage)> {
+    pub fn take_colour(&self, action: ActionId, colour: Colour) -> Vec<(ObjectId, BeforeImage)> {
         let mut records = self.records.lock();
         let Some(map) = records.get_mut(&action) else {
             return Vec::new();
         };
-        let keys: Vec<(ObjectId, Colour)> = map
-            .keys()
-            .filter(|(_, c)| *c == colour)
-            .copied()
-            .collect();
+        let keys: Vec<(ObjectId, Colour)> =
+            map.keys().filter(|(_, c)| *c == colour).copied().collect();
         let mut taken: Vec<(ObjectId, BeforeImage)> = keys
             .into_iter()
             .map(|key| (key.0, map.remove(&key).expect("key present")))
@@ -134,10 +127,7 @@ impl UndoLog {
     /// Returns the number of records held for `action`.
     #[must_use]
     pub fn record_count(&self, action: ActionId) -> usize {
-        self.records
-            .lock()
-            .get(&action)
-            .map_or(0, HashMap::len)
+        self.records.lock().get(&action).map_or(0, HashMap::len)
     }
 
     /// Drops every record of every action (used by crash simulation: a

@@ -80,10 +80,7 @@ fn oracle_survives(specs: &[NodeSpec], writer: usize, colour_bit: u8) -> bool {
 /// children run before the parent terminates (depth-first), terminations
 /// follow the commit flags. Parents whose fate is "abort" abort AFTER
 /// their children terminated (matching the oracle's model).
-fn execute(
-    rt: &Runtime,
-    specs: &[NodeSpec],
-) -> Result<Vec<Vec<(u8, ObjectId)>>, ActionError> {
+fn execute(rt: &Runtime, specs: &[NodeSpec]) -> Result<Vec<Vec<(u8, ObjectId)>>, ActionError> {
     // Build children lists.
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); specs.len()];
     for (i, spec) in specs.iter().enumerate() {

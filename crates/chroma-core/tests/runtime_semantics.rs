@@ -2,9 +2,7 @@
 //! nested-action baseline, per-colour inheritance and permanence
 //! (paper §5.1–§5.2, fig. 10), and crash recovery.
 
-use chroma_core::{
-    ActionError, ActionState, Colour, ColourSet, LockMode, Runtime, RuntimeConfig,
-};
+use chroma_core::{ActionError, ActionState, Colour, ColourSet, LockMode, Runtime, RuntimeConfig};
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
@@ -120,7 +118,9 @@ fn nested_abort_is_contained() {
 fn child_lock_inherited_by_parent_on_commit() {
     let rt = rt_fast();
     let o = rt.create_object(&0i64).unwrap();
-    let top = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let top = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     let child = rt
         .begin_nested(top, ColourSet::single(rt.default_colour()))
         .unwrap();
@@ -130,7 +130,9 @@ fn child_lock_inherited_by_parent_on_commit() {
     let locks = rt.locks_of(top);
     assert_eq!(locks.len(), 1);
     assert_eq!(locks[0].mode, LockMode::Write);
-    let stranger = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let stranger = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     let err = rt
         .scope(stranger)
         .unwrap()
@@ -164,7 +166,9 @@ fn deeply_nested_abort_cascades_to_children_only() {
 #[test]
 fn commit_with_active_children_is_refused() {
     let rt = Runtime::new();
-    let top = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let top = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     let _child = rt
         .begin_nested(top, ColourSet::single(rt.default_colour()))
         .unwrap();
@@ -179,7 +183,9 @@ fn commit_with_active_children_is_refused() {
 fn abort_cascades_through_active_children() {
     let rt = Runtime::new();
     let o = rt.create_object(&0i64).unwrap();
-    let top = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let top = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     let child = rt
         .begin_nested(top, ColourSet::single(rt.default_colour()))
         .unwrap();
@@ -338,7 +344,9 @@ fn xread_fence_blocks_strangers_but_not_descendants() {
 fn crash_loses_uncommitted_work() {
     let rt = Runtime::new();
     let o = rt.create_object(&1i64).unwrap();
-    let a = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let a = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     rt.scope(a).unwrap().write(o, &99i64).unwrap();
     rt.crash_and_recover();
     assert_eq!(rt.action_state(a), Some(ActionState::Aborted));
@@ -477,7 +485,9 @@ fn reader_blocks_until_writer_finishes() {
     let o = rt.create_object(&0i64).unwrap();
     let writer_started = std::sync::Arc::new(std::sync::Barrier::new(2));
 
-    let a = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let a = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     rt.scope(a).unwrap().write(o, &42i64).unwrap();
 
     let rt2 = rt.clone();
@@ -510,7 +520,9 @@ fn empty_colour_set_is_rejected() {
 fn operations_on_terminated_actions_fail() {
     let rt = Runtime::new();
     let o = rt.create_object(&0i64).unwrap();
-    let a = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let a = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     rt.commit(a).unwrap();
     assert!(matches!(rt.scope(a), Err(ActionError::NotActive(_))));
     assert!(matches!(rt.commit(a), Err(ActionError::NotActive(_))));
@@ -523,7 +535,9 @@ fn operations_on_terminated_actions_fail() {
 #[test]
 fn nesting_under_terminated_parent_fails() {
     let rt = Runtime::new();
-    let a = rt.begin_top(ColourSet::single(rt.default_colour())).unwrap();
+    let a = rt
+        .begin_top(ColourSet::single(rt.default_colour()))
+        .unwrap();
     rt.commit(a).unwrap();
     assert!(matches!(
         rt.begin_nested(a, ColourSet::single(rt.default_colour())),

@@ -19,7 +19,9 @@ fn rt_fast() -> Runtime {
 #[test]
 fn raw_reads_and_writes_round_trip() {
     let rt = Runtime::new();
-    let o = rt.create_object_raw(StoreBytes::from(vec![1, 2, 3])).unwrap();
+    let o = rt
+        .create_object_raw(StoreBytes::from(vec![1, 2, 3]))
+        .unwrap();
     rt.atomic(|a| {
         let bytes = a.read_raw_in(a.default_colour(), o)?;
         assert_eq!(&bytes[..], &[1, 2, 3]);
@@ -147,16 +149,8 @@ fn local_backend_is_shareable_between_runtimes() {
 fn deep_nesting_commits_and_aborts_correctly() {
     let rt = Runtime::new();
     let o = rt.create_object(&0i64).unwrap();
-    rt.atomic(|a| {
-        a.nested(|b| {
-            b.nested(|c| {
-                c.nested(|d| {
-                    d.nested(|e| e.write(o, &5i64))
-                })
-            })
-        })
-    })
-    .unwrap();
+    rt.atomic(|a| a.nested(|b| b.nested(|c| c.nested(|d| d.nested(|e| e.write(o, &5i64))))))
+        .unwrap();
     assert_eq!(rt.read_committed::<i64>(o).unwrap(), 5);
 
     let result: Result<(), ActionError> = rt.atomic(|a| {

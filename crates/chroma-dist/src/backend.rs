@@ -184,8 +184,8 @@ impl PermanenceBackend for PartitionedStore {
                     "every replica of {object} is down"
                 )));
             }
-            let payload = codec::to_bytes(&(version, state.to_vec()))
-                .expect("versioned state encodes");
+            let payload =
+                codec::to_bytes(&(version, state.to_vec())).expect("versioned state encodes");
             for node in up {
                 per_node.entry(node).or_default().push(Write {
                     object: *object,
@@ -203,10 +203,8 @@ impl PermanenceBackend for PartitionedStore {
             if !inner.sim.node(coordinator).up {
                 continue;
             }
-            let writes: Vec<(NodeId, Vec<Write>)> = per_node
-                .iter()
-                .map(|(&n, w)| (n, w.clone()))
-                .collect();
+            let writes: Vec<(NodeId, Vec<Write>)> =
+                per_node.iter().map(|(&n, w)| (n, w.clone())).collect();
             let txn = inner.sim.begin_transaction(coordinator, writes);
             inner.sim.run_to_quiescence();
             if inner.sim.coordinator_outcome(coordinator, txn) == Some(true) {
@@ -324,8 +322,7 @@ mod tests {
     fn batch_is_atomic_across_partitions() {
         let store = PartitionedStore::new(5, 4, 2);
         let objects: Vec<ObjectId> = (0..8).map(ObjectId::from_raw).collect();
-        let updates: Vec<(ObjectId, StoreBytes)> =
-            objects.iter().map(|&o| (o, bytes(3))).collect();
+        let updates: Vec<(ObjectId, StoreBytes)> = objects.iter().map(|&o| (o, bytes(3))).collect();
         store.commit_batch(updates).unwrap();
         for &o in &objects {
             assert_eq!(store.read(o).as_deref(), Some(&[3u8][..]));

@@ -28,6 +28,8 @@ mod sim;
 
 pub use backend::PartitionedStore;
 pub use msg::{Effect, Message, TimerTag, TxnId, Write};
-pub use node::{Node, RpcOp, RpcResult, TpcRecord, MAX_DECISION_ATTEMPTS, MAX_PREPARE_ATTEMPTS, RETRY_INTERVAL};
+pub use node::{
+    Node, RpcOp, RpcResult, TpcRecord, MAX_DECISION_ATTEMPTS, MAX_PREPARE_ATTEMPTS, RETRY_INTERVAL,
+};
 pub use replica::ReplicatedObject;
 pub use sim::{NetConfig, NetStats, Sim, TraceEntry};

@@ -1,6 +1,7 @@
 //! Message and timer vocabulary for the simulated distributed system.
 
 use chroma_base::{NodeId, ObjectId};
+use chroma_obs::MsgKind;
 use chroma_store::StoreBytes;
 
 /// A transaction identifier, unique per simulation.
@@ -108,6 +109,26 @@ pub enum Message {
         /// The replicated object.
         object: ObjectId,
     },
+}
+
+impl Message {
+    /// The payload-free message class, for observability events.
+    #[must_use]
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Message::Prepare { .. } => MsgKind::Prepare,
+            Message::VoteYes { .. } => MsgKind::VoteYes,
+            Message::VoteNo { .. } => MsgKind::VoteNo,
+            Message::Decision { .. } => MsgKind::Decision,
+            Message::Ack { .. } => MsgKind::Ack,
+            Message::DecisionQuery { .. } => MsgKind::DecisionQuery,
+            Message::RpcRequest { .. } => MsgKind::RpcRequest,
+            Message::RpcReply { .. } => MsgKind::RpcReply,
+            Message::ReplicaState { .. } => MsgKind::ReplicaState,
+            Message::ReplicaNone { .. } => MsgKind::ReplicaNone,
+            Message::ReplicaPull { .. } => MsgKind::ReplicaPull,
+        }
+    }
 }
 
 /// Timer tags: what a node asked to be woken up for.

@@ -4,6 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use chroma_base::{NodeId, ObjectId};
+use chroma_obs::{EventKind, Obs};
 use chroma_store::{codec, DurableLog, StableStore, StoreBytes};
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +59,9 @@ struct CoordState {
     acked: HashSet<NodeId>,
     prepare_attempts: u32,
     decision_attempts: u32,
+    /// Simulated time the transaction began (for the decide latency
+    /// histogram).
+    begin_at_us: u64,
 }
 
 /// Volatile participant state.
@@ -130,6 +134,9 @@ pub struct Node {
     /// Peers whose pull response is still outstanding, per object
     /// (volatile; populated on recovery).
     pull_pending: HashMap<ObjectId, HashSet<NodeId>>,
+    /// Observability handle (survives crashes: instrumentation is not
+    /// part of the simulated machine).
+    obs: Obs,
 }
 
 impl Node {
@@ -150,7 +157,16 @@ impl Node {
             stale: HashSet::new(),
             replica_peers: HashMap::new(),
             pull_pending: HashMap::new(),
+            obs: Obs::none(),
         }
+    }
+
+    /// Installs an observability handle, forwarding it to the stable
+    /// store and the commit log so WAL events flow through too.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.store.set_obs(obs.clone());
+        self.tpc_log.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Returns the node's identifier.
@@ -170,9 +186,11 @@ impl Node {
             }
         }
         // Fall back to the durable log (post-crash).
-        let committed = self.tpc_log.entries().iter().any(
-            |r| matches!(r, TpcRecord::CoordCommit { txn: t, .. } if *t == txn),
-        );
+        let committed = self
+            .tpc_log
+            .entries()
+            .iter()
+            .any(|r| matches!(r, TpcRecord::CoordCommit { txn: t, .. } if *t == txn));
         if committed {
             Some(true)
         } else {
@@ -257,6 +275,7 @@ impl Node {
                 acked: HashSet::new(),
                 prepare_attempts: 0,
                 decision_attempts: 0,
+                begin_at_us: self.obs.now_us(),
             },
         );
         effects
@@ -270,6 +289,8 @@ impl Node {
             return Vec::new();
         }
         state.decided = Some(commit);
+        let participants = state.participants.len() as u64;
+        let begun = state.begin_at_us;
         if commit {
             // The commit point: durable before any Decision leaves.
             self.tpc_log.append(TpcRecord::CoordCommit {
@@ -289,6 +310,14 @@ impl Node {
             delay: RETRY_INTERVAL,
             tag: TimerTag::DecisionRetry(txn),
         });
+        self.obs.emit(EventKind::TpcDecide {
+            node: self.id,
+            txn: txn.0,
+            commit,
+            participants,
+        });
+        self.obs
+            .observe("dist.decide_us", self.obs.now_us().saturating_sub(begun));
         effects
     }
 
@@ -341,9 +370,11 @@ impl Node {
                 }
             }
         }
-        let committed = self.tpc_log.entries().iter().any(
-            |r| matches!(r, TpcRecord::CoordCommit { txn: t, .. } if *t == txn),
-        );
+        let committed = self
+            .tpc_log
+            .entries()
+            .iter()
+            .any(|r| matches!(r, TpcRecord::CoordCommit { txn: t, .. } if *t == txn));
         vec![Effect::Send {
             to: from,
             msg: Message::Decision {
@@ -357,12 +388,7 @@ impl Node {
     // Two-phase commit: participant
     // ------------------------------------------------------------------
 
-    fn on_prepare(
-        &mut self,
-        txn: TxnId,
-        writes: Vec<Write>,
-        coordinator: NodeId,
-    ) -> Vec<Effect> {
+    fn on_prepare(&mut self, txn: TxnId, writes: Vec<Write>, coordinator: NodeId) -> Vec<Effect> {
         // Deduplicate: already done → ignore; already prepared →
         // re-vote.
         let mut prepared = false;
@@ -378,12 +404,22 @@ impl Node {
             return Vec::new();
         }
         if prepared {
+            self.obs.emit(EventKind::TpcVote {
+                node: self.id,
+                txn: txn.0,
+                yes: true,
+            });
             return vec![Effect::Send {
                 to: coordinator,
                 msg: Message::VoteYes { txn },
             }];
         }
         if self.veto.contains(&txn) {
+            self.obs.emit(EventKind::TpcVote {
+                node: self.id,
+                txn: txn.0,
+                yes: false,
+            });
             return vec![Effect::Send {
                 to: coordinator,
                 msg: Message::VoteNo { txn },
@@ -393,6 +429,15 @@ impl Node {
             txn,
             coordinator,
             writes,
+        });
+        self.obs.emit(EventKind::TpcPrepare {
+            node: self.id,
+            txn: txn.0,
+        });
+        self.obs.emit(EventKind::TpcVote {
+            node: self.id,
+            txn: txn.0,
+            yes: true,
         });
         self.part.insert(
             txn,
@@ -418,20 +463,23 @@ impl Node {
         let mut done = false;
         for record in self.tpc_log.entries() {
             match record {
-                TpcRecord::Prepared {
-                    txn: t, writes, ..
-                } if t == txn => prepared_writes = Some(writes),
+                TpcRecord::Prepared { txn: t, writes, .. } if t == txn => {
+                    prepared_writes = Some(writes)
+                }
                 TpcRecord::ParticipantDone { txn: t } if t == txn => done = true,
                 _ => {}
             }
         }
         if !done {
+            self.obs.emit(EventKind::TpcResolve {
+                node: self.id,
+                txn: txn.0,
+                commit,
+            });
             if commit {
                 if let Some(writes) = prepared_writes {
-                    let updates: Vec<(ObjectId, StoreBytes)> = writes
-                        .into_iter()
-                        .map(|w| (w.object, w.state))
-                        .collect();
+                    let updates: Vec<(ObjectId, StoreBytes)> =
+                        writes.into_iter().map(|w| (w.object, w.state)).collect();
                     self.store.commit_batch(updates);
                 }
             }
@@ -505,11 +553,9 @@ impl Node {
                     .commit_batch(vec![(ObjectId::from_raw(raw), StoreBytes::from(state))]);
                 RpcResult::Done
             }
-            Ok(RpcOp::Get(raw)) => RpcResult::Value(
-                self.store
-                    .read(ObjectId::from_raw(raw))
-                    .map(|b| b.to_vec()),
-            ),
+            Ok(RpcOp::Get(raw)) => {
+                RpcResult::Value(self.store.read(ObjectId::from_raw(raw)).map(|b| b.to_vec()))
+            }
             Ok(RpcOp::Ping) | Err(_) => RpcResult::Pong,
         };
         let reply = StoreBytes::from(codec::to_bytes(&result).expect("rpc result encodes"));
@@ -713,20 +759,16 @@ impl Node {
                 if !self.in_doubt(txn) {
                     return Vec::new();
                 }
-                let coordinator = self
-                    .part
-                    .get(&txn)
-                    .map(|p| p.coordinator)
-                    .or_else(|| {
-                        self.tpc_log.entries().iter().find_map(|r| match r {
-                            TpcRecord::Prepared {
-                                txn: t,
-                                coordinator,
-                                ..
-                            } if *t == txn => Some(*coordinator),
-                            _ => None,
-                        })
-                    });
+                let coordinator = self.part.get(&txn).map(|p| p.coordinator).or_else(|| {
+                    self.tpc_log.entries().iter().find_map(|r| match r {
+                        TpcRecord::Prepared {
+                            txn: t,
+                            coordinator,
+                            ..
+                        } if *t == txn => Some(*coordinator),
+                        _ => None,
+                    })
+                });
                 let Some(coordinator) = coordinator else {
                     return Vec::new();
                 };
@@ -816,6 +858,7 @@ impl Node {
                             acked: HashSet::new(),
                             prepare_attempts: 0,
                             decision_attempts: 0,
+                            begin_at_us: self.obs.now_us(),
                         },
                     );
                     for &to in participants {

@@ -46,12 +46,7 @@ impl ReplicatedObject {
     /// Creates a replicated object with an initial state at every
     /// member (version 0), and registers the peer sets used for
     /// pull-on-recover.
-    pub fn create(
-        sim: &mut Sim,
-        object: ObjectId,
-        members: &[NodeId],
-        initial: &[u8],
-    ) -> Self {
+    pub fn create(sim: &mut Sim, object: ObjectId, members: &[NodeId], initial: &[u8]) -> Self {
         for &member in members {
             let peers: Vec<NodeId> = members.iter().copied().filter(|&m| m != member).collect();
             let node = sim.node_mut(member);
@@ -138,11 +133,7 @@ impl ReplicatedObject {
             .iter()
             .copied()
             .filter(|&m| sim.node(m).up)
-            .filter_map(|m| {
-                sim.node(m)
-                    .read_versioned(self.object)
-                    .map(|(v, _)| (m, v))
-            })
+            .filter_map(|m| sim.node(m).read_versioned(self.object).map(|(v, _)| (m, v)))
             .collect()
     }
 

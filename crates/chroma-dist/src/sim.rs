@@ -2,8 +2,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use chroma_base::NodeId;
+use chroma_obs::{EventBus, EventKind, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,6 +113,8 @@ pub struct Sim {
     partitions: HashSet<(NodeId, NodeId)>,
     /// Event trace (bounded), populated when enabled.
     trace: Option<Vec<TraceEntry>>,
+    /// Observability handle; stamped with simulated time each step.
+    obs: Obs,
 }
 
 /// One traced simulation event (see [`Sim::enable_trace`]).
@@ -145,6 +149,25 @@ impl Sim {
             stats: NetStats::default(),
             partitions: HashSet::new(),
             trace: None,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Installs a shared observability bus: every node (current and
+    /// future) emits through it, and the simulation stamps its events
+    /// with simulated time and reports network and crash activity.
+    pub fn install_obs(&mut self, bus: Arc<EventBus>) {
+        let obs = Obs::new(bus);
+        for node in self.nodes.values_mut() {
+            node.set_obs(obs.clone());
+        }
+        self.obs = obs;
+        self.sync_time();
+    }
+
+    fn sync_time(&self) {
+        if let Some(bus) = self.obs.bus() {
+            bus.set_time_us(self.now);
         }
     }
 
@@ -214,7 +237,11 @@ impl Sim {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from_raw(self.next_node);
         self.next_node += 1;
-        self.nodes.insert(id, Node::new(id));
+        let mut node = Node::new(id);
+        if self.obs.enabled() {
+            node.set_obs(self.obs.clone());
+        }
+        self.nodes.insert(id, node);
         id
     }
 
@@ -293,12 +320,16 @@ impl Sim {
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
         self.stats.sent += 1;
+        let kind = msg.kind();
+        self.obs.emit(EventKind::MsgSend { from, to, kind });
         if self.partitions.contains(&Self::link(from, to)) {
             self.stats.dropped += 1;
+            self.obs.emit(EventKind::MsgDrop { from, to, kind });
             return;
         }
         if self.rng.gen_bool(self.net.loss.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
+            self.obs.emit(EventKind::MsgDrop { from, to, kind });
             return;
         }
         let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
@@ -312,6 +343,7 @@ impl Sim {
         );
         if self.rng.gen_bool(self.net.duplication.clamp(0.0, 1.0)) {
             self.stats.duplicated += 1;
+            self.obs.emit(EventKind::MsgDup { from, to, kind });
             let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
             self.push(self.now + delay, Event::Deliver { from, to, msg });
         }
@@ -325,6 +357,7 @@ impl Sim {
         };
         let event = self.events.remove(&key).expect("event present");
         self.now = key.0;
+        self.sync_time();
         match event {
             Event::Deliver { from, to, msg } => {
                 if self.trace.is_some() {
@@ -334,14 +367,17 @@ impl Sim {
                         if up { "" } else { " (DROPPED: target down)" }
                     ));
                 }
+                let kind = msg.kind();
                 let Some(node) = self.nodes.get_mut(&to) else {
                     return true;
                 };
                 if !node.up {
                     self.stats.dropped += 1;
+                    self.obs.emit(EventKind::MsgDrop { from, to, kind });
                     return true;
                 }
                 self.stats.delivered += 1;
+                self.obs.emit(EventKind::MsgDeliver { from, to, kind });
                 let effects = node.handle_message(from, msg);
                 self.apply_effects(to, effects);
             }
@@ -358,13 +394,21 @@ impl Sim {
             Event::Crash { node: id } => {
                 self.record(format!("{id} CRASH"));
                 if let Some(node) = self.nodes.get_mut(&id) {
+                    let was_up = node.up;
                     node.crash();
+                    if was_up {
+                        self.obs.emit(EventKind::NodeCrash { node: id });
+                    }
                 }
             }
             Event::Recover { node: id } => {
                 self.record(format!("{id} RECOVER"));
                 let effects = match self.nodes.get_mut(&id) {
-                    Some(node) if !node.up => node.recover(),
+                    Some(node) if !node.up => {
+                        let effects = node.recover();
+                        self.obs.emit(EventKind::NodeRecover { node: id });
+                        effects
+                    }
                     _ => Vec::new(),
                 };
                 self.apply_effects(id, effects);
@@ -491,10 +535,7 @@ mod tests {
         let b = sim.add_node();
         // b will vote no on the first transaction (TxnId(1)).
         sim.node_mut(b).veto.insert(TxnId(1));
-        let txn = sim.begin_transaction(
-            a,
-            vec![(a, vec![write(1, 1)]), (b, vec![write(2, 2)])],
-        );
+        let txn = sim.begin_transaction(a, vec![(a, vec![write(1, 1)]), (b, vec![write(2, 2)])]);
         sim.run_to_quiescence();
         assert_eq!(sim.coordinator_outcome(a, txn), None); // presumed abort
         assert!(sim.node(a).store.read(ObjectId::from_raw(1)).is_none());
@@ -552,11 +593,7 @@ mod tests {
             let b = sim.add_node();
             let txn = sim.begin_transaction(a, vec![(b, vec![write(1, 5)])]);
             sim.run_to_quiescence();
-            (
-                sim.coordinator_outcome(a, txn),
-                sim.net_stats(),
-                sim.now(),
-            )
+            (sim.coordinator_outcome(a, txn), sim.net_stats(), sim.now())
         };
         assert_eq!(run(99), run(99));
     }

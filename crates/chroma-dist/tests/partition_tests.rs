@@ -110,10 +110,7 @@ fn asymmetric_partitions_do_not_break_atomicity() {
         if seed % 3 == 0 {
             sim.partition(p1, p2);
         }
-        let txn = sim.begin_transaction(
-            coord,
-            vec![(p1, vec![w(1, 1)]), (p2, vec![w(2, 2)])],
-        );
+        let txn = sim.begin_transaction(coord, vec![(p1, vec![w(1, 1)]), (p2, vec![w(2, 2)])]);
         sim.run_to_quiescence();
         sim.heal_all();
         sim.run_to_quiescence();

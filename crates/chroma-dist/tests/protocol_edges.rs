@@ -37,10 +37,7 @@ fn veto_from_one_participant_aborts_all() {
     let p1 = sim.add_node();
     let p2 = sim.add_node();
     sim.node_mut(p2).veto.insert(TxnId(1));
-    let txn = sim.begin_transaction(
-        coord,
-        vec![(p1, vec![w(1, 1)]), (p2, vec![w(2, 2)])],
-    );
+    let txn = sim.begin_transaction(coord, vec![(p1, vec![w(1, 1)]), (p2, vec![w(2, 2)])]);
     sim.run_to_quiescence();
     assert_eq!(sim.coordinator_outcome(coord, txn), None);
     // p1 prepared, then learned abort: obligation resolved, nothing

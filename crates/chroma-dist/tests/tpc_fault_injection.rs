@@ -2,8 +2,11 @@
 //! schedules (experiment A3): all participants reach the same outcome,
 //! no participant stays in doubt forever, and committed writes survive.
 
+use std::sync::Arc;
+
 use chroma_base::{NodeId, ObjectId};
 use chroma_dist::{RpcOp, Sim, Write, RETRY_INTERVAL};
+use chroma_obs::{EventBus, MemorySink, TraceAuditor};
 use chroma_store::StoreBytes;
 
 fn w(object: u64, value: u8) -> Write {
@@ -117,6 +120,12 @@ fn randomized_sweep_preserves_atomicity() {
         let mut sim = Sim::new(seed);
         sim.net.loss = 0.15;
         sim.net.duplication = 0.15;
+        // Capture the full event stream so the trace auditor can check
+        // the protocol invariants offline after the run.
+        let bus = Arc::new(EventBus::new());
+        let sink = Arc::new(MemorySink::new(200_000));
+        bus.add_sink(sink.clone());
+        sim.install_obs(bus);
         let coord = sim.add_node();
         let p1 = sim.add_node();
         let p2 = sim.add_node();
@@ -150,6 +159,15 @@ fn randomized_sweep_preserves_atomicity() {
         if sim.coordinator_outcome(coord, txn) == Some(true) {
             assert!(installs[0], "seed {seed}: committed but not installed");
         }
+
+        // The trace itself must satisfy the paper's protocol rules: no
+        // divergent decisions, no commit without a full yes-quorum.
+        assert_eq!(sink.dropped(), 0, "seed {seed}: trace ring overflowed");
+        let report = TraceAuditor::audit_events(&sink.events());
+        assert!(
+            report.is_clean(),
+            "seed {seed}: trace audit failed:\n{report}"
+        );
     }
 }
 

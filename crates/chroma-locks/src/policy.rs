@@ -133,9 +133,7 @@ impl LockPolicy for ColouredPolicy {
                     mode: holder.mode,
                 });
             }
-            if mode == LockMode::Write
-                && holder.mode == LockMode::Write
-                && holder.colour != colour
+            if mode == LockMode::Write && holder.mode == LockMode::Write && holder.colour != colour
             {
                 return Err(LockDenied::WrongWriteColour {
                     existing: holder.colour,

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use chroma_base::{ActionId, Colour, LockError, LockMode, ObjectId};
+use chroma_obs::{EventKind, Obs};
 use parking_lot::{Condvar, Mutex};
 
 use crate::deadlock::WaitForGraph;
@@ -83,6 +84,7 @@ pub struct LockTable<P> {
     changed: Condvar,
     waits_started: AtomicU64,
     wait_micros: AtomicU64,
+    obs: Mutex<Obs>,
 }
 
 /// Aggregate waiting statistics of a [`LockTable`], from
@@ -117,7 +119,19 @@ impl<P: LockPolicy> LockTable<P> {
             changed: Condvar::new(),
             waits_started: AtomicU64::new(0),
             wait_micros: AtomicU64::new(0),
+            obs: Mutex::new(Obs::none()),
         }
+    }
+
+    /// Installs an observability handle; subsequent lock traffic emits
+    /// `LockRequest`/`LockGrant`/`LockConflict`/`LockInherit`/
+    /// `LockRelease` events and feeds the `locks.wait_us` histogram.
+    pub fn set_obs(&self, obs: Obs) {
+        *self.obs.lock() = obs;
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.lock().clone()
     }
 
     /// Returns aggregate waiting statistics (how often and how long
@@ -145,11 +159,39 @@ impl<P: LockPolicy> LockTable<P> {
         colour: Colour,
         mode: LockMode,
     ) -> Result<AcquireOutcome, LockError> {
+        let obs = self.obs();
+        if obs.enabled() {
+            obs.emit(EventKind::LockRequest {
+                action,
+                object,
+                colour,
+                mode,
+            });
+        }
         let mut state = self.state.lock();
-        match self.check_and_apply(&mut state, ancestry, action, object, colour, mode) {
+        let result = match self.check_and_apply(&mut state, ancestry, action, object, colour, mode)
+        {
             Ok(outcome) => Ok(outcome),
             Err(reason) => Err(LockError::Denied { object, reason }),
+        };
+        drop(state);
+        if obs.enabled() {
+            obs.emit(match result {
+                Ok(_) => EventKind::LockGrant {
+                    action,
+                    object,
+                    colour,
+                    mode,
+                },
+                Err(_) => EventKind::LockConflict {
+                    action,
+                    object,
+                    colour,
+                    mode,
+                },
+            });
         }
+        result
     }
 
     /// Acquires a lock, waiting if necessary.
@@ -174,10 +216,20 @@ impl<P: LockPolicy> LockTable<P> {
         mode: LockMode,
         timeout: Option<Duration>,
     ) -> Result<AcquireOutcome, LockError> {
+        let obs = self.obs();
+        if obs.enabled() {
+            obs.emit(EventKind::LockRequest {
+                action,
+                object,
+                colour,
+                mode,
+            });
+        }
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut state = self.state.lock();
         let mut registered: Vec<ActionId> = Vec::new();
         let mut parked_since: Option<Instant> = None;
+        let mut conflict_emitted = false;
         let result = loop {
             if let Some(interrupt) = state.interrupts.remove(&action) {
                 break Err(match interrupt {
@@ -188,6 +240,15 @@ impl<P: LockPolicy> LockTable<P> {
             match self.check_and_apply(&mut state, ancestry, action, object, colour, mode) {
                 Ok(outcome) => break Ok(outcome),
                 Err(_reason) => {
+                    if obs.enabled() && !conflict_emitted {
+                        conflict_emitted = true;
+                        obs.emit(EventKind::LockConflict {
+                            action,
+                            object,
+                            colour,
+                            mode,
+                        });
+                    }
                     // Refresh the wait-for edges to the current blockers.
                     let blockers = Self::blockers(&state, ancestry, action, object, colour, mode);
                     for &old in &registered {
@@ -201,7 +262,9 @@ impl<P: LockPolicy> LockTable<P> {
                             if report.victim == action {
                                 victim_is_self = true;
                             } else {
-                                state.interrupts.insert(report.victim, Interrupt::DeadlockVictim);
+                                state
+                                    .interrupts
+                                    .insert(report.victim, Interrupt::DeadlockVictim);
                                 self.changed.notify_all();
                             }
                         }
@@ -238,11 +301,19 @@ impl<P: LockPolicy> LockTable<P> {
         for &old in &registered {
             state.graph.remove_wait(action, old);
         }
+        drop(state);
         if let Some(since) = parked_since {
-            self.wait_micros.fetch_add(
-                u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX),
-                Ordering::Relaxed,
-            );
+            let waited = u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.wait_micros.fetch_add(waited, Ordering::Relaxed);
+            obs.observe("locks.wait_us", waited);
+        }
+        if obs.enabled() && result.is_ok() {
+            obs.emit(EventKind::LockGrant {
+                action,
+                object,
+                colour,
+                mode,
+            });
         }
         result
     }
@@ -311,6 +382,17 @@ impl<P: LockPolicy> LockTable<P> {
         if !touched.is_empty() {
             self.changed.notify_all();
         }
+        drop(state);
+        let obs = self.obs();
+        if obs.enabled() {
+            for &object in &touched {
+                obs.emit(EventKind::LockRelease {
+                    action,
+                    object,
+                    colour,
+                });
+            }
+        }
         touched
     }
 
@@ -347,6 +429,18 @@ impl<P: LockPolicy> LockTable<P> {
         if !touched.is_empty() {
             self.changed.notify_all();
         }
+        drop(state);
+        let obs = self.obs();
+        if obs.enabled() {
+            for &object in &touched {
+                obs.emit(EventKind::LockInherit {
+                    from,
+                    to,
+                    object,
+                    colour,
+                });
+            }
+        }
         touched
     }
 
@@ -356,9 +450,17 @@ impl<P: LockPolicy> LockTable<P> {
     pub fn discard_action(&self, action: ActionId) -> Vec<ObjectId> {
         let mut state = self.state.lock();
         let mut touched = Vec::new();
+        let mut dropped: Vec<(ObjectId, Colour)> = Vec::new();
         state.objects.retain(|&object, holders| {
             let before = holders.len();
-            holders.retain(|e| e.action != action);
+            holders.retain(|e| {
+                if e.action == action {
+                    dropped.push((object, e.colour));
+                    false
+                } else {
+                    true
+                }
+            });
             if holders.len() != before {
                 touched.push(object);
             }
@@ -367,6 +469,17 @@ impl<P: LockPolicy> LockTable<P> {
         state.graph.remove_action(action);
         state.interrupts.remove(&action);
         self.changed.notify_all();
+        drop(state);
+        let obs = self.obs();
+        if obs.enabled() {
+            for &(object, colour) in &dropped {
+                obs.emit(EventKind::LockRelease {
+                    action,
+                    object,
+                    colour,
+                });
+            }
+        }
         touched
     }
 
@@ -451,7 +564,8 @@ impl<P: LockPolicy> LockTable<P> {
                 return Ok(AcquireOutcome::AlreadyHeld);
             }
         }
-        self.policy.permits(ancestry, holders, action, colour, mode)?;
+        self.policy
+            .permits(ancestry, holders, action, colour, mode)?;
         match holders
             .iter_mut()
             .find(|e| e.action == action && e.colour == colour)
@@ -748,9 +862,8 @@ mod tests {
             .unwrap();
         let t2 = Arc::clone(&table);
         let ctx2 = ctx.clone();
-        let handle = std::thread::spawn(move || {
-            t2.acquire(&ctx2, a(2), o(1), red(), LockMode::Write, None)
-        });
+        let handle =
+            std::thread::spawn(move || t2.acquire(&ctx2, a(2), o(1), red(), LockMode::Write, None));
         std::thread::sleep(Duration::from_millis(50));
         table.cancel_waiter(a(2));
         let err = handle.join().unwrap().unwrap_err();

@@ -23,8 +23,12 @@ enum Op {
     },
     /// Commit: inherit all locks to the parent (or release if
     /// top-level).
-    Commit { action: u64 },
-    Abort { action: u64 },
+    Commit {
+        action: u64,
+    },
+    Abort {
+        action: u64,
+    },
 }
 
 fn mode_strategy() -> impl Strategy<Value = LockMode> {
@@ -52,9 +56,7 @@ fn forest_strategy() -> impl Strategy<Value = Vec<Option<u64>>> {
         if i == 0 {
             fields.push(Just(None).boxed());
         } else {
-            fields.push(
-                prop_oneof![2 => Just(None), 3 => (0..i).prop_map(Some)].boxed(),
-            );
+            fields.push(prop_oneof![2 => Just(None), 3 => (0..i).prop_map(Some)].boxed());
         }
     }
     fields

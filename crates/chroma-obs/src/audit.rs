@@ -1,0 +1,640 @@
+//! Offline invariant auditing of captured event streams.
+//!
+//! The auditor replays a trace in emission order and checks the
+//! properties the paper's construction is supposed to guarantee:
+//!
+//! * **R1 — strict 2PL.** Once an action has released or passed on any
+//!   lock (its shrinking phase), or has terminated, it acquires no
+//!   further locks.
+//! * **R2 — Moss inheritance.** A commit-time lock transfer must go to
+//!   the *closest* ancestor that holds the lock's colour, and the
+//!   transferring action must actually hold the lock.
+//! * **R3 — no write without a write lock.** Every before-image
+//!   (`UndoRecord`) must be covered by a write-mode lock held by that
+//!   action on that object in that colour at that moment.
+//! * **R4 — 2PC safety.** All decision and resolution events for one
+//!   transaction agree; a commit decision requires a yes-vote from
+//!   every participant and no observed no-vote.
+//!
+//! The auditor is deliberately independent of the runtime: it sees
+//! only the trace, so a bug that corrupts runtime state *and* its own
+//! bookkeeping is still caught as long as the emitted events disagree
+//! with each other.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use chroma_base::{ActionId, Colour, LockMode, NodeId, ObjectId};
+
+use crate::event::{Event, EventKind, TraceParseError};
+
+/// One invariant breach found in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// R1: a lock was granted to an action already past its shrinking
+    /// point (released/inherited a lock, or terminated).
+    LockAfterShrink {
+        /// The offending action.
+        action: ActionId,
+        /// The object granted.
+        object: ObjectId,
+        /// The colour granted.
+        colour: Colour,
+    },
+    /// R2: a lock was inherited by something other than the closest
+    /// ancestor holding the colour.
+    BadInheritTarget {
+        /// The committing action.
+        from: ActionId,
+        /// Who actually received the lock.
+        to: ActionId,
+        /// Who should have (`None` = no ancestor holds the colour, so
+        /// the lock should have been released instead).
+        expected: Option<ActionId>,
+        /// The object concerned.
+        object: ObjectId,
+        /// The colour concerned.
+        colour: Colour,
+    },
+    /// R2: an action passed on a lock the trace never granted it.
+    InheritWithoutLock {
+        /// The committing action.
+        from: ActionId,
+        /// The object concerned.
+        object: ObjectId,
+        /// The colour concerned.
+        colour: Colour,
+    },
+    /// An action released a lock the trace never granted it.
+    ReleaseWithoutLock {
+        /// The releasing action.
+        action: ActionId,
+        /// The object concerned.
+        object: ObjectId,
+        /// The colour concerned.
+        colour: Colour,
+    },
+    /// R3: a before-image was recorded without a write-mode lock.
+    WriteWithoutWriteLock {
+        /// The writing action.
+        action: ActionId,
+        /// The object written.
+        object: ObjectId,
+        /// The colour of the write.
+        colour: Colour,
+    },
+    /// R4: two decision/resolution events for one transaction disagree.
+    DivergentDecision {
+        /// The transaction.
+        txn: u64,
+        /// The node that emitted the conflicting event.
+        node: NodeId,
+        /// What the trace had already established.
+        earlier: bool,
+        /// What this event claims.
+        later: bool,
+    },
+    /// R4: a commit decision without a yes-vote from every participant.
+    CommitWithoutQuorum {
+        /// The transaction.
+        txn: u64,
+        /// Distinct yes-voters seen before the decision.
+        yes_votes: u64,
+        /// Participants the decision itself declares.
+        participants: u64,
+    },
+    /// R4: a commit decision although some participant voted no.
+    CommitDespiteNoVote {
+        /// The transaction.
+        txn: u64,
+        /// A no-voter.
+        node: NodeId,
+    },
+    /// The trace references an action never begun (truncated or
+    /// corrupted trace, or a missing emission site).
+    UnknownAction {
+        /// The unknown action.
+        action: ActionId,
+        /// Which event kind referenced it.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LockAfterShrink {
+                action,
+                object,
+                colour,
+            } => write!(
+                f,
+                "strict 2PL: {action} granted {object}/{colour} after shrinking"
+            ),
+            Violation::BadInheritTarget {
+                from,
+                to,
+                expected,
+                object,
+                colour,
+            } => match expected {
+                Some(e) => write!(
+                    f,
+                    "inheritance: {from} passed {object}/{colour} to {to}, closest {colour} ancestor is {e}"
+                ),
+                None => write!(
+                    f,
+                    "inheritance: {from} passed {object}/{colour} to {to}, but no ancestor holds {colour} (should release)"
+                ),
+            },
+            Violation::InheritWithoutLock {
+                from,
+                object,
+                colour,
+            } => write!(f, "inheritance: {from} passed {object}/{colour} it never held"),
+            Violation::ReleaseWithoutLock {
+                action,
+                object,
+                colour,
+            } => write!(f, "release: {action} released {object}/{colour} it never held"),
+            Violation::WriteWithoutWriteLock {
+                action,
+                object,
+                colour,
+            } => write!(
+                f,
+                "write safety: {action} recorded an undo for {object}/{colour} without a write lock"
+            ),
+            Violation::DivergentDecision {
+                txn,
+                node,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "2pc: T{txn} decided {} but {node} says {}",
+                verdict(*earlier),
+                verdict(*later)
+            ),
+            Violation::CommitWithoutQuorum {
+                txn,
+                yes_votes,
+                participants,
+            } => write!(
+                f,
+                "2pc: T{txn} committed with {yes_votes}/{participants} yes-votes"
+            ),
+            Violation::CommitDespiteNoVote { txn, node } => {
+                write!(f, "2pc: T{txn} committed although {node} voted no")
+            }
+            Violation::UnknownAction { action, context } => {
+                write!(f, "trace: {context} references unknown action {action}")
+            }
+        }
+    }
+}
+
+fn verdict(commit: bool) -> &'static str {
+    if commit {
+        "commit"
+    } else {
+        "abort"
+    }
+}
+
+/// The outcome of auditing one trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// How many events were replayed.
+    pub events: usize,
+    /// Every breach found, in trace order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was breached.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "audit: {} events, clean", self.events)
+        } else {
+            writeln!(
+                f,
+                "audit: {} events, {} violation(s):",
+                self.events,
+                self.violations.len()
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActionState {
+    parent: Option<ActionId>,
+    colours: u64,
+    /// Entered the shrinking phase: released or passed on some lock,
+    /// or terminated.
+    shrunk: bool,
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    yes: BTreeSet<u32>,
+    no: BTreeSet<u32>,
+    decision: Option<bool>,
+}
+
+/// Replays an event stream and checks the paper's invariants.
+///
+/// Feed events in emission order with [`observe`](TraceAuditor::observe),
+/// then collect the [`AuditReport`] with
+/// [`finish`](TraceAuditor::finish); or use the one-shot helpers
+/// [`audit_events`](TraceAuditor::audit_events) and
+/// [`audit_jsonl`](TraceAuditor::audit_jsonl).
+#[derive(Debug, Default)]
+pub struct TraceAuditor {
+    actions: HashMap<ActionId, ActionState>,
+    /// Strongest mode currently held per (action, object, colour).
+    held: HashMap<(ActionId, ObjectId, usize), LockMode>,
+    txns: HashMap<u64, TxnState>,
+    violations: Vec<Violation>,
+    events: usize,
+}
+
+impl TraceAuditor {
+    /// A fresh auditor.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceAuditor::default()
+    }
+
+    /// Audits a complete in-memory trace.
+    #[must_use]
+    pub fn audit_events(events: &[Event]) -> AuditReport {
+        let mut auditor = TraceAuditor::new();
+        for event in events {
+            auditor.observe(event);
+        }
+        auditor.finish()
+    }
+
+    /// Parses and audits a JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError`] (with its 1-based line number) on the first
+    /// malformed line; a corrupted trace is rejected rather than
+    /// partially audited.
+    pub fn audit_jsonl(text: &str) -> Result<AuditReport, TraceParseError> {
+        let mut auditor = TraceAuditor::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = Event::from_json_line(line).map_err(|e| e.at_line(i + 1))?;
+            auditor.observe(&event);
+        }
+        Ok(auditor.finish())
+    }
+
+    /// Replays one event.
+    pub fn observe(&mut self, event: &Event) {
+        self.events += 1;
+        match event.kind {
+            EventKind::ActionBegin {
+                action,
+                parent,
+                colours,
+            } => {
+                if let Some(p) = parent {
+                    if !self.actions.contains_key(&p) {
+                        self.violations.push(Violation::UnknownAction {
+                            action: p,
+                            context: "action_begin parent",
+                        });
+                    }
+                }
+                self.actions.insert(
+                    action,
+                    ActionState {
+                        parent,
+                        colours,
+                        shrunk: false,
+                    },
+                );
+            }
+            EventKind::ActionCommit { action } | EventKind::ActionAbort { action } => {
+                match self.actions.get_mut(&action) {
+                    Some(state) => state.shrunk = true,
+                    None => self.violations.push(Violation::UnknownAction {
+                        action,
+                        context: "action termination",
+                    }),
+                }
+            }
+            EventKind::LockGrant {
+                action,
+                object,
+                colour,
+                mode,
+            } => {
+                match self.actions.get(&action) {
+                    Some(state) if state.shrunk => {
+                        self.violations.push(Violation::LockAfterShrink {
+                            action,
+                            object,
+                            colour,
+                        });
+                    }
+                    Some(_) => {}
+                    None => self.violations.push(Violation::UnknownAction {
+                        action,
+                        context: "lock_grant",
+                    }),
+                }
+                let slot = self
+                    .held
+                    .entry((action, object, colour.index()))
+                    .or_insert(mode);
+                *slot = slot.strongest(mode);
+            }
+            EventKind::LockRelease {
+                action,
+                object,
+                colour,
+            } => {
+                if let Some(state) = self.actions.get_mut(&action) {
+                    state.shrunk = true;
+                }
+                if self
+                    .held
+                    .remove(&(action, object, colour.index()))
+                    .is_none()
+                {
+                    self.violations.push(Violation::ReleaseWithoutLock {
+                        action,
+                        object,
+                        colour,
+                    });
+                }
+            }
+            EventKind::LockInherit {
+                from,
+                to,
+                object,
+                colour,
+            } => {
+                let moved = self.held.remove(&(from, object, colour.index()));
+                if moved.is_none() {
+                    self.violations.push(Violation::InheritWithoutLock {
+                        from,
+                        object,
+                        colour,
+                    });
+                }
+                if let Some(state) = self.actions.get_mut(&from) {
+                    state.shrunk = true;
+                }
+                let expected = self.closest_ancestor_with_colour(from, colour);
+                if expected != Some(to) {
+                    self.violations.push(Violation::BadInheritTarget {
+                        from,
+                        to,
+                        expected,
+                        object,
+                        colour,
+                    });
+                }
+                if !self.actions.contains_key(&to) {
+                    self.violations.push(Violation::UnknownAction {
+                        action: to,
+                        context: "lock_inherit target",
+                    });
+                }
+                // the ancestor now holds the lock (it may escalate an
+                // existing weaker hold)
+                let mode = moved.unwrap_or(LockMode::Read);
+                let slot = self
+                    .held
+                    .entry((to, object, colour.index()))
+                    .or_insert(mode);
+                *slot = slot.strongest(mode);
+            }
+            EventKind::UndoRecord {
+                action,
+                object,
+                colour,
+            } => {
+                if !self.actions.contains_key(&action) {
+                    self.violations.push(Violation::UnknownAction {
+                        action,
+                        context: "undo_record",
+                    });
+                }
+                let covered = self
+                    .held
+                    .get(&(action, object, colour.index()))
+                    .is_some_and(|mode| mode.permits_write());
+                if !covered {
+                    self.violations.push(Violation::WriteWithoutWriteLock {
+                        action,
+                        object,
+                        colour,
+                    });
+                }
+            }
+            EventKind::TpcVote { node, txn, yes } => {
+                let state = self.txns.entry(txn).or_default();
+                if yes {
+                    state.yes.insert(node.as_raw());
+                } else {
+                    state.no.insert(node.as_raw());
+                    if state.decision == Some(true) {
+                        self.violations
+                            .push(Violation::CommitDespiteNoVote { txn, node });
+                    }
+                }
+            }
+            EventKind::TpcDecide {
+                node,
+                txn,
+                commit,
+                participants,
+            } => {
+                let state = self.txns.entry(txn).or_default();
+                match state.decision {
+                    Some(earlier) if earlier != commit => {
+                        self.violations.push(Violation::DivergentDecision {
+                            txn,
+                            node,
+                            earlier,
+                            later: commit,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        state.decision = Some(commit);
+                        if commit {
+                            let yes_votes = state.yes.len() as u64;
+                            if yes_votes < participants {
+                                self.violations.push(Violation::CommitWithoutQuorum {
+                                    txn,
+                                    yes_votes,
+                                    participants,
+                                });
+                            }
+                            if let Some(&no_voter) = state.no.iter().next() {
+                                self.violations.push(Violation::CommitDespiteNoVote {
+                                    txn,
+                                    node: NodeId::from_raw(no_voter),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::TpcResolve { node, txn, commit } => {
+                let state = self.txns.entry(txn).or_default();
+                match state.decision {
+                    Some(earlier) if earlier != commit => {
+                        self.violations.push(Violation::DivergentDecision {
+                            txn,
+                            node,
+                            earlier,
+                            later: commit,
+                        });
+                    }
+                    Some(_) => {}
+                    // presumed abort: a participant may resolve a
+                    // transaction whose coordinator never logged a
+                    // decision; later events must still agree with it
+                    None => state.decision = Some(commit),
+                }
+            }
+            // request/conflict traffic, WAL activity, crashes and the
+            // network carry no audited obligations of their own
+            EventKind::LockRequest { .. }
+            | EventKind::LockConflict { .. }
+            | EventKind::WalAppend { .. }
+            | EventKind::WalFlush { .. }
+            | EventKind::TpcPrepare { .. }
+            | EventKind::NodeCrash { .. }
+            | EventKind::NodeRecover { .. }
+            | EventKind::MsgSend { .. }
+            | EventKind::MsgDrop { .. }
+            | EventKind::MsgDup { .. }
+            | EventKind::MsgDeliver { .. } => {}
+        }
+    }
+
+    /// The closest proper ancestor of `from` whose colour set contains
+    /// `colour`.
+    fn closest_ancestor_with_colour(&self, from: ActionId, colour: Colour) -> Option<ActionId> {
+        let bit = 1u64 << colour.index();
+        let mut cursor = self.actions.get(&from)?.parent;
+        let mut hops = 0;
+        while let Some(ancestor) = cursor {
+            let state = self.actions.get(&ancestor)?;
+            if state.colours & bit != 0 {
+                return Some(ancestor);
+            }
+            cursor = state.parent;
+            hops += 1;
+            if hops > self.actions.len() {
+                return None; // cycle in a corrupted trace
+            }
+        }
+        None
+    }
+
+    /// Finalises the audit.
+    #[must_use]
+    pub fn finish(self) -> AuditReport {
+        AuditReport {
+            events: self.events,
+            violations: self.violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { at_us: 0, kind }
+    }
+
+    #[test]
+    fn clean_nested_lifecycle_passes() {
+        let a = ActionId::from_raw(1);
+        let child = ActionId::from_raw(2);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        let trace = vec![
+            ev(EventKind::ActionBegin {
+                action: a,
+                parent: None,
+                colours: 0b1,
+            }),
+            ev(EventKind::ActionBegin {
+                action: child,
+                parent: Some(a),
+                colours: 0b1,
+            }),
+            ev(EventKind::LockGrant {
+                action: child,
+                object: o,
+                colour: c,
+                mode: LockMode::Write,
+            }),
+            ev(EventKind::UndoRecord {
+                action: child,
+                object: o,
+                colour: c,
+            }),
+            ev(EventKind::LockInherit {
+                from: child,
+                to: a,
+                object: o,
+                colour: c,
+            }),
+            ev(EventKind::ActionCommit { action: child }),
+            ev(EventKind::LockRelease {
+                action: a,
+                object: o,
+                colour: c,
+            }),
+            ev(EventKind::ActionCommit { action: a }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.events, trace.len());
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let a = ActionId::from_raw(1);
+        let o = ObjectId::from_raw(2);
+        let c = Colour::from_index(0);
+        let report = TraceAuditor::audit_events(&[ev(EventKind::UndoRecord {
+            action: a,
+            object: o,
+            colour: c,
+        })]);
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("violation"), "{text}");
+        assert!(text.contains("write lock"), "{text}");
+    }
+}

@@ -1,0 +1,476 @@
+//! The event bus, the `Obs` handle instrumented code holds, and the
+//! built-in sinks.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::Write as IoWrite;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::event::{Event, EventKind, KIND_COUNT, KIND_NAMES};
+use crate::metrics::{Histogram, Snapshot};
+
+/// Receives every event emitted on a bus, in emission order.
+pub trait EventSink: Send + Sync {
+    /// Called once per event, after the bus has stamped its time.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Central collector: counts events per kind, aggregates latency
+/// histograms, stamps timestamps and fans events out to sinks.
+///
+/// The clock starts as wall time from bus creation; a deterministic
+/// simulator switches it to manual mode with [`EventBus::set_time_us`]
+/// so traces carry simulated time.
+pub struct EventBus {
+    counters: [AtomicU64; KIND_COUNT],
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    sinks: RwLock<Vec<Arc<dyn EventSink>>>,
+    origin: Instant,
+    manual: AtomicBool,
+    manual_us: AtomicU64,
+}
+
+impl EventBus {
+    /// Creates a bus with no sinks, on the wall clock.
+    #[must_use]
+    pub fn new() -> Self {
+        EventBus {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: Mutex::new(BTreeMap::new()),
+            sinks: RwLock::new(Vec::new()),
+            origin: Instant::now(),
+            manual: AtomicBool::new(false),
+            manual_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a sink; it sees every subsequent event.
+    pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
+        self.sinks.write().push(sink);
+    }
+
+    /// Current bus time in microseconds (wall since creation, or the
+    /// last manually set simulated time).
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        if self.manual.load(Ordering::Relaxed) {
+            self.manual_us.load(Ordering::Relaxed)
+        } else {
+            u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Switches to manual (simulated) time and sets it.
+    pub fn set_time_us(&self, us: u64) {
+        self.manual.store(true, Ordering::Relaxed);
+        self.manual_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Counts, stamps and fans out one event; returns the stamped
+    /// record.
+    pub fn emit(&self, kind: EventKind) -> Event {
+        self.counters[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            at_us: self.now_us(),
+            kind,
+        };
+        for sink in self.sinks.read().iter() {
+            sink.record(&event);
+        }
+        event
+    }
+
+    /// Records one latency sample into the named histogram.
+    pub fn observe(&self, metric: &'static str, us: u64) {
+        self.histograms
+            .lock()
+            .entry(metric)
+            .or_default()
+            .observe(us);
+    }
+
+    /// The count of one event kind by its tag (0 for unknown tags).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        KIND_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0, |i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// Copies out all counters and histogram summaries.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: KIND_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| (*name, self.counters[i].load(Ordering::Relaxed)))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(name, h)| ((*name).to_owned(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        for sink in self.sinks.read().iter() {
+            sink.flush();
+        }
+    }
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus::new()
+    }
+}
+
+impl fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventBus")
+            .field("sinks", &self.sinks.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The handle instrumented code holds: a cheap clone that forwards to
+/// a shared [`EventBus`], or does nothing when no bus is installed.
+///
+/// Subsystems are constructed with [`Obs::none`] and gain a bus later
+/// via their `set_obs`/`install_obs` entry points, so observability is
+/// strictly opt-in and the untraced hot path costs one branch.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    bus: Option<Arc<EventBus>>,
+}
+
+impl Obs {
+    /// The inert handle: every operation is a no-op.
+    #[must_use]
+    pub fn none() -> Self {
+        Obs { bus: None }
+    }
+
+    /// A handle bound to `bus`.
+    #[must_use]
+    pub fn new(bus: Arc<EventBus>) -> Self {
+        Obs { bus: Some(bus) }
+    }
+
+    /// `true` when a bus is installed.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.bus.is_some()
+    }
+
+    /// The underlying bus, if any.
+    #[must_use]
+    pub fn bus(&self) -> Option<&Arc<EventBus>> {
+        self.bus.as_ref()
+    }
+
+    /// Emits an event (no-op without a bus).
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(bus) = &self.bus {
+            bus.emit(kind);
+        }
+    }
+
+    /// Records a latency sample (no-op without a bus).
+    pub fn observe(&self, metric: &'static str, us: u64) {
+        if let Some(bus) = &self.bus {
+            bus.observe(metric, us);
+        }
+    }
+
+    /// Current bus time, or 0 without a bus.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.bus.as_ref().map_or(0, |bus| bus.now_us())
+    }
+}
+
+/// An [`Obs`] slot settable through `&self`, for subsystems that are
+/// built before tracing is installed and are only reachable behind
+/// shared references afterwards.
+#[derive(Debug, Default)]
+pub struct ObsCell {
+    inner: std::sync::RwLock<Obs>,
+}
+
+impl ObsCell {
+    /// An empty cell (inert handle).
+    #[must_use]
+    pub fn new() -> Self {
+        ObsCell::default()
+    }
+
+    /// Replaces the stored handle.
+    pub fn set(&self, obs: Obs) {
+        *self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = obs;
+    }
+
+    /// Clones the stored handle (cheap: one `Option<Arc>`).
+    #[must_use]
+    pub fn get(&self) -> Obs {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// A bounded in-memory ring of events, for tests and the auditor.
+///
+/// When full, the oldest events are dropped and counted.
+pub struct MemorySink {
+    capacity: usize,
+    inner: Mutex<MemoryInner>,
+}
+
+#[derive(Default)]
+struct MemoryInner {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl MemorySink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MemorySink {
+            capacity: capacity.max(1),
+            inner: Mutex::new(MemoryInner::default()),
+        }
+    }
+
+    /// Copies out the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// `true` if no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Discards all retained events.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&self, event: &Event) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(*event);
+    }
+}
+
+/// Streams events as JSON lines to any writer (a file, a `Vec<u8>`,
+/// standard output).
+///
+/// Write errors are swallowed at `record` time — tracing must never
+/// take down the traced system — but remembered, and reported by
+/// [`JsonlSink::had_errors`].
+pub struct JsonlSink {
+    out: Mutex<Box<dyn IoWrite + Send>>,
+    failed: AtomicBool,
+}
+
+impl JsonlSink {
+    /// Wraps a writer.
+    #[must_use]
+    pub fn new(writer: impl IoWrite + Send + 'static) -> Self {
+        JsonlSink {
+            out: Mutex::new(Box::new(writer)),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// `true` if any write or flush failed.
+    #[must_use]
+    pub fn had_errors(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock();
+        if writeln!(out, "{}", event.to_json_line()).is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        if self.out.lock().flush().is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chroma_base::{ActionId, NodeId};
+
+    fn begin(n: u64) -> EventKind {
+        EventKind::ActionBegin {
+            action: ActionId::from_raw(n),
+            parent: None,
+            colours: 1,
+        }
+    }
+
+    #[test]
+    fn counters_count_per_kind() {
+        let bus = EventBus::new();
+        bus.emit(begin(1));
+        bus.emit(begin(2));
+        bus.emit(EventKind::ActionCommit {
+            action: ActionId::from_raw(1),
+        });
+        assert_eq!(bus.counter("action_begin"), 2);
+        assert_eq!(bus.counter("action_commit"), 1);
+        assert_eq!(bus.counter("action_abort"), 0);
+        assert_eq!(bus.counter("not_a_kind"), 0);
+        let snap = bus.snapshot();
+        assert_eq!(snap.counter("action_begin"), 2);
+    }
+
+    #[test]
+    fn manual_clock_stamps_events() {
+        let bus = EventBus::new();
+        bus.set_time_us(42_000);
+        let e = bus.emit(begin(1));
+        assert_eq!(e.at_us, 42_000);
+        bus.set_time_us(43_000);
+        assert_eq!(bus.now_us(), 43_000);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_from_zero() {
+        let bus = EventBus::new();
+        let a = bus.now_us();
+        let b = bus.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn observe_feeds_named_histograms() {
+        let bus = EventBus::new();
+        bus.observe("core.commit_us", 10);
+        bus.observe("core.commit_us", 30);
+        bus.observe("locks.wait_us", 5);
+        let snap = bus.snapshot();
+        let commit = snap.histogram("core.commit_us").unwrap();
+        assert_eq!(commit.count, 2);
+        assert_eq!(commit.mean_us, 20.0);
+        assert_eq!(snap.histogram("locks.wait_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn memory_sink_is_a_bounded_ring() {
+        let bus = EventBus::new();
+        let sink = Arc::new(MemorySink::new(3));
+        bus.add_sink(sink.clone());
+        for i in 0..5 {
+            bus.emit(begin(i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let kept: Vec<_> = sink.events();
+        assert_eq!(
+            kept[0].kind,
+            begin(2),
+            "oldest two were evicted, 2..5 remain"
+        );
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let bus = EventBus::new();
+        bus.set_time_us(7);
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl IoWrite for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = Arc::new(JsonlSink::new(Shared(buffer.clone())));
+        bus.add_sink(sink.clone());
+        bus.emit(begin(1));
+        bus.emit(EventKind::NodeCrash {
+            node: NodeId::from_raw(2),
+        });
+        bus.flush();
+        assert!(!sink.had_errors());
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let event = Event::from_json_line(line).unwrap();
+            assert_eq!(event.at_us, 7);
+        }
+    }
+
+    #[test]
+    fn obs_handle_is_noop_without_bus() {
+        let obs = Obs::none();
+        assert!(!obs.enabled());
+        obs.emit(begin(1)); // must not panic
+        obs.observe("x", 1);
+        assert_eq!(obs.now_us(), 0);
+
+        let cell = ObsCell::new();
+        assert!(!cell.get().enabled());
+        let bus = Arc::new(EventBus::new());
+        cell.set(Obs::new(bus.clone()));
+        assert!(cell.get().enabled());
+        cell.get().emit(begin(9));
+        assert_eq!(bus.counter("action_begin"), 1);
+    }
+}

@@ -1,0 +1,949 @@
+//! The typed event vocabulary and its JSONL wire form.
+//!
+//! Every record is one line of flat JSON — no nesting, no escapes —
+//! so traces stream through line-oriented tools and a corrupted line
+//! is always a hard parse error, never a silent skip.
+
+use std::fmt;
+
+use chroma_base::{ActionId, Colour, LockMode, NodeId, ObjectId, MAX_LIVE_COLOURS};
+
+/// The network message classes the simulator traces.
+///
+/// Mirrors `chroma-dist`'s wire vocabulary without depending on it
+/// (the dependency points the other way).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum MsgKind {
+    Prepare,
+    VoteYes,
+    VoteNo,
+    Decision,
+    Ack,
+    DecisionQuery,
+    RpcRequest,
+    RpcReply,
+    ReplicaState,
+    ReplicaNone,
+    ReplicaPull,
+}
+
+impl MsgKind {
+    /// Every kind, in wire-tag order.
+    pub const ALL: [MsgKind; 11] = [
+        MsgKind::Prepare,
+        MsgKind::VoteYes,
+        MsgKind::VoteNo,
+        MsgKind::Decision,
+        MsgKind::Ack,
+        MsgKind::DecisionQuery,
+        MsgKind::RpcRequest,
+        MsgKind::RpcReply,
+        MsgKind::ReplicaState,
+        MsgKind::ReplicaNone,
+        MsgKind::ReplicaPull,
+    ];
+
+    /// The stable wire tag.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            MsgKind::Prepare => "prepare",
+            MsgKind::VoteYes => "vote_yes",
+            MsgKind::VoteNo => "vote_no",
+            MsgKind::Decision => "decision",
+            MsgKind::Ack => "ack",
+            MsgKind::DecisionQuery => "decision_query",
+            MsgKind::RpcRequest => "rpc_request",
+            MsgKind::RpcReply => "rpc_reply",
+            MsgKind::ReplicaState => "replica_state",
+            MsgKind::ReplicaNone => "replica_none",
+            MsgKind::ReplicaPull => "replica_pull",
+        }
+    }
+
+    fn parse(tag: &str) -> Option<MsgKind> {
+        MsgKind::ALL.iter().copied().find(|k| k.name() == tag)
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened, strongly typed. See [`Event`] for the timestamped
+/// record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An action started (top-level when `parent` is `None`).
+    ActionBegin {
+        /// The new action.
+        action: ActionId,
+        /// Its enclosing action, if nested.
+        parent: Option<ActionId>,
+        /// Bitmask of the colours the action runs in
+        /// (bit *i* = colour index *i*).
+        colours: u64,
+    },
+    /// An action committed.
+    ActionCommit {
+        /// The committing action.
+        action: ActionId,
+    },
+    /// An action aborted (explicitly or by cascade).
+    ActionAbort {
+        /// The aborting action.
+        action: ActionId,
+    },
+    /// An action asked the lock table for a lock.
+    LockRequest {
+        /// The requesting action.
+        action: ActionId,
+        /// The object to lock.
+        object: ObjectId,
+        /// The colour the lock is requested in.
+        colour: Colour,
+        /// The requested mode.
+        mode: LockMode,
+    },
+    /// A lock request succeeded (fresh grant, re-grant or upgrade).
+    LockGrant {
+        /// The holding action.
+        action: ActionId,
+        /// The locked object.
+        object: ObjectId,
+        /// The colour the lock is held in.
+        colour: Colour,
+        /// The granted mode.
+        mode: LockMode,
+    },
+    /// A lock request was refused or had to wait.
+    LockConflict {
+        /// The blocked action.
+        action: ActionId,
+        /// The contended object.
+        object: ObjectId,
+        /// The colour requested.
+        colour: Colour,
+        /// The mode requested.
+        mode: LockMode,
+    },
+    /// At commit, a lock moved from an action to an ancestor that also
+    /// holds the colour (the Moss inheritance rule).
+    LockInherit {
+        /// The committing (shrinking) action.
+        from: ActionId,
+        /// The inheriting ancestor.
+        to: ActionId,
+        /// The object whose lock moved.
+        object: ObjectId,
+        /// The colour concerned.
+        colour: Colour,
+    },
+    /// A lock was released outright.
+    LockRelease {
+        /// The releasing action.
+        action: ActionId,
+        /// The unlocked object.
+        object: ObjectId,
+        /// The colour released.
+        colour: Colour,
+    },
+    /// A before-image was recorded prior to a write.
+    UndoRecord {
+        /// The writing action.
+        action: ActionId,
+        /// The object about to change.
+        object: ObjectId,
+        /// The colour of the write.
+        colour: Colour,
+    },
+    /// Records were appended to a durable log.
+    WalAppend {
+        /// How many records were appended.
+        records: u64,
+    },
+    /// An intentions-list batch was installed durably.
+    WalFlush {
+        /// How many objects the batch installed.
+        objects: u64,
+    },
+    /// A participant force-logged the prepared state of a transaction.
+    TpcPrepare {
+        /// The participant.
+        node: NodeId,
+        /// The transaction.
+        txn: u64,
+    },
+    /// A participant voted.
+    TpcVote {
+        /// The voting participant.
+        node: NodeId,
+        /// The transaction.
+        txn: u64,
+        /// `true` = yes (prepared), `false` = no (veto).
+        yes: bool,
+    },
+    /// The coordinator reached a decision.
+    TpcDecide {
+        /// The coordinator.
+        node: NodeId,
+        /// The transaction.
+        txn: u64,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+        /// How many participants the transaction had.
+        participants: u64,
+    },
+    /// A participant learned and applied the decision.
+    TpcResolve {
+        /// The resolving participant.
+        node: NodeId,
+        /// The transaction.
+        txn: u64,
+        /// The decision it applied.
+        commit: bool,
+    },
+    /// A node fail-silently crashed.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node recovered from stable storage.
+    NodeRecover {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// A message entered the network.
+    MsgSend {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MsgKind,
+    },
+    /// The network dropped a message (loss, partition, or dead target).
+    MsgDrop {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MsgKind,
+    },
+    /// The network duplicated a message.
+    MsgDup {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MsgKind,
+    },
+    /// A message reached a live node.
+    MsgDeliver {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Message class.
+        kind: MsgKind,
+    },
+}
+
+/// Count of [`EventKind`] variants; sizes the per-kind counter array.
+pub(crate) const KIND_COUNT: usize = 21;
+
+/// The stable tag of every kind, indexed by [`EventKind::index`].
+pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
+    "action_begin",
+    "action_commit",
+    "action_abort",
+    "lock_request",
+    "lock_grant",
+    "lock_conflict",
+    "lock_inherit",
+    "lock_release",
+    "undo_record",
+    "wal_append",
+    "wal_flush",
+    "tpc_prepare",
+    "tpc_vote",
+    "tpc_decide",
+    "tpc_resolve",
+    "node_crash",
+    "node_recover",
+    "msg_send",
+    "msg_drop",
+    "msg_dup",
+    "msg_deliver",
+];
+
+impl EventKind {
+    /// Dense index of this kind (for counter arrays).
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        match self {
+            EventKind::ActionBegin { .. } => 0,
+            EventKind::ActionCommit { .. } => 1,
+            EventKind::ActionAbort { .. } => 2,
+            EventKind::LockRequest { .. } => 3,
+            EventKind::LockGrant { .. } => 4,
+            EventKind::LockConflict { .. } => 5,
+            EventKind::LockInherit { .. } => 6,
+            EventKind::LockRelease { .. } => 7,
+            EventKind::UndoRecord { .. } => 8,
+            EventKind::WalAppend { .. } => 9,
+            EventKind::WalFlush { .. } => 10,
+            EventKind::TpcPrepare { .. } => 11,
+            EventKind::TpcVote { .. } => 12,
+            EventKind::TpcDecide { .. } => 13,
+            EventKind::TpcResolve { .. } => 14,
+            EventKind::NodeCrash { .. } => 15,
+            EventKind::NodeRecover { .. } => 16,
+            EventKind::MsgSend { .. } => 17,
+            EventKind::MsgDrop { .. } => 18,
+            EventKind::MsgDup { .. } => 19,
+            EventKind::MsgDeliver { .. } => 20,
+        }
+    }
+
+    /// The stable snake_case tag (the `ev` field on the wire).
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        KIND_NAMES[self.index()]
+    }
+}
+
+/// One timestamped observation.
+///
+/// `at_us` is wall-clock microseconds for live runtimes and simulated
+/// microseconds inside `chroma-dist`'s deterministic simulator (the
+/// simulator drives the bus clock).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Microseconds since the bus's epoch (wall or simulated).
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serialises to one line of flat JSON (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!("{{\"at_us\":{},\"ev\":\"{}\"", self.at_us, self.kind.name());
+        let num = |s: &mut String, key: &str, v: u64| {
+            s.push_str(&format!(",\"{key}\":{v}"));
+        };
+        match self.kind {
+            EventKind::ActionBegin {
+                action,
+                parent,
+                colours,
+            } => {
+                num(&mut s, "action", action.as_raw());
+                if let Some(p) = parent {
+                    num(&mut s, "parent", p.as_raw());
+                }
+                num(&mut s, "colours", colours);
+            }
+            EventKind::ActionCommit { action } | EventKind::ActionAbort { action } => {
+                num(&mut s, "action", action.as_raw());
+            }
+            EventKind::LockRequest {
+                action,
+                object,
+                colour,
+                mode,
+            }
+            | EventKind::LockGrant {
+                action,
+                object,
+                colour,
+                mode,
+            }
+            | EventKind::LockConflict {
+                action,
+                object,
+                colour,
+                mode,
+            } => {
+                num(&mut s, "action", action.as_raw());
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "colour", colour.index() as u64);
+                s.push_str(&format!(",\"mode\":\"{mode}\""));
+            }
+            EventKind::LockInherit {
+                from,
+                to,
+                object,
+                colour,
+            } => {
+                num(&mut s, "from", from.as_raw());
+                num(&mut s, "to", to.as_raw());
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "colour", colour.index() as u64);
+            }
+            EventKind::LockRelease {
+                action,
+                object,
+                colour,
+            }
+            | EventKind::UndoRecord {
+                action,
+                object,
+                colour,
+            } => {
+                num(&mut s, "action", action.as_raw());
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "colour", colour.index() as u64);
+            }
+            EventKind::WalAppend { records } => num(&mut s, "records", records),
+            EventKind::WalFlush { objects } => num(&mut s, "objects", objects),
+            EventKind::TpcPrepare { node, txn } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "txn", txn);
+            }
+            EventKind::TpcVote { node, txn, yes } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "txn", txn);
+                s.push_str(&format!(",\"yes\":{yes}"));
+            }
+            EventKind::TpcDecide {
+                node,
+                txn,
+                commit,
+                participants,
+            } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "txn", txn);
+                s.push_str(&format!(",\"commit\":{commit}"));
+                num(&mut s, "participants", participants);
+            }
+            EventKind::TpcResolve { node, txn, commit } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "txn", txn);
+                s.push_str(&format!(",\"commit\":{commit}"));
+            }
+            EventKind::NodeCrash { node } | EventKind::NodeRecover { node } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+            }
+            EventKind::MsgSend { from, to, kind }
+            | EventKind::MsgDrop { from, to, kind }
+            | EventKind::MsgDup { from, to, kind }
+            | EventKind::MsgDeliver { from, to, kind } => {
+                num(&mut s, "from", u64::from(from.as_raw()));
+                num(&mut s, "to", u64::from(to.as_raw()));
+                s.push_str(&format!(",\"kind\":\"{kind}\""));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError`] on any malformed input: bad JSON shape,
+    /// unknown tag, missing or mistyped field, out-of-range colour.
+    pub fn from_json_line(line: &str) -> Result<Event, TraceParseError> {
+        let fields = parse_flat_object(line)?;
+        let get = |key: &str| -> Result<&JsonValue, TraceParseError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| TraceParseError::new(format!("missing field `{key}`")))
+        };
+        let get_u64 = |key: &str| -> Result<u64, TraceParseError> {
+            match get(key)? {
+                JsonValue::Num(n) => Ok(*n),
+                other => Err(TraceParseError::new(format!(
+                    "field `{key}` should be a number, got {other:?}"
+                ))),
+            }
+        };
+        let get_bool = |key: &str| -> Result<bool, TraceParseError> {
+            match get(key)? {
+                JsonValue::Bool(b) => Ok(*b),
+                other => Err(TraceParseError::new(format!(
+                    "field `{key}` should be a bool, got {other:?}"
+                ))),
+            }
+        };
+        let get_str = |key: &str| -> Result<&str, TraceParseError> {
+            match get(key)? {
+                JsonValue::Str(s) => Ok(s.as_str()),
+                other => Err(TraceParseError::new(format!(
+                    "field `{key}` should be a string, got {other:?}"
+                ))),
+            }
+        };
+        let action = |key: &str| get_u64(key).map(ActionId::from_raw);
+        let object = || get_u64("object").map(ObjectId::from_raw);
+        let node = |key: &str| -> Result<NodeId, TraceParseError> {
+            let raw = get_u64(key)?;
+            u32::try_from(raw)
+                .map(NodeId::from_raw)
+                .map_err(|_| TraceParseError::new(format!("node id {raw} out of range")))
+        };
+        let colour = || -> Result<Colour, TraceParseError> {
+            let idx = get_u64("colour")? as usize;
+            if idx >= MAX_LIVE_COLOURS {
+                return Err(TraceParseError::new(format!(
+                    "colour index {idx} out of range"
+                )));
+            }
+            Ok(Colour::from_index(idx))
+        };
+        let mode = || -> Result<LockMode, TraceParseError> {
+            match get_str("mode")? {
+                "read" => Ok(LockMode::Read),
+                "exclusive-read" => Ok(LockMode::ExclusiveRead),
+                "write" => Ok(LockMode::Write),
+                other => Err(TraceParseError::new(format!("unknown lock mode `{other}`"))),
+            }
+        };
+        let msg_kind = || -> Result<MsgKind, TraceParseError> {
+            let tag = get_str("kind")?;
+            MsgKind::parse(tag)
+                .ok_or_else(|| TraceParseError::new(format!("unknown message kind `{tag}`")))
+        };
+
+        let at_us = get_u64("at_us")?;
+        let ev = get_str("ev")?;
+        let kind = match ev {
+            "action_begin" => EventKind::ActionBegin {
+                action: action("action")?,
+                parent: match fields.iter().find(|(k, _)| k == "parent") {
+                    Some((_, JsonValue::Num(n))) => Some(ActionId::from_raw(*n)),
+                    Some((_, other)) => {
+                        return Err(TraceParseError::new(format!(
+                            "field `parent` should be a number, got {other:?}"
+                        )))
+                    }
+                    None => None,
+                },
+                colours: get_u64("colours")?,
+            },
+            "action_commit" => EventKind::ActionCommit {
+                action: action("action")?,
+            },
+            "action_abort" => EventKind::ActionAbort {
+                action: action("action")?,
+            },
+            "lock_request" => EventKind::LockRequest {
+                action: action("action")?,
+                object: object()?,
+                colour: colour()?,
+                mode: mode()?,
+            },
+            "lock_grant" => EventKind::LockGrant {
+                action: action("action")?,
+                object: object()?,
+                colour: colour()?,
+                mode: mode()?,
+            },
+            "lock_conflict" => EventKind::LockConflict {
+                action: action("action")?,
+                object: object()?,
+                colour: colour()?,
+                mode: mode()?,
+            },
+            "lock_inherit" => EventKind::LockInherit {
+                from: action("from")?,
+                to: action("to")?,
+                object: object()?,
+                colour: colour()?,
+            },
+            "lock_release" => EventKind::LockRelease {
+                action: action("action")?,
+                object: object()?,
+                colour: colour()?,
+            },
+            "undo_record" => EventKind::UndoRecord {
+                action: action("action")?,
+                object: object()?,
+                colour: colour()?,
+            },
+            "wal_append" => EventKind::WalAppend {
+                records: get_u64("records")?,
+            },
+            "wal_flush" => EventKind::WalFlush {
+                objects: get_u64("objects")?,
+            },
+            "tpc_prepare" => EventKind::TpcPrepare {
+                node: node("node")?,
+                txn: get_u64("txn")?,
+            },
+            "tpc_vote" => EventKind::TpcVote {
+                node: node("node")?,
+                txn: get_u64("txn")?,
+                yes: get_bool("yes")?,
+            },
+            "tpc_decide" => EventKind::TpcDecide {
+                node: node("node")?,
+                txn: get_u64("txn")?,
+                commit: get_bool("commit")?,
+                participants: get_u64("participants")?,
+            },
+            "tpc_resolve" => EventKind::TpcResolve {
+                node: node("node")?,
+                txn: get_u64("txn")?,
+                commit: get_bool("commit")?,
+            },
+            "node_crash" => EventKind::NodeCrash {
+                node: node("node")?,
+            },
+            "node_recover" => EventKind::NodeRecover {
+                node: node("node")?,
+            },
+            "msg_send" => EventKind::MsgSend {
+                from: node("from")?,
+                to: node("to")?,
+                kind: msg_kind()?,
+            },
+            "msg_drop" => EventKind::MsgDrop {
+                from: node("from")?,
+                to: node("to")?,
+                kind: msg_kind()?,
+            },
+            "msg_dup" => EventKind::MsgDup {
+                from: node("from")?,
+                to: node("to")?,
+                kind: msg_kind()?,
+            },
+            "msg_deliver" => EventKind::MsgDeliver {
+                from: node("from")?,
+                to: node("to")?,
+                kind: msg_kind()?,
+            },
+            other => {
+                return Err(TraceParseError::new(format!("unknown event tag `{other}`")));
+            }
+        };
+        Ok(Event { at_us, kind })
+    }
+}
+
+/// A malformed trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number, when parsing a multi-line trace.
+    pub line: Option<usize>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl TraceParseError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        TraceParseError {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "trace line {n}: {}", self.message),
+            None => write!(f, "trace: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+#[derive(Debug)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parses exactly one flat JSON object: string keys, and values that
+/// are unsigned integers, booleans or escape-free strings. Anything
+/// else — nesting, floats, escapes, trailing garbage — is an error,
+/// which is what makes corrupted traces detectable.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceParseError> {
+    let bytes = line.trim().as_bytes();
+    let mut pos = 0usize;
+    let err = |msg: &str| TraceParseError::new(msg.to_owned());
+
+    let expect = |bytes: &[u8], pos: &mut usize, ch: u8| -> Result<(), TraceParseError> {
+        if bytes.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(err(&format!(
+                "expected `{}` at byte {}",
+                char::from(ch),
+                *pos
+            )))
+        }
+    };
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, TraceParseError> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(TraceParseError::new(format!(
+                "expected string at byte {pos}"
+            )));
+        }
+        *pos += 1;
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| TraceParseError::new("invalid utf-8 in string"))?;
+                    *pos += 1;
+                    return Ok(s.to_owned());
+                }
+                b'\\' => return Err(TraceParseError::new("escape sequences are not supported")),
+                _ => *pos += 1,
+            }
+        }
+        Err(TraceParseError::new("unterminated string"))
+    }
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, TraceParseError> {
+        match bytes.get(*pos) {
+            Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+            Some(b'0'..=b'9') => {
+                let start = *pos;
+                while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are utf-8");
+                text.parse::<u64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| TraceParseError::new(format!("number `{text}` out of range")))
+            }
+            _ if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(JsonValue::Bool(true))
+            }
+            _ if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(JsonValue::Bool(false))
+            }
+            _ => Err(TraceParseError::new(format!(
+                "expected a value at byte {pos}"
+            ))),
+        }
+    }
+
+    if bytes.is_empty() {
+        return Err(err("empty line"));
+    }
+    expect(bytes, &mut pos, b'{')?;
+    let mut fields = Vec::new();
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            let key = parse_string(bytes, &mut pos)?;
+            expect(bytes, &mut pos, b':')?;
+            let value = parse_value(bytes, &mut pos)?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(err(&format!("duplicate field `{key}`")));
+            }
+            fields.push((key, value));
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(err(&format!("expected `,` or `}}` at byte {pos}"))),
+            }
+        }
+    }
+    if pos != bytes.len() {
+        return Err(err(&format!("trailing garbage at byte {pos}")));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> Colour {
+        Colour::from_index(i)
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let a1 = ActionId::from_raw(1);
+        let a2 = ActionId::from_raw(2);
+        let o = ObjectId::from_raw(7);
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let kinds = vec![
+            EventKind::ActionBegin {
+                action: a1,
+                parent: None,
+                colours: 0b11,
+            },
+            EventKind::ActionBegin {
+                action: a2,
+                parent: Some(a1),
+                colours: 0b1,
+            },
+            EventKind::ActionCommit { action: a2 },
+            EventKind::ActionAbort { action: a1 },
+            EventKind::LockRequest {
+                action: a1,
+                object: o,
+                colour: c(0),
+                mode: LockMode::Read,
+            },
+            EventKind::LockGrant {
+                action: a1,
+                object: o,
+                colour: c(0),
+                mode: LockMode::Write,
+            },
+            EventKind::LockConflict {
+                action: a2,
+                object: o,
+                colour: c(1),
+                mode: LockMode::ExclusiveRead,
+            },
+            EventKind::LockInherit {
+                from: a2,
+                to: a1,
+                object: o,
+                colour: c(0),
+            },
+            EventKind::LockRelease {
+                action: a1,
+                object: o,
+                colour: c(1),
+            },
+            EventKind::UndoRecord {
+                action: a1,
+                object: o,
+                colour: c(0),
+            },
+            EventKind::WalAppend { records: 3 },
+            EventKind::WalFlush { objects: 2 },
+            EventKind::TpcPrepare { node: n2, txn: 9 },
+            EventKind::TpcVote {
+                node: n2,
+                txn: 9,
+                yes: true,
+            },
+            EventKind::TpcDecide {
+                node: n1,
+                txn: 9,
+                commit: true,
+                participants: 2,
+            },
+            EventKind::TpcResolve {
+                node: n2,
+                txn: 9,
+                commit: true,
+            },
+            EventKind::NodeCrash { node: n2 },
+            EventKind::NodeRecover { node: n2 },
+            EventKind::MsgSend {
+                from: n1,
+                to: n2,
+                kind: MsgKind::Prepare,
+            },
+            EventKind::MsgDrop {
+                from: n1,
+                to: n2,
+                kind: MsgKind::Decision,
+            },
+            EventKind::MsgDup {
+                from: n2,
+                to: n1,
+                kind: MsgKind::VoteYes,
+            },
+            EventKind::MsgDeliver {
+                from: n2,
+                to: n1,
+                kind: MsgKind::Ack,
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                at_us: i as u64 * 10,
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            let back = Event::from_json_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, event, "round-trip of {line}");
+        }
+    }
+
+    #[test]
+    fn kind_names_are_distinct_and_indexed() {
+        for (i, event) in sample_events().iter().enumerate() {
+            // sample_events covers index 0..KIND_COUNT minus the
+            // duplicate ActionBegin at position 1.
+            let _ = i;
+            assert_eq!(event.kind.name(), KIND_NAMES[event.kind.index()]);
+        }
+        let mut names = KIND_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KIND_COUNT, "kind tags must be unique");
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{\"at_us\":1,\"ev\":\"no_such_event\"}",
+            "{\"at_us\":1,\"ev\":\"action_commit\"}", // missing action
+            "{\"at_us\":1,\"ev\":\"action_commit\",\"action\":true}", // wrong type
+            "{\"at_us\":1,\"ev\":\"action_commit\",\"action\":1}garbage",
+            "{\"at_us\":1,\"ev\":\"action_commit\",\"action\":1",
+            "{\"at_us\":1,\"at_us\":2,\"ev\":\"wal_append\",\"records\":1}",
+            "{\"at_us\":1,\"ev\":\"lock_release\",\"action\":1,\"object\":1,\"colour\":9999}",
+            "{\"at_us\":1,\"ev\":\"lock_grant\",\"action\":1,\"object\":1,\"colour\":0,\"mode\":\"steal\"}",
+            "{\"at_us\":1,\"ev\":\"msg_send\",\"from\":1,\"to\":2,\"kind\":\"pigeon\"}",
+            "{\"at_us\":1,\"ev\":\"tpc_prepare\",\"node\":99999999999,\"txn\":1}",
+        ] {
+            assert!(
+                Event::from_json_line(bad).is_err(),
+                "should reject: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_error_displays_line_number() {
+        let e = TraceParseError::new("boom").at_line(7);
+        assert_eq!(e.to_string(), "trace line 7: boom");
+    }
+
+    #[test]
+    fn msg_kind_tags_round_trip() {
+        for kind in MsgKind::ALL {
+            assert_eq!(MsgKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(MsgKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Structured tracing, metrics and invariant auditing for chroma.
+//!
+//! The paper argues fault tolerance by construction: actions obey
+//! strict two-phase locking, nested commits pass locks to ancestors by
+//! the Moss rules, and distributed commitment never diverges. This
+//! crate makes those claims *checkable* on real executions instead of
+//! trusted:
+//!
+//! * [`Event`] is a typed record of one step of the action lifecycle —
+//!   begins/commits/aborts, lock traffic, undo logging, WAL activity,
+//!   two-phase commit, crashes and network behaviour;
+//! * [`EventBus`] collects events from every subsystem, counts them,
+//!   feeds latency [`Histogram`]s and fans out to pluggable sinks
+//!   ([`MemorySink`] for tests, [`JsonlSink`] for offline analysis);
+//! * [`TraceAuditor`] replays a captured event stream and checks the
+//!   paper's invariants after the fact: strict 2PL, commit-time lock
+//!   inheritance by the closest ancestor holding the colour, no write
+//!   without a write lock, and 2PC safety.
+//!
+//! Instrumented code holds an [`Obs`] handle — a cheap clone that is a
+//! no-op until a bus is installed, so the hot paths pay one branch when
+//! tracing is off.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use chroma_base::ActionId;
+//! use chroma_obs::{EventBus, EventKind, MemorySink, Obs, TraceAuditor};
+//!
+//! let bus = Arc::new(EventBus::new());
+//! let sink = Arc::new(MemorySink::new(1024));
+//! bus.add_sink(sink.clone());
+//!
+//! let obs = Obs::new(bus.clone());
+//! let a = ActionId::from_raw(1);
+//! obs.emit(EventKind::ActionBegin { action: a, parent: None, colours: 0b1 });
+//! obs.emit(EventKind::ActionCommit { action: a });
+//!
+//! assert_eq!(bus.counter("action_begin"), 1);
+//! let report = TraceAuditor::audit_events(&sink.events());
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod bus;
+mod event;
+mod metrics;
+
+pub use audit::{AuditReport, TraceAuditor, Violation};
+pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell};
+pub use event::{Event, EventKind, MsgKind, TraceParseError};
+pub use metrics::{Histogram, Snapshot, Summary};

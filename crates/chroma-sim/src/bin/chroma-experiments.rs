@@ -1,8 +1,43 @@
 //! Regenerates every experiment of `EXPERIMENTS.md` and prints the
 //! reports as markdown. Run with `--release` for representative timing
 //! rows.
+//!
+//! `--trace <path>` additionally runs an instrumented demonstration
+//! workload — nested local actions plus a distributed two-phase commit
+//! under message loss and a participant crash — writing its event
+//! stream to `<path>` as JSONL, auditing it offline, and printing the
+//! metrics snapshot.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use chroma_base::ObjectId;
+use chroma_core::Runtime;
+use chroma_dist::{Sim, Write, RETRY_INTERVAL};
+use chroma_obs::{EventBus, JsonlSink, MemorySink, TraceAuditor};
+use chroma_store::StoreBytes;
 
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --trace <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = trace_path {
+        write_trace(Path::new(&path));
+    }
+
     let reports = chroma_sim::experiments::run_all();
     println!("# Chroma experiment reports\n");
     let mut failures = 0;
@@ -20,4 +55,61 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+fn write_trace(path: &Path) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let bus = Arc::new(EventBus::new());
+    let sink = Arc::new(MemorySink::new(1_000_000));
+    bus.add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(file))));
+    bus.add_sink(sink.clone());
+
+    // Nested local actions: lock, undo, inheritance and WAL traffic.
+    let rt = Runtime::new();
+    rt.install_obs(bus.clone());
+    let o = rt.create_object(&0i64).expect("create");
+    for i in 0..8i64 {
+        rt.atomic(|a| {
+            a.modify(o, |v: &mut i64| *v += i)?;
+            a.nested(|b| b.modify(o, |v: &mut i64| *v ^= 1))
+        })
+        .expect("workload action");
+    }
+
+    // Distributed 2PC under loss with a crashing participant:
+    // prepare/vote/decide/resolve and network traffic, stamped with
+    // simulated time.
+    let mut sim = Sim::new(7);
+    sim.net.loss = 0.1;
+    sim.install_obs(bus.clone());
+    let coord = sim.add_node();
+    let p1 = sim.add_node();
+    let p2 = sim.add_node();
+    let w = |n: u64, v: u8| Write {
+        object: ObjectId::from_raw(n),
+        state: StoreBytes::from(vec![v]),
+    };
+    sim.begin_transaction(
+        coord,
+        vec![
+            (coord, vec![w(1, 1)]),
+            (p1, vec![w(2, 2)]),
+            (p2, vec![w(3, 3)]),
+        ],
+    );
+    sim.schedule_crash(p2, RETRY_INTERVAL);
+    sim.schedule_recover(p2, 10 * RETRY_INTERVAL);
+    sim.run_to_quiescence();
+
+    bus.flush();
+    let report = TraceAuditor::audit_events(&sink.events());
+    eprintln!(
+        "trace: {} events written to {}\n{report}\n{}",
+        report.events,
+        path.display(),
+        bus.snapshot().render()
+    );
 }

@@ -227,7 +227,10 @@ pub fn e03_serializing_outcomes() -> ExperimentReport {
     report.row("outcome (ii) B and C", both);
     report.row("outcome (iii) B only", b_only);
     report.check("every trial lands in a legal outcome", consistent);
-    report.check("outcome (iii) occurs (impossible with plain nesting)", b_only > 0);
+    report.check(
+        "outcome (iii) occurs (impossible with plain nesting)",
+        b_only > 0,
+    );
     report
 }
 
@@ -262,7 +265,10 @@ pub fn e04_baseline_structures() -> ExperimentReport {
     .expect("action A");
     // The gap: an intruder modifies a handed-over object before B runs.
     let intruded = probe_free(&rt, objects[0]);
-    report.row("(a) intruder can grab hand-over object in the gap", intruded);
+    report.row(
+        "(a) intruder can grab hand-over object in the gap",
+        intruded,
+    );
     report.check("(a) gap is unprotected", intruded);
 
     // (b) Serializing action: protected, but everything is fenced.
@@ -483,11 +489,12 @@ pub fn e08_distributed_make() -> ExperimentReport {
 
     // Concurrency measurement.
     let rt = Runtime::new();
-    let mut make = DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).expect("parse"))
-        .expect("engine");
+    let mut make =
+        DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).expect("parse")).expect("engine");
     make.set_command_delay(delay);
     for i in 0..4 {
-        make.write_source(&format!("m{i}.c"), "src").expect("source");
+        make.write_source(&format!("m{i}.c"), "src")
+            .expect("source");
     }
     let begun = Instant::now();
     let built = make.make("app").expect("make");
@@ -503,10 +510,11 @@ pub fn e08_distributed_make() -> ExperimentReport {
     // Work preserved after failure: serializing vs monolithic baseline.
     let count_retry_work = |monolithic: bool| -> u64 {
         let rt = Runtime::new();
-        let make = DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).expect("parse"))
-            .expect("engine");
+        let make =
+            DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).expect("parse")).expect("engine");
         for i in 0..4 {
-            make.write_source(&format!("m{i}.c"), "src").expect("source");
+            make.write_source(&format!("m{i}.c"), "src")
+                .expect("source");
         }
         make.inject_failure("app"); // compiles succeed, the link fails
         let failed = if monolithic {
@@ -663,7 +671,10 @@ pub fn e10_coloured_basics() -> ExperimentReport {
     report.row("red effect stable after B's commit", red_stable);
     report.row("blue effect stable after B's commit", blue_stable);
     report.check("red released, blue retained", red_free && !blue_free);
-    report.check("red permanent at B's commit", red_stable == 1 && blue_stable == 0);
+    report.check(
+        "red permanent at B's commit",
+        red_stable == 1 && blue_stable == 0,
+    );
     report.check(
         "A's abort undoes blue only",
         red_after == 1 && blue_after == 0,
@@ -735,8 +746,14 @@ pub fn e11_serializing_via_colours() -> ExperimentReport {
             probe_free(&rt, o),
         )
     };
-    report.row("direct colours (protected, stable@mid, final, free@end)", format!("{direct:?}"));
-    report.row("structure API  (protected, stable@mid, final, free@end)", format!("{structured:?}"));
+    report.row(
+        "direct colours (protected, stable@mid, final, free@end)",
+        format!("{direct:?}"),
+    );
+    report.row(
+        "structure API  (protected, stable@mid, final, free@end)",
+        format!("{structured:?}"),
+    );
     report.check("behaviours identical", direct == structured);
     report.check(
         "step-1 effect permanent despite step-2 failure",
@@ -807,8 +824,14 @@ pub fn e12_glued_via_colours() -> ExperimentReport {
             rt.read_committed::<i64>(kept).expect("read"),
         )
     };
-    report.row("direct colours (O−P free, P fenced, final)", format!("{direct:?}"));
-    report.row("structure API  (O−P free, P fenced, final)", format!("{structured:?}"));
+    report.row(
+        "direct colours (O−P free, P fenced, final)",
+        format!("{direct:?}"),
+    );
+    report.row(
+        "structure API  (O−P free, P fenced, final)",
+        format!("{structured:?}"),
+    );
     report.check("behaviours identical", direct == structured);
     report.check("hand-over worked", direct == (true, true, 11));
     report
@@ -894,9 +917,7 @@ pub fn e14_nlevel_independence() -> ExperimentReport {
     let works = ["D", "C.body", "E.body", "F.body"];
     for aborter in ["A", "B", "C", "E", "F"] {
         let rt = Runtime::new();
-        let result = plan
-            .execute(&rt, &|name| name != aborter)
-            .expect("execute");
+        let result = plan.execute(&rt, &|name| name != aborter).expect("execute");
         let survived: Vec<String> = works
             .iter()
             .filter(|w| result.survived[**w])
@@ -1106,7 +1127,10 @@ pub fn a2_lock_availability() -> ExperimentReport {
         "available at midpoint (glued, |P| = 3)",
         format!("{glued_avail} of {total}"),
     );
-    report.check("ordering: atomic = serializing = 0 < glued", atomic_avail == 0 && serializing_avail == 0 && glued_avail == total - handover);
+    report.check(
+        "ordering: atomic = serializing = 0 < glued",
+        atomic_avail == 0 && serializing_avail == 0 && glued_avail == total - handover,
+    );
     report
 }
 
@@ -1135,14 +1159,20 @@ pub fn a3_tpc_under_faults() -> ExperimentReport {
             let txn = sim.begin_transaction(
                 coord,
                 vec![
-                    (p1, vec![Write {
-                        object: ObjectId::from_raw(1),
-                        state: chroma_store::StoreBytes::from(vec![1]),
-                    }]),
-                    (p2, vec![Write {
-                        object: ObjectId::from_raw(2),
-                        state: chroma_store::StoreBytes::from(vec![2]),
-                    }]),
+                    (
+                        p1,
+                        vec![Write {
+                            object: ObjectId::from_raw(1),
+                            state: chroma_store::StoreBytes::from(vec![1]),
+                        }],
+                    ),
+                    (
+                        p2,
+                        vec![Write {
+                            object: ObjectId::from_raw(2),
+                            state: chroma_store::StoreBytes::from(vec![2]),
+                        }],
+                    ),
                 ],
             );
             if seed % 3 == 0 {
@@ -1150,16 +1180,8 @@ pub fn a3_tpc_under_faults() -> ExperimentReport {
                 sim.schedule_recover(p2, 600_000);
             }
             sim.run_to_quiescence();
-            let i1 = sim
-                .node(p1)
-                .store
-                .read(ObjectId::from_raw(1))
-                .is_some();
-            let i2 = sim
-                .node(p2)
-                .store
-                .read(ObjectId::from_raw(2))
-                .is_some();
+            let i1 = sim.node(p1).store.read(ObjectId::from_raw(1)).is_some();
+            let i2 = sim.node(p2).store.read(ObjectId::from_raw(2)).is_some();
             if i1 != i2 {
                 violations += 1;
             }
@@ -1207,11 +1229,8 @@ pub fn a4_replication_availability() -> ExperimentReport {
     for replicas in [1usize, 2, 3] {
         let mut sim = Sim::new(99);
         let nodes: Vec<_> = (0..replicas).map(|_| sim.add_node()).collect();
-        let ns = chroma_apps::ReplicatedNameServer::create(
-            &mut sim,
-            ObjectId::from_raw(700),
-            &nodes,
-        );
+        let ns =
+            chroma_apps::ReplicatedNameServer::create(&mut sim, ObjectId::from_raw(700), &nodes);
         assert!(ns.register(&mut sim, "svc", "loc"));
         sim.run_to_quiescence();
         // Crash schedule: knock each member out in turn; probe after
@@ -1268,7 +1287,11 @@ pub fn a5_lock_manager_overhead() -> ExperimentReport {
                     action,
                     object,
                     chroma_base::Colour::from_index(0),
-                    if i % 4 == 0 { LockMode::Write } else { LockMode::Read },
+                    if i % 4 == 0 {
+                        LockMode::Write
+                    } else {
+                        LockMode::Read
+                    },
                 );
                 if i % 16 == 15 {
                     table.discard_action(action);
@@ -1284,7 +1307,11 @@ pub fn a5_lock_manager_overhead() -> ExperimentReport {
                     action,
                     object,
                     chroma_base::Colour::from_index(0),
-                    if i % 4 == 0 { LockMode::Write } else { LockMode::Read },
+                    if i % 4 == 0 {
+                        LockMode::Write
+                    } else {
+                        LockMode::Read
+                    },
                 );
                 if i % 16 == 15 {
                     table.discard_action(action);
@@ -1342,16 +1369,18 @@ pub fn a6_distributed_runtime() -> ExperimentReport {
     let per_commit = begun.elapsed() / commits;
     report.row("storage nodes / replication", "4 / 2");
     report.row("distributed commits", commits);
-    report.row("wall time per commit (incl. simulated 2PC)", format!("{per_commit:?}"));
+    report.row(
+        "wall time per commit (incl. simulated 2PC)",
+        format!("{per_commit:?}"),
+    );
 
     // Crash one storage node: committed state remains readable, new
     // commits continue, and the node catches up on recovery.
     store.crash_node(0);
-    let readable = objects
-        .iter()
-        .all(|&o| rt.read_committed::<i64>(o).is_ok());
+    let readable = objects.iter().all(|&o| rt.read_committed::<i64>(o).is_ok());
     report.check("all committed state readable with a node down", readable);
-    rt.atomic(|a| a.write(objects[0], &999i64)).expect("commit during outage");
+    rt.atomic(|a| a.write(objects[0], &999i64))
+        .expect("commit during outage");
     store.recover_node(0);
     report.check(
         "commits continue during downtime and recovery catches up",
@@ -1369,7 +1398,8 @@ pub fn a6_distributed_runtime() -> ExperimentReport {
         matches!(blocked, Err(ActionError::Backend(_))),
     );
     chroma_core::PermanenceBackend::recover(&*store);
-    rt.atomic(|a| a.write(objects[1], &7i64)).expect("after recovery");
+    rt.atomic(|a| a.write(objects[1], &7i64))
+        .expect("after recovery");
     report.check(
         "the retried commit succeeds after storage recovery",
         rt.read_committed::<i64>(objects[1]).expect("read") == 7,

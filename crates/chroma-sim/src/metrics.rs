@@ -1,53 +1,10 @@
 //! Small measurement utilities for the experiment harness.
 
-use std::time::Duration;
-
 /// Summary statistics over a set of duration samples.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct Summary {
-    /// Number of samples.
-    pub count: usize,
-    /// Mean, in microseconds.
-    pub mean_us: f64,
-    /// Median, in microseconds.
-    pub p50_us: f64,
-    /// 95th percentile, in microseconds.
-    pub p95_us: f64,
-    /// Maximum, in microseconds.
-    pub max_us: f64,
-}
-
-impl Summary {
-    /// Computes summary statistics from duration samples.
-    #[must_use]
-    pub fn from_durations(samples: &[Duration]) -> Self {
-        if samples.is_empty() {
-            return Summary::default();
-        }
-        let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
-        us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let count = us.len();
-        let mean_us = us.iter().sum::<f64>() / count as f64;
-        let pick = |q: f64| us[(((count - 1) as f64) * q).round() as usize];
-        Summary {
-            count,
-            mean_us,
-            p50_us: pick(0.5),
-            p95_us: pick(0.95),
-            max_us: us[count - 1],
-        }
-    }
-}
-
-impl std::fmt::Display for Summary {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs max={:.1}µs",
-            self.count, self.mean_us, self.p50_us, self.p95_us, self.max_us
-        )
-    }
-}
+///
+/// Lives in `chroma-obs` (the shared observability vocabulary);
+/// re-exported here for the experiment harness's convenience.
+pub use chroma_obs::Summary;
 
 /// One metric row of an experiment report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,7 +55,11 @@ impl ExperimentReport {
     pub fn check(&mut self, name: &str, ok: bool) {
         self.rows.push(Row {
             metric: format!("check: {name}"),
-            value: if ok { "ok".to_owned() } else { "FAILED".to_owned() },
+            value: if ok {
+                "ok".to_owned()
+            } else {
+                "FAILED".to_owned()
+            },
         });
         self.pass &= ok;
     }
@@ -115,7 +76,11 @@ impl ExperimentReport {
         }
         out.push_str(&format!(
             "\n**Verdict:** {}\n",
-            if self.pass { "reproduced" } else { "NOT reproduced" }
+            if self.pass {
+                "reproduced"
+            } else {
+                "NOT reproduced"
+            }
         ));
         out
     }
@@ -124,6 +89,7 @@ impl ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn summary_of_empty_is_zeroes() {

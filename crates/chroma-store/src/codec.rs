@@ -525,17 +525,11 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         visitor.visit_enum(Enum { decoder: self })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::Unsupported("identifier deserialization"))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::Unsupported(
             "ignored_any on a non-self-describing format",
         ))

@@ -68,8 +68,14 @@ impl From<io::Error> for DiskError {
 /// One framed record in the on-disk intentions log.
 #[derive(Debug, Serialize, Deserialize)]
 enum DiskRecord {
-    Intent { batch: u64, object: u64, state: Vec<u8> },
-    Commit { batch: u64 },
+    Intent {
+        batch: u64,
+        object: u64,
+        state: Vec<u8>,
+    },
+    Commit {
+        batch: u64,
+    },
 }
 
 /// A crash-safe object store on the local filesystem.
@@ -125,7 +131,9 @@ impl DiskStore {
     }
 
     fn object_path(&self, object: ObjectId) -> PathBuf {
-        self.dir.join("objects").join(format!("o{}.bin", object.as_raw()))
+        self.dir
+            .join("objects")
+            .join(format!("o{}.bin", object.as_raw()))
     }
 
     /// Reads the installed state of `object`.
@@ -177,10 +185,7 @@ impl DiskStore {
     ///
     /// I/O failures; on error before the commit marker the batch is
     /// guaranteed absent after recovery.
-    pub fn commit_batch(
-        &self,
-        updates: Vec<(ObjectId, StoreBytes)>,
-    ) -> Result<(), DiskError> {
+    pub fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), DiskError> {
         let mut next_batch = self.commit_lock.lock();
         let batch = *next_batch;
         *next_batch += 1;
@@ -227,8 +232,7 @@ impl DiskStore {
     }
 
     fn append_record(log: &mut File, record: &DiskRecord) -> Result<(), DiskError> {
-        let bytes =
-            codec::to_bytes(record).map_err(|e| DiskError::CorruptLog(e.to_string()))?;
+        let bytes = codec::to_bytes(record).map_err(|e| DiskError::CorruptLog(e.to_string()))?;
         let len = u32::try_from(bytes.len())
             .map_err(|_| DiskError::CorruptLog("record too large".into()))?;
         log.write_all(&len.to_le_bytes())?;
@@ -276,7 +280,12 @@ impl DiskStore {
             .collect();
         let mut max_batch = 0;
         for record in &records {
-            if let DiskRecord::Intent { batch, object, state } = record {
+            if let DiskRecord::Intent {
+                batch,
+                object,
+                state,
+            } = record
+            {
                 max_batch = max_batch.max(*batch);
                 if committed.contains(batch) {
                     self.install(ObjectId::from_raw(*object), state)?;

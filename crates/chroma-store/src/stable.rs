@@ -22,6 +22,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use chroma_base::ObjectId;
+use chroma_obs::{EventKind, Obs, ObsCell};
 use parking_lot::Mutex;
 
 use crate::StoreBytes;
@@ -131,6 +132,7 @@ struct StableInner {
 #[derive(Debug, Default)]
 pub struct StableStore {
     inner: Mutex<StableInner>,
+    obs: ObsCell,
 }
 
 impl StableStore {
@@ -138,6 +140,13 @@ impl StableStore {
     #[must_use]
     pub fn new() -> Self {
         StableStore::default()
+    }
+
+    /// Installs an observability handle; commits emit `WalAppend` (log
+    /// records reaching stable storage) and `WalFlush` (a batch of
+    /// object states installed).
+    pub fn set_obs(&self, obs: Obs) {
+        self.obs.set(obs);
     }
 
     /// Returns the installed state of `object`, if any.
@@ -213,9 +222,14 @@ impl StableStore {
             return Err(Crashed);
         }
         inner.log.push(LogRecord::Commit { batch });
+        // intents + the commit record are now durably logged
+        self.obs.get().emit(EventKind::WalAppend {
+            records: updates.len() as u64 + 1,
+        });
         if crash_at == Some(CommitCrashPoint::AfterCommitRecord) {
             return Err(Crashed);
         }
+        let installed = updates.len() as u64;
         for (object, state) in updates {
             inner.pages.insert(object, state);
         }
@@ -224,6 +238,9 @@ impl StableStore {
         }
         inner.log.push(LogRecord::Installed { batch });
         Self::truncate(&mut inner);
+        self.obs
+            .get()
+            .emit(EventKind::WalFlush { objects: installed });
         Ok(batch)
     }
 
@@ -264,6 +281,7 @@ impl StableStore {
                 _ => None,
             })
             .collect();
+        let reinstalled = to_install.len() as u64;
         let mut finished: Vec<BatchId> = Vec::new();
         for (batch, object, state) in to_install {
             inner.pages.insert(object, state);
@@ -275,6 +293,11 @@ impl StableStore {
             inner.log.push(LogRecord::Installed { batch });
         }
         Self::truncate(&mut inner);
+        if reinstalled > 0 {
+            self.obs.get().emit(EventKind::WalFlush {
+                objects: reinstalled,
+            });
+        }
     }
 
     /// Drops all log records belonging to fully installed batches and
@@ -334,10 +357,8 @@ mod tests {
     #[test]
     fn crash_before_intents_loses_batch() {
         let store = StableStore::new();
-        let err = store.commit_batch_with_crash(
-            vec![(o(1), bytes(1))],
-            CommitCrashPoint::BeforeIntents,
-        );
+        let err =
+            store.commit_batch_with_crash(vec![(o(1), bytes(1))], CommitCrashPoint::BeforeIntents);
         assert_eq!(err, Err(Crashed));
         store.recover();
         assert!(store.read(o(1)).is_none());
@@ -347,8 +368,8 @@ mod tests {
     #[test]
     fn crash_after_intents_discards_batch() {
         let store = StableStore::new();
-        let _ = store
-            .commit_batch_with_crash(vec![(o(1), bytes(1))], CommitCrashPoint::AfterIntents);
+        let _ =
+            store.commit_batch_with_crash(vec![(o(1), bytes(1))], CommitCrashPoint::AfterIntents);
         store.recover();
         assert!(store.read(o(1)).is_none());
         assert_eq!(store.log_len(), 0);
@@ -371,8 +392,8 @@ mod tests {
     #[test]
     fn crash_after_install_is_idempotent_on_recovery() {
         let store = StableStore::new();
-        let _ = store
-            .commit_batch_with_crash(vec![(o(1), bytes(9))], CommitCrashPoint::AfterInstall);
+        let _ =
+            store.commit_batch_with_crash(vec![(o(1), bytes(9))], CommitCrashPoint::AfterInstall);
         assert_eq!(store.read(o(1)).as_deref(), Some(&[9u8][..]));
         store.recover();
         store.recover();
@@ -386,13 +407,11 @@ mod tests {
         // Batch 0: fully committed.
         store.commit_batch(vec![(o(1), bytes(1))]);
         // Batch 1: crashed after commit record.
-        let _ = store.commit_batch_with_crash(
-            vec![(o(2), bytes(2))],
-            CommitCrashPoint::AfterCommitRecord,
-        );
-        // A second, later store user crashes pre-commit. (New batch id.)
         let _ = store
-            .commit_batch_with_crash(vec![(o(3), bytes(3))], CommitCrashPoint::AfterIntents);
+            .commit_batch_with_crash(vec![(o(2), bytes(2))], CommitCrashPoint::AfterCommitRecord);
+        // A second, later store user crashes pre-commit. (New batch id.)
+        let _ =
+            store.commit_batch_with_crash(vec![(o(3), bytes(3))], CommitCrashPoint::AfterIntents);
         store.recover();
         assert_eq!(store.read(o(1)).as_deref(), Some(&[1u8][..]));
         assert_eq!(store.read(o(2)).as_deref(), Some(&[2u8][..]));

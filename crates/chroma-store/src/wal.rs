@@ -1,5 +1,6 @@
 //! A generic crash-surviving append-only log.
 
+use chroma_obs::{EventKind, Obs, ObsCell};
 use parking_lot::Mutex;
 
 /// An append-only log that lives on a node's stable storage.
@@ -23,12 +24,14 @@ use parking_lot::Mutex;
 #[derive(Debug)]
 pub struct DurableLog<T> {
     records: Mutex<Vec<T>>,
+    obs: ObsCell,
 }
 
 impl<T> Default for DurableLog<T> {
     fn default() -> Self {
         DurableLog {
             records: Mutex::new(Vec::new()),
+            obs: ObsCell::new(),
         }
     }
 }
@@ -40,9 +43,15 @@ impl<T> DurableLog<T> {
         DurableLog::default()
     }
 
+    /// Installs an observability handle; appends emit `WalAppend`.
+    pub fn set_obs(&self, obs: Obs) {
+        self.obs.set(obs);
+    }
+
     /// Appends a record; the append is atomic and durable.
     pub fn append(&self, record: T) {
         self.records.lock().push(record);
+        self.obs.get().emit(EventKind::WalAppend { records: 1 });
     }
 
     /// Returns the number of records.

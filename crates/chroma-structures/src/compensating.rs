@@ -205,9 +205,11 @@ mod tests {
         for name in ["first", "second", "third"] {
             let label = name.to_owned();
             chain
-                .step(name, |_| Ok(()), move |s| {
-                    s.modify(log, |l: &mut Vec<String>| l.push(label))
-                })
+                .step(
+                    name,
+                    |_| Ok(()),
+                    move |s| s.modify(log, |l: &mut Vec<String>| l.push(label)),
+                )
                 .unwrap();
         }
         let report = chain.unwind().unwrap();

@@ -220,13 +220,7 @@ pub struct ExecutionReport {
 pub fn assign(structure: &Structure) -> Result<AssignedPlan, ActionError> {
     let mut plan = AssignedPlan::default();
     let root_colour = plan.fresh_colour()?;
-    build(
-        &mut plan,
-        structure,
-        None,
-        root_colour,
-        &mut Vec::new(),
-    )?;
+    build(&mut plan, structure, None, root_colour, &mut Vec::new())?;
     Ok(plan)
 }
 
@@ -543,11 +537,7 @@ impl AssignedPlan {
         outcome: &dyn Fn(&str) -> bool,
     ) -> Result<(), ActionError> {
         let node = &self.nodes[index];
-        let colours: ColourSet = node
-            .colours
-            .iter()
-            .map(|c| colour_map[c.index()])
-            .collect();
+        let colours: ColourSet = node.colours.iter().map(|c| colour_map[c.index()]).collect();
         let action = match parent_action {
             Some(parent) => rt.begin_nested(parent, colours)?,
             None => rt.begin_top(colours)?,
@@ -574,11 +564,7 @@ impl AssignedPlan {
             for &child in &node.children {
                 if let Some(&object) = objects.get(&child) {
                     for fence in node.fences.iter() {
-                        scope.lock(
-                            colour_map[fence.index()],
-                            object,
-                            LockMode::ExclusiveRead,
-                        )?;
+                        scope.lock(colour_map[fence.index()], object, LockMode::ExclusiveRead)?;
                     }
                 }
             }
@@ -700,9 +686,7 @@ mod tests {
         assert_eq!(plan.nodes[s2].parent, Some(gap1));
         assert_eq!(plan.nodes[s3].parent, Some(gap2));
         // Step 2 fences via gap2's colour.
-        assert!(plan.nodes[s2]
-            .fences
-            .is_subset_of(plan.nodes[gap2].colours));
+        assert!(plan.nodes[s2].fences.is_subset_of(plan.nodes[gap2].colours));
         // The final step fences nothing.
         assert!(plan.nodes[s3].fences.is_empty());
         // Steps are independent of the wrappers.
@@ -718,9 +702,7 @@ mod tests {
         let aborters = ["A", "B", "C", "E", "F"];
         for aborter in aborters {
             let rt = Runtime::new();
-            let report = plan
-                .execute(&rt, &|name| name != aborter)
-                .unwrap();
+            let report = plan.execute(&rt, &|name| name != aborter).unwrap();
             for work in work_nodes {
                 // A work node under an aborted action never commits its
                 // own effect in this model only if its *enclosing*

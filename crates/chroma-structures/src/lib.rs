@@ -33,8 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod compiler;
 mod compensating;
+pub mod compiler;
 mod glued;
 mod independent;
 mod serializing;

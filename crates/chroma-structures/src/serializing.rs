@@ -137,16 +137,14 @@ impl SerializingAction {
     ) -> Result<R, ActionError> {
         let update = self.rt.universe().fresh()?;
         let colours = ColourSet::from_iter([self.fence, update]);
-        let result = self
-            .rt
-            .run_nested(self.control, colours, update, |scope| {
-                let mut step = SerialStep {
-                    scope,
-                    fence: self.fence,
-                    update,
-                };
-                body(&mut step)
-            });
+        let result = self.rt.run_nested(self.control, colours, update, |scope| {
+            let mut step = SerialStep {
+                scope,
+                fence: self.fence,
+                update,
+            };
+            body(&mut step)
+        });
         self.rt.universe().release(update);
         result
     }
@@ -234,7 +232,8 @@ impl SerialStep<'_, '_> {
         object: ObjectId,
         value: &T,
     ) -> Result<(), ActionError> {
-        self.scope.lock(self.fence, object, LockMode::ExclusiveRead)?;
+        self.scope
+            .lock(self.fence, object, LockMode::ExclusiveRead)?;
         self.scope.write_in(self.update, object, value)
     }
 
@@ -245,7 +244,8 @@ impl SerialStep<'_, '_> {
     /// Lock or codec failures.
     pub fn create<T: Serialize + ?Sized>(&self, value: &T) -> Result<ObjectId, ActionError> {
         let object = self.scope.create_in(self.update, value)?;
-        self.scope.lock(self.fence, object, LockMode::ExclusiveRead)?;
+        self.scope
+            .lock(self.fence, object, LockMode::ExclusiveRead)?;
         Ok(object)
     }
 

@@ -2,9 +2,7 @@
 //! wrappers, colour-budget sustainability over long lifetimes.
 
 use chroma_core::{ActionError, ColourSet, Runtime, RuntimeConfig};
-use chroma_structures::{
-    independent_sync, CompensatingChain, GluedChain, SerializingAction,
-};
+use chroma_structures::{independent_sync, CompensatingChain, GluedChain, SerializingAction};
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
@@ -44,9 +42,7 @@ fn glued_chain_nested_under_an_atomic_action() {
             s.hand_over(o)
         })
         .unwrap();
-    chain
-        .step(|s| s.modify(o, |v: &mut i64| *v += 1))
-        .unwrap();
+    chain.step(|s| s.modify(o, |v: &mut i64| *v += 1)).unwrap();
     chain.end().unwrap();
     rt.abort(outer);
     assert_eq!(rt.read_committed::<i64>(o).unwrap(), 2);
@@ -108,10 +104,8 @@ fn independent_action_inside_glued_step() {
         s.hand_over(staged)?;
         // Audit from within the step via an independent action on the
         // step's scope is not exposed; use a detached async one instead.
-        chroma_structures::independent_async(&rt, move |a| {
-            a.modify(audit, |n: &mut u32| *n += 1)
-        })
-        .join()?;
+        chroma_structures::independent_async(&rt, move |a| a.modify(audit, |n: &mut u32| *n += 1))
+            .join()?;
         Err::<(), _>(ActionError::failed("step fails after auditing"))
     });
     assert!(failed.is_err());
@@ -140,10 +134,8 @@ fn colour_budget_sustained_over_many_structures() {
                 chain.end().unwrap();
             }
             _ => {
-                rt.atomic(|a| {
-                    independent_sync(a, |b| b.modify(o, |v: &mut i64| *v += 1))
-                })
-                .unwrap();
+                rt.atomic(|a| independent_sync(a, |b| b.modify(o, |v: &mut i64| *v += 1)))
+                    .unwrap();
             }
         }
     }

@@ -135,14 +135,14 @@ fn structure_strategy() -> impl Strategy<Value = Structure> {
     let leaf = (0u32..1000).prop_map(|i| Structure::work(format!("w{i}")));
     leaf.prop_recursive(3, 12, 3, |inner| {
         let children = prop::collection::vec(inner, 1..3);
-        (0u32..1000, 0usize..4, children, 0usize..4).prop_map(
-            |(id, kind, children, levels)| match kind {
+        (0u32..1000, 0usize..4, children, 0usize..4).prop_map(|(id, kind, children, levels)| {
+            match kind {
                 0 => Structure::action(format!("a{id}"), children),
                 1 => Structure::independent(format!("i{id}"), levels.max(1), children),
                 2 => Structure::glued(format!("g{id}"), children),
                 _ => Structure::serializing(format!("s{id}"), children),
-            },
-        )
+            }
+        })
     })
 }
 
@@ -167,8 +167,7 @@ fn work_names(s: &Structure, out: &mut Vec<String>) {
 fn node_names(s: &Structure, out: &mut Vec<String>) {
     match s {
         Structure::Work { name } => out.push(name.clone()),
-        Structure::Action { name, children }
-        | Structure::Independent { name, children, .. } => {
+        Structure::Action { name, children } | Structure::Independent { name, children, .. } => {
             out.push(name.clone());
             for c in children {
                 node_names(c, out);

@@ -195,9 +195,7 @@ fn glued_chain_releases_rejected_objects_mid_chain() {
     // Fig. 9: slots rejected by a round become free before the chain
     // ends.
     let rt = rt_fast();
-    let slots: Vec<_> = (0..4)
-        .map(|_| rt.create_object(&0u8).unwrap())
-        .collect();
+    let slots: Vec<_> = (0..4).map(|_| rt.create_object(&0u8).unwrap()).collect();
     let chain = GluedChain::begin(&rt, 4).unwrap();
     // Round 1: consider all slots, keep the first three.
     chain
@@ -552,12 +550,8 @@ fn compensation_discarded_on_invoker_commit() {
     rt.atomic(|a| {
         let ((), comp) = independent_with_compensation(
             a,
-            |post| {
-                post.modify(board, |b: &mut Vec<String>| b.push("hello".to_owned()))
-            },
-            move |retract| {
-                retract.modify(board, |b: &mut Vec<String>| b.push("undo".to_owned()))
-            },
+            |post| post.modify(board, |b: &mut Vec<String>| b.push("hello".to_owned())),
+            move |retract| retract.modify(board, |b: &mut Vec<String>| b.push("undo".to_owned())),
         )?;
         comp.discard();
         Ok(())

@@ -87,8 +87,7 @@ impl EscrowCounter {
         // First pass: try-lock stripes so concurrent adders spread out.
         for k in 0..self.stripes.len() {
             let stripe = self.stripes[(start + k) % self.stripes.len()];
-            match scope.try_lock(scope.default_colour(), stripe, chroma_base::LockMode::Write)
-            {
+            match scope.try_lock(scope.default_colour(), stripe, chroma_base::LockMode::Write) {
                 Ok(()) => {
                     return scope.modify_in(scope.default_colour(), stripe, |v: &mut i64| {
                         *v += delta;
@@ -99,9 +98,13 @@ impl EscrowCounter {
             }
         }
         // Every stripe busy: wait on the preferred one.
-        scope.modify_in(scope.default_colour(), self.stripes[start], |v: &mut i64| {
-            *v += delta;
-        })
+        scope.modify_in(
+            scope.default_colour(),
+            self.stripes[start],
+            |v: &mut i64| {
+                *v += delta;
+            },
+        )
     }
 
     /// Reads the total, read-locking every stripe (serializable with
@@ -202,8 +205,7 @@ mod tests {
     #[test]
     fn parallel_throughput_no_lost_updates() {
         let rt = Runtime::new();
-        let counter =
-            std::sync::Arc::new(EscrowCounter::create(&rt, 8).unwrap());
+        let counter = std::sync::Arc::new(EscrowCounter::create(&rt, 8).unwrap());
         let threads: Vec<_> = (0..8)
             .map(|_| {
                 let rt = rt.clone();

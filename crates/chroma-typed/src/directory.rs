@@ -120,11 +120,12 @@ impl<V: Serialize + DeserializeOwned> KeyedDirectory<V> {
     /// Lock or codec failures.
     pub fn remove(&self, scope: &ActionScope<'_>, key: &str) -> Result<Option<V>, ActionError> {
         let bucket = self.bucket_of(key);
-        let removed = scope.modify_in(
-            scope.default_colour(),
-            bucket,
-            |entries: &mut Bucket| entries.iter().position(|(k, _)| k == key).map(|index| entries.remove(index).1),
-        )?;
+        let removed = scope.modify_in(scope.default_colour(), bucket, |entries: &mut Bucket| {
+            entries
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|index| entries.remove(index).1)
+        })?;
         removed
             .map(|bytes| chroma_store_codec_from_bytes(&bytes))
             .transpose()

@@ -63,13 +63,21 @@ fn main() -> Result<(), chroma::core::ActionError> {
         ],
     );
     let plan = assign(&fig14).expect("assignment");
-    println!("\nfig. 15 automatic colour assignment ({} colours):", plan.colour_count());
+    println!(
+        "\nfig. 15 automatic colour assignment ({} colours):",
+        plan.colour_count()
+    );
     for node in &plan.nodes {
         println!("  {:>7}: colours {}", node.name, node.colours);
     }
 
     println!("\nsurvival predictions (fig. 14 claims):");
-    for (work, aborter) in [("E.body", "B"), ("E.body", "A"), ("C.body", "A"), ("D", "A")] {
+    for (work, aborter) in [
+        ("E.body", "B"),
+        ("E.body", "A"),
+        ("C.body", "A"),
+        ("D", "A"),
+    ] {
         println!(
             "  {aborter} aborts → {work} undone? {}",
             plan.undone_by(work, aborter).expect("known")
@@ -84,7 +92,10 @@ fn main() -> Result<(), chroma::core::ActionError> {
     let mut names: Vec<_> = report.survived.iter().collect();
     names.sort();
     for (name, survived) in names {
-        println!("  {name}: {}", if *survived { "survived" } else { "undone" });
+        println!(
+            "  {name}: {}",
+            if *survived { "survived" } else { "undone" }
+        );
     }
     assert!(report.survived["C.body"]);
     assert!(report.survived["F.body"]);

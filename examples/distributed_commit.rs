@@ -26,14 +26,20 @@ fn main() {
     let txn = sim.begin_transaction(
         coordinator,
         vec![
-            (p1, vec![Write {
-                object: ObjectId::from_raw(1),
-                state: StoreBytes::from(b"ledger-entry".to_vec()),
-            }]),
-            (p2, vec![Write {
-                object: ObjectId::from_raw(2),
-                state: StoreBytes::from(b"index-entry".to_vec()),
-            }]),
+            (
+                p1,
+                vec![Write {
+                    object: ObjectId::from_raw(1),
+                    state: StoreBytes::from(b"ledger-entry".to_vec()),
+                }],
+            ),
+            (
+                p2,
+                vec![Write {
+                    object: ObjectId::from_raw(2),
+                    state: StoreBytes::from(b"index-entry".to_vec()),
+                }],
+            ),
         ],
     );
     // Crash p2 mid-protocol, recover it later.
@@ -65,11 +71,7 @@ fn main() {
     // ------------------------------------------------------------------
     let mut sim = Sim::new(7);
     let nodes = vec![sim.add_node(), sim.add_node(), sim.add_node()];
-    let ns = chroma::apps::ReplicatedNameServer::create(
-        &mut sim,
-        ObjectId::from_raw(500),
-        &nodes,
-    );
+    let ns = chroma::apps::ReplicatedNameServer::create(&mut sim, ObjectId::from_raw(500), &nodes);
     assert!(ns.register(&mut sim, "printer", "room-3"));
     sim.run_to_quiescence();
 

@@ -29,7 +29,10 @@ fn main() -> Result<(), ActionError> {
 
     println!("\n== nothing changed: make is a no-op ==");
     let report = make.make("Test")?;
-    println!("rebuilt: {:?} (up to date: {:?})", report.rebuilt, report.up_to_date);
+    println!(
+        "rebuilt: {:?} (up to date: {:?})",
+        report.rebuilt, report.up_to_date
+    );
 
     println!("\n== edit Test1.c: only its chain rebuilds ==");
     make.write_source("Test1.c", "// edited")?;

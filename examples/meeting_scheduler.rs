@@ -39,7 +39,11 @@ fn main() -> Result<(), ActionError> {
     // Negotiate round by round; rejected slots are released as soon as a
     // round rules them out (fig. 9's point), and the final booking is
     // atomic across all three diaries.
-    let outcome = schedule_meeting(&rt, &[ada.clone(), bob.clone(), cleo.clone()], "design sync")?;
+    let outcome = schedule_meeting(
+        &rt,
+        &[ada.clone(), bob.clone(), cleo.clone()],
+        "design sync",
+    )?;
     match outcome {
         ScheduleOutcome::Booked { slot } => println!("\nbooked slot {slot} for everyone"),
         ScheduleOutcome::NoSlot => println!("\nno common slot"),

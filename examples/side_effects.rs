@@ -34,7 +34,10 @@ fn main() -> Result<(), ActionError> {
         repair.join()?;
         Err(ActionError::failed("the build itself crashed"))
     });
-    println!("application outcome: {:?}", result.err().map(|e| e.to_string()));
+    println!(
+        "application outcome: {:?}",
+        result.err().map(|e| e.to_string())
+    );
 
     // All three side effects survived.
     println!("\nledger total: {} (charge stands)", ledger.total()?);

@@ -52,7 +52,10 @@ fn main() -> Result<(), ActionError> {
         hits.add(a, 1000)?;
         Err::<(), _>(ActionError::failed("oops"))
     });
-    println!("after an aborted add of 1000: total = {}", hits.committed_value(&rt)?);
+    println!(
+        "after an aborted add of 1000: total = {}",
+        hits.committed_value(&rt)?
+    );
     assert_eq!(hits.committed_value(&rt)?, 20);
 
     // ------------------------------------------------------------------

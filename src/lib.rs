@@ -8,6 +8,8 @@
 //! The crate is a façade over the workspace:
 //!
 //! * [`base`] — identifiers, colours, lock modes;
+//! * [`obs`] — structured tracing, metrics and the offline trace
+//!   auditor that re-checks the paper's invariants from event streams;
 //! * [`locks`] — the coloured lock manager plus the classic (Moss)
 //!   nested-action baseline, with deadlock detection;
 //! * [`store`] — volatile and stable object stores, intentions-list
@@ -49,6 +51,7 @@ pub use chroma_base as base;
 pub use chroma_core as core;
 pub use chroma_dist as dist;
 pub use chroma_locks as locks;
+pub use chroma_obs as obs;
 pub use chroma_sim as sim;
 pub use chroma_store as store;
 pub use chroma_structures as structures;

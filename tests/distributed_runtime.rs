@@ -9,7 +9,11 @@ use chroma::core::{ActionError, PermanenceBackend, Runtime, RuntimeConfig};
 use chroma::dist::PartitionedStore;
 use chroma::structures::SerializingAction;
 
-fn distributed_runtime(seed: u64, nodes: usize, replication: usize) -> (Runtime, Arc<PartitionedStore>) {
+fn distributed_runtime(
+    seed: u64,
+    nodes: usize,
+    replication: usize,
+) -> (Runtime, Arc<PartitionedStore>) {
     let store = Arc::new(PartitionedStore::new(seed, nodes, replication));
     (
         Runtime::with_backend(RuntimeConfig::default(), store.clone()),
@@ -71,10 +75,7 @@ fn manual_commit_can_be_retried_after_backend_error() {
     assert!(matches!(err, ActionError::Backend(_)));
     // The action is still active, still holds its lock and its undo
     // records; after recovery the SAME action commits.
-    assert_eq!(
-        rt.action_state(a),
-        Some(chroma::core::ActionState::Active)
-    );
+    assert_eq!(rt.action_state(a), Some(chroma::core::ActionState::Active));
     store.recover();
     rt.commit(a).unwrap();
     assert_eq!(rt.read_committed::<i64>(o).unwrap(), 7);

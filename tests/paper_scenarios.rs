@@ -2,7 +2,9 @@
 //! one runtime, structure composition, and crash recovery cutting
 //! across every layer.
 
-use chroma::apps::{schedule_meeting, BulletinBoard, Diary, DistMake, Ledger, Makefile, ScheduleOutcome};
+use chroma::apps::{
+    schedule_meeting, BulletinBoard, Diary, DistMake, Ledger, Makefile, ScheduleOutcome,
+};
 use chroma::core::{ActionError, Runtime, RuntimeConfig};
 use chroma::structures::{independent_sync, GluedChain, SerializingAction};
 use std::time::Duration;
@@ -18,11 +20,7 @@ fn one_runtime_hosts_every_application() {
     let rt = Runtime::new();
     let board = BulletinBoard::create(&rt).unwrap();
     let ledger = Ledger::create(&rt).unwrap();
-    let make = DistMake::new(
-        &rt,
-        Makefile::parse("out: in\n\tbuild\n").unwrap(),
-    )
-    .unwrap();
+    let make = DistMake::new(&rt, Makefile::parse("out: in\n\tbuild\n").unwrap()).unwrap();
     make.write_source("in", "source").unwrap();
     let diary = Diary::create(&rt, "solo", 3).unwrap();
 
@@ -126,8 +124,7 @@ fn facade_reexports_are_complete() {
     let mut sim = chroma::dist::Sim::new(1);
     let _node = sim.add_node();
     let _cfg = chroma::sim::WorkloadConfig::default();
-    let _structure =
-        chroma::structures::compiler::Structure::work("w");
+    let _structure = chroma::structures::compiler::Structure::work("w");
 }
 
 #[test]

@@ -23,9 +23,7 @@ fn mixed_structures_stress() {
     let rt = Runtime::with_config(RuntimeConfig {
         lock_timeout: Some(Duration::from_secs(5)),
     });
-    let cells: Vec<_> = (0..8)
-        .map(|_| rt.create_object(&0i64).unwrap())
-        .collect();
+    let cells: Vec<_> = (0..8).map(|_| rt.create_object(&0i64).unwrap()).collect();
     let counter = Arc::new(EscrowCounter::create(&rt, 8).unwrap());
     let ledger = Ledger::create(&rt).unwrap();
     // Oracle: committed increments per cell.

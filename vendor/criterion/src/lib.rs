@@ -1,0 +1,227 @@
+//! Offline shim of the criterion benchmark harness.
+//!
+//! This build environment cannot reach crates.io, so the workspace
+//! vendors the slice of criterion the benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_function` / `finish`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical sampling it times a bounded
+//! number of iterations per benchmark and prints the mean wall-clock
+//! time — enough to compare figures relative to each other in one run,
+//! not a substitute for real criterion output.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup
+/// per measured iteration regardless; the variants exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Declared throughput of one benchmark, echoed in the report line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Declares the work done per iteration for the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark routine and prints its mean iteration cost.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        let mean_ns = if bencher.iterations == 0 {
+            0
+        } else {
+            bencher.total.as_nanos() / u128::from(bencher.iterations)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean_ns > 0 => {
+                let gib_s = (bytes as f64) / (mean_ns as f64) * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                format!("  {gib_s:.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0 => {
+                let elem_s = (n as f64) / (mean_ns as f64) * 1e9;
+                format!("  {elem_s:.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {mean_ns} ns/iter ({} iters){rate}",
+            self.name, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (report lines are already printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back for the configured sample count
+    /// (after one untimed warm-up call).
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        // one warm-up call plus three timed samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+}

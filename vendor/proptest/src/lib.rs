@@ -1,0 +1,688 @@
+//! Offline shim of the proptest framework.
+//!
+//! This build environment cannot reach crates.io, so the workspace
+//! vendors the slice of proptest its property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! strategies for integer ranges, tuples, `Just`, simple `".{m,n}"`
+//! string patterns, `prop::collection::{vec, hash_map}`, weighted
+//! unions via `prop_oneof!`, `any::<T>()` over an [`Arbitrary`] trait,
+//! and the `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from upstream, deliberate for offline determinism:
+//! cases are generated from a fixed per-test seed (same inputs every
+//! run), and failing cases are reported without shrinking — the panic
+//! message carries the case number so a failure is reproducible by
+//! construction.
+
+#![forbid(unsafe_code)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for
+    /// the inner levels and returns the strategy for one level up.
+    /// `depth` bounds nesting; the sizing hints are accepted for API
+    /// compatibility but unused (depth already bounds the output).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Each level either stops at a leaf or recurses one deeper,
+            // so generated values nest at most `depth` levels.
+            current = Union::new(vec![(1, leaf.clone()), (1, recurse(current).boxed())]).boxed();
+        }
+        current
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cheaply cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! requires at least one arm with non-zero weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies.
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// String pattern strategy: the workspace only uses `".{m,n}"`.
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_simple_pattern(self).unwrap_or_else(|| {
+            panic!("vendored proptest only supports \".{{m,n}}\" string patterns, got {self:?}")
+        });
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| {
+                const ALPHABET: &[u8] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+                ALPHABET[rng.gen_range(0..ALPHABET.len())] as char
+            })
+            .collect()
+    }
+}
+
+/// Parses `".{m,n}"` into `(m, n)`.
+fn parse_simple_pattern(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = rest.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+// ---------------------------------------------------------------------
+// Composite strategies.
+
+macro_rules! tuple_strategy {
+    ($(($idx:tt $name:ident)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!((0 S0));
+tuple_strategy!((0 S0), (1 S1));
+tuple_strategy!((0 S0), (1 S1), (2 S2));
+tuple_strategy!((0 S0), (1 S1), (2 S2), (3 S3));
+tuple_strategy!((0 S0), (1 S1), (2 S2), (3 S3), (4 S4));
+
+/// A `Vec` of strategies generates element-wise (used for per-slot
+/// strategies like a forest's per-node parent choice).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arbitrary + any.
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+            }
+        }
+    )*};
+}
+
+arbitrary_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.gen_bool(0.5) {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+arbitrary_tuple!(T0);
+arbitrary_tuple!(T0, T1);
+arbitrary_tuple!(T0, T1, T2);
+arbitrary_tuple!(T0, T1, T2, T3);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// Collection strategies.
+
+/// Collection strategies (`prop::collection::{vec, hash_map}`).
+pub mod collection {
+    use super::{Hash, HashMap, Range, RangeInclusive, Rng, Strategy, TestRng};
+
+    /// A generated collection's size range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max_inclusive)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashMap<K, V>`; duplicate keys collapse, so maps
+    /// may come out smaller than the drawn size.
+    #[derive(Clone)]
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            let mut out = HashMap::with_capacity(len);
+            for _ in 0..len {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A strategy for hash maps of `key`/`value` with a size in `size`.
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner.
+
+/// Per-run configuration of the `proptest!` harness.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property test: `body` runs once per case with a fresh,
+/// deterministically seeded RNG; an `Err` fails the test with the case
+/// number (inputs are reproducible from it, no shrinking needed).
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let base_seed = hasher.finish();
+    for case in 0..config.cases {
+        let mut rng =
+            TestRng::seed_from_u64(base_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(message) = body(&mut rng) {
+            panic!(
+                "property `{name}` failed on case {case}/{}: {message}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// One-stop imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+
+/// Defines property tests: each `fn name(input in strategy, ...)` body
+/// runs for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_proptest(
+                &__config,
+                stringify!($name),
+                |__rng| -> ::core::result::Result<(), ::std::string::String> {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} ({})", stringify!($cond), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), __l, __r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right),
+                        ::std::format!($($fmt)+), __l, __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $( (1u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_unions_generate_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let strategy = prop_oneof![2 => 0u64..10, 1 => 90u64..100];
+        let mut low = 0;
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&strategy, &mut rng);
+            assert!(v < 10 || (90..100).contains(&v));
+            if v < 10 {
+                low += 1;
+            }
+        }
+        assert!(low > 80, "weighting skews low: {low}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn strings_match_pattern(s in ".{0,8}") {
+            prop_assert!(s.len() <= 8);
+        }
+
+        #[test]
+        fn recursive_is_bounded(n in nested()) {
+            prop_assert!(depth(&n) <= 3 + 1);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Nest {
+        Leaf,
+        Node(Box<Nest>),
+    }
+
+    fn depth(n: &Nest) -> u32 {
+        match n {
+            Nest::Leaf => 1,
+            Nest::Node(inner) => 1 + depth(inner),
+        }
+    }
+
+    fn nested() -> impl crate::Strategy<Value = Nest> {
+        Just(Nest::Leaf)
+            .prop_recursive(3, 8, 1, |inner| inner.prop_map(|n| Nest::Node(Box::new(n))))
+    }
+}

@@ -1,0 +1,488 @@
+//! Deserialization half of the data model (mirrors `serde::de`).
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Raised by a [`Deserializer`] when the input does not match the type.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Builds this value from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful alternative to [`Deserialize`]; `PhantomData<T>` is the
+/// stateless seed used by the default convenience methods.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The type this seed produces.
+    type Value;
+
+    /// Builds the value from `deserializer`.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T> DeserializeSeed<'de> for PhantomData<T>
+where
+    T: Deserialize<'de>,
+{
+    type Value = T;
+
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can produce any value in the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// Asks a self-describing format to pick the shape itself.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a string, possibly borrowed.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects bytes, possibly borrowed.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expects a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expects a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a tuple of known length.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expects a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expects a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expects a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expects an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expects a struct-field or enum-variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips over whatever value comes next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable (text vs binary).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Formats a visitor's expectation, for default error messages.
+struct Expecting<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+fn unexpected<'de, V: Visitor<'de>, E: Error>(visitor: &V, got: &str) -> E {
+    E::custom(format!(
+        "invalid type: {got}, expected {}",
+        Expecting(visitor)
+    ))
+}
+
+macro_rules! default_visit {
+    ($($method:ident : $ty:ty => $name:literal),* $(,)?) => {$(
+        #[doc = concat!("Receives ", $name, "; errors unless overridden.")]
+        fn $method<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(unexpected(&self, $name))
+        }
+    )*};
+}
+
+/// Receives values from a [`Deserializer`] and builds `Self::Value`.
+///
+/// Every `visit_*` method defaults to a type-mismatch error built from
+/// [`Visitor::expecting`]; implementors override the shapes they accept.
+pub trait Visitor<'de>: Sized {
+    /// The type this visitor produces.
+    type Value;
+
+    /// Writes "what was expected" for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    default_visit! {
+        visit_bool: bool => "a boolean",
+        visit_i8: i8 => "an i8",
+        visit_i16: i16 => "an i16",
+        visit_i32: i32 => "an i32",
+        visit_i64: i64 => "an i64",
+        visit_i128: i128 => "an i128",
+        visit_u8: u8 => "a u8",
+        visit_u16: u16 => "a u16",
+        visit_u32: u32 => "a u32",
+        visit_u64: u64 => "a u64",
+        visit_u128: u128 => "a u128",
+        visit_f32: f32 => "an f32",
+        visit_f64: f64 => "an f64",
+        visit_char: char => "a character",
+    }
+
+    /// Receives a transient string slice.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "a string"))
+    }
+
+    /// Receives a string borrowed from the input; defaults to
+    /// [`Visitor::visit_str`].
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Receives an owned string; defaults to [`Visitor::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Receives a transient byte slice.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "bytes"))
+    }
+
+    /// Receives bytes borrowed from the input; defaults to
+    /// [`Visitor::visit_bytes`].
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Receives an owned byte buffer; defaults to [`Visitor::visit_bytes`].
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Receives `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "none"))
+    }
+
+    /// Receives the content of `Option::Some`.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(unexpected(&self, "some"))
+    }
+
+    /// Receives `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "unit"))
+    }
+
+    /// Receives the content of a newtype struct.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(unexpected(&self, "a newtype struct"))
+    }
+
+    /// Receives the elements of a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, "a sequence"))
+    }
+
+    /// Receives the entries of a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, "a map"))
+    }
+
+    /// Receives an enum variant.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, "an enum"))
+    }
+}
+
+/// Element-by-element access to a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// Produces the next element through `seed`, or `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Produces the next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// Produces the next key through `seed`, or `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Produces the value of the key just read, through `seed`.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Produces the next key, or `None` at the end.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Produces the value of the key just read.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Produces the next entry, or `None` at the end.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    /// Error raised on failure.
+    type Error: Error;
+    /// Accessor for the variant's payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Produces the variant tag through `seed`, plus the payload accessor.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Produces the variant tag, plus the payload accessor.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of the enum variant just identified.
+pub trait VariantAccess<'de>: Sized {
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// Consumes a dataless variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Produces a single-field variant's payload through `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Produces a single-field variant's payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Produces a tuple variant's payload via `visitor`.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Produces a struct variant's payload via `visitor`.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// A value that converts into a [`Deserializer`] over itself (used for
+/// enum variant indices).
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The deserializer this value converts into.
+    type Deserializer: Deserializer<'de, Error = E>;
+
+    /// Performs the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// A [`Deserializer`] holding a single `u32` (an enum variant index).
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+macro_rules! forward_to_u32 {
+    ($($method:ident),* $(,)?) => {$(
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    )*};
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+
+    forward_to_u32! {
+        deserialize_any, deserialize_bool,
+        deserialize_i8, deserialize_i16, deserialize_i32, deserialize_i64, deserialize_i128,
+        deserialize_u8, deserialize_u16, deserialize_u32, deserialize_u64, deserialize_u128,
+        deserialize_f32, deserialize_f64, deserialize_char,
+        deserialize_str, deserialize_string, deserialize_bytes, deserialize_byte_buf,
+        deserialize_option, deserialize_unit, deserialize_seq, deserialize_map,
+        deserialize_identifier, deserialize_ignored_any,
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}

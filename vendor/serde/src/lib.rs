@@ -1,0 +1,25 @@
+//! Offline shim of the serde framework.
+//!
+//! This build environment cannot reach crates.io, so the workspace
+//! vendors the subset of serde it actually exercises: the full
+//! serializer/deserializer trait surface needed by
+//! `chroma-store/src/codec.rs`, `Serialize`/`Deserialize` impls for the
+//! std types that appear in Chroma object states, and (via the sibling
+//! `serde_derive` shim) derives for plain, non-generic structs and
+//! enums without field attributes. The data model and wire-facing
+//! behaviour mirror upstream serde so swapping the real crates back in
+//! is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+
+// The derive macros live in a different namespace from the traits, so
+// re-exporting both under the same names mirrors upstream serde.
+pub use serde_derive::{Deserialize, Serialize};

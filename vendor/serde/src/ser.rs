@@ -1,0 +1,274 @@
+//! Serialization half of the data model (mirrors `serde::ser`).
+
+use std::fmt::Display;
+
+/// Raised by a [`Serializer`] when a value cannot be represented.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can be serialized into any serde data format.
+pub trait Serialize {
+    /// Feeds this value into `serializer`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A data format that can receive any value in the serde data model.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// State for serializing a variable-length sequence.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing a fixed-length tuple.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing a tuple struct.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing a tuple enum variant.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing a map.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing a struct with named fields.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing a struct enum variant.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i128`.
+    fn serialize_i128(self, v: i128) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u128`.
+    fn serialize_u128(self, v: u128) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some(value)`.
+    fn serialize_some<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    /// Serializes `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct like `struct Marker;`.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a dataless enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct like `struct Id(u64);`.
+    fn serialize_newtype_struct<T>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    /// Serializes a single-field enum variant.
+    fn serialize_newtype_variant<T>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    /// Begins a variable-length sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a fixed-length tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct with named fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    /// Whether the format is human readable (text vs binary).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// In-progress serialization of a sequence.
+pub trait SerializeSeq {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next element.
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress serialization of a tuple.
+pub trait SerializeTuple {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next element.
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Finishes the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress serialization of a tuple struct.
+pub trait SerializeTupleStruct {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next field.
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress serialization of a tuple enum variant.
+pub trait SerializeTupleVariant {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next field.
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress serialization of a map.
+pub trait SerializeMap {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next key.
+    fn serialize_key<T>(&mut self, key: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Serializes the value of the key just written.
+    fn serialize_value<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Serializes one key/value entry.
+    fn serialize_entry<K, V>(&mut self, key: &K, value: &V) -> Result<(), Self::Error>
+    where
+        K: Serialize + ?Sized,
+        V: Serialize + ?Sized,
+    {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress serialization of a struct with named fields.
+pub trait SerializeStruct {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next named field.
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress serialization of a struct enum variant.
+pub trait SerializeStructVariant {
+    /// Matches the parent serializer's `Ok`.
+    type Ok;
+    /// Matches the parent serializer's `Error`.
+    type Error: Error;
+
+    /// Serializes the next named field.
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

@@ -1,0 +1,565 @@
+//! Offline shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! The workspace derives serde traits only on plain, non-generic structs
+//! and enums with no `#[serde(...)]` attributes, so this macro supports
+//! exactly that shape and rejects anything fancier with a compile-time
+//! panic. It parses the item's token stream by hand (no `syn`/`quote` —
+//! they are unreachable in this offline environment), renders the impl
+//! as Rust source, and re-parses it into a token stream. The generated
+//! impls speak the same data-model calls as upstream serde_derive
+//! (`serialize_struct` + fields in declaration order, variant indices as
+//! `u32`, newtype structs via `serialize_newtype_struct`), so encoded
+//! bytes are interchangeable with upstream output for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(Vec<String>),
+    NamedStruct(Vec<(String, String)>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<(String, String)>),
+}
+
+/// Derives `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = expect_ident(&mut tokens, "`struct` or `enum`");
+    let name = expect_ident(&mut tokens, "type name");
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (on `{name}`)");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream().into_iter().peekable()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_fields(g.stream().into_iter().peekable()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream().into_iter().peekable()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Consumes leading `#[...]` attributes and `pub` / `pub(...)` markers.
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Collects one type's tokens up to a top-level `,` (consumed) or the end.
+/// Commas inside angle brackets or delimited groups belong to the type.
+fn collect_type(tokens: &mut Tokens) -> String {
+    let mut depth = 0i32;
+    let mut parts: Vec<String> = Vec::new();
+    while let Some(tt) = tokens.peek() {
+        if depth == 0 {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    tokens.next();
+                    break;
+                }
+            }
+        }
+        let tt = tokens.next().expect("peeked token");
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        parts.push(tt.to_string());
+    }
+    parts.join(" ")
+}
+
+fn parse_named_fields(mut tokens: Tokens) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected field name, found {tt:?}");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push((name.to_string(), collect_type(&mut tokens)));
+    }
+    fields
+}
+
+fn parse_tuple_fields(mut tokens: Tokens) -> Vec<String> {
+    let mut types = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let ty = collect_type(&mut tokens);
+        if ty.is_empty() {
+            break;
+        }
+        types.push(ty);
+    }
+    types
+}
+
+fn parse_variants(mut tokens: Tokens) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, found {tt:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Tuple(parse_tuple_fields(g.into_iter().peekable()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Named(parse_named_fields(g.into_iter().peekable()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            match p.as_char() {
+                '=' => panic!("explicit discriminants are not supported (variant `{name}`)"),
+                ',' => {
+                    tokens.next();
+                }
+                _ => {}
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Serialize generation.
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => {
+            format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Kind::TupleStruct(types) if types.len() == 1 => format!(
+            "serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Kind::TupleStruct(types) => {
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {}usize)?;\n",
+                types.len()
+            );
+            for index in 0..types.len() {
+                body.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{index})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeTupleStruct::end(__state)");
+            body
+        }
+        Kind::NamedStruct(fields) => {
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for (field, _) in fields {
+                body.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__state)");
+            body
+        }
+        Kind::Enum(variants) => gen_serialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S)\n\
+         -> core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            VariantFields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => serde::Serializer::serialize_unit_variant(\
+                 __serializer, \"{name}\", {index}u32, \"{vname}\"),\n"
+            )),
+            VariantFields::Tuple(types) if types.len() == 1 => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(\
+                 __serializer, \"{name}\", {index}u32, \"{vname}\", __f0),\n"
+            )),
+            VariantFields::Tuple(types) => {
+                let bindings: Vec<String> = (0..types.len()).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __state = serde::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{vname}\", {}usize)?;\n",
+                    bindings.join(", "),
+                    types.len()
+                );
+                for binding in &bindings {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {binding})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+            VariantFields::Named(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __state = serde::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{vname}\", {}usize)?;\n",
+                    bindings.join(", "),
+                    fields.len()
+                );
+                for field in &bindings {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{field}\", {field})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------
+// Deserialize generation.
+
+/// Renders `visit_seq` statements pulling `fields` in order into
+/// `__f0..__fN` bindings, then the given constructor expression.
+fn gen_visit_seq(
+    value_ty: &str,
+    expecting: &str,
+    types: &[String],
+    constructor: &str,
+    visitor_name: &str,
+) -> String {
+    let mut body = String::new();
+    for (index, ty) in types.iter().enumerate() {
+        body.push_str(&format!(
+            "let __f{index}: {ty} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             core::option::Option::Some(__v) => __v,\n\
+             core::option::Option::None => return core::result::Result::Err(\
+             serde::de::Error::custom(\"{expecting} is missing element {index}\")),\n\
+             }};\n"
+        ));
+    }
+    format!(
+        "struct {visitor_name};\n\
+         impl<'de> serde::de::Visitor<'de> for {visitor_name} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+         __f.write_str(\"{expecting}\")\n\
+         }}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+         -> core::result::Result<{value_ty}, __A::Error> {{\n\
+         {body}\
+         core::result::Result::Ok({constructor})\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+             __f.write_str(\"unit struct {name}\")\n\
+             }}\n\
+             fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<{name}, __E> {{\n\
+             core::result::Result::Ok({name})\n\
+             }}\n\
+             }}\n\
+             serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+        ),
+        Kind::TupleStruct(types) if types.len() == 1 => {
+            let ty = &types[0];
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                 __f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D: serde::Deserializer<'de>>(self, __d: __D)\n\
+                 -> core::result::Result<{name}, __D::Error> {{\n\
+                 core::result::Result::Ok({name}(<{ty} as serde::Deserialize<'de>>::deserialize(__d)?))\n\
+                 }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)"
+            )
+        }
+        Kind::TupleStruct(types) => {
+            let constructor = format!(
+                "{name}({})",
+                (0..types.len())
+                    .map(|i| format!("__f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = gen_visit_seq(
+                name,
+                &format!("tuple struct {name}"),
+                types,
+                &constructor,
+                "__Visitor",
+            );
+            format!(
+                "{visitor}\
+                 serde::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {}usize, __Visitor)",
+                types.len()
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let types: Vec<String> = fields.iter().map(|(_, ty)| ty.clone()).collect();
+            let constructor = format!(
+                "{name} {{ {} }}",
+                fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (f, _))| format!("{f}: __f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let field_names = fields
+                .iter()
+                .map(|(f, _)| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let visitor = gen_visit_seq(
+                name,
+                &format!("struct {name}"),
+                &types,
+                &constructor,
+                "__Visitor",
+            );
+            format!(
+                "{visitor}\
+                 serde::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", &[{field_names}], __Visitor)"
+            )
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D)\n\
+         -> core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            VariantFields::Unit => arms.push_str(&format!(
+                "{index}u32 => {{\n\
+                 serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                 core::result::Result::Ok({name}::{vname})\n\
+                 }},\n"
+            )),
+            VariantFields::Tuple(types) if types.len() == 1 => {
+                let ty = &types[0];
+                arms.push_str(&format!(
+                    "{index}u32 => core::result::Result::Ok({name}::{vname}(\
+                     serde::de::VariantAccess::newtype_variant::<{ty}>(__variant)?)),\n"
+                ));
+            }
+            VariantFields::Tuple(types) => {
+                let constructor = format!(
+                    "{name}::{vname}({})",
+                    (0..types.len())
+                        .map(|i| format!("__f{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let visitor_name = format!("__Variant{index}Visitor");
+                let visitor = gen_visit_seq(
+                    name,
+                    &format!("tuple variant {name}::{vname}"),
+                    types,
+                    &constructor,
+                    &visitor_name,
+                );
+                arms.push_str(&format!(
+                    "{index}u32 => {{\n\
+                     {visitor}\
+                     serde::de::VariantAccess::tuple_variant(__variant, {}usize, {visitor_name})\n\
+                     }},\n",
+                    types.len()
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let types: Vec<String> = fields.iter().map(|(_, ty)| ty.clone()).collect();
+                let constructor = format!(
+                    "{name}::{vname} {{ {} }}",
+                    fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (f, _))| format!("{f}: __f{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let field_names = fields
+                    .iter()
+                    .map(|(f, _)| format!("\"{f}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let visitor_name = format!("__Variant{index}Visitor");
+                let visitor = gen_visit_seq(
+                    name,
+                    &format!("struct variant {name}::{vname}"),
+                    &types,
+                    &constructor,
+                    &visitor_name,
+                );
+                arms.push_str(&format!(
+                    "{index}u32 => {{\n\
+                     {visitor}\
+                     serde::de::VariantAccess::struct_variant(\
+                     __variant, &[{field_names}], {visitor_name})\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    let variant_names = variants
+        .iter()
+        .map(|v| format!("\"{}\"", v.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+         type Value = {name};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+         __f.write_str(\"enum {name}\")\n\
+         }}\n\
+         fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+         -> core::result::Result<{name}, __A::Error> {{\n\
+         let (__index, __variant) = serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+         match __index {{\n\
+         {arms}\
+         __other => core::result::Result::Err(serde::de::Error::custom(\
+         format!(\"invalid variant index {{}} for enum {name}\", __other))),\n\
+         }}\n\
+         }}\n\
+         }}\n\
+         serde::Deserializer::deserialize_enum(\
+         __deserializer, \"{name}\", &[{variant_names}], __Visitor)"
+    )
+}
