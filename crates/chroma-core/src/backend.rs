@@ -198,11 +198,32 @@ impl PermanenceBackend for DiskBackend {
     fn max_object(&self) -> Option<ObjectId> {
         self.store.object_ids().ok()?.into_iter().max()
     }
+
+    fn install_obs(&self, obs: chroma_obs::Obs) {
+        self.store.set_obs(obs);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn disk_backend_forwards_obs() {
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("chroma-backend-obs-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let backend = DiskBackend::open(&dir).unwrap();
+        let bus = Arc::new(chroma_obs::EventBus::new());
+        backend.install_obs(chroma_obs::Obs::new(bus.clone()));
+        backend
+            .commit_batch(vec![(ObjectId::from_raw(1), StoreBytes::from(vec![1]))])
+            .unwrap();
+        assert_eq!(bus.counter("disk_append"), 1, "obs must reach the store");
+        assert_eq!(bus.counter("disk_checkpoint"), 1);
+        assert!(bus.snapshot().histogram("store.fsync_us").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn local_backend_round_trips() {

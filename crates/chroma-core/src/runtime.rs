@@ -388,6 +388,11 @@ impl Runtime {
                     inner.undo.transfer_colour(action, colour, ancestor);
                 }
                 None => {
+                    // Outermost for this colour: time the whole
+                    // flush-and-release so the per-colour breakdown
+                    // (`core.commit_us.<colour>`) sits next to the
+                    // aggregate `core.commit_us`.
+                    let flush_started = obs.enabled().then(Instant::now);
                     let records = inner.undo.take_colour(action, colour);
                     let updates: Vec<(ObjectId, StoreBytes)> = records
                         .iter()
@@ -408,6 +413,12 @@ impl Runtime {
                         }
                     }
                     inner.locks.release_colour(action, colour);
+                    if let Some(flush_started) = flush_started {
+                        obs.observe(
+                            &format!("core.commit_us.{}", inner.universe.name(colour)),
+                            u64::try_from(flush_started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                        );
+                    }
                 }
             }
         }

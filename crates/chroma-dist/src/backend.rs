@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use chroma_base::{NodeId, ObjectId};
 use chroma_core::{BackendError, PermanenceBackend};
+use chroma_obs::EventKind;
 use chroma_store::{codec, StoreBytes};
 use parking_lot::Mutex;
 
@@ -184,6 +185,11 @@ impl PermanenceBackend for PartitionedStore {
                     "every replica of {object} is down"
                 )));
             }
+            inner.sim.obs().emit(EventKind::ReplicaWrite {
+                object: *object,
+                version,
+                fanout: up.len() as u64,
+            });
             let payload =
                 codec::to_bytes(&(version, state.to_vec())).expect("versioned state encodes");
             for node in up {
@@ -218,15 +224,27 @@ impl PermanenceBackend for PartitionedStore {
 
     fn read(&self, object: ObjectId) -> Option<StoreBytes> {
         let inner = self.inner.lock();
-        Self::replicas_of(&inner, object)
+        let (replica, version, state) = Self::replicas_of(&inner, object)
             .into_iter()
             .filter(|&replica| {
                 let node = inner.sim.node(replica);
                 node.up && !node.stale.contains(&object)
             })
-            .filter_map(|replica| inner.sim.node(replica).read_versioned(object))
-            .max_by_key(|&(version, _)| version)
-            .map(|(_, state)| state)
+            .filter_map(|replica| {
+                inner
+                    .sim
+                    .node(replica)
+                    .read_versioned(object)
+                    .map(|(v, s)| (replica, v, s))
+            })
+            .max_by_key(|&(_, version, _)| version)?;
+        inner.sim.obs().emit(EventKind::ReplicaRead {
+            node: replica,
+            object,
+            version,
+            stale: inner.sim.node(replica).stale.contains(&object),
+        });
+        Some(state)
     }
 
     fn contains(&self, object: ObjectId) -> bool {
@@ -245,6 +263,16 @@ impl PermanenceBackend for PartitionedStore {
             inner.sim.schedule_recover(node, RETRY_INTERVAL);
         }
         inner.sim.run_to_quiescence();
+    }
+
+    fn install_obs(&self, obs: chroma_obs::Obs) {
+        // Thread the caller's bus into the internal simulation so the
+        // backend's 2PC, replica-install and catch-up events land in the
+        // same trace as the runtime's. Note this switches the bus clock
+        // to simulated time.
+        if let Some(bus) = obs.bus() {
+            self.inner.lock().sim.install_obs(bus.clone());
+        }
     }
 }
 

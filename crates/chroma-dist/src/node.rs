@@ -478,9 +478,35 @@ impl Node {
             });
             if commit {
                 if let Some(writes) = prepared_writes {
-                    let updates: Vec<(ObjectId, StoreBytes)> =
-                        writes.into_iter().map(|w| (w.object, w.state)).collect();
-                    self.store.commit_batch(updates);
+                    let mut updates: Vec<(ObjectId, StoreBytes)> = Vec::new();
+                    let mut installed: Vec<(ObjectId, u64)> = Vec::new();
+                    for w in writes {
+                        if self.replica_peers.contains_key(&w.object) {
+                            if let Ok((version, _)) = codec::from_bytes::<(u64, Vec<u8>)>(&w.state)
+                            {
+                                let local = self.read_versioned(w.object).map_or(0, |(v, _)| v);
+                                if version < local {
+                                    // A decision that resolved only after
+                                    // this replica caught up past it:
+                                    // installing would roll the copy back
+                                    // (replica divergence).
+                                    continue;
+                                }
+                                installed.push((w.object, version));
+                            }
+                        }
+                        updates.push((w.object, w.state));
+                    }
+                    if !updates.is_empty() {
+                        self.store.commit_batch(updates);
+                    }
+                    for (object, version) in installed {
+                        self.obs.emit(EventKind::ReplicaInstall {
+                            node: self.id,
+                            object,
+                            version,
+                        });
+                    }
                 }
             }
             if let Some(state) = self.part.get_mut(&txn) {
@@ -613,8 +639,10 @@ impl Node {
         }
         // A non-stale holder's copy is authoritative: adopt-and-trust.
         if !holder_stale {
-            self.stale.remove(&object);
             self.pull_pending.remove(&object);
+            if self.stale.remove(&object) {
+                self.emit_catchup_end(object);
+            }
         } else {
             self.note_pull_response(from, object);
         }
@@ -635,9 +663,22 @@ impl Node {
             pending.remove(&from);
             if pending.is_empty() {
                 self.pull_pending.remove(&object);
-                self.stale.remove(&object);
+                if self.stale.remove(&object) {
+                    self.emit_catchup_end(object);
+                }
             }
         }
+    }
+
+    /// Closes this node's catch-up window for `object`, reporting the
+    /// version it rejoined the group with.
+    fn emit_catchup_end(&self, object: ObjectId) {
+        let version = self.read_versioned(object).map_or(0, |(v, _)| v);
+        self.obs.emit(EventKind::CatchupEnd {
+            node: self.id,
+            object,
+            version,
+        });
     }
 
     /// Reads a replicated object's `(version, state)` from the store.
@@ -653,6 +694,11 @@ impl Node {
         let bytes = codec::to_bytes(&(version, state.to_vec())).expect("versioned encodes");
         self.store
             .commit_batch(vec![(object, StoreBytes::from(bytes))]);
+        self.obs.emit(EventKind::ReplicaInstall {
+            node: self.id,
+            object,
+            version,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -916,6 +962,12 @@ impl Node {
         for (&object, peers) in &self.replica_peers {
             if peers.is_empty() {
                 continue;
+            }
+            if self.stale.contains(&object) {
+                self.obs.emit(EventKind::CatchupBegin {
+                    node: self.id,
+                    object,
+                });
             }
             self.pull_pending
                 .insert(object, peers.iter().copied().collect());

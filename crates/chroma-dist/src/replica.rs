@@ -13,6 +13,7 @@
 //!   state from its peers before serving reads again.
 
 use chroma_base::{NodeId, ObjectId};
+use chroma_obs::EventKind;
 use chroma_store::StoreBytes;
 
 use crate::msg::{TxnId, Write};
@@ -92,6 +93,11 @@ impl ReplicatedObject {
             .max()
             .unwrap_or(0)
             + 1;
+        sim.obs().emit(EventKind::ReplicaWrite {
+            object: self.object,
+            version,
+            fanout: up.len() as u64,
+        });
         let bytes = chroma_store::codec::to_bytes(&(version, state.to_vec()))
             .expect("versioned state encodes");
         let writes: Vec<(NodeId, Vec<Write>)> = up
@@ -114,15 +120,30 @@ impl ReplicatedObject {
     /// such replica exists (the object is unavailable).
     #[must_use]
     pub fn read(&self, sim: &Sim) -> Option<(u64, StoreBytes)> {
-        self.members
+        let (member, version, state) = self
+            .members
             .iter()
             .copied()
             .filter(|&m| {
                 let node = sim.node(m);
                 node.up && !node.stale.contains(&self.object)
             })
-            .filter_map(|m| sim.node(m).read_versioned(self.object))
-            .max_by_key(|&(version, _)| version)
+            .filter_map(|m| {
+                sim.node(m)
+                    .read_versioned(self.object)
+                    .map(|(v, s)| (m, v, s))
+            })
+            .max_by_key(|&(_, version, _)| version)?;
+        sim.obs().emit(EventKind::ReplicaRead {
+            node: member,
+            object: self.object,
+            version,
+            // the filter above excludes stale copies; report the
+            // serving copy's actual flag so a filtering bug is visible
+            // in the trace rather than masked
+            stale: sim.node(member).stale.contains(&self.object),
+        });
+        Some((version, state))
     }
 
     /// Returns each up member's `(node, version)` — for convergence

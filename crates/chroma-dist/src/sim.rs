@@ -171,6 +171,15 @@ impl Sim {
         }
     }
 
+    /// The simulation's observability handle (inert until
+    /// [`install_obs`](Sim::install_obs)) — lets protocols layered on
+    /// top of the simulation (replica groups, the partitioned backend)
+    /// emit into the same simulated-time trace.
+    #[must_use]
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
     /// Starts recording an event trace (delivered messages, drops,
     /// timers, crashes, recoveries). Bounded to the most recent 10 000
     /// entries; intended for debugging protocol schedules.

@@ -15,13 +15,25 @@
 //! * **R4 — 2PC safety.** All decision and resolution events for one
 //!   transaction agree; a commit decision requires a yes-vote from
 //!   every participant and no observed no-vote.
+//! * **R5 — per-replica version monotonicity.** A member never
+//!   installs a version of a replicated object lower than one it has
+//!   already installed (a late two-phase-commit decision must not roll
+//!   a caught-up copy backwards).
+//! * **R6 — no read from a catching-up replica.** A read is never
+//!   served from a member between its `CatchupBegin` and `CatchupEnd`
+//!   for that object, and never from a copy flagged stale.
+//! * **R7 — bounded staleness.** A served read, and a member rejoining
+//!   after catch-up, may lag the highest version any member has
+//!   installed by at most the configured window
+//!   ([`with_staleness_window`](TraceAuditor::with_staleness_window),
+//!   default 1 — the one write the group may have in flight).
 //!
 //! The auditor is deliberately independent of the runtime: it sees
 //! only the trace, so a bug that corrupts runtime state *and* its own
 //! bookkeeping is still caught as long as the emitted events disagree
 //! with each other.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 use chroma_base::{ActionId, Colour, LockMode, NodeId, ObjectId};
@@ -110,6 +122,40 @@ pub enum Violation {
         /// A no-voter.
         node: NodeId,
     },
+    /// R5: a member installed a lower version of a replicated object
+    /// than one it had already installed.
+    ReplicaVersionRegression {
+        /// The regressing member.
+        node: NodeId,
+        /// The replicated object.
+        object: ObjectId,
+        /// The version previously installed.
+        from: u64,
+        /// The lower version installed now.
+        to: u64,
+    },
+    /// R6: a read was served from a member still catching up (inside
+    /// its `CatchupBegin`..`CatchupEnd` window, or flagged stale).
+    ReadDuringCatchup {
+        /// The serving member.
+        node: NodeId,
+        /// The replicated object.
+        object: ObjectId,
+    },
+    /// R7: a served or rejoin version lagged the group's highest
+    /// installed version by more than the staleness window.
+    StalenessWindowExceeded {
+        /// The lagging member.
+        node: NodeId,
+        /// The replicated object.
+        object: ObjectId,
+        /// The lagging version.
+        version: u64,
+        /// The highest version any member had installed by then.
+        latest: u64,
+        /// The configured window.
+        window: u64,
+    },
     /// The trace references an action never begun (truncated or
     /// corrupted trace, or a missing emission site).
     UnknownAction {
@@ -187,6 +233,29 @@ impl fmt::Display for Violation {
             Violation::CommitDespiteNoVote { txn, node } => {
                 write!(f, "2pc: T{txn} committed although {node} voted no")
             }
+            Violation::ReplicaVersionRegression {
+                node,
+                object,
+                from,
+                to,
+            } => write!(
+                f,
+                "replication: {node} installed {object} v{to} after already holding v{from}"
+            ),
+            Violation::ReadDuringCatchup { node, object } => write!(
+                f,
+                "replication: a read of {object} was served from {node} while it was catching up"
+            ),
+            Violation::StalenessWindowExceeded {
+                node,
+                object,
+                version,
+                latest,
+                window,
+            } => write!(
+                f,
+                "replication: {node} served {object} v{version} while the group held v{latest} (window {window})"
+            ),
             Violation::UnknownAction { action, context } => {
                 write!(f, "trace: {context} references unknown action {action}")
             }
@@ -261,21 +330,56 @@ struct TxnState {
 /// [`finish`](TraceAuditor::finish); or use the one-shot helpers
 /// [`audit_events`](TraceAuditor::audit_events) and
 /// [`audit_jsonl`](TraceAuditor::audit_jsonl).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceAuditor {
     actions: HashMap<ActionId, ActionState>,
     /// Strongest mode currently held per (action, object, colour).
     held: HashMap<(ActionId, ObjectId, usize), LockMode>,
     txns: HashMap<u64, TxnState>,
+    /// Highest version each member has installed, per (node, object).
+    replica_versions: HashMap<(u32, u64), u64>,
+    /// Highest version *any* member has installed, per object.
+    max_installed: HashMap<u64, u64>,
+    /// (node, object) pairs inside an open catch-up window.
+    catching_up: HashSet<(u32, u64)>,
+    /// How far a served read may lag the group's highest installed
+    /// version (R7).
+    staleness_window: u64,
     violations: Vec<Violation>,
     events: usize,
 }
 
+impl Default for TraceAuditor {
+    fn default() -> Self {
+        TraceAuditor {
+            actions: HashMap::new(),
+            held: HashMap::new(),
+            txns: HashMap::new(),
+            replica_versions: HashMap::new(),
+            max_installed: HashMap::new(),
+            catching_up: HashSet::new(),
+            // one write may be in flight: its installs land at
+            // different times on different members
+            staleness_window: 1,
+            violations: Vec::new(),
+            events: 0,
+        }
+    }
+}
+
 impl TraceAuditor {
-    /// A fresh auditor.
+    /// A fresh auditor (staleness window 1).
     #[must_use]
     pub fn new() -> Self {
         TraceAuditor::default()
+    }
+
+    /// Sets how many versions a served read may lag the group's
+    /// highest installed version before R7 fires.
+    #[must_use]
+    pub fn with_staleness_window(mut self, window: u64) -> Self {
+        self.staleness_window = window;
+        self
     }
 
     /// Audits a complete in-memory trace.
@@ -521,12 +625,61 @@ impl TraceAuditor {
                     None => state.decision = Some(commit),
                 }
             }
-            // request/conflict traffic, WAL activity, crashes and the
-            // network carry no audited obligations of their own
+            EventKind::ReplicaInstall {
+                node,
+                object,
+                version,
+            } => {
+                let key = (node.as_raw(), object.as_raw());
+                if let Some(&prev) = self.replica_versions.get(&key) {
+                    if version < prev {
+                        self.violations.push(Violation::ReplicaVersionRegression {
+                            node,
+                            object,
+                            from: prev,
+                            to: version,
+                        });
+                    }
+                }
+                let held = self.replica_versions.entry(key).or_insert(version);
+                *held = (*held).max(version);
+                let group = self.max_installed.entry(object.as_raw()).or_insert(0);
+                *group = (*group).max(version);
+            }
+            EventKind::ReplicaRead {
+                node,
+                object,
+                version,
+                stale,
+            } => {
+                if stale || self.catching_up.contains(&(node.as_raw(), object.as_raw())) {
+                    self.violations
+                        .push(Violation::ReadDuringCatchup { node, object });
+                }
+                self.check_staleness(node, object, version);
+            }
+            EventKind::CatchupBegin { node, object } => {
+                self.catching_up.insert((node.as_raw(), object.as_raw()));
+            }
+            EventKind::CatchupEnd {
+                node,
+                object,
+                version,
+            } => {
+                self.catching_up.remove(&(node.as_raw(), object.as_raw()));
+                self.check_staleness(node, object, version);
+            }
+            // request/conflict traffic, WAL and disk activity, the
+            // fan-out announcement, crashes and the network carry no
+            // audited obligations of their own
             EventKind::LockRequest { .. }
             | EventKind::LockConflict { .. }
             | EventKind::WalAppend { .. }
             | EventKind::WalFlush { .. }
+            | EventKind::DiskAppend { .. }
+            | EventKind::DiskCheckpoint { .. }
+            | EventKind::DiskReplay { .. }
+            | EventKind::ReplicaWrite { .. }
             | EventKind::TpcPrepare { .. }
             | EventKind::NodeCrash { .. }
             | EventKind::NodeRecover { .. }
@@ -534,6 +687,26 @@ impl TraceAuditor {
             | EventKind::MsgDrop { .. }
             | EventKind::MsgDup { .. }
             | EventKind::MsgDeliver { .. } => {}
+        }
+    }
+
+    /// R7: `version` (a served read, or a member's version at rejoin)
+    /// must be within `staleness_window` of the group's highest
+    /// installed version.
+    fn check_staleness(&mut self, node: NodeId, object: ObjectId, version: u64) {
+        let latest = self
+            .max_installed
+            .get(&object.as_raw())
+            .copied()
+            .unwrap_or(0);
+        if version.saturating_add(self.staleness_window) < latest {
+            self.violations.push(Violation::StalenessWindowExceeded {
+                node,
+                object,
+                version,
+                latest,
+                window: self.staleness_window,
+            });
         }
     }
 
@@ -620,6 +793,84 @@ mod tests {
         let report = TraceAuditor::audit_events(&trace);
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.events, trace.len());
+    }
+
+    #[test]
+    fn clean_replication_lifecycle_passes() {
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let n3 = NodeId::from_raw(3);
+        let o = ObjectId::from_raw(9);
+        let trace = vec![
+            ev(EventKind::ReplicaWrite {
+                object: o,
+                version: 1,
+                fanout: 3,
+            }),
+            ev(EventKind::ReplicaInstall {
+                node: n1,
+                object: o,
+                version: 1,
+            }),
+            ev(EventKind::ReplicaInstall {
+                node: n2,
+                object: o,
+                version: 1,
+            }),
+            // n3 crashed before installing v1 and catches up on recovery
+            ev(EventKind::CatchupBegin {
+                node: n3,
+                object: o,
+            }),
+            ev(EventKind::ReplicaInstall {
+                node: n3,
+                object: o,
+                version: 1,
+            }),
+            ev(EventKind::CatchupEnd {
+                node: n3,
+                object: o,
+                version: 1,
+            }),
+            ev(EventKind::ReplicaRead {
+                node: n2,
+                object: o,
+                version: 1,
+                stale: false,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn staleness_window_is_configurable() {
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let o = ObjectId::from_raw(9);
+        let trace = [
+            ev(EventKind::ReplicaInstall {
+                node: n1,
+                object: o,
+                version: 5,
+            }),
+            ev(EventKind::ReplicaRead {
+                node: n2,
+                object: o,
+                version: 2,
+                stale: false,
+            }),
+        ];
+        let mut strict = TraceAuditor::new();
+        for e in &trace {
+            strict.observe(e);
+        }
+        assert!(!strict.finish().is_clean(), "lag 3 must breach window 1");
+        let mut lax = TraceAuditor::new().with_staleness_window(3);
+        for e in &trace {
+            lax.observe(e);
+        }
+        assert!(lax.finish().is_clean(), "lag 3 fits window 3");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub trait EventSink: Send + Sync {
 /// so traces carry simulated time.
 pub struct EventBus {
     counters: [AtomicU64; KIND_COUNT],
-    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
     sinks: RwLock<Vec<Arc<dyn EventSink>>>,
     origin: Instant,
     manual: AtomicBool,
@@ -88,12 +88,17 @@ impl EventBus {
     }
 
     /// Records one latency sample into the named histogram.
-    pub fn observe(&self, metric: &'static str, us: u64) {
-        self.histograms
-            .lock()
-            .entry(metric)
-            .or_default()
-            .observe(us);
+    ///
+    /// Names may be built dynamically (e.g. a per-colour breakdown
+    /// like `core.commit_us.red`); the name is only allocated the
+    /// first time a histogram is created.
+    pub fn observe(&self, metric: &str, us: u64) {
+        let mut histograms = self.histograms.lock();
+        if let Some(h) = histograms.get_mut(metric) {
+            h.observe(us);
+        } else {
+            histograms.entry(metric.to_owned()).or_default().observe(us);
+        }
     }
 
     /// The count of one event kind by its tag (0 for unknown tags).
@@ -118,7 +123,7 @@ impl EventBus {
                 .histograms
                 .lock()
                 .iter()
-                .map(|(name, h)| ((*name).to_owned(), h.summary()))
+                .map(|(name, h)| (name.clone(), h.summary()))
                 .collect(),
         }
     }
@@ -189,7 +194,7 @@ impl Obs {
     }
 
     /// Records a latency sample (no-op without a bus).
-    pub fn observe(&self, metric: &'static str, us: u64) {
+    pub fn observe(&self, metric: &str, us: u64) {
         if let Some(bus) = &self.bus {
             bus.observe(metric, us);
         }
@@ -398,7 +403,11 @@ mod tests {
         bus.observe("core.commit_us", 10);
         bus.observe("core.commit_us", 30);
         bus.observe("locks.wait_us", 5);
+        let dynamic = format!("core.commit_us.{}", "red");
+        bus.observe(&dynamic, 12);
+        bus.observe(&dynamic, 14);
         let snap = bus.snapshot();
+        assert_eq!(snap.histogram("core.commit_us.red").unwrap().count, 2);
         let commit = snap.histogram("core.commit_us").unwrap();
         assert_eq!(commit.count, 2);
         assert_eq!(commit.mean_us, 20.0);

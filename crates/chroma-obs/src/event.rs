@@ -252,10 +252,81 @@ pub enum EventKind {
         /// Message class.
         kind: MsgKind,
     },
+    /// Records were appended (and fsynced) to the on-disk intentions
+    /// log.
+    DiskAppend {
+        /// How many records the batch appended (intents + commit).
+        records: u64,
+        /// Total bytes written, including length framing.
+        bytes: u64,
+    },
+    /// A committed batch was installed into per-object files and the
+    /// intentions log was truncated.
+    DiskCheckpoint {
+        /// How many objects the batch installed.
+        objects: u64,
+    },
+    /// Opening the store replayed committed batches from the
+    /// intentions log (crash recovery).
+    DiskReplay {
+        /// How many committed batches were replayed.
+        batches: u64,
+        /// How many object installs the replay performed.
+        objects: u64,
+    },
+    /// A replicated write started fanning out to the available
+    /// members of a replica group.
+    ReplicaWrite {
+        /// The replicated object.
+        object: ObjectId,
+        /// The version this write will install.
+        version: u64,
+        /// How many members the write targets.
+        fanout: u64,
+    },
+    /// A member durably installed a version of a replicated object
+    /// (the per-replica version bump).
+    ReplicaInstall {
+        /// The installing member.
+        node: NodeId,
+        /// The replicated object.
+        object: ObjectId,
+        /// The version installed.
+        version: u64,
+    },
+    /// A read was served from a member's copy of a replicated object.
+    ReplicaRead {
+        /// The serving member.
+        node: NodeId,
+        /// The replicated object.
+        object: ObjectId,
+        /// The version served.
+        version: u64,
+        /// `true` if the serving copy was marked stale (catching up) —
+        /// correct implementations never emit this; the auditor flags
+        /// it.
+        stale: bool,
+    },
+    /// A recovering member began catching its copy up from its peers.
+    CatchupBegin {
+        /// The recovering member.
+        node: NodeId,
+        /// The object being caught up.
+        object: ObjectId,
+    },
+    /// A recovering member finished catch-up and rejoined the group.
+    CatchupEnd {
+        /// The recovered member.
+        node: NodeId,
+        /// The object caught up.
+        object: ObjectId,
+        /// The member's version at rejoin.
+        version: u64,
+    },
 }
 
 /// Count of [`EventKind`] variants; sizes the per-kind counter array.
-pub(crate) const KIND_COUNT: usize = 21;
+pub(crate) const KIND_COUNT: usize = 29;
 
 /// The stable tag of every kind, indexed by [`EventKind::index`].
 pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -280,6 +351,14 @@ pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
     "msg_drop",
     "msg_dup",
     "msg_deliver",
+    "disk_append",
+    "disk_checkpoint",
+    "disk_replay",
+    "replica_write",
+    "replica_install",
+    "replica_read",
+    "catchup_begin",
+    "catchup_end",
 ];
 
 impl EventKind {
@@ -308,6 +387,14 @@ impl EventKind {
             EventKind::MsgDrop { .. } => 18,
             EventKind::MsgDup { .. } => 19,
             EventKind::MsgDeliver { .. } => 20,
+            EventKind::DiskAppend { .. } => 21,
+            EventKind::DiskCheckpoint { .. } => 22,
+            EventKind::DiskReplay { .. } => 23,
+            EventKind::ReplicaWrite { .. } => 24,
+            EventKind::ReplicaInstall { .. } => 25,
+            EventKind::ReplicaRead { .. } => 26,
+            EventKind::CatchupBegin { .. } => 27,
+            EventKind::CatchupEnd { .. } => 28,
         }
     }
 
@@ -439,6 +526,57 @@ impl Event {
                 num(&mut s, "from", u64::from(from.as_raw()));
                 num(&mut s, "to", u64::from(to.as_raw()));
                 s.push_str(&format!(",\"kind\":\"{kind}\""));
+            }
+            EventKind::DiskAppend { records, bytes } => {
+                num(&mut s, "records", records);
+                num(&mut s, "bytes", bytes);
+            }
+            EventKind::DiskCheckpoint { objects } => num(&mut s, "objects", objects),
+            EventKind::DiskReplay { batches, objects } => {
+                num(&mut s, "batches", batches);
+                num(&mut s, "objects", objects);
+            }
+            EventKind::ReplicaWrite {
+                object,
+                version,
+                fanout,
+            } => {
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "version", version);
+                num(&mut s, "fanout", fanout);
+            }
+            EventKind::ReplicaInstall {
+                node,
+                object,
+                version,
+            } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "version", version);
+            }
+            EventKind::ReplicaRead {
+                node,
+                object,
+                version,
+                stale,
+            } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "version", version);
+                s.push_str(&format!(",\"stale\":{stale}"));
+            }
+            EventKind::CatchupBegin { node, object } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "object", object.as_raw());
+            }
+            EventKind::CatchupEnd {
+                node,
+                object,
+                version,
+            } => {
+                num(&mut s, "node", u64::from(node.as_raw()));
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "version", version);
             }
         }
         s.push('}');
@@ -622,6 +760,42 @@ impl Event {
                 from: node("from")?,
                 to: node("to")?,
                 kind: msg_kind()?,
+            },
+            "disk_append" => EventKind::DiskAppend {
+                records: get_u64("records")?,
+                bytes: get_u64("bytes")?,
+            },
+            "disk_checkpoint" => EventKind::DiskCheckpoint {
+                objects: get_u64("objects")?,
+            },
+            "disk_replay" => EventKind::DiskReplay {
+                batches: get_u64("batches")?,
+                objects: get_u64("objects")?,
+            },
+            "replica_write" => EventKind::ReplicaWrite {
+                object: object()?,
+                version: get_u64("version")?,
+                fanout: get_u64("fanout")?,
+            },
+            "replica_install" => EventKind::ReplicaInstall {
+                node: node("node")?,
+                object: object()?,
+                version: get_u64("version")?,
+            },
+            "replica_read" => EventKind::ReplicaRead {
+                node: node("node")?,
+                object: object()?,
+                version: get_u64("version")?,
+                stale: get_bool("stale")?,
+            },
+            "catchup_begin" => EventKind::CatchupBegin {
+                node: node("node")?,
+                object: object()?,
+            },
+            "catchup_end" => EventKind::CatchupEnd {
+                node: node("node")?,
+                object: object()?,
+                version: get_u64("version")?,
             },
             other => {
                 return Err(TraceParseError::new(format!("unknown event tag `{other}`")));
@@ -876,6 +1050,40 @@ mod tests {
                 to: n1,
                 kind: MsgKind::Ack,
             },
+            EventKind::DiskAppend {
+                records: 4,
+                bytes: 128,
+            },
+            EventKind::DiskCheckpoint { objects: 3 },
+            EventKind::DiskReplay {
+                batches: 2,
+                objects: 5,
+            },
+            EventKind::ReplicaWrite {
+                object: o,
+                version: 4,
+                fanout: 3,
+            },
+            EventKind::ReplicaInstall {
+                node: n2,
+                object: o,
+                version: 4,
+            },
+            EventKind::ReplicaRead {
+                node: n1,
+                object: o,
+                version: 4,
+                stale: false,
+            },
+            EventKind::CatchupBegin {
+                node: n2,
+                object: o,
+            },
+            EventKind::CatchupEnd {
+                node: n2,
+                object: o,
+                version: 4,
+            },
         ];
         kinds
             .into_iter()
@@ -925,6 +1133,10 @@ mod tests {
             "{\"at_us\":1,\"ev\":\"lock_grant\",\"action\":1,\"object\":1,\"colour\":0,\"mode\":\"steal\"}",
             "{\"at_us\":1,\"ev\":\"msg_send\",\"from\":1,\"to\":2,\"kind\":\"pigeon\"}",
             "{\"at_us\":1,\"ev\":\"tpc_prepare\",\"node\":99999999999,\"txn\":1}",
+            "{\"at_us\":1,\"ev\":\"disk_append\",\"records\":1}", // missing bytes
+            "{\"at_us\":1,\"ev\":\"replica_read\",\"node\":1,\"object\":1,\"version\":1}", // missing stale
+            "{\"at_us\":1,\"ev\":\"replica_install\",\"node\":1,\"object\":1,\"version\":true}", // wrong type
+            "{\"at_us\":1,\"ev\":\"catchup_end\",\"node\":1,\"object\":1}", // missing version
         ] {
             assert!(
                 Event::from_json_line(bad).is_err(),

@@ -3,17 +3,19 @@
 //! rows.
 //!
 //! `--trace <path>` additionally runs an instrumented demonstration
-//! workload — nested local actions plus a distributed two-phase commit
-//! under message loss and a participant crash — writing its event
-//! stream to `<path>` as JSONL, auditing it offline, and printing the
-//! metrics snapshot.
+//! workload — nested local actions over a real on-disk WAL, coloured
+//! top-level actions, a distributed two-phase commit under message loss
+//! and a participant crash, and a replicated object surviving a member
+//! crash — writing its event stream to `<path>` as JSONL, auditing it
+//! offline, and printing the metrics snapshot (including `store.fsync_us`
+//! and the per-colour `core.commit_us.*` breakdown).
 
 use std::path::Path;
 use std::sync::Arc;
 
-use chroma_base::ObjectId;
-use chroma_core::Runtime;
-use chroma_dist::{Sim, Write, RETRY_INTERVAL};
+use chroma_base::{ColourSet, ObjectId};
+use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
+use chroma_dist::{ReplicatedObject, Sim, Write, RETRY_INTERVAL};
 use chroma_obs::{EventBus, JsonlSink, MemorySink, TraceAuditor};
 use chroma_store::StoreBytes;
 
@@ -67,8 +69,16 @@ fn write_trace(path: &Path) {
     bus.add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(file))));
     bus.add_sink(sink.clone());
 
-    // Nested local actions: lock, undo, inheritance and WAL traffic.
-    let rt = Runtime::new();
+    // Nested local actions over a real on-disk WAL: lock, undo,
+    // inheritance, fsync latency (`store.fsync_us`) and the disk event
+    // vocabulary. This wall-clock section runs before any simulation
+    // attaches (installing a sim switches the bus to simulated time).
+    let dir = std::env::temp_dir().join(format!("chroma-trace-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let rt = Runtime::with_backend(
+        RuntimeConfig::default(),
+        Arc::new(DiskBackend::open(&dir).expect("open trace store")),
+    );
     rt.install_obs(bus.clone());
     let o = rt.create_object(&0i64).expect("create");
     for i in 0..8i64 {
@@ -78,6 +88,23 @@ fn write_trace(path: &Path) {
         })
         .expect("workload action");
     }
+
+    // Coloured top-level actions: each outermost commit lands in its
+    // colour's `core.commit_us.<name>` histogram.
+    for name in ["red", "blue"] {
+        let colour = rt.universe().colour(name);
+        for delta in 1..=3i64 {
+            let action = rt
+                .begin_top(ColourSet::single(colour))
+                .expect("coloured action");
+            rt.scope(action)
+                .expect("scope")
+                .modify(o, |v: &mut i64| *v += delta)
+                .expect("coloured write");
+            rt.commit(action).expect("coloured commit");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 
     // Distributed 2PC under loss with a crashing participant:
     // prepare/vote/decide/resolve and network traffic, stamped with
@@ -103,6 +130,20 @@ fn write_trace(path: &Path) {
     sim.schedule_crash(p2, RETRY_INTERVAL);
     sim.schedule_recover(p2, 10 * RETRY_INTERVAL);
     sim.run_to_quiescence();
+
+    // Replication on the same simulation: a member misses a write while
+    // down, recovers, and catches up — the fan-out, install, catch-up
+    // and read events all land in the trace.
+    let members = vec![sim.add_node(), sim.add_node(), sim.add_node()];
+    let replica = ReplicatedObject::create(&mut sim, ObjectId::from_raw(500), &members, b"r0");
+    replica.write(&mut sim, b"r1").expect("replica write");
+    sim.run_to_quiescence();
+    replica.crash_member(&mut sim, members[1], 2 * RETRY_INTERVAL);
+    sim.run(10);
+    replica.write(&mut sim, b"r2").expect("replica write");
+    sim.run_to_quiescence();
+    let (version, _) = replica.read(&sim).expect("replica read");
+    assert_eq!(version, 2, "replica failed to converge");
 
     bus.flush();
     let report = TraceAuditor::audit_events(&sink.events());

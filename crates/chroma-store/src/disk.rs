@@ -21,8 +21,10 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use chroma_base::ObjectId;
+use chroma_obs::{EventKind, Obs, ObsCell};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +41,10 @@ pub enum DiskError {
     /// past the last valid record is tolerated and truncated; this is
     /// corruption *within* the committed prefix).
     CorruptLog(String),
+    /// A fault-injection commit stopped at the requested crash point
+    /// ([`DiskStore::commit_batch_with_crash`]); the directory is left
+    /// exactly as a process crash there would leave it.
+    Crashed(DiskCrashPoint),
 }
 
 impl std::fmt::Display for DiskError {
@@ -46,6 +52,7 @@ impl std::fmt::Display for DiskError {
         match self {
             DiskError::Io(e) => write!(f, "disk store I/O failure: {e}"),
             DiskError::CorruptLog(what) => write!(f, "corrupt intentions log: {what}"),
+            DiskError::Crashed(point) => write!(f, "simulated crash at {point:?}"),
         }
     }
 }
@@ -54,9 +61,31 @@ impl std::error::Error for DiskError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DiskError::Io(e) => Some(e),
-            DiskError::CorruptLog(_) => None,
+            DiskError::CorruptLog(_) | DiskError::Crashed(_) => None,
         }
     }
+}
+
+/// Where [`DiskStore::commit_batch_with_crash`] abandons the commit,
+/// mirroring [`CommitCrashPoint`](crate::CommitCrashPoint) on the
+/// in-memory model store. The store is left on disk exactly as a
+/// process crash at that point would leave it; re-`open`ing runs
+/// recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskCrashPoint {
+    /// Before any intent reaches the log: the batch simply never
+    /// happened.
+    BeforeIntents,
+    /// After the intents are appended and fsynced but before the
+    /// commit marker: recovery must discard the batch.
+    AfterIntents,
+    /// After the commit marker is fsynced (the commit point) but
+    /// before any state is installed: recovery must complete the
+    /// batch.
+    AfterCommitRecord,
+    /// After the states are installed but before the log is
+    /// truncated: recovery re-installs idempotently.
+    AfterInstall,
 }
 
 impl From<io::Error> for DiskError {
@@ -105,6 +134,10 @@ pub struct DiskStore {
     dir: PathBuf,
     /// Serialises commits (one log writer at a time).
     commit_lock: Mutex<u64>, // next batch id
+    obs: ObsCell,
+    /// Replay stats from `open` (batches, object installs), held until
+    /// tracing is installed — recovery runs before any bus can exist.
+    pending_replay: Mutex<Option<(u64, u64)>>,
 }
 
 impl DiskStore {
@@ -120,10 +153,23 @@ impl DiskStore {
         let store = DiskStore {
             dir,
             commit_lock: Mutex::new(0),
+            obs: ObsCell::new(),
+            pending_replay: Mutex::new(None),
         };
         let max_batch = store.recover_log()?;
         *store.commit_lock.lock() = max_batch + 1;
         Ok(store)
+    }
+
+    /// Installs a tracing handle. Fsync latency flows into the
+    /// `store.fsync_us` histogram and log/install activity is emitted
+    /// as `DiskAppend`/`DiskCheckpoint` events; if `open` replayed the
+    /// intentions log, the deferred `DiskReplay` event is emitted now.
+    pub fn set_obs(&self, obs: Obs) {
+        self.obs.set(obs.clone());
+        if let Some((batches, objects)) = self.pending_replay.lock().take() {
+            obs.emit(EventKind::DiskReplay { batches, objects });
+        }
     }
 
     fn log_path(&self) -> PathBuf {
@@ -186,17 +232,48 @@ impl DiskStore {
     /// I/O failures; on error before the commit marker the batch is
     /// guaranteed absent after recovery.
     pub fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), DiskError> {
+        self.commit_batch_inner(updates, None)
+    }
+
+    /// [`commit_batch`](DiskStore::commit_batch), abandoned at `crash`
+    /// for fault-injection tests. Returns [`DiskError::Crashed`] with
+    /// the directory left exactly as a process crash there would leave
+    /// it; re-[`open`](DiskStore::open)ing the directory runs
+    /// recovery.
+    ///
+    /// # Errors
+    ///
+    /// Always [`DiskError::Crashed`] unless a real I/O failure strikes
+    /// first.
+    pub fn commit_batch_with_crash(
+        &self,
+        updates: Vec<(ObjectId, StoreBytes)>,
+        crash: DiskCrashPoint,
+    ) -> Result<(), DiskError> {
+        self.commit_batch_inner(updates, Some(crash))
+    }
+
+    fn commit_batch_inner(
+        &self,
+        updates: Vec<(ObjectId, StoreBytes)>,
+        crash: Option<DiskCrashPoint>,
+    ) -> Result<(), DiskError> {
         let mut next_batch = self.commit_lock.lock();
         let batch = *next_batch;
         *next_batch += 1;
+        let obs = self.obs.get();
 
+        if crash == Some(DiskCrashPoint::BeforeIntents) {
+            return Err(DiskError::Crashed(DiskCrashPoint::BeforeIntents));
+        }
         // 1-2. Log intents + commit marker, fsynced.
         let mut log = OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.log_path())?;
+        let mut logged_bytes = 0u64;
         for (object, state) in &updates {
-            Self::append_record(
+            logged_bytes += Self::append_record(
                 &mut log,
                 &DiskRecord::Intent {
                     batch,
@@ -205,17 +282,33 @@ impl DiskStore {
                 },
             )?;
         }
-        log.sync_all()?;
-        Self::append_record(&mut log, &DiskRecord::Commit { batch })?;
-        log.sync_all()?; // the commit point
+        Self::fsync(&log, &obs)?;
+        if crash == Some(DiskCrashPoint::AfterIntents) {
+            return Err(DiskError::Crashed(DiskCrashPoint::AfterIntents));
+        }
+        logged_bytes += Self::append_record(&mut log, &DiskRecord::Commit { batch })?;
+        Self::fsync(&log, &obs)?; // the commit point
         drop(log);
+        obs.emit(EventKind::DiskAppend {
+            records: updates.len() as u64 + 1,
+            bytes: logged_bytes,
+        });
+        if crash == Some(DiskCrashPoint::AfterCommitRecord) {
+            return Err(DiskError::Crashed(DiskCrashPoint::AfterCommitRecord));
+        }
 
         // 3. Install (idempotent, crash-retryable from the log).
         for (object, state) in &updates {
             self.install(*object, state)?;
         }
+        if crash == Some(DiskCrashPoint::AfterInstall) {
+            return Err(DiskError::Crashed(DiskCrashPoint::AfterInstall));
+        }
         // 4. Truncate the log (every logged batch is installed).
         fs::write(self.log_path(), b"")?;
+        obs.emit(EventKind::DiskCheckpoint {
+            objects: updates.len() as u64,
+        });
         Ok(())
     }
 
@@ -225,19 +318,32 @@ impl DiskStore {
         {
             let mut tmp = File::create(&tmp_path)?;
             tmp.write_all(state)?;
-            tmp.sync_all()?;
+            Self::fsync(&tmp, &self.obs.get())?;
         }
         fs::rename(&tmp_path, &final_path)?;
         Ok(())
     }
 
-    fn append_record(log: &mut File, record: &DiskRecord) -> Result<(), DiskError> {
+    /// `sync_all` with its latency recorded into `store.fsync_us`.
+    fn fsync(file: &File, obs: &Obs) -> Result<(), DiskError> {
+        let started = obs.enabled().then(Instant::now);
+        file.sync_all()?;
+        if let Some(started) = started {
+            obs.observe(
+                "store.fsync_us",
+                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            );
+        }
+        Ok(())
+    }
+
+    fn append_record(log: &mut File, record: &DiskRecord) -> Result<u64, DiskError> {
         let bytes = codec::to_bytes(record).map_err(|e| DiskError::CorruptLog(e.to_string()))?;
         let len = u32::try_from(bytes.len())
             .map_err(|_| DiskError::CorruptLog("record too large".into()))?;
         log.write_all(&len.to_le_bytes())?;
         log.write_all(&bytes)?;
-        Ok(())
+        Ok(u64::from(len) + 4)
     }
 
     /// Replays the intentions log: committed batches are (re)installed,
@@ -279,6 +385,7 @@ impl DiskStore {
             })
             .collect();
         let mut max_batch = 0;
+        let mut installed = 0u64;
         for record in &records {
             if let DiskRecord::Intent {
                 batch,
@@ -289,6 +396,7 @@ impl DiskStore {
                 max_batch = max_batch.max(*batch);
                 if committed.contains(batch) {
                     self.install(ObjectId::from_raw(*object), state)?;
+                    installed += 1;
                 }
             }
             if let DiskRecord::Commit { batch } = record {
@@ -296,6 +404,11 @@ impl DiskStore {
             }
         }
         fs::write(self.log_path(), b"")?;
+        if !records.is_empty() {
+            // Tracing cannot be installed yet (recovery runs inside
+            // `open`); remember the stats for `set_obs`.
+            *self.pending_replay.lock() = Some((committed.len() as u64, installed));
+        }
         Ok(max_batch)
     }
 }

@@ -45,7 +45,7 @@ mod stable;
 mod volatile;
 mod wal;
 
-pub use disk::{DiskError, DiskStore};
+pub use disk::{DiskCrashPoint, DiskError, DiskStore};
 pub use stable::{BatchId, CommitCrashPoint, Crashed, LogRecord, StableStore};
 pub use volatile::VolatileStore;
 pub use wal::DurableLog;
