@@ -184,6 +184,17 @@ impl Runtime {
         self.inner.stable.install_obs(obs);
     }
 
+    /// Like [`install_obs`](Self::install_obs), but binds every emitted
+    /// event to `node`: the runtime's events then carry that node id
+    /// and tick its Lamport clock, so a local runtime can share a trace
+    /// with a distributed simulation without colliding on node 0.
+    pub fn install_obs_at(&self, bus: Arc<EventBus>, node: NodeId) {
+        let obs = Obs::new(bus).at_node(node);
+        self.inner.obs.set(obs.clone());
+        self.inner.locks.set_obs(obs.clone());
+        self.inner.stable.install_obs(obs);
+    }
+
     /// Returns the colour universe of this runtime.
     #[must_use]
     pub fn universe(&self) -> &ColourUniverse {
@@ -618,20 +629,32 @@ impl Runtime {
     pub fn crash_and_recover(&self) {
         let inner = &self.inner;
         let obs = inner.obs.get();
-        // A local runtime is "node 0" in traces; the distributed layer
-        // stamps real node ids through its own simulator.
-        obs.emit(EventKind::NodeCrash {
-            node: NodeId::from_raw(0),
-        });
+        // A local runtime is "node 0" in traces unless install_obs_at
+        // bound another id; the distributed layer stamps real node ids
+        // through its own simulator.
+        let node = obs.node().unwrap_or(NodeId::from_raw(0));
+        obs.emit(EventKind::NodeCrash { node });
         // Kill active actions; their threads' next operation fails.
+        // Deepest-first, so every child's abort is recorded before its
+        // parent's — the trace auditor's causal rule (R8) requires each
+        // span to close inside its parent even on the crash path.
         let mut killed: Vec<ActionId> = Vec::new();
         loop {
             let active = inner.tree.active_actions();
-            let remaining: Vec<ActionId> =
+            let mut remaining: Vec<ActionId> =
                 active.into_iter().filter(|a| !killed.contains(a)).collect();
             if remaining.is_empty() {
                 break;
             }
+            remaining.sort_by_key(|&a| {
+                let mut depth = 0u32;
+                let mut cursor = a;
+                while let Some(parent) = inner.tree.parent(cursor) {
+                    depth += 1;
+                    cursor = parent;
+                }
+                std::cmp::Reverse(depth)
+            });
             for action in remaining {
                 inner.tree.set_state(action, ActionState::Aborted);
                 inner.locks.discard_action(action);
@@ -644,9 +667,7 @@ impl Runtime {
         inner.undo.clear();
         inner.volatile.crash();
         inner.stable.recover();
-        obs.emit(EventKind::NodeRecover {
-            node: NodeId::from_raw(0),
-        });
+        obs.emit(EventKind::NodeRecover { node });
     }
 
     /// Drops bookkeeping for terminated actions with no live

@@ -4,9 +4,9 @@
 
 use std::sync::Arc;
 
-use chroma_base::ColourSet;
+use chroma_base::{ColourSet, NodeId};
 use chroma_core::Runtime;
-use chroma_obs::{EventBus, MemorySink, TraceAuditor};
+use chroma_obs::{EventBus, EventKind, MemorySink, Outcome, SpanForest, SpanKind, TraceAuditor};
 
 #[test]
 fn nested_workload_trace_audits_clean() {
@@ -53,6 +53,70 @@ fn nested_workload_trace_audits_clean() {
     assert!(snap.counter("wal_flush") >= 5);
     let commits = snap.histogram("core.commit_us").expect("commit latency");
     assert!(commits.count >= 5, "{commits}");
+}
+
+#[test]
+fn critical_path_phases_sum_to_measured_commit_latency() {
+    // Acceptance check for the profiler: for every committed top-level
+    // action, the per-phase attribution must account for the span's
+    // entire measured duration (the gap partition is exact, so the
+    // "within 5%" budget is met with zero slack).
+    let rt = Runtime::new();
+    let bus = Arc::new(EventBus::new());
+    let sink = Arc::new(MemorySink::new(100_000));
+    bus.add_sink(sink.clone());
+    rt.install_obs_at(bus, NodeId::from_raw(7));
+
+    let o = rt.create_object(&0i64).unwrap();
+    for i in 0..4i64 {
+        rt.atomic(|a| {
+            a.modify(o, |v: &mut i64| *v += i)?;
+            a.nested(|b| b.modify(o, |v: &mut i64| *v *= 3))
+        })
+        .unwrap();
+    }
+
+    let events = sink.events();
+    // install_obs_at stamps the bound node on every runtime event.
+    assert!(
+        events.iter().all(|e| e.node == Some(NodeId::from_raw(7))),
+        "unbound event in trace"
+    );
+
+    let forest = SpanForest::build(&events);
+    let report = forest.critical_path(&events);
+    assert!(!report.colours.is_empty(), "no committed actions profiled");
+    let mut measured_total = 0u64;
+    for root in &forest.roots {
+        let span = &forest.spans[*root];
+        if matches!(
+            span.kind,
+            SpanKind::Action {
+                outcome: Outcome::Committed,
+                ..
+            }
+        ) {
+            measured_total += span.duration_us();
+        }
+    }
+    let attributed_total: u64 = report
+        .colours
+        .values()
+        .map(|row| row.phases.iter().sum::<u64>())
+        .sum();
+    // Exact partition: attributed == measured, well inside the 5%
+    // acceptance envelope.
+    assert_eq!(attributed_total, measured_total);
+    let fsync: u64 = report
+        .colours
+        .values()
+        .map(|row| row.phases[chroma_obs::Phase::Fsync as usize])
+        .sum();
+    let events_have_flush = events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::WalFlush { .. }));
+    assert!(events_have_flush, "workload never flushed the WAL");
+    let _ = fsync; // flush gaps may round to zero µs; presence checked above
 }
 
 #[test]

@@ -27,7 +27,7 @@ mod replica;
 mod sim;
 
 pub use backend::PartitionedStore;
-pub use msg::{Effect, Message, TimerTag, TxnId, Write};
+pub use msg::{CorrId, Effect, Message, TimerTag, TxnId, Write};
 pub use node::{
     Node, RpcOp, RpcResult, TpcRecord, MAX_DECISION_ATTEMPTS, MAX_PREPARE_ATTEMPTS, RETRY_INTERVAL,
 };

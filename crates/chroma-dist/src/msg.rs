@@ -4,6 +4,17 @@ use chroma_base::{NodeId, ObjectId};
 use chroma_obs::MsgKind;
 use chroma_store::StoreBytes;
 
+/// A correlation identifier pairing one logical network send with the
+/// deliveries it produces.
+///
+/// The simulation allocates one per [`Effect::Send`] it executes and
+/// stamps it on the `MsgSend` event plus every `MsgDeliver` / `MsgDup`
+/// / `MsgDrop` that send gives rise to, so an offline analyzer can
+/// reconstruct RPC pairs even when the network duplicates or loses
+/// messages. Zero is never allocated; it is free for "no correlation"
+/// sentinels in tests.
+pub type CorrId = u64;
+
 /// A transaction identifier, unique per simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TxnId(pub u64);

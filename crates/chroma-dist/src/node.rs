@@ -163,7 +163,12 @@ impl Node {
 
     /// Installs an observability handle, forwarding it to the stable
     /// store and the commit log so WAL events flow through too.
+    ///
+    /// The handle is rebound to this node's identity first, so every
+    /// event the node (or its store/log) emits carries a `node` field
+    /// and ticks this node's Lamport clock.
     pub fn set_obs(&mut self, obs: Obs) {
+        let obs = obs.at_node(self.id);
         self.store.set_obs(obs.clone());
         self.tpc_log.set_obs(obs.clone());
         self.obs = obs;

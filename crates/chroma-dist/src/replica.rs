@@ -93,11 +93,15 @@ impl ReplicatedObject {
             .max()
             .unwrap_or(0)
             + 1;
-        sim.obs().emit(EventKind::ReplicaWrite {
-            object: self.object,
-            version,
-            fanout: up.len() as u64,
-        });
+        // Attribute the write to the coordinating replica so the trace
+        // shows which node drove the 2PC round.
+        sim.obs()
+            .at_node(coordinator)
+            .emit(EventKind::ReplicaWrite {
+                object: self.object,
+                version,
+                fanout: up.len() as u64,
+            });
         let bytes = chroma_store::codec::to_bytes(&(version, state.to_vec()))
             .expect("versioned state encodes");
         let writes: Vec<(NodeId, Vec<Write>)> = up

@@ -9,7 +9,7 @@ use chroma_obs::{EventBus, EventKind, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::msg::{Effect, Message, TimerTag, TxnId, Write};
+use crate::msg::{CorrId, Effect, Message, TimerTag, TxnId, Write};
 use crate::node::Node;
 
 /// Network behaviour knobs (the paper's §2 failure model: messages may
@@ -44,6 +44,12 @@ enum Event {
         from: NodeId,
         to: NodeId,
         msg: Message,
+        /// Correlation id pairing this delivery with its send event
+        /// (duplicated deliveries share the original's).
+        corr: CorrId,
+        /// The sender's Lamport clock at send time, merged into the
+        /// receiver's clock on delivery.
+        send_lc: u64,
     },
     Timer {
         node: NodeId,
@@ -105,6 +111,8 @@ pub struct Sim {
     nodes: HashMap<NodeId, Node>,
     next_node: u32,
     next_txn: u64,
+    /// Correlation ids, one per logical send (duplicates share it).
+    next_corr: CorrId,
     /// Network behaviour; adjust freely between runs.
     pub net: NetConfig,
     stats: NetStats,
@@ -145,6 +153,7 @@ impl Sim {
             nodes: HashMap::new(),
             next_node: 0,
             next_txn: 1,
+            next_corr: 1,
             net: NetConfig::default(),
             stats: NetStats::default(),
             partitions: HashSet::new(),
@@ -330,15 +339,24 @@ impl Sim {
     fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
         self.stats.sent += 1;
         let kind = msg.kind();
-        self.obs.emit(EventKind::MsgSend { from, to, kind });
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        // the send's Lamport clock travels with the message, so the
+        // receive side can merge past it (untraced runs carry 0)
+        let send_lc = self
+            .obs
+            .emit_corr(corr, EventKind::MsgSend { from, to, kind })
+            .map_or(0, |e| e.lc);
         if self.partitions.contains(&Self::link(from, to)) {
             self.stats.dropped += 1;
-            self.obs.emit(EventKind::MsgDrop { from, to, kind });
+            self.obs
+                .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
             return;
         }
         if self.rng.gen_bool(self.net.loss.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
-            self.obs.emit(EventKind::MsgDrop { from, to, kind });
+            self.obs
+                .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
             return;
         }
         let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
@@ -348,13 +366,25 @@ impl Sim {
                 from,
                 to,
                 msg: msg.clone(),
+                corr,
+                send_lc,
             },
         );
         if self.rng.gen_bool(self.net.duplication.clamp(0.0, 1.0)) {
             self.stats.duplicated += 1;
-            self.obs.emit(EventKind::MsgDup { from, to, kind });
+            self.obs
+                .emit_corr(corr, EventKind::MsgDup { from, to, kind });
             let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
-            self.push(self.now + delay, Event::Deliver { from, to, msg });
+            self.push(
+                self.now + delay,
+                Event::Deliver {
+                    from,
+                    to,
+                    msg,
+                    corr,
+                    send_lc,
+                },
+            );
         }
     }
 
@@ -368,7 +398,13 @@ impl Sim {
         self.now = key.0;
         self.sync_time();
         match event {
-            Event::Deliver { from, to, msg } => {
+            Event::Deliver {
+                from,
+                to,
+                msg,
+                corr,
+                send_lc,
+            } => {
                 if self.trace.is_some() {
                     let up = self.nodes.get(&to).is_some_and(|n| n.up);
                     self.record(format!(
@@ -382,11 +418,16 @@ impl Sim {
                 };
                 if !node.up {
                     self.stats.dropped += 1;
-                    self.obs.emit(EventKind::MsgDrop { from, to, kind });
+                    self.obs
+                        .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
                     return true;
                 }
                 self.stats.delivered += 1;
-                self.obs.emit(EventKind::MsgDeliver { from, to, kind });
+                // merge before emitting: the delivery's clock must
+                // strictly exceed the send's (audit rule R8)
+                self.obs.merge_clock(to, send_lc);
+                self.obs
+                    .emit_corr(corr, EventKind::MsgDeliver { from, to, kind });
                 let effects = node.handle_message(from, msg);
                 self.apply_effects(to, effects);
             }

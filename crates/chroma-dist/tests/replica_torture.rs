@@ -132,7 +132,7 @@ fn seed_matrix_replica_torture() {
 // ---- negative tests: each replication rule fires on a bad trace ----
 
 fn ev(at_us: u64, kind: EventKind) -> Event {
-    Event { at_us, kind }
+    Event::at(at_us, kind)
 }
 
 /// R5: a member installing a version below what it already holds.

@@ -27,6 +27,16 @@
 //!   installed by at most the configured window
 //!   ([`with_staleness_window`](TraceAuditor::with_staleness_window),
 //!   default 1 — the one write the group may have in flight).
+//! * **R8 — no happens-before inversion.** Causality, as witnessed by
+//!   the per-node Lamport clocks (`lc`) and send/receive correlation
+//!   ids (`corr`): a delivery's merged clock must strictly exceed the
+//!   matching send's, every delivery must correlate to a send the
+//!   trace contains, a child action's whole span must be enclosed by
+//!   its parent's (begin after the parent begins, terminate before
+//!   the parent terminates), and a 2PC commit decision must causally
+//!   follow every yes-vote it counts. Clock checks only apply to
+//!   events that were stamped (`lc > 0`), so pre-causality traces
+//!   still audit.
 //!
 //! The auditor is deliberately independent of the runtime: it sees
 //! only the trace, so a bug that corrupts runtime state *and* its own
@@ -164,6 +174,43 @@ pub enum Violation {
         /// Which event kind referenced it.
         context: &'static str,
     },
+    /// R8: a delivery's Lamport clock did not exceed the matching
+    /// send's — the receive failed to merge the sender's clock, so
+    /// the trace cannot order the pair causally.
+    ClockInversion {
+        /// The correlation id pairing the two events.
+        corr: u64,
+        /// The send's clock.
+        send_lc: u64,
+        /// The delivery's (not greater) clock.
+        recv_lc: u64,
+    },
+    /// R8: a delivery whose correlation id matches no send in the
+    /// trace — an applied message that nothing provably caused.
+    ReceiveWithoutSend {
+        /// The orphaned correlation id.
+        corr: u64,
+        /// The node that applied the delivery.
+        node: NodeId,
+    },
+    /// R8: a child action's span escaped its parent's — it began
+    /// after the parent terminated, or was still live when the parent
+    /// terminated.
+    ChildOutsideParent {
+        /// The escaping child.
+        child: ActionId,
+        /// Its parent.
+        parent: ActionId,
+    },
+    /// R8: a 2PC commit decision whose Lamport clock does not exceed
+    /// a counted yes-vote's — the decision cannot have causally
+    /// followed the vote it claims to be based on.
+    CommitBeforeVote {
+        /// The transaction.
+        txn: u64,
+        /// The yes-voter whose vote the decision did not follow.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -259,6 +306,26 @@ impl fmt::Display for Violation {
             Violation::UnknownAction { action, context } => {
                 write!(f, "trace: {context} references unknown action {action}")
             }
+            Violation::ClockInversion {
+                corr,
+                send_lc,
+                recv_lc,
+            } => write!(
+                f,
+                "causality: delivery of corr {corr} carries lc {recv_lc}, not after the send's lc {send_lc}"
+            ),
+            Violation::ReceiveWithoutSend { corr, node } => write!(
+                f,
+                "causality: {node} applied a delivery with corr {corr} that matches no send"
+            ),
+            Violation::ChildOutsideParent { child, parent } => write!(
+                f,
+                "causality: {child}'s span is not enclosed by its parent {parent}'s"
+            ),
+            Violation::CommitBeforeVote { txn, node } => write!(
+                f,
+                "causality: T{txn}'s commit decision does not causally follow {node}'s yes-vote"
+            ),
         }
     }
 }
@@ -314,6 +381,9 @@ struct ActionState {
     /// Entered the shrinking phase: released or passed on some lock,
     /// or terminated.
     shrunk: bool,
+    /// Committed or aborted (R8: a terminated parent encloses no new
+    /// children, and terminates none of its live ones).
+    ended: bool,
 }
 
 #[derive(Debug, Default)]
@@ -321,6 +391,9 @@ struct TxnState {
     yes: BTreeSet<u32>,
     no: BTreeSet<u32>,
     decision: Option<bool>,
+    /// Lamport clock of each member's first stamped yes-vote (R8:
+    /// the commit decision must causally follow every one).
+    yes_lc: HashMap<u32, u64>,
 }
 
 /// Replays an event stream and checks the paper's invariants.
@@ -345,6 +418,10 @@ pub struct TraceAuditor {
     /// How far a served read may lag the group's highest installed
     /// version (R7).
     staleness_window: u64,
+    /// Lamport clock of the (single) send per correlation id (R8).
+    sends: HashMap<u64, u64>,
+    /// Live (unterminated) children per action (R8 enclosure).
+    live_children: HashMap<ActionId, BTreeSet<ActionId>>,
     violations: Vec<Violation>,
     events: usize,
 }
@@ -361,6 +438,8 @@ impl Default for TraceAuditor {
             // one write may be in flight: its installs land at
             // different times on different members
             staleness_window: 1,
+            sends: HashMap::new(),
+            live_children: HashMap::new(),
             violations: Vec::new(),
             events: 0,
         }
@@ -421,11 +500,20 @@ impl TraceAuditor {
                 colours,
             } => {
                 if let Some(p) = parent {
-                    if !self.actions.contains_key(&p) {
-                        self.violations.push(Violation::UnknownAction {
+                    match self.actions.get(&p) {
+                        None => self.violations.push(Violation::UnknownAction {
                             action: p,
                             context: "action_begin parent",
-                        });
+                        }),
+                        Some(state) if state.ended => {
+                            self.violations.push(Violation::ChildOutsideParent {
+                                child: action,
+                                parent: p,
+                            });
+                        }
+                        Some(_) => {
+                            self.live_children.entry(p).or_default().insert(action);
+                        }
                     }
                 }
                 self.actions.insert(
@@ -434,16 +522,35 @@ impl TraceAuditor {
                         parent,
                         colours,
                         shrunk: false,
+                        ended: false,
                     },
                 );
             }
             EventKind::ActionCommit { action } | EventKind::ActionAbort { action } => {
+                let mut parent = None;
                 match self.actions.get_mut(&action) {
-                    Some(state) => state.shrunk = true,
+                    Some(state) => {
+                        state.shrunk = true;
+                        state.ended = true;
+                        parent = state.parent;
+                    }
                     None => self.violations.push(Violation::UnknownAction {
                         action,
                         context: "action termination",
                     }),
+                }
+                if let Some(p) = parent {
+                    if let Some(siblings) = self.live_children.get_mut(&p) {
+                        siblings.remove(&action);
+                    }
+                }
+                if let Some(children) = self.live_children.remove(&action) {
+                    for child in children {
+                        self.violations.push(Violation::ChildOutsideParent {
+                            child,
+                            parent: action,
+                        });
+                    }
                 }
             }
             EventKind::LockGrant {
@@ -561,6 +668,9 @@ impl TraceAuditor {
                 let state = self.txns.entry(txn).or_default();
                 if yes {
                     state.yes.insert(node.as_raw());
+                    if event.lc > 0 {
+                        state.yes_lc.entry(node.as_raw()).or_insert(event.lc);
+                    }
                 } else {
                     state.no.insert(node.as_raw());
                     if state.decision == Some(true) {
@@ -602,6 +712,23 @@ impl TraceAuditor {
                                     txn,
                                     node: NodeId::from_raw(no_voter),
                                 });
+                            }
+                            // R8: the decision must causally follow
+                            // every stamped yes-vote it counts.
+                            if event.lc > 0 {
+                                let mut late: Vec<u32> = state
+                                    .yes_lc
+                                    .iter()
+                                    .filter(|(_, &vlc)| vlc >= event.lc)
+                                    .map(|(&voter, _)| voter)
+                                    .collect();
+                                late.sort_unstable();
+                                for voter in late {
+                                    self.violations.push(Violation::CommitBeforeVote {
+                                        txn,
+                                        node: NodeId::from_raw(voter),
+                                    });
+                                }
                             }
                         }
                     }
@@ -669,9 +796,33 @@ impl TraceAuditor {
                 self.catching_up.remove(&(node.as_raw(), object.as_raw()));
                 self.check_staleness(node, object, version);
             }
+            EventKind::MsgSend { .. } => {
+                if let Some(corr) = event.corr {
+                    // one send per correlation id; keep the first
+                    self.sends.entry(corr).or_insert(event.lc);
+                }
+            }
+            EventKind::MsgDeliver { to, .. } => {
+                if let Some(corr) = event.corr {
+                    match self.sends.get(&corr) {
+                        None => self
+                            .violations
+                            .push(Violation::ReceiveWithoutSend { corr, node: to }),
+                        Some(&send_lc) => {
+                            if send_lc > 0 && event.lc > 0 && event.lc <= send_lc {
+                                self.violations.push(Violation::ClockInversion {
+                                    corr,
+                                    send_lc,
+                                    recv_lc: event.lc,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
             // request/conflict traffic, WAL and disk activity, the
-            // fan-out announcement, crashes and the network carry no
-            // audited obligations of their own
+            // fan-out announcement, crashes and in-flight network
+            // perturbations carry no audited obligations of their own
             EventKind::LockRequest { .. }
             | EventKind::LockConflict { .. }
             | EventKind::WalAppend { .. }
@@ -683,10 +834,8 @@ impl TraceAuditor {
             | EventKind::TpcPrepare { .. }
             | EventKind::NodeCrash { .. }
             | EventKind::NodeRecover { .. }
-            | EventKind::MsgSend { .. }
             | EventKind::MsgDrop { .. }
-            | EventKind::MsgDup { .. }
-            | EventKind::MsgDeliver { .. } => {}
+            | EventKind::MsgDup { .. } => {}
         }
     }
 
@@ -745,7 +894,7 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind) -> Event {
-        Event { at_us: 0, kind }
+        Event::at(0, kind)
     }
 
     #[test]
@@ -871,6 +1020,180 @@ mod tests {
             lax.observe(e);
         }
         assert!(lax.finish().is_clean(), "lag 3 fits window 3");
+    }
+
+    fn stamped(lc: u64, corr: Option<u64>, kind: EventKind) -> Event {
+        let mut e = Event::at(0, kind);
+        e.lc = lc;
+        e.corr = corr;
+        e
+    }
+
+    #[test]
+    fn r8_send_receive_pair_with_merged_clock_passes() {
+        use crate::event::MsgKind;
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let trace = vec![
+            stamped(
+                3,
+                Some(7),
+                EventKind::MsgSend {
+                    from: n1,
+                    to: n2,
+                    kind: MsgKind::Prepare,
+                },
+            ),
+            stamped(
+                4,
+                Some(7),
+                EventKind::MsgDeliver {
+                    from: n1,
+                    to: n2,
+                    kind: MsgKind::Prepare,
+                },
+            ),
+        ];
+        assert!(TraceAuditor::audit_events(&trace).is_clean());
+    }
+
+    #[test]
+    fn r8_clock_inversion_fires() {
+        use crate::event::MsgKind;
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let trace = vec![
+            stamped(
+                5,
+                Some(7),
+                EventKind::MsgSend {
+                    from: n1,
+                    to: n2,
+                    kind: MsgKind::Prepare,
+                },
+            ),
+            // the receive failed to merge: its clock is behind the send's
+            stamped(
+                3,
+                Some(7),
+                EventKind::MsgDeliver {
+                    from: n1,
+                    to: n2,
+                    kind: MsgKind::Prepare,
+                },
+            ),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ClockInversion {
+                corr: 7,
+                send_lc: 5,
+                recv_lc: 3
+            }]
+        ));
+    }
+
+    #[test]
+    fn r8_receive_without_send_fires() {
+        use crate::event::MsgKind;
+        let trace = vec![stamped(
+            3,
+            Some(9),
+            EventKind::MsgDeliver {
+                from: NodeId::from_raw(1),
+                to: NodeId::from_raw(2),
+                kind: MsgKind::Decision,
+            },
+        )];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ReceiveWithoutSend { corr: 9, .. }]
+        ));
+    }
+
+    #[test]
+    fn r8_child_must_be_enclosed_by_parent() {
+        let a = ActionId::from_raw(1);
+        let child = ActionId::from_raw(2);
+        // parent terminates while the child is still live
+        let trace = vec![
+            ev(EventKind::ActionBegin {
+                action: a,
+                parent: None,
+                colours: 1,
+            }),
+            ev(EventKind::ActionBegin {
+                action: child,
+                parent: Some(a),
+                colours: 1,
+            }),
+            ev(EventKind::ActionCommit { action: a }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ChildOutsideParent { .. }]
+        ));
+        // child begins after the parent already terminated
+        let trace = vec![
+            ev(EventKind::ActionBegin {
+                action: a,
+                parent: None,
+                colours: 1,
+            }),
+            ev(EventKind::ActionCommit { action: a }),
+            ev(EventKind::ActionBegin {
+                action: child,
+                parent: Some(a),
+                colours: 1,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ChildOutsideParent { .. }]
+        ));
+    }
+
+    #[test]
+    fn r8_commit_must_follow_votes() {
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let vote = |node, lc| {
+            stamped(
+                lc,
+                None,
+                EventKind::TpcVote {
+                    node,
+                    txn: 4,
+                    yes: true,
+                },
+            )
+        };
+        let decide = |lc| {
+            stamped(
+                lc,
+                None,
+                EventKind::TpcDecide {
+                    node: n1,
+                    txn: 4,
+                    commit: true,
+                    participants: 2,
+                },
+            )
+        };
+        // clean: the decision's clock exceeds both votes'
+        let trace = vec![vote(n1, 2), vote(n2, 5), decide(9)];
+        assert!(TraceAuditor::audit_events(&trace).is_clean());
+        // corrupted: n2's vote does not happen-before the decision
+        let trace = vec![vote(n1, 2), vote(n2, 11), decide(9)];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::CommitBeforeVote { txn: 4, node }] if *node == n2
+        ));
     }
 
     #[test]

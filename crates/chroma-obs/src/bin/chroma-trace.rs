@@ -1,0 +1,119 @@
+//! `chroma-trace` — offline analysis of chroma JSONL traces.
+//!
+//! ```text
+//! chroma-trace analyze <trace.jsonl>             audit R1–R8 + span/flow summary
+//! chroma-trace export <trace.jsonl> [out.json]   write Chrome trace-event JSON
+//! chroma-trace critical-path <trace.jsonl>       per-colour latency phase breakdown
+//! ```
+//!
+//! `analyze` exits non-zero on any invariant violation or malformed
+//! line, so it slots straight into CI after a traced run.
+
+use std::process::ExitCode;
+
+use chroma_obs::{chrome_trace_from, Event, SpanForest, TraceAuditor};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, out) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), None),
+        [cmd, path, out] if cmd == "export" => (cmd.as_str(), path.as_str(), Some(out.clone())),
+        _ => {
+            eprintln!(
+                "usage: chroma-trace <analyze|export|critical-path> <trace.jsonl> [out.json]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("chroma-trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let events = match parse(&text) {
+        Ok(events) => events,
+        Err(message) => {
+            eprintln!("chroma-trace: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "analyze" => analyze(&events),
+        "export" => export(&events, path, out),
+        "critical-path" => {
+            let forest = SpanForest::build(&events);
+            print!("{}", forest.critical_path(&events));
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("chroma-trace: unknown subcommand `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json_line(line) {
+            Ok(event) => events.push(event),
+            Err(e) => return Err(e.at_line(i + 1).to_string()),
+        }
+    }
+    Ok(events)
+}
+
+fn analyze(events: &[Event]) -> ExitCode {
+    let forest = SpanForest::build(events);
+    let actions = forest
+        .spans
+        .iter()
+        .filter(|s| matches!(s.kind, chroma_obs::SpanKind::Action { .. }))
+        .count();
+    println!(
+        "{} event(s): {} span(s) ({actions} action(s)), {} root(s), {} flow(s), \
+         {} unpaired send(s), {} unpaired receive(s)",
+        events.len(),
+        forest.spans.len(),
+        forest.roots.len(),
+        forest.flows.len(),
+        forest.unpaired_sends.len(),
+        forest.unpaired_receives.len(),
+    );
+    let report = TraceAuditor::audit_events(events);
+    print!("{report}");
+    if report.is_clean() {
+        println!();
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn export(events: &[Event], path: &str, out: Option<String>) -> ExitCode {
+    let out = out.unwrap_or_else(|| format!("{}.json", path.trim_end_matches(".jsonl")));
+    let forest = SpanForest::build(events);
+    let json = chrome_trace_from(&forest, events);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("chroma-trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out}: {} span(s), {} flow arrow(s) across {} track(s)",
+        forest.spans.len(),
+        forest.flows.len(),
+        events
+            .iter()
+            .map(|e| e.node)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+    );
+    ExitCode::SUCCESS
+}

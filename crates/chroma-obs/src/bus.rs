@@ -1,13 +1,14 @@
 //! The event bus, the `Obs` handle instrumented code holds, and the
 //! built-in sinks.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::io::Write as IoWrite;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use chroma_base::NodeId;
 use parking_lot::{Mutex, RwLock};
 
 use crate::event::{Event, EventKind, KIND_COUNT, KIND_NAMES};
@@ -35,6 +36,15 @@ pub struct EventBus {
     origin: Instant,
     manual: AtomicBool,
     manual_us: AtomicU64,
+    /// Per-node Lamport clocks, keyed by raw node id. A node's clock
+    /// ticks on every event it emits and is merged forward past the
+    /// send's clock when it receives a message.
+    clocks: Mutex<HashMap<u32, u64>>,
+    /// Debug-only: actions seen beginning, so a parented begin whose
+    /// parent never began trips an assertion at emission time rather
+    /// than much later in an offline audit.
+    #[cfg(debug_assertions)]
+    begun: Mutex<std::collections::HashSet<u64>>,
 }
 
 impl EventBus {
@@ -48,6 +58,9 @@ impl EventBus {
             origin: Instant::now(),
             manual: AtomicBool::new(false),
             manual_us: AtomicU64::new(0),
+            clocks: Mutex::new(HashMap::new()),
+            #[cfg(debug_assertions)]
+            begun: Mutex::new(std::collections::HashSet::new()),
         }
     }
 
@@ -73,12 +86,33 @@ impl EventBus {
         self.manual_us.store(us, Ordering::Relaxed);
     }
 
-    /// Counts, stamps and fans out one event; returns the stamped
-    /// record.
+    /// Counts, stamps and fans out one event with no node binding;
+    /// returns the stamped record.
     pub fn emit(&self, kind: EventKind) -> Event {
+        self.emit_traced(None, None, kind)
+    }
+
+    /// Counts, stamps and fans out one event with causal context.
+    ///
+    /// The event's node is the kind's intrinsic node when the payload
+    /// names one, else `node`; when a node is known its Lamport clock
+    /// ticks and stamps the event (`lc > 0`). `corr` flows through
+    /// untouched.
+    pub fn emit_traced(&self, node: Option<NodeId>, corr: Option<u64>, kind: EventKind) -> Event {
         self.counters[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.debug_check_parent(&kind);
+        let node = kind.intrinsic_node().or(node);
+        let lc = node.map_or(0, |n| {
+            let mut clocks = self.clocks.lock();
+            let c = clocks.entry(n.as_raw()).or_insert(0);
+            *c += 1;
+            *c
+        });
         let event = Event {
             at_us: self.now_us(),
+            node,
+            lc,
+            corr,
             kind,
         };
         for sink in self.sinks.read().iter() {
@@ -86,6 +120,40 @@ impl EventBus {
         }
         event
     }
+
+    /// Merges an observed remote clock into `node`'s clock (sets it to
+    /// at least `observed_lc`). Called by transports *before* emitting
+    /// the delivery event, so the delivery's clock strictly exceeds
+    /// the matching send's.
+    pub fn merge_clock(&self, node: NodeId, observed_lc: u64) {
+        let mut clocks = self.clocks.lock();
+        let c = clocks.entry(node.as_raw()).or_insert(0);
+        *c = (*c).max(observed_lc);
+    }
+
+    /// The current Lamport clock of `node` (0 if it never emitted).
+    #[must_use]
+    pub fn lamport(&self, node: NodeId) -> u64 {
+        self.clocks.lock().get(&node.as_raw()).copied().unwrap_or(0)
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check_parent(&self, kind: &EventKind) {
+        if let EventKind::ActionBegin { action, parent, .. } = kind {
+            let mut begun = self.begun.lock();
+            if let Some(p) = parent {
+                debug_assert!(
+                    begun.contains(&p.as_raw()),
+                    "action {action} began under parent {p}, which never began"
+                );
+            }
+            begun.insert(action.as_raw());
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[allow(clippy::unused_self)]
+    fn debug_check_parent(&self, _kind: &EventKind) {}
 
     /// Records one latency sample into the named histogram.
     ///
@@ -159,19 +227,43 @@ impl fmt::Debug for EventBus {
 #[derive(Clone, Debug, Default)]
 pub struct Obs {
     bus: Option<Arc<EventBus>>,
+    node: Option<NodeId>,
 }
 
 impl Obs {
     /// The inert handle: every operation is a no-op.
     #[must_use]
     pub fn none() -> Self {
-        Obs { bus: None }
+        Obs {
+            bus: None,
+            node: None,
+        }
     }
 
-    /// A handle bound to `bus`.
+    /// A handle bound to `bus`, with no node context.
     #[must_use]
     pub fn new(bus: Arc<EventBus>) -> Self {
-        Obs { bus: Some(bus) }
+        Obs {
+            bus: Some(bus),
+            node: None,
+        }
+    }
+
+    /// This handle rebound to a node: every event emitted through it
+    /// whose kind has no intrinsic node is attributed to `node` and
+    /// stamped with `node`'s Lamport clock.
+    #[must_use]
+    pub fn at_node(&self, node: NodeId) -> Obs {
+        Obs {
+            bus: self.bus.clone(),
+            node: Some(node),
+        }
+    }
+
+    /// The bound node, if any.
+    #[must_use]
+    pub fn node(&self) -> Option<NodeId> {
+        self.node
     }
 
     /// `true` when a bus is installed.
@@ -189,7 +281,25 @@ impl Obs {
     /// Emits an event (no-op without a bus).
     pub fn emit(&self, kind: EventKind) {
         if let Some(bus) = &self.bus {
-            bus.emit(kind);
+            bus.emit_traced(self.node, None, kind);
+        }
+    }
+
+    /// Emits an event carrying a correlation id and returns the
+    /// stamped record (None without a bus). Transports use the
+    /// returned Lamport clock to ship the send's causal position to
+    /// the receiving side.
+    pub fn emit_corr(&self, corr: u64, kind: EventKind) -> Option<Event> {
+        self.bus
+            .as_ref()
+            .map(|bus| bus.emit_traced(self.node, Some(corr), kind))
+    }
+
+    /// Merges an observed remote clock into `node`'s clock (no-op
+    /// without a bus). See [`EventBus::merge_clock`].
+    pub fn merge_clock(&self, node: NodeId, observed_lc: u64) {
+        if let Some(bus) = &self.bus {
+            bus.merge_clock(node, observed_lc);
         }
     }
 
@@ -464,6 +574,76 @@ mod tests {
             let event = Event::from_json_line(line).unwrap();
             assert_eq!(event.at_us, 7);
         }
+    }
+
+    #[test]
+    fn lamport_clocks_tick_and_merge() {
+        use crate::event::MsgKind;
+        let bus = Arc::new(EventBus::new());
+        let n1 = NodeId::from_raw(1);
+        let n2 = NodeId::from_raw(2);
+        let obs = Obs::new(bus.clone());
+        let send = obs
+            .emit_corr(
+                9,
+                EventKind::MsgSend {
+                    from: n1,
+                    to: n2,
+                    kind: MsgKind::Prepare,
+                },
+            )
+            .unwrap();
+        assert_eq!(send.node, Some(n1));
+        assert_eq!(send.lc, 1);
+        assert_eq!(send.corr, Some(9));
+        // The receive side merges the send's clock first, so the
+        // delivery is causally after it.
+        bus.merge_clock(n2, send.lc);
+        let deliver = obs
+            .emit_corr(
+                9,
+                EventKind::MsgDeliver {
+                    from: n1,
+                    to: n2,
+                    kind: MsgKind::Prepare,
+                },
+            )
+            .unwrap();
+        assert_eq!(deliver.node, Some(n2));
+        assert!(deliver.lc > send.lc, "{} vs {}", deliver.lc, send.lc);
+        assert_eq!(bus.lamport(n2), deliver.lc);
+    }
+
+    #[test]
+    fn at_node_binds_nodeless_kinds() {
+        let bus = Arc::new(EventBus::new());
+        let sink = Arc::new(MemorySink::new(8));
+        bus.add_sink(sink.clone());
+        let obs = Obs::new(bus.clone()).at_node(NodeId::from_raw(5));
+        assert_eq!(obs.node(), Some(NodeId::from_raw(5)));
+        obs.emit(begin(1));
+        let e = sink.events()[0];
+        assert_eq!(e.node, Some(NodeId::from_raw(5)));
+        assert_eq!(e.lc, 1);
+        // A kind whose payload names a node ignores the binding.
+        obs.emit(EventKind::NodeCrash {
+            node: NodeId::from_raw(9),
+        });
+        let e = sink.events()[1];
+        assert_eq!(e.node, Some(NodeId::from_raw(9)));
+        assert_eq!(bus.lamport(NodeId::from_raw(9)), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "never began")]
+    fn parented_begin_without_parent_panics_in_debug() {
+        let bus = EventBus::new();
+        bus.emit(EventKind::ActionBegin {
+            action: ActionId::from_raw(2),
+            parent: Some(ActionId::from_raw(1)),
+            colours: 1,
+        });
     }
 
     #[test]

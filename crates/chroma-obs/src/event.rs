@@ -1,8 +1,15 @@
 //! The typed event vocabulary and its JSONL wire form.
 //!
-//! Every record is one line of flat JSON — no nesting, no escapes —
-//! so traces stream through line-oriented tools and a corrupted line
-//! is always a hard parse error, never a silent skip.
+//! Every record is one line of flat JSON — no nesting, and only the
+//! two escapes (`\\` and `\"`) a string field can need — so traces
+//! stream through line-oriented tools and a corrupted line is always
+//! a hard parse error, never a silent skip.
+//!
+//! Besides the payload, every event carries causal context: the node
+//! it happened on (`node`), a per-node Lamport clock (`lc`, 0 when
+//! untraced), and for network events a correlation id (`corr`) that
+//! pairs each delivery with the send that caused it even when the
+//! network duplicates or drops messages.
 
 use std::fmt;
 
@@ -403,6 +410,35 @@ impl EventKind {
     pub const fn name(&self) -> &'static str {
         KIND_NAMES[self.index()]
     }
+
+    /// The node this kind is intrinsically *about*, when the payload
+    /// already names one: 2PC and replica events carry the acting
+    /// participant, network events are attributed to the sender
+    /// (delivery to the receiver). Kinds whose payload has no node
+    /// return `None` and rely on the emitting handle's binding.
+    ///
+    /// The wire form never writes a separate top-level `node` field
+    /// for these kinds — doing so would duplicate the payload field.
+    #[must_use]
+    pub const fn intrinsic_node(&self) -> Option<NodeId> {
+        match self {
+            EventKind::TpcPrepare { node, .. }
+            | EventKind::TpcVote { node, .. }
+            | EventKind::TpcDecide { node, .. }
+            | EventKind::TpcResolve { node, .. }
+            | EventKind::NodeCrash { node }
+            | EventKind::NodeRecover { node }
+            | EventKind::ReplicaInstall { node, .. }
+            | EventKind::ReplicaRead { node, .. }
+            | EventKind::CatchupBegin { node, .. }
+            | EventKind::CatchupEnd { node, .. } => Some(*node),
+            EventKind::MsgSend { from, .. }
+            | EventKind::MsgDrop { from, .. }
+            | EventKind::MsgDup { from, .. } => Some(*from),
+            EventKind::MsgDeliver { to, .. } => Some(*to),
+            _ => None,
+        }
+    }
 }
 
 /// One timestamped observation.
@@ -414,11 +450,36 @@ impl EventKind {
 pub struct Event {
     /// Microseconds since the bus's epoch (wall or simulated).
     pub at_us: u64,
+    /// The node the event happened on: the kind's intrinsic node when
+    /// its payload names one, otherwise the emitting handle's bound
+    /// node. `None` for unbound local emissions.
+    pub node: Option<NodeId>,
+    /// Lamport clock at the emitting node, `> 0` when stamped. A
+    /// delivery's clock is merged with (forced past) the matching
+    /// send's, so `lc` orders events causally across nodes. `0` means
+    /// the event predates causal tracing or was emitted node-less.
+    pub lc: u64,
+    /// Correlation id pairing `msg_send` with the `msg_deliver` /
+    /// `msg_drop` / `msg_dup` events it caused. Duplicated deliveries
+    /// share the original send's id.
+    pub corr: Option<u64>,
     /// What happened.
     pub kind: EventKind,
 }
 
 impl Event {
+    /// An event with no causal context beyond the kind's intrinsic
+    /// node — the shape every pre-causality emitter produced.
+    #[must_use]
+    pub fn at(at_us: u64, kind: EventKind) -> Event {
+        Event {
+            at_us,
+            node: kind.intrinsic_node(),
+            lc: 0,
+            corr: None,
+            kind,
+        }
+    }
     /// Serialises to one line of flat JSON (no trailing newline).
     #[must_use]
     pub fn to_json_line(&self) -> String {
@@ -577,6 +638,19 @@ impl Event {
                 num(&mut s, "node", u64::from(node.as_raw()));
                 num(&mut s, "object", object.as_raw());
                 num(&mut s, "version", version);
+            }
+        }
+        if self.lc > 0 {
+            num(&mut s, "lc", self.lc);
+        }
+        if let Some(corr) = self.corr {
+            num(&mut s, "corr", corr);
+        }
+        // A kind with an intrinsic node already wrote it as payload;
+        // writing it again would trip the duplicate-field check.
+        if self.kind.intrinsic_node().is_none() {
+            if let Some(node) = self.node {
+                num(&mut s, "node", u64::from(node.as_raw()));
             }
         }
         s.push('}');
@@ -801,7 +875,34 @@ impl Event {
                 return Err(TraceParseError::new(format!("unknown event tag `{other}`")));
             }
         };
-        Ok(Event { at_us, kind })
+        let opt_u64 = |key: &str| -> Result<Option<u64>, TraceParseError> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Num(n))) => Ok(Some(*n)),
+                Some((_, other)) => Err(TraceParseError::new(format!(
+                    "field `{key}` should be a number, got {other:?}"
+                ))),
+                None => Ok(None),
+            }
+        };
+        let lc = opt_u64("lc")?.unwrap_or(0);
+        let corr = opt_u64("corr")?;
+        let node =
+            match kind.intrinsic_node() {
+                Some(n) => Some(n),
+                None => match opt_u64("node")? {
+                    Some(raw) => Some(u32::try_from(raw).map(NodeId::from_raw).map_err(|_| {
+                        TraceParseError::new(format!("node id {raw} out of range"))
+                    })?),
+                    None => None,
+                },
+            };
+        Ok(Event {
+            at_us,
+            node,
+            lc,
+            corr,
+            kind,
+        })
     }
 }
 
@@ -822,7 +923,9 @@ impl TraceParseError {
         }
     }
 
-    pub(crate) fn at_line(mut self, line: usize) -> Self {
+    /// Tags the error with a 1-based line number.
+    #[must_use]
+    pub fn at_line(mut self, line: usize) -> Self {
         self.line = Some(line);
         self
     }
@@ -838,6 +941,23 @@ impl fmt::Display for TraceParseError {
 }
 
 impl std::error::Error for TraceParseError {}
+
+/// Escapes a string for embedding in a JSON string field: `\` and `"`
+/// gain a backslash, matching exactly what the trace parser accepts.
+/// Control characters never occur in the vocabulary and are passed
+/// through untouched.
+#[must_use]
+pub fn escape_json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
 
 #[derive(Debug)]
 enum JsonValue {
@@ -875,16 +995,42 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceParseE
         }
         *pos += 1;
         let start = *pos;
+        // Unescaped strings (the overwhelmingly common case) borrow
+        // straight from the line; the buffer only materialises on the
+        // first escape.
+        let mut unescaped: Option<Vec<u8>> = None;
         while let Some(&b) = bytes.get(*pos) {
             match b {
                 b'"' => {
-                    let s = std::str::from_utf8(&bytes[start..*pos])
+                    let raw = match unescaped {
+                        Some(buf) => buf,
+                        None => bytes[start..*pos].to_vec(),
+                    };
+                    let s = String::from_utf8(raw)
                         .map_err(|_| TraceParseError::new("invalid utf-8 in string"))?;
                     *pos += 1;
-                    return Ok(s.to_owned());
+                    return Ok(s);
                 }
-                b'\\' => return Err(TraceParseError::new("escape sequences are not supported")),
-                _ => *pos += 1,
+                b'\\' => {
+                    let buf = unescaped.get_or_insert_with(|| bytes[start..*pos].to_vec());
+                    match bytes.get(*pos + 1) {
+                        Some(&esc @ (b'\\' | b'"')) => {
+                            buf.push(esc);
+                            *pos += 2;
+                        }
+                        _ => {
+                            return Err(TraceParseError::new(
+                                "unsupported escape sequence (only \\\\ and \\\" are allowed)",
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(buf) = unescaped.as_mut() {
+                        buf.push(b);
+                    }
+                    *pos += 1;
+                }
             }
         }
         Err(TraceParseError::new("unterminated string"))
@@ -1088,10 +1234,7 @@ mod tests {
         kinds
             .into_iter()
             .enumerate()
-            .map(|(i, kind)| Event {
-                at_us: i as u64 * 10,
-                kind,
-            })
+            .map(|(i, kind)| Event::at(i as u64 * 10, kind))
             .collect()
     }
 
@@ -1102,6 +1245,78 @@ mod tests {
             let back = Event::from_json_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, event, "round-trip of {line}");
         }
+    }
+
+    #[test]
+    fn causal_context_round_trips() {
+        for mut event in sample_events() {
+            event.lc = 42;
+            if matches!(
+                event.kind,
+                EventKind::MsgSend { .. }
+                    | EventKind::MsgDrop { .. }
+                    | EventKind::MsgDup { .. }
+                    | EventKind::MsgDeliver { .. }
+            ) {
+                event.corr = Some(7);
+            }
+            if event.node.is_none() {
+                event.node = Some(NodeId::from_raw(3));
+            }
+            let line = event.to_json_line();
+            let back = Event::from_json_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, event, "round-trip of {line}");
+        }
+    }
+
+    #[test]
+    fn pre_causality_lines_still_parse() {
+        // Traces written before node/lc/corr existed must load with
+        // the neutral defaults.
+        let line = "{\"at_us\":5,\"ev\":\"wal_append\",\"records\":3}";
+        let event = Event::from_json_line(line).unwrap();
+        assert_eq!(event.node, None);
+        assert_eq!(event.lc, 0);
+        assert_eq!(event.corr, None);
+    }
+
+    #[test]
+    fn intrinsic_node_wins_over_handle_binding() {
+        // A kind whose payload names a node never writes a separate
+        // top-level `node` field (it would be a duplicate), and the
+        // parser recovers the context from the payload.
+        let event = Event::at(
+            1,
+            EventKind::TpcPrepare {
+                node: NodeId::from_raw(4),
+                txn: 9,
+            },
+        );
+        let line = event.to_json_line();
+        assert_eq!(line.matches("\"node\"").count(), 1, "{line}");
+        let back = Event::from_json_line(&line).unwrap();
+        assert_eq!(back.node, Some(NodeId::from_raw(4)));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        // `\\` and `\"` must survive a string field; anything else is
+        // still a hard error.
+        let line = "{\"at_us\":1,\"ev\":\"lock_grant\",\"action\":1,\"object\":1,\"colour\":0,\"mode\":\"a\\\\b\\\"c\"}";
+        let err = Event::from_json_line(line).unwrap_err();
+        assert!(
+            err.message.contains("unknown lock mode `a\\b\"c`"),
+            "escapes should decode before field validation: {err}"
+        );
+        let bad = "{\"at_us\":1,\"ev\":\"wal_append\",\"records\":1,\"x\":\"a\\nb\"}";
+        let err = Event::from_json_line(bad).unwrap_err();
+        assert!(err.message.contains("unsupported escape"), "{err}");
+    }
+
+    #[test]
+    fn escape_json_str_matches_parser() {
+        assert_eq!(escape_json_str("plain"), "plain");
+        assert_eq!(escape_json_str("a\\b\"c"), "a\\\\b\\\"c");
     }
 
     #[test]

@@ -15,7 +15,17 @@
 //! * [`TraceAuditor`] replays a captured event stream and checks the
 //!   paper's invariants after the fact: strict 2PL, commit-time lock
 //!   inheritance by the closest ancestor holding the colour, no write
-//!   without a write lock, and 2PC safety.
+//!   without a write lock, 2PC safety, replication monotonicity and —
+//!   via per-node Lamport clocks and send/receive correlation ids —
+//!   the absence of happens-before inversions (R8);
+//! * [`SpanForest`] folds a trace back into action/transaction span
+//!   trees, pairs RPC sends with deliveries as [`Flow`]s, and its
+//!   critical-path profiler attributes end-to-end commit latency to
+//!   lock-wait / fsync / network / 2PC phases per colour;
+//! * [`chrome_trace`] exports a trace as Chrome trace-event JSON
+//!   (one track per node, flow arrows for RPC pairs) for Perfetto;
+//!   the `chroma-trace` binary wraps audit, export and profiling as
+//!   a CLI over JSONL trace files.
 //!
 //! Instrumented code holds an [`Obs`] handle — a cheap clone that is a
 //! no-op until a bus is installed, so the hot paths pay one branch when
@@ -48,9 +58,16 @@
 mod audit;
 mod bus;
 mod event;
+mod export;
 mod metrics;
+mod span;
 
 pub use audit::{AuditReport, TraceAuditor, Violation};
 pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell};
-pub use event::{Event, EventKind, MsgKind, TraceParseError};
+pub use event::{escape_json_str, Event, EventKind, MsgKind, TraceParseError};
+pub use export::{chrome_trace, chrome_trace_from};
 pub use metrics::{Histogram, Snapshot, Summary};
+pub use span::{
+    ColourBreakdown, CriticalPathReport, Flow, Outcome, Phase, Span, SpanForest, SpanKind,
+    TxnBreakdown,
+};

@@ -6,7 +6,7 @@ use chroma_base::{ActionId, Colour, LockMode, NodeId, ObjectId};
 use chroma_obs::{Event, EventKind, TraceAuditor, Violation};
 
 fn ev(kind: EventKind) -> Event {
-    Event { at_us: 0, kind }
+    Event::at(0, kind)
 }
 
 fn a(raw: u64) -> ActionId {
@@ -367,11 +367,7 @@ fn unknown_action_reference_fires() {
 
 #[test]
 fn corrupted_jsonl_is_rejected_with_line_number() {
-    let good = Event {
-        at_us: 12,
-        kind: EventKind::WalAppend { records: 1 },
-    }
-    .to_json_line();
+    let good = Event::at(12, EventKind::WalAppend { records: 1 }).to_json_line();
     let text = format!("{good}\n{{\"at_us\":5,\"ev\":\"wal_append\"\n{good}\n");
     let err = TraceAuditor::audit_jsonl(&text).expect_err("truncated line must reject");
     assert!(err.to_string().contains("line 2"), "{err}");
@@ -385,11 +381,7 @@ fn jsonl_with_unknown_event_tag_is_rejected() {
 
 #[test]
 fn blank_lines_are_tolerated_but_garbage_is_not() {
-    let good = Event {
-        at_us: 3,
-        kind: EventKind::NodeCrash { node: n(2) },
-    }
-    .to_json_line();
+    let good = Event::at(3, EventKind::NodeCrash { node: n(2) }).to_json_line();
     let ok = format!("\n{good}\n\n");
     assert_eq!(TraceAuditor::audit_jsonl(&ok).expect("clean").events, 1);
     let bad = format!("{good}garbage\n");

@@ -72,8 +72,21 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
     #[test]
-    fn jsonl_round_trips_random_events(at_us in any::<u64>(), kind in kind_strategy()) {
-        let event = Event { at_us, kind };
+    fn jsonl_round_trips_random_events(
+        at_us in any::<u64>(),
+        kind in kind_strategy(),
+        lc in any::<u64>(),
+        has_corr in any::<bool>(),
+        corr in any::<u64>(),
+        has_bound in any::<bool>(),
+        bound in any::<u32>(),
+    ) {
+        let mut event = Event::at(at_us, kind);
+        event.lc = lc;
+        event.corr = has_corr.then_some(corr);
+        if event.node.is_none() && has_bound {
+            event.node = Some(NodeId::from_raw(bound));
+        }
         let line = event.to_json_line();
         let back = Event::from_json_line(&line).expect("own output parses");
         prop_assert_eq!(back, event);

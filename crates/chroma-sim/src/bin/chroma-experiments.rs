@@ -9,35 +9,53 @@
 //! crash — writing its event stream to `<path>` as JSONL, auditing it
 //! offline, and printing the metrics snapshot (including `store.fsync_us`
 //! and the per-colour `core.commit_us.*` breakdown).
+//!
+//! `--trace-only <path>` writes the same trace and exits without
+//! regenerating the experiment tables — the fast path CI uses before
+//! handing the trace to `chroma-trace analyze`. Both variants derive
+//! the simulation seed from `CHROMA_TORTURE_SEED` when set, so the CI
+//! seed matrix exercises distinct network schedules.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use chroma_base::{ColourSet, ObjectId};
+use chroma_base::{ColourSet, NodeId, ObjectId};
 use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
 use chroma_dist::{ReplicatedObject, Sim, Write, RETRY_INTERVAL};
 use chroma_obs::{EventBus, JsonlSink, MemorySink, TraceAuditor};
 use chroma_store::StoreBytes;
 
+/// The node id the local (non-simulated) runtime is bound to in traces.
+/// Far above any id the simulator allocates, so the Chrome export gives
+/// the local runtime its own track instead of colliding with node 0.
+const LOCAL_RUNTIME_NODE: u32 = 100;
+
 fn main() {
     let mut trace_path: Option<String> = None;
+    let mut trace_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--trace" => {
+            "--trace" | "--trace-only" => {
+                trace_only = arg == "--trace-only";
                 trace_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--trace requires a path");
+                    eprintln!("{arg} requires a path");
                     std::process::exit(2);
                 }));
             }
             other => {
-                eprintln!("unknown argument: {other} (supported: --trace <path>)");
+                eprintln!(
+                    "unknown argument: {other} (supported: --trace <path>, --trace-only <path>)"
+                );
                 std::process::exit(2);
             }
         }
     }
     if let Some(path) = trace_path {
         write_trace(Path::new(&path));
+        if trace_only {
+            return;
+        }
     }
 
     let reports = chroma_sim::experiments::run_all();
@@ -79,7 +97,7 @@ fn write_trace(path: &Path) {
         RuntimeConfig::default(),
         Arc::new(DiskBackend::open(&dir).expect("open trace store")),
     );
-    rt.install_obs(bus.clone());
+    rt.install_obs_at(bus.clone(), NodeId::from_raw(LOCAL_RUNTIME_NODE));
     let o = rt.create_object(&0i64).expect("create");
     for i in 0..8i64 {
         rt.atomic(|a| {
@@ -109,7 +127,11 @@ fn write_trace(path: &Path) {
     // Distributed 2PC under loss with a crashing participant:
     // prepare/vote/decide/resolve and network traffic, stamped with
     // simulated time.
-    let mut sim = Sim::new(7);
+    let seed = std::env::var("CHROMA_TORTURE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    let mut sim = Sim::new(seed);
     sim.net.loss = 0.1;
     sim.install_obs(bus.clone());
     let coord = sim.add_node();
@@ -153,4 +175,8 @@ fn write_trace(path: &Path) {
         path.display(),
         bus.snapshot().render()
     );
+    if !report.is_clean() {
+        eprintln!("trace audit found violations; failing");
+        std::process::exit(1);
+    }
 }
