@@ -1,0 +1,192 @@
+//! Commit-throughput benchmark for the group-committed intentions log.
+//!
+//! Drives the full `Runtime` → `DiskBackend` → `DiskStore` commit path
+//! with 1/2/4/8 concurrent committer threads, each running top-level
+//! atomic actions against its own object, and reports per thread-count:
+//!
+//! * `commits_per_sec` — committed top-level actions per second;
+//! * `fsyncs_per_commit` — log fsyncs amortized over commits (the
+//!   ungrouped protocol pays exactly 2.0; group commit shares both the
+//!   intents fsync and the marker fsync across a whole group);
+//! * `mean_group_size` / `max_group_size` — from the
+//!   `store.group_size` histogram.
+//!
+//! Results are written as JSON to `BENCH_commit.json` (override with
+//! `--out <path>`). `--smoke` shrinks the workload for CI. Exits
+//! non-zero if the 8-thread run fails to amortize fsyncs below 2.0 per
+//! commit, so CI catches a group-commit regression.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
+use chroma_obs::EventBus;
+
+/// Committer-thread counts benchmarked, in order.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The fsyncs-per-commit ceiling the most-contended run must beat.
+const FSYNC_BUDGET_AT_8: f64 = 2.0;
+
+struct RunResult {
+    threads: usize,
+    commits: u64,
+    elapsed: Duration,
+    fsyncs: u64,
+    mean_group_size: f64,
+    max_group_size: f64,
+}
+
+impl RunResult {
+    fn commits_per_sec(&self) -> f64 {
+        self.commits as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn fsyncs_per_commit(&self) -> f64 {
+        self.fsyncs as f64 / self.commits as f64
+    }
+}
+
+fn bench_dir(threads: usize) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "chroma-commit-bench-{}-{}-{}",
+        std::process::id(),
+        threads,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One benchmark run: `threads` committers, `iters` commits each.
+fn run(threads: usize, iters: u64) -> RunResult {
+    let dir = bench_dir(threads);
+    std::fs::remove_dir_all(&dir).ok();
+    let backend = Arc::new(DiskBackend::open(&dir).expect("open disk backend"));
+    let rt = Arc::new(Runtime::with_backend(
+        RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(10)),
+        },
+        backend.clone(),
+    ));
+    let bus = Arc::new(EventBus::new());
+    rt.install_obs(bus.clone());
+
+    // Distinct objects: the benchmark measures the commit path, not
+    // lock contention.
+    let objects: Vec<_> = (0..threads)
+        .map(|_| rt.create_object(&0u64).expect("create object"))
+        .collect();
+    let fsyncs_before = backend.store().log_fsync_count();
+
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = objects
+        .into_iter()
+        .map(|object| {
+            let rt = Arc::clone(&rt);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..iters {
+                    rt.atomic(|a| a.modify(object, |v: &mut u64| *v += 1))
+                        .expect("commit");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("committer thread");
+    }
+    let elapsed = started.elapsed();
+
+    let fsyncs = backend.store().log_fsync_count() - fsyncs_before;
+    let group = bus
+        .snapshot()
+        .histogram("store.group_size")
+        .expect("group_size histogram populated");
+    std::fs::remove_dir_all(&dir).ok();
+    RunResult {
+        threads,
+        commits: threads as u64 * iters,
+        elapsed,
+        fsyncs,
+        mean_group_size: group.mean_us,
+        max_group_size: group.max_us,
+    }
+}
+
+fn render_json(results: &[RunResult]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"commit_throughput\",\n  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"commits\": {}, \"elapsed_ms\": {:.3}, \
+             \"commits_per_sec\": {:.1}, \"fsyncs\": {}, \"fsyncs_per_commit\": {:.4}, \
+             \"mean_group_size\": {:.3}, \"max_group_size\": {:.0}}}{}\n",
+            r.threads,
+            r.commits,
+            r.elapsed.as_secs_f64() * 1000.0,
+            r.commits_per_sec(),
+            r.fsyncs,
+            r.fsyncs_per_commit(),
+            r.mean_group_size,
+            r.max_group_size,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_commit.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: commit_bench [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters: u64 = if smoke { 200 } else { 2000 };
+
+    let results: Vec<RunResult> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let r = run(threads, iters);
+            println!(
+                "threads={:2}  commits={:6}  {:9.1} commits/s  {:.4} fsyncs/commit  \
+                 mean group {:.2} (max {:.0})",
+                r.threads,
+                r.commits,
+                r.commits_per_sec(),
+                r.fsyncs_per_commit(),
+                r.mean_group_size,
+                r.max_group_size,
+            );
+            r
+        })
+        .collect();
+
+    std::fs::write(&out_path, render_json(&results)).expect("write results");
+    println!("wrote {out_path}");
+
+    let at_8 = results
+        .iter()
+        .find(|r| r.threads == 8)
+        .expect("8-thread run present");
+    if at_8.fsyncs_per_commit() >= FSYNC_BUDGET_AT_8 {
+        eprintln!(
+            "FAIL: {:.4} fsyncs/commit at 8 threads (budget < {FSYNC_BUDGET_AT_8}) — \
+             group commit is not amortizing",
+            at_8.fsyncs_per_commit()
+        );
+        std::process::exit(1);
+    }
+}

@@ -160,55 +160,60 @@ impl PermanenceBackend for PartitionedStore {
         let version = inner.next_version;
         inner.next_version += 1;
 
-        // Plan the per-node writes: each object goes to its *up*
-        // replicas, version-stamped; down replicas catch up on recovery
-        // via the pull protocol (peer registration happens here).
-        let mut per_node: HashMap<NodeId, Vec<Write>> = HashMap::new();
-        for (object, state) in &updates {
-            let replicas = Self::replicas_of(&inner, *object);
-            for &replica in &replicas {
-                let peers: Vec<NodeId> =
-                    replicas.iter().copied().filter(|&r| r != replica).collect();
-                inner
-                    .sim
-                    .node_mut(replica)
-                    .replica_peers
-                    .insert(*object, peers);
-            }
-            let up: Vec<NodeId> = replicas
-                .iter()
-                .copied()
-                .filter(|&r| inner.sim.node(r).up)
-                .collect();
-            if up.is_empty() {
-                return Err(BackendError::Unavailable(format!(
-                    "every replica of {object} is down"
-                )));
-            }
-            inner.sim.obs().emit(EventKind::ReplicaWrite {
-                object: *object,
-                version,
-                fanout: up.len() as u64,
-            });
-            let payload =
-                codec::to_bytes(&(version, state.to_vec())).expect("versioned state encodes");
-            for node in up {
-                per_node.entry(node).or_default().push(Write {
-                    object: *object,
-                    state: StoreBytes::from(payload.clone()),
-                });
-            }
-        }
-
-        // Run two-phase commit, retrying with a different coordinator if
-        // the first attempt aborts (e.g. a participant crashed mid-way).
-        let mut candidates: Vec<NodeId> = per_node.keys().copied().collect();
-        candidates.sort();
+        // Every attempt re-plans against the *current* up-set: a crash
+        // processed during a previous attempt changes both the viable
+        // write targets and the viable coordinators, and a stale plan
+        // (writes aimed at dead participants, a dead coordinator) can
+        // only abort again. Each attempt therefore burns on real 2PC
+        // work, never on a coordinator already known to be down.
         for attempt in 0..COMMIT_ATTEMPTS {
-            let coordinator = candidates[attempt % candidates.len()];
-            if !inner.sim.node(coordinator).up {
-                continue;
+            // Plan the per-node writes: each object goes to its *up*
+            // replicas, version-stamped; down replicas catch up on
+            // recovery via the pull protocol (peer registration happens
+            // here).
+            let mut per_node: HashMap<NodeId, Vec<Write>> = HashMap::new();
+            for (object, state) in &updates {
+                let replicas = Self::replicas_of(&inner, *object);
+                for &replica in &replicas {
+                    let peers: Vec<NodeId> =
+                        replicas.iter().copied().filter(|&r| r != replica).collect();
+                    inner
+                        .sim
+                        .node_mut(replica)
+                        .replica_peers
+                        .insert(*object, peers);
+                }
+                let up: Vec<NodeId> = replicas
+                    .iter()
+                    .copied()
+                    .filter(|&r| inner.sim.node(r).up)
+                    .collect();
+                if up.is_empty() {
+                    return Err(BackendError::Unavailable(format!(
+                        "every replica of {object} is down"
+                    )));
+                }
+                inner.sim.obs().emit(EventKind::ReplicaWrite {
+                    object: *object,
+                    version,
+                    fanout: up.len() as u64,
+                });
+                let payload =
+                    codec::to_bytes(&(version, state.to_vec())).expect("versioned state encodes");
+                for node in up {
+                    per_node.entry(node).or_default().push(Write {
+                        object: *object,
+                        state: StoreBytes::from(payload.clone()),
+                    });
+                }
             }
+
+            // The coordinator comes from the planned (hence up) nodes,
+            // rotated by attempt so an aborting coordinator is not
+            // immediately re-elected.
+            let mut candidates: Vec<NodeId> = per_node.keys().copied().collect();
+            candidates.sort();
+            let coordinator = candidates[attempt % candidates.len()];
             let writes: Vec<(NodeId, Vec<Write>)> =
                 per_node.iter().map(|(&n, w)| (n, w.clone())).collect();
             let txn = inner.sim.begin_transaction(coordinator, writes);
@@ -325,6 +330,33 @@ mod tests {
         assert_eq!(store.read(o).as_deref(), Some(&[1u8][..]));
         store.commit_batch(vec![(o, bytes(2))]).unwrap();
         assert_eq!(store.read(o).as_deref(), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn retry_survives_lowest_id_coordinators_crashing() {
+        use crate::msg::TxnId;
+        // Replication 3 on 3 nodes: object 0's replicas are all nodes,
+        // sorted candidate order n0, n1, n2.
+        let store = PartitionedStore::new(6, 3, 3);
+        let o = ObjectId::from_raw(0);
+        {
+            let mut inner = store.inner.lock();
+            let (n0, n1, n2) = (inner.nodes[0], inner.nodes[1], inner.nodes[2]);
+            // n0 and n1 die at t=0, *during* the first attempt (the
+            // crashes are queued, not yet processed, so the first plan
+            // still sees them up and elects n0 coordinator). n2 vetoes
+            // the first transaction so it votes no without logging
+            // `Prepared` against the dead coordinator.
+            inner.sim.schedule_crash(n0, 0);
+            inner.sim.schedule_crash(n1, 0);
+            inner.sim.node_mut(n2).veto.insert(TxnId(1));
+        }
+        // The first attempt aborts. The retry must re-plan from the
+        // survivors and elect an up coordinator instead of burning the
+        // remaining attempts on the crashed low-id candidates.
+        store.commit_batch(vec![(o, bytes(9))]).unwrap();
+        assert_eq!(store.read(o).as_deref(), Some(&[9u8][..]));
+        assert_eq!(store.up_count(), 1);
     }
 
     #[test]

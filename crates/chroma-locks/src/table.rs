@@ -32,6 +32,11 @@ struct TableState {
     /// Waiters that must give up with the recorded error next time they
     /// observe the state (deadlock victims, externally cancelled actions).
     interrupts: HashMap<ActionId, Interrupt>,
+    /// Actions currently inside a blocking [`LockTable::acquire`].
+    /// [`LockTable::cancel_waiter`] only interrupts these: an interrupt
+    /// posted for an action that never waits again would leak forever
+    /// and poison a later reuse of the same `ActionId`.
+    waiting: HashSet<ActionId>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -227,6 +232,7 @@ impl<P: LockPolicy> LockTable<P> {
         }
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut state = self.state.lock();
+        state.waiting.insert(action);
         let mut registered: Vec<ActionId> = Vec::new();
         let mut parked_since: Option<Instant> = None;
         let mut conflict_emitted = false;
@@ -293,11 +299,28 @@ impl<P: LockPolicy> LockTable<P> {
                         }
                     };
                     if timed_out {
+                        // One final check before giving up: a grant or
+                        // interrupt that raced the deadline (the lock
+                        // was released, or we were victimised, just as
+                        // the wait expired) must not be dropped on the
+                        // floor.
+                        if let Some(interrupt) = state.interrupts.remove(&action) {
+                            break Err(match interrupt {
+                                Interrupt::DeadlockVictim => LockError::DeadlockVictim { object },
+                                Interrupt::Cancelled => LockError::ActionNotActive { action },
+                            });
+                        }
+                        if let Ok(outcome) =
+                            self.check_and_apply(&mut state, ancestry, action, object, colour, mode)
+                        {
+                            break Ok(outcome);
+                        }
                         break Err(LockError::Timeout { object });
                     }
                 }
             }
         };
+        state.waiting.remove(&action);
         for &old in &registered {
             state.graph.remove_wait(action, old);
         }
@@ -350,13 +373,20 @@ impl<P: LockPolicy> LockTable<P> {
         self.state.lock().graph.remove_wait(waiter, target);
     }
 
-    /// Makes any in-progress or future wait by `action` fail with
+    /// Makes an in-progress wait by `action` fail with
     /// [`LockError::ActionNotActive`]. Used when an action is aborted
     /// from another thread.
+    ///
+    /// If the action is not currently blocked in
+    /// [`LockTable::acquire`] this is a no-op: nothing would ever
+    /// consume the interrupt, so posting one would leak it and poison
+    /// a later reuse of the same `ActionId`.
     pub fn cancel_waiter(&self, action: ActionId) {
         let mut state = self.state.lock();
-        state.interrupts.insert(action, Interrupt::Cancelled);
-        self.changed.notify_all();
+        if state.waiting.contains(&action) {
+            state.interrupts.insert(action, Interrupt::Cancelled);
+            self.changed.notify_all();
+        }
     }
 
     /// Discards a pending interrupt for `action`, if any (the action
@@ -868,6 +898,70 @@ mod tests {
         table.cancel_waiter(a(2));
         let err = handle.join().unwrap().unwrap_err();
         assert!(matches!(err, LockError::ActionNotActive { .. }));
+    }
+
+    #[test]
+    fn grant_racing_the_deadline_is_not_dropped() {
+        let table = Arc::new(LockTable::new(ColouredPolicy));
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        let t2 = Arc::clone(&table);
+        let ctx2 = ctx.clone();
+        let waiter = std::thread::spawn(move || {
+            t2.acquire(
+                &ctx2,
+                a(2),
+                o(1),
+                red(),
+                LockMode::Write,
+                Some(Duration::from_millis(40)),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        // Schedule the release exactly at the deadline: hold the table
+        // mutex across the waiter's deadline, free the lock, then let
+        // go. The waiter's wait has timed out by the time it
+        // reacquires the mutex, but the lock is free — the grant must
+        // not be dropped for a Timeout error.
+        {
+            let mut state = table.state.lock();
+            std::thread::sleep(Duration::from_millis(80));
+            state.objects.remove(&o(1));
+            table.changed.notify_all();
+        }
+        let outcome = waiter.join().unwrap();
+        assert_eq!(outcome.unwrap(), AcquireOutcome::Granted);
+    }
+
+    #[test]
+    fn cancelled_then_finished_action_id_is_reusable() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        // The runtime's abort ordering: discard locks, then cancel any
+        // in-progress wait — but this action is not waiting.
+        table.discard_action(a(1));
+        table.cancel_waiter(a(1));
+        // No interrupt may leak from cancelling a non-waiter...
+        assert!(table.state.lock().interrupts.is_empty());
+        // ...so a later reuse of the id acquires normally.
+        assert_eq!(
+            table
+                .acquire(
+                    &ctx,
+                    a(1),
+                    o(2),
+                    red(),
+                    LockMode::Write,
+                    Some(Duration::from_millis(100)),
+                )
+                .unwrap(),
+            AcquireOutcome::Granted
+        );
     }
 
     #[test]

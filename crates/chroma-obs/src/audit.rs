@@ -37,6 +37,13 @@
 //!   follow every yes-vote it counts. Clock checks only apply to
 //!   events that were stamped (`lc > 0`), so pre-causality traces
 //!   still audit.
+//! * **R9 — group-commit coverage.** Every committed batch's marker
+//!   (`DiskAppend`) is covered by exactly one group fsync
+//!   (`DiskGroupCommit` must declare precisely the batches appended
+//!   since the previous group flush), and recovery (`DiskReplay`)
+//!   replays exactly the batches whose markers were group-fsynced but
+//!   never checkpointed. The rule only arms once the trace contains a
+//!   `DiskGroupCommit`, so pre-group-commit traces still audit.
 //!
 //! The auditor is deliberately independent of the runtime: it sees
 //! only the trace, so a bug that corrupts runtime state *and* its own
@@ -211,6 +218,23 @@ pub enum Violation {
         /// The yes-voter whose vote the decision did not follow.
         node: NodeId,
     },
+    /// R9: a group fsync did not cover exactly the batches appended
+    /// since the previous one — a marker was either flushed twice or
+    /// reported durable without a covering fsync.
+    GroupFsyncCoverage {
+        /// Batches the `DiskGroupCommit` event declared.
+        declared: u64,
+        /// Batch appends the trace saw since the last group fsync.
+        appended: u64,
+    },
+    /// R9: recovery did not replay exactly the batches whose markers
+    /// were group-fsynced but never checkpointed.
+    ReplayMarkMismatch {
+        /// Batches the `DiskReplay` event replayed.
+        replayed: u64,
+        /// Marked-but-unchecked batches the trace had accumulated.
+        marked: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -326,6 +350,14 @@ impl fmt::Display for Violation {
                 f,
                 "causality: T{txn}'s commit decision does not causally follow {node}'s yes-vote"
             ),
+            Violation::GroupFsyncCoverage { declared, appended } => write!(
+                f,
+                "group commit: a group fsync declared {declared} batch(es) but {appended} were appended since the last one"
+            ),
+            Violation::ReplayMarkMismatch { replayed, marked } => write!(
+                f,
+                "group commit: recovery replayed {replayed} batch(es) but {marked} were marked and never checkpointed"
+            ),
         }
     }
 }
@@ -422,6 +454,12 @@ pub struct TraceAuditor {
     sends: HashMap<u64, u64>,
     /// Live (unterminated) children per action (R8 enclosure).
     live_children: HashMap<ActionId, BTreeSet<ActionId>>,
+    /// R9: batch appends since the last group fsync.
+    group_appends: u64,
+    /// R9: batches covered by a group fsync but not yet checkpointed.
+    marked_unchecked: u64,
+    /// R9 only arms once the trace proves the store group-commits.
+    saw_group_commit: bool,
     violations: Vec<Violation>,
     events: usize,
 }
@@ -440,6 +478,9 @@ impl Default for TraceAuditor {
             staleness_window: 1,
             sends: HashMap::new(),
             live_children: HashMap::new(),
+            group_appends: 0,
+            marked_unchecked: 0,
+            saw_group_commit: false,
             violations: Vec::new(),
             events: 0,
         }
@@ -820,16 +861,46 @@ impl TraceAuditor {
                     }
                 }
             }
-            // request/conflict traffic, WAL and disk activity, the
-            // fan-out announcement, crashes and in-flight network
+            // R9: group-commit coverage. Batch appends accumulate
+            // until a group fsync declares how many it covered;
+            // checkpoints retire marked batches; recovery must replay
+            // exactly the marked-but-unchecked remainder.
+            EventKind::DiskAppend { .. } => {
+                self.group_appends += 1;
+            }
+            EventKind::DiskGroupCommit { batches, .. } => {
+                self.saw_group_commit = true;
+                if batches != self.group_appends {
+                    self.violations.push(Violation::GroupFsyncCoverage {
+                        declared: batches,
+                        appended: self.group_appends,
+                    });
+                }
+                self.group_appends = 0;
+                self.marked_unchecked += batches;
+            }
+            EventKind::DiskCheckpoint { .. } => {
+                if self.saw_group_commit {
+                    self.marked_unchecked = self.marked_unchecked.saturating_sub(1);
+                }
+            }
+            EventKind::DiskReplay { batches, .. } => {
+                if self.saw_group_commit && batches != self.marked_unchecked {
+                    self.violations.push(Violation::ReplayMarkMismatch {
+                        replayed: batches,
+                        marked: self.marked_unchecked,
+                    });
+                }
+                // replay installs and truncates: no batch stays marked
+                self.marked_unchecked = 0;
+            }
+            // request/conflict traffic, WAL activity, the fan-out
+            // announcement, crashes and in-flight network
             // perturbations carry no audited obligations of their own
             EventKind::LockRequest { .. }
             | EventKind::LockConflict { .. }
             | EventKind::WalAppend { .. }
             | EventKind::WalFlush { .. }
-            | EventKind::DiskAppend { .. }
-            | EventKind::DiskCheckpoint { .. }
-            | EventKind::DiskReplay { .. }
             | EventKind::ReplicaWrite { .. }
             | EventKind::TpcPrepare { .. }
             | EventKind::NodeCrash { .. }
@@ -1194,6 +1265,108 @@ mod tests {
             report.violations.as_slice(),
             [Violation::CommitBeforeVote { txn: 4, node }] if *node == n2
         ));
+    }
+
+    #[test]
+    fn r9_clean_group_commit_lifecycle_passes() {
+        let append = || {
+            ev(EventKind::DiskAppend {
+                records: 3,
+                bytes: 64,
+            })
+        };
+        let trace = vec![
+            append(),
+            append(),
+            ev(EventKind::DiskGroupCommit {
+                batches: 2,
+                records: 6,
+                bytes: 128,
+            }),
+            ev(EventKind::DiskCheckpoint { objects: 2 }),
+            // second batch crashed before install: replay picks it up
+            ev(EventKind::DiskReplay {
+                batches: 1,
+                objects: 2,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn r9_fsync_coverage_mismatch_is_flagged() {
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 3,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskAppend {
+                records: 3,
+                bytes: 64,
+            }),
+            // the group fsync claims to cover only one of the two markers
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 3,
+                bytes: 64,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::GroupFsyncCoverage {
+                declared: 1,
+                appended: 2,
+            }]
+        ));
+    }
+
+    #[test]
+    fn r9_replay_must_match_marked_batches() {
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 3,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 3,
+                bytes: 64,
+            }),
+            // batch never checkpointed, yet recovery replays nothing
+            ev(EventKind::DiskReplay {
+                batches: 0,
+                objects: 0,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ReplayMarkMismatch {
+                replayed: 0,
+                marked: 1,
+            }]
+        ));
+    }
+
+    #[test]
+    fn r9_stays_unarmed_on_pre_group_commit_traces() {
+        // legacy traces have appends/checkpoints/replays but no group
+        // fsync events; R9 must not fire on them
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 3,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskCheckpoint { objects: 1 }),
+            ev(EventKind::DiskReplay {
+                batches: 7,
+                objects: 9,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -281,6 +281,18 @@ pub enum EventKind {
         /// How many object installs the replay performed.
         objects: u64,
     },
+    /// A leader flushed a whole group of pending batches with one
+    /// intents-fsync and one marker-fsync (group commit). Every batch
+    /// in the group keeps its own commit marker; this event records
+    /// the shared durability point that covered them all.
+    DiskGroupCommit {
+        /// How many batches the group contained.
+        batches: u64,
+        /// Total records appended for the group (intents + markers).
+        records: u64,
+        /// Total bytes written, including length framing.
+        bytes: u64,
+    },
     /// A replicated write started fanning out to the available
     /// members of a replica group.
     ReplicaWrite {
@@ -333,7 +345,7 @@ pub enum EventKind {
 }
 
 /// Count of [`EventKind`] variants; sizes the per-kind counter array.
-pub(crate) const KIND_COUNT: usize = 29;
+pub(crate) const KIND_COUNT: usize = 30;
 
 /// The stable tag of every kind, indexed by [`EventKind::index`].
 pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -366,6 +378,7 @@ pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
     "replica_read",
     "catchup_begin",
     "catchup_end",
+    "disk_group_commit",
 ];
 
 impl EventKind {
@@ -402,6 +415,7 @@ impl EventKind {
             EventKind::ReplicaRead { .. } => 26,
             EventKind::CatchupBegin { .. } => 27,
             EventKind::CatchupEnd { .. } => 28,
+            EventKind::DiskGroupCommit { .. } => 29,
         }
     }
 
@@ -596,6 +610,15 @@ impl Event {
             EventKind::DiskReplay { batches, objects } => {
                 num(&mut s, "batches", batches);
                 num(&mut s, "objects", objects);
+            }
+            EventKind::DiskGroupCommit {
+                batches,
+                records,
+                bytes,
+            } => {
+                num(&mut s, "batches", batches);
+                num(&mut s, "records", records);
+                num(&mut s, "bytes", bytes);
             }
             EventKind::ReplicaWrite {
                 object,
@@ -845,6 +868,11 @@ impl Event {
             "disk_replay" => EventKind::DiskReplay {
                 batches: get_u64("batches")?,
                 objects: get_u64("objects")?,
+            },
+            "disk_group_commit" => EventKind::DiskGroupCommit {
+                batches: get_u64("batches")?,
+                records: get_u64("records")?,
+                bytes: get_u64("bytes")?,
             },
             "replica_write" => EventKind::ReplicaWrite {
                 object: object()?,
@@ -1204,6 +1232,11 @@ mod tests {
             EventKind::DiskReplay {
                 batches: 2,
                 objects: 5,
+            },
+            EventKind::DiskGroupCommit {
+                batches: 3,
+                records: 9,
+                bytes: 256,
             },
             EventKind::ReplicaWrite {
                 object: o,

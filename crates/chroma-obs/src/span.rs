@@ -281,7 +281,8 @@ impl SpanForest {
                 | EventKind::WalFlush { .. }
                 | EventKind::DiskAppend { .. }
                 | EventKind::DiskCheckpoint { .. }
-                | EventKind::DiskReplay { .. } => {
+                | EventKind::DiskReplay { .. }
+                | EventKind::DiskGroupCommit { .. } => {
                     // store traffic carries no action id: charge the
                     // innermost action open on the same node (or any
                     // innermost one, for node-less local traces)
@@ -493,7 +494,8 @@ fn classify(kind: &EventKind) -> Phase {
         | EventKind::WalFlush { .. }
         | EventKind::DiskAppend { .. }
         | EventKind::DiskCheckpoint { .. }
-        | EventKind::DiskReplay { .. } => Phase::Fsync,
+        | EventKind::DiskReplay { .. }
+        | EventKind::DiskGroupCommit { .. } => Phase::Fsync,
         EventKind::MsgSend { .. }
         | EventKind::MsgDeliver { .. }
         | EventKind::MsgDrop { .. }

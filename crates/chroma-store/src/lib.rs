@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+mod crc32;
 mod disk;
 mod stable;
 mod volatile;

@@ -168,6 +168,75 @@ proptest! {
     }
 }
 
+/// The log's byte ranges where a flip may legally degrade to silent
+/// all-or-nothing truncation instead of checksum detection: the format
+/// magic and each record's length prefix (damage there derails framing
+/// before any checksum can be read). Every other byte — record payloads
+/// and the checksums themselves — is CRC-protected and a flip *must* be
+/// detected.
+fn unprotected_ranges(log: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    ranges.push(0..8); // the `CHLOG001` magic
+    let mut pos = 8;
+    while pos + 4 <= log.len() {
+        ranges.push(pos..pos + 4); // this record's length prefix
+        let len = u32::from_le_bytes(log[pos..pos + 4].try_into().expect("four bytes")) as usize;
+        pos += 4 + len + 4; // len prefix + payload + crc
+    }
+    ranges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flip one bit anywhere in a log holding a committed-but-not-yet
+    /// installed batch. A flip in CRC-protected bytes must fail `open`
+    /// with `CorruptLog`; a flip in the framing (magic, length
+    /// prefixes) may instead truncate silently, but recovery must then
+    /// be all-or-nothing with the batch rolled back and the baseline
+    /// intact.
+    #[test]
+    fn flipped_log_bytes_are_detected_or_rolled_back(
+        batch_size in 1u64..=BASELINE_OBJECTS,
+        flip_pos_seed in any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        let dir = temp_dir();
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            seed_baseline(&store);
+            store
+                .commit_batch_with_crash(
+                    overwrite_batch(batch_size),
+                    DiskCrashPoint::AfterCommitRecord,
+                )
+                .unwrap_err();
+        }
+        let log_path = dir.join("log");
+        let mut log = std::fs::read(&log_path).unwrap();
+        let pos = usize::try_from(flip_pos_seed % log.len() as u64).unwrap();
+        log[pos] ^= 1 << flip_bit;
+        std::fs::write(&log_path, &log).unwrap();
+        let framing_damage = unprotected_ranges(&log).iter().any(|r| r.contains(&pos));
+
+        match DiskStore::open(&dir) {
+            Err(DiskError::CorruptLog(_)) => {} // detected — always acceptable
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+            Ok(store) => {
+                prop_assert!(
+                    framing_damage,
+                    "flip at byte {pos} hit CRC-protected data but went undetected"
+                );
+                // Framing damage tears the log at or before the flipped
+                // record, which removes the commit marker too: the
+                // batch rolls back whole and the baseline survives.
+                assert_all_or_nothing(&store, batch_size, false);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// Deterministic torture matrix: CI sweeps `CHROMA_TORTURE_SEED` over a
 /// fixed set of seeds; each seed drives a splitmix64 stream of batch
 /// sizes and tear offsets. Recovery is traced, its events must pass the
@@ -216,6 +285,113 @@ fn seed_matrix_truncation_torture() {
 
         // The whole traced recovery + commit is clean under audit.
         assert_eq!(sink.dropped(), 0);
+        let report = TraceAuditor::audit_events(&sink.events());
+        assert!(report.is_clean(), "round {round} audit failed:\n{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Seeded multi-threaded group-commit torture: committer threads race
+/// into shared group flushes while one of them injects a crash at each
+/// `DiskCrashPoint`. Reopening must recover every batch all-or-nothing
+/// (a committer that got `Ok` keeps its whole batch; a crashed one
+/// keeps all of it or none), and the combined trace — group flushes,
+/// crash, deferred replay, post-recovery commit — must audit clean
+/// under R1–R9.
+#[test]
+fn seed_matrix_group_commit_crash_torture() {
+    use std::sync::Barrier;
+
+    const COMMITTERS: u64 = 6;
+    let points = [
+        DiskCrashPoint::BeforeIntents,
+        DiskCrashPoint::AfterIntents,
+        DiskCrashPoint::AfterCommitRecord,
+        DiskCrashPoint::AfterInstall,
+    ];
+    let mut state = torture_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6C0A;
+    for (round, &point) in points.iter().enumerate() {
+        let dir = temp_dir();
+        let bus = Arc::new(EventBus::new());
+        let sink = Arc::new(MemorySink::new(100_000));
+        bus.add_sink(sink.clone());
+
+        let store = Arc::new(DiskStore::open(&dir).unwrap());
+        store.set_obs(Obs::new(bus.clone()));
+        let crasher = splitmix(&mut state) % COMMITTERS;
+        let marker = (splitmix(&mut state) % 0xFF) as u8 + 1;
+        let barrier = Arc::new(Barrier::new(COMMITTERS as usize));
+        let handles: Vec<_> = (0..COMMITTERS)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // Two objects per batch, so a torn batch is visible.
+                    let updates = vec![
+                        (o(100 + 2 * i), bytes(&[i as u8, marker])),
+                        (o(101 + 2 * i), bytes(&[i as u8, marker])),
+                    ];
+                    barrier.wait();
+                    if i == crasher {
+                        store.commit_batch_with_crash(updates, point)
+                    } else {
+                        store.commit_batch(updates)
+                    }
+                })
+            })
+            .collect();
+        let committed: Vec<bool> = handles
+            .into_iter()
+            .map(|h| match h.join().unwrap() {
+                Ok(()) => true,
+                Err(DiskError::Crashed(_)) => false,
+                Err(e) => panic!("round {round}: unexpected commit error: {e}"),
+            })
+            .collect();
+        assert!(
+            !committed[crasher as usize],
+            "round {round}: the crashing committer cannot succeed"
+        );
+        drop(store);
+
+        // Restart: recovery replays into the same trace (the deferred
+        // DiskReplay must balance the group-fsynced, unchecked markers
+        // for R9).
+        let store = DiskStore::open(&dir).unwrap();
+        store.set_obs(Obs::new(bus.clone()));
+        for i in 0..COMMITTERS {
+            let first = store.read(o(100 + 2 * i)).unwrap();
+            let second = store.read(o(101 + 2 * i)).unwrap();
+            let expect = [i as u8, marker];
+            if committed[i as usize] {
+                assert_eq!(
+                    first.as_deref(),
+                    Some(&expect[..]),
+                    "round {round}: acknowledged batch {i} lost"
+                );
+            }
+            match (first, second) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.as_ref(), &expect[..], "round {round}: batch {i} torn");
+                    assert_eq!(b.as_ref(), &expect[..], "round {round}: batch {i} torn");
+                }
+                (None, None) => {}
+                _ => panic!("round {round}: batch {i} recovered half-installed"),
+            }
+        }
+        // The store is live again and keeps emitting the group-commit
+        // vocabulary.
+        store.commit_batch(vec![(o(999), bytes(&[9, 9]))]).unwrap();
+        assert!(
+            bus.counter("disk_group_commit") >= 1,
+            "round {round}: no group flush was traced"
+        );
+        assert!(
+            bus.snapshot().histogram("store.group_size").is_some(),
+            "round {round}: group sizes not observed"
+        );
+
+        assert_eq!(sink.dropped(), 0, "round {round}");
         let report = TraceAuditor::audit_events(&sink.events());
         assert!(report.is_clean(), "round {round} audit failed:\n{report}");
         std::fs::remove_dir_all(&dir).ok();
