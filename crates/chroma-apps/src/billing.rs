@@ -35,7 +35,7 @@ struct LedgerState {
 /// use chroma_apps::Ledger;
 ///
 /// # fn main() -> Result<(), ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let ledger = Ledger::create(&rt)?;
 /// let result: Result<(), ActionError> = rt.atomic(|a| {
 ///     ledger.charge_from(a, "ada", "cpu", 5)?;
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn charges_survive_client_abort() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ledger = Ledger::create(&rt).unwrap();
         let result: Result<(), ActionError> = rt.atomic(|a| {
             ledger.charge_from(a, "ada", "compile", 3)?;
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn metered_service_charges_even_on_failure() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ledger = Ledger::create(&rt).unwrap();
         let work = rt.create_object(&0u32).unwrap();
         let result: Result<(), ActionError> = rt.atomic(|a| {
@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn metered_service_success_keeps_both() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ledger = Ledger::create(&rt).unwrap();
         let work = rt.create_object(&0u32).unwrap();
         rt.atomic(|a| ledger.metered(a, "bob", "render", 7, |s| s.write(work, &42u32)))
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn per_account_totals() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ledger = Ledger::create(&rt).unwrap();
         rt.atomic(|a| {
             ledger.charge_from(a, "ada", "cpu", 5)?;
@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn concurrent_charges_serialize() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ledger = Ledger::create(&rt).unwrap();
         let threads: Vec<_> = (0..4)
             .map(|_| {

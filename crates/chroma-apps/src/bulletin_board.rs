@@ -45,7 +45,7 @@ struct BoardState {
 /// use chroma_apps::BulletinBoard;
 ///
 /// # fn main() -> Result<(), ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let board = BulletinBoard::create(&rt)?;
 /// let result: Result<(), ActionError> = rt.atomic(|a| {
 ///     board.post_from(a, "ada", "build finished")?;
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn posts_survive_invoker_abort() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let board = BulletinBoard::create(&rt).unwrap();
         let result: Result<(), ActionError> = rt.atomic(|a| {
             board.post_from(a, "ada", "hello")?;
@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn async_posts_are_permanent() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let board = BulletinBoard::create(&rt).unwrap();
         let h1 = board.post_async("a", "one");
         let h2 = board.post_async("b", "two");
@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn retraction_compensates_after_abort() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let board = BulletinBoard::create(&rt).unwrap();
         let mut posted_seq = None;
         let result: Result<(), ActionError> = rt.atomic(|a| {
@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn retract_unknown_seq_reports_false() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let board = BulletinBoard::create(&rt).unwrap();
         assert!(!board.retract(99).unwrap());
     }
@@ -234,7 +234,7 @@ mod tests {
     fn posts_visible_immediately_not_blocked_by_invoker() {
         // The §4(i) motivation: a nested post would stay locked until
         // the application ends; an independent post is readable at once.
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let board = BulletinBoard::create(&rt).unwrap();
         rt.atomic(|a| {
             board.post_from(a, "ada", "early news")?;
@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn posts_survive_crash() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let board = BulletinBoard::create(&rt).unwrap();
         board.post_async("a", "durable").join().unwrap();
         rt.crash_and_recover();

@@ -181,14 +181,16 @@ mod tests {
     use std::time::Duration;
 
     fn rt_fast() -> Runtime {
-        Runtime::with_config(RuntimeConfig {
-            lock_timeout: Some(Duration::from_millis(300)),
-        })
+        Runtime::builder()
+            .config(RuntimeConfig {
+                lock_timeout: Some(Duration::from_millis(300)),
+            })
+            .build()
     }
 
     #[test]
     fn finds_the_common_free_slot() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let a = Diary::create(&rt, "ada", 4).unwrap();
         let b = Diary::create(&rt, "bob", 4).unwrap();
         let c = Diary::create(&rt, "cleo", 4).unwrap();
@@ -207,7 +209,7 @@ mod tests {
 
     #[test]
     fn reports_no_slot_when_calendars_conflict() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let a = Diary::create(&rt, "ada", 2).unwrap();
         let b = Diary::create(&rt, "bob", 2).unwrap();
         a.book(&rt, 0, "x").unwrap();
@@ -263,7 +265,7 @@ mod tests {
 
     #[test]
     fn single_participant_books_first_free_slot() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let a = Diary::create(&rt, "solo", 2).unwrap();
         let outcome = schedule_meeting(&rt, std::slice::from_ref(&a), "standup").unwrap();
         assert_eq!(outcome, ScheduleOutcome::Booked { slot: 0 });
@@ -275,7 +277,7 @@ mod tests {
 
     #[test]
     fn no_participants_is_a_no_op() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         assert_eq!(
             schedule_meeting(&rt, &[], "ghost").unwrap(),
             ScheduleOutcome::NoSlot

@@ -214,7 +214,7 @@ pub struct MakeReport {
 /// use chroma_apps::{DistMake, Makefile};
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let mk = Makefile::parse("app: lib.c\n\tcc -o app lib.c\n")?;
 /// let make = DistMake::new(&rt, mk)?;
 /// make.write_source("lib.c", "int main(){}")?;
@@ -537,7 +537,7 @@ mod tests {
                                   \tcc -c Test1.c\n";
 
     fn engine() -> (Runtime, DistMake) {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let mk = Makefile::parse(PAPER_MAKEFILE).unwrap();
         let make = DistMake::new(&rt, mk).unwrap();
         for src in ["Test0.h", "Test1.h", "Test0.c", "Test1.c"] {

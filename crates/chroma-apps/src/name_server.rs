@@ -30,7 +30,7 @@ pub struct Directory {
 /// use chroma_apps::NameServer;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let ns = NameServer::create(&rt)?;
 /// ns.register("printer", "node-3")?;
 /// assert_eq!(ns.lookup("printer")?, Some("node-3".to_owned()));
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn register_lookup_remove() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ns = NameServer::create(&rt).unwrap();
         assert_eq!(ns.register("svc", "n1").unwrap(), None);
         assert_eq!(ns.lookup("svc").unwrap(), Some("n1".to_owned()));
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn async_update_survives_invoker_abort() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let ns = NameServer::create(&rt).unwrap();
         ns.register("svc", "dead-node").unwrap();
         let result: Result<(), ActionError> = rt.atomic(|_a| {

@@ -7,9 +7,11 @@ use chroma_core::{ActionError, Runtime, RuntimeConfig};
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(300)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(300)),
+        })
+        .build()
 }
 
 // ---------------------------------------------------------------------
@@ -22,7 +24,7 @@ const DIAMOND: &str = "app: left.o right.o\n\
                        right.o: common.h right.c\n\tcc right\n";
 
 fn diamond_engine() -> (Runtime, DistMake) {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let make = DistMake::new(&rt, Makefile::parse(DIAMOND).unwrap()).unwrap();
     for src in ["common.h", "left.c", "right.c"] {
         make.write_source(src, src).unwrap();
@@ -105,7 +107,7 @@ fn failed_make_releases_all_fences() {
 
 #[test]
 fn two_meetings_over_shared_diaries_get_distinct_slots() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let shared = Diary::create(&rt, "shared", 4).unwrap();
     let a = Diary::create(&rt, "a", 4).unwrap();
     let b = Diary::create(&rt, "b", 4).unwrap();
@@ -191,7 +193,7 @@ fn board_reads_from_within_an_action_are_isolated() {
 
 #[test]
 fn ledger_crash_preserves_charges() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let ledger = Ledger::create(&rt).unwrap();
     rt.atomic(|a| ledger.charge_from(a, "x", "op", 2)).unwrap();
     rt.crash_and_recover();

@@ -309,7 +309,7 @@ fn fig14_15_compiler(c: &mut Criterion) {
     let plan = assign(&structure).unwrap();
     group.bench_function("execute_fig14_plan", |b| {
         b.iter_batched(
-            Runtime::new,
+            || Runtime::builder().build(),
             |rt| plan.execute(&rt, &|_| true).unwrap(),
             BatchSize::SmallInput,
         );

@@ -21,7 +21,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
-use chroma_obs::EventBus;
+use chroma_obs::{EventBus, Obs, Observable};
 
 /// Committer-thread counts benchmarked, in order.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -63,14 +63,16 @@ fn run(threads: usize, iters: u64) -> RunResult {
     let dir = bench_dir(threads);
     std::fs::remove_dir_all(&dir).ok();
     let backend = Arc::new(DiskBackend::open(&dir).expect("open disk backend"));
-    let rt = Arc::new(Runtime::with_backend(
-        RuntimeConfig {
-            lock_timeout: Some(Duration::from_secs(10)),
-        },
-        backend.clone(),
-    ));
+    let rt = Arc::new(
+        Runtime::builder()
+            .config(RuntimeConfig {
+                lock_timeout: Some(Duration::from_secs(10)),
+            })
+            .backend(backend.clone())
+            .build(),
+    );
     let bus = Arc::new(EventBus::new());
-    rt.install_obs(bus.clone());
+    rt.install_obs(Obs::new(bus.clone()));
 
     // Distinct objects: the benchmark measures the commit path, not
     // lock contention.

@@ -1,0 +1,228 @@
+//! Lock-manager scalability benchmark for the sharded lock table.
+//!
+//! Drives `LockTable` directly (no runtime, no disk) with 1/2/4/8
+//! threads under two workloads:
+//!
+//! * `disjoint` — every thread locks its own objects; with the table
+//!   partitioned into shards these acquisitions should never contend
+//!   and throughput should scale with threads;
+//! * `hot` — every thread hammers one shared object, measuring the
+//!   serialized worst case (reported, not gated).
+//!
+//! Each iteration is a full action lifetime: fresh `ActionId`, eight
+//! `Write` acquisitions, `release_colour`, `retire_action` — the same
+//! sequence the runtime's commit path performs.
+//!
+//! Results are written as JSON to `BENCH_locks.json` (override with
+//! `--out <path>`). `--smoke` shrinks the workload for CI. Exits
+//! non-zero if the disjoint workload ever parks a waiter, or if
+//! 8-thread disjoint throughput fails to reach 2× the 1-thread run,
+//! so CI catches a sharding regression that re-serializes independent
+//! lock traffic. A host without ≥ 2 CPUs cannot exhibit wall-clock
+//! scaling no matter how well the table shards, so there the scaling
+//! floor degrades to a no-regression check (8 threads must stay within
+//! noise of the serial run).
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use chroma_base::{ActionId, Colour, LockMode, ObjectId};
+use chroma_locks::{ColouredPolicy, FlatAncestry, LockTable};
+
+/// Lock-client thread counts benchmarked, in order.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Objects each action locks before releasing.
+const OBJECTS_PER_ACTION: u64 = 8;
+
+/// The disjoint workload's required speed-up of 8 threads over 1,
+/// on hosts with at least two CPUs.
+const SCALING_FLOOR_AT_8: f64 = 2.0;
+
+/// On a single-CPU host, 8 threads can at best tie the serial run;
+/// only guard against a collapse below it (scheduling noise allowed).
+const SINGLE_CORE_FLOOR: f64 = 0.6;
+
+#[derive(Clone, Copy)]
+enum Workload {
+    Disjoint,
+    Hot,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Disjoint => "disjoint",
+            Workload::Hot => "hot",
+        }
+    }
+}
+
+struct RunResult {
+    workload: &'static str,
+    threads: usize,
+    acquires: u64,
+    elapsed: Duration,
+    waits: u64,
+}
+
+impl RunResult {
+    fn acquires_per_sec(&self) -> f64 {
+        self.acquires as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// One benchmark run: `threads` clients, `iters` actions each.
+fn run(workload: Workload, threads: usize, iters: u64) -> RunResult {
+    let table = Arc::new(LockTable::new(ColouredPolicy));
+    let ctx = FlatAncestry::new();
+    let colour = Colour::from_index(0);
+    let waits_before = table.wait_stats().waits;
+
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let table = Arc::clone(&table);
+            let ctx = ctx.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..iters {
+                    // Action ids must be unique across threads and
+                    // iterations; object ids overlap only when hot.
+                    let action = ActionId::from_raw(1 + t * iters + i);
+                    for k in 0..OBJECTS_PER_ACTION {
+                        let object = match workload {
+                            Workload::Disjoint => {
+                                ObjectId::from_raw(1 + (t * OBJECTS_PER_ACTION) + k)
+                            }
+                            Workload::Hot => ObjectId::from_raw(1 + k),
+                        };
+                        table
+                            .acquire(
+                                &ctx,
+                                action,
+                                object,
+                                colour,
+                                LockMode::Write,
+                                Some(Duration::from_secs(30)),
+                            )
+                            .expect("acquire");
+                    }
+                    table.release_colour(action, colour);
+                    table.retire_action(action);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().expect("lock client thread");
+    }
+    let elapsed = started.elapsed();
+
+    RunResult {
+        workload: workload.name(),
+        threads,
+        acquires: threads as u64 * iters * OBJECTS_PER_ACTION,
+        elapsed,
+        waits: table.wait_stats().waits - waits_before,
+    }
+}
+
+fn render_json(results: &[RunResult]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"lock_scalability\",\n  \"cores\": {cores},\n  \"runs\": [\n"
+    );
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"acquires\": {}, \
+             \"elapsed_ms\": {:.3}, \"acquires_per_sec\": {:.1}, \"waits\": {}}}{}\n",
+            r.workload,
+            r.threads,
+            r.acquires,
+            r.elapsed.as_secs_f64() * 1000.0,
+            r.acquires_per_sec(),
+            r.waits,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_locks.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: lock_bench [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters: u64 = if smoke { 20_000 } else { 200_000 };
+
+    let mut results = Vec::new();
+    for workload in [Workload::Disjoint, Workload::Hot] {
+        for &threads in &THREAD_COUNTS {
+            let r = run(workload, threads, iters);
+            println!(
+                "{:8}  threads={:2}  acquires={:8}  {:12.1} acquires/s  waits={}",
+                r.workload,
+                r.threads,
+                r.acquires,
+                r.acquires_per_sec(),
+                r.waits,
+            );
+            results.push(r);
+        }
+    }
+
+    std::fs::write(&out_path, render_json(&results)).expect("write results");
+    println!("wrote {out_path}");
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let floor = if cores >= 2 {
+        SCALING_FLOOR_AT_8
+    } else {
+        SINGLE_CORE_FLOOR
+    };
+    let disjoint_at = |threads: usize| {
+        results
+            .iter()
+            .find(|r| r.workload == "disjoint" && r.threads == threads)
+            .expect("disjoint run present")
+    };
+    let baseline = disjoint_at(1).acquires_per_sec();
+    let at_8 = disjoint_at(8);
+    let scaling = at_8.acquires_per_sec() / baseline;
+    if at_8.waits > 0 {
+        eprintln!(
+            "FAIL: {} waits in the disjoint workload — sharded acquires \
+             are contending on unrelated objects",
+            at_8.waits
+        );
+        std::process::exit(1);
+    }
+    if scaling < floor {
+        eprintln!(
+            "FAIL: disjoint throughput at 8 threads is only {scaling:.2}× the \
+             1-thread run (floor {floor}× on {cores} CPU(s)) — lock sharding \
+             is not scaling",
+        );
+        std::process::exit(1);
+    }
+    println!("disjoint scaling at 8 threads: {scaling:.2}× (floor {floor}× on {cores} CPU(s))");
+}

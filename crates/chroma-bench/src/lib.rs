@@ -19,7 +19,9 @@ use std::time::Duration;
 /// benchmark bodies that never contend pathologically.
 #[must_use]
 pub fn bench_runtime() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_secs(2)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(2)),
+        })
+        .build()
 }

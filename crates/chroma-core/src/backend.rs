@@ -13,6 +13,7 @@
 //!   commit with replication (the distributed version).
 
 use chroma_base::ObjectId;
+use chroma_obs::Observable;
 use chroma_store::{DiskStore, StableStore, StoreBytes};
 
 /// Errors a permanence backend can report.
@@ -41,7 +42,11 @@ impl std::error::Error for BackendError {}
 ///
 /// Implementations must make `commit_batch` atomic (all updates or
 /// none survive any crash) and `recover` idempotent.
-pub trait PermanenceBackend: Send + Sync {
+///
+/// Backends are [`Observable`]: installing a handle lets them emit WAL
+/// and disk events. Backends without instrumentation implement it as a
+/// no-op.
+pub trait PermanenceBackend: Send + Sync + Observable {
     /// Atomically installs a batch of committed object states.
     ///
     /// # Errors
@@ -68,13 +73,6 @@ pub trait PermanenceBackend: Send + Sync {
     /// persisted ones. `None` (the default) means "empty or unknown".
     fn max_object(&self) -> Option<ObjectId> {
         None
-    }
-
-    /// Installs an observability handle so the backend can emit WAL
-    /// events. Backends without instrumentation ignore it (the
-    /// default).
-    fn install_obs(&self, obs: chroma_obs::Obs) {
-        let _ = obs;
     }
 }
 
@@ -120,9 +118,11 @@ impl PermanenceBackend for LocalBackend {
     fn max_object(&self) -> Option<ObjectId> {
         self.store.object_ids().into_iter().max()
     }
+}
 
+impl Observable for LocalBackend {
     fn install_obs(&self, obs: chroma_obs::Obs) {
-        self.store.set_obs(obs);
+        self.store.install_obs(obs);
     }
 }
 
@@ -138,10 +138,10 @@ impl PermanenceBackend for LocalBackend {
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let dir = std::env::temp_dir().join(format!("chroma-backend-doc-{}", std::process::id()));
-/// let rt = Runtime::with_backend(
-///     RuntimeConfig::default(),
-///     Arc::new(DiskBackend::open(&dir)?),
-/// );
+/// let rt = Runtime::builder()
+///     .config(RuntimeConfig::default())
+///     .backend(Arc::new(DiskBackend::open(&dir)?))
+///     .build();
 /// let o = rt.create_object(&5i64)?;
 /// rt.atomic(|a| a.modify(o, |v: &mut i64| *v *= 2))?;
 /// assert_eq!(rt.read_committed::<i64>(o)?, 10);
@@ -198,9 +198,11 @@ impl PermanenceBackend for DiskBackend {
     fn max_object(&self) -> Option<ObjectId> {
         self.store.object_ids().ok()?.into_iter().max()
     }
+}
 
+impl Observable for DiskBackend {
     fn install_obs(&self, obs: chroma_obs::Obs) {
-        self.store.set_obs(obs);
+        self.store.install_obs(obs);
     }
 }
 

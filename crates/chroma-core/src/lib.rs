@@ -35,7 +35,7 @@ mod undo;
 
 pub use backend::{BackendError, DiskBackend, LocalBackend, PermanenceBackend};
 pub use error::ActionError;
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats};
+pub use runtime::{Runtime, RuntimeBuilder, RuntimeConfig, RuntimeStats};
 pub use scope::ActionScope;
 pub use tree::{ActionState, ActionTree};
 pub use undo::{BeforeImage, UndoLog};

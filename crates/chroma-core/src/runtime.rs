@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 use chroma_base::{
     ActionId, Colour, ColourSet, ColourUniverse, LockError, LockMode, NodeId, ObjectId,
 };
-use chroma_locks::{ColouredPolicy, LockTable};
-use chroma_obs::{EventBus, EventKind, Obs, ObsCell};
+use chroma_locks::{ColouredPolicy, LockTable, DEFAULT_LOCK_SHARDS};
+use chroma_obs::{EventBus, EventKind, Obs, ObsCell, Observable};
 use chroma_store::{codec, StoreBytes, VolatileStore};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -104,7 +104,7 @@ struct Inner {
 /// use chroma_core::Runtime;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let (red, blue) = (rt.universe().colour("red"), rt.universe().colour("blue"));
 /// let o_r = rt.create_object(&0i32)?; // will be written in red
 /// let o_b = rt.create_object(&0i32)?; // will be written in blue
@@ -128,71 +128,174 @@ pub struct Runtime {
 
 impl Default for Runtime {
     fn default() -> Self {
-        Runtime::new()
+        Runtime::builder().build()
     }
 }
 
-impl Runtime {
-    /// Creates a runtime with default configuration.
+/// Fluent constructor for [`Runtime`], from [`Runtime::builder`].
+///
+/// Every knob is optional; `build()` fills in the defaults (default
+/// config, a fresh [`LocalBackend`], no tracing,
+/// [`DEFAULT_LOCK_SHARDS`] lock shards, no node binding).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use chroma_base::NodeId;
+/// use chroma_core::{Runtime, RuntimeConfig};
+/// use chroma_obs::EventBus;
+///
+/// let bus = Arc::new(EventBus::new());
+/// let rt = Runtime::builder()
+///     .config(RuntimeConfig::default())
+///     .obs(bus.clone())
+///     .at_node(NodeId::from_raw(7))
+///     .lock_shards(8)
+///     .build();
+/// assert_eq!(rt.lock_shard_count(), 8);
+/// ```
+#[derive(Default)]
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+    backend: Option<Arc<dyn PermanenceBackend>>,
+    obs: Option<Obs>,
+    node: Option<NodeId>,
+    lock_shards: Option<usize>,
+}
+
+impl RuntimeBuilder {
+    /// Sets the runtime configuration (defaults to
+    /// [`RuntimeConfig::default`]).
     #[must_use]
-    pub fn new() -> Self {
-        Runtime::with_config(RuntimeConfig::default())
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Creates a runtime with the given configuration and the default
-    /// single-node permanence backend.
+    /// Sets the permanence backend — e.g. [`crate::DiskBackend`] for
+    /// on-disk durability or `chroma-dist`'s partitioned store for the
+    /// distributed deployment. Defaults to a fresh [`LocalBackend`].
     #[must_use]
-    pub fn with_config(config: RuntimeConfig) -> Self {
-        Runtime::with_backend(config, Arc::new(LocalBackend::new()))
+    pub fn backend(mut self, backend: Arc<dyn PermanenceBackend>) -> Self {
+        self.backend = Some(backend);
+        self
     }
 
-    /// Creates a runtime whose permanence of effect is provided by
-    /// `backend` — e.g. `chroma-dist`'s partitioned, replicated store
-    /// for the distributed deployment.
+    /// Installs observability from construction: accepts an
+    /// `Arc<EventBus>` or a prepared [`Obs`] handle. Equivalent to
+    /// calling [`Observable::install_obs`] on the built runtime.
     #[must_use]
-    pub fn with_backend(config: RuntimeConfig, backend: Arc<dyn PermanenceBackend>) -> Self {
+    pub fn obs(mut self, obs: impl Into<Obs>) -> Self {
+        self.obs = Some(obs.into());
+        self
+    }
+
+    /// Binds the runtime's events to `node` — they then carry that node
+    /// id and tick its Lamport clock, so a local runtime can share a
+    /// trace with a distributed simulation without colliding on node 0.
+    #[must_use]
+    pub fn at_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Sets the lock-table shard count (clamped to a power of two in
+    /// `1..=64`; defaults to [`DEFAULT_LOCK_SHARDS`]). More shards let
+    /// more disjoint-object acquisitions proceed in parallel.
+    #[must_use]
+    pub fn lock_shards(mut self, shards: usize) -> Self {
+        self.lock_shards = Some(shards);
+        self
+    }
+
+    /// Builds the runtime.
+    #[must_use]
+    pub fn build(self) -> Runtime {
+        let backend = self
+            .backend
+            .unwrap_or_else(|| Arc::new(LocalBackend::new()));
         let universe = ColourUniverse::new();
         let default_colour = universe.colour("default");
         // Continue object allocation after anything already persisted
         // (a disk-backed store re-opened after a restart).
         let first_object = backend.max_object().map_or(1, |o| o.as_raw() + 1);
-        Runtime {
+        let rt = Runtime {
             inner: Arc::new(Inner {
                 universe,
                 default_colour,
                 tree: ActionTree::new(),
-                locks: LockTable::new(ColouredPolicy),
+                locks: LockTable::with_shards(
+                    ColouredPolicy,
+                    self.lock_shards.unwrap_or(DEFAULT_LOCK_SHARDS),
+                ),
                 volatile: VolatileStore::new(),
                 stable: backend,
                 undo: UndoLog::new(),
                 next_action: AtomicU64::new(1),
                 next_object: AtomicU64::new(first_object),
-                config,
+                config: self.config,
                 stats: StatCounters::default(),
                 obs: ObsCell::new(),
             }),
+        };
+        if let Some(obs) = self.obs {
+            let obs = match self.node {
+                Some(node) => obs.at_node(node),
+                None => obs,
+            };
+            rt.install_obs(obs);
         }
+        rt
+    }
+}
+
+impl Runtime {
+    /// Returns a [`RuntimeBuilder`] — the one way to construct a
+    /// runtime.
+    #[must_use]
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
     }
 
-    /// Installs an event bus: the runtime, its lock table and its
-    /// permanence backend start emitting lifecycle, lock and WAL
-    /// events, and commit latency feeds the `core.commit_us` histogram.
-    pub fn install_obs(&self, bus: Arc<EventBus>) {
-        let obs = Obs::new(bus);
-        self.inner.obs.set(obs.clone());
-        self.inner.locks.set_obs(obs.clone());
-        self.inner.stable.install_obs(obs);
+    /// Creates a runtime with default configuration.
+    #[deprecated(since = "0.2.0", note = "use `Runtime::builder().build()` instead")]
+    #[must_use]
+    pub fn new() -> Self {
+        Runtime::builder().build()
     }
 
-    /// Like [`install_obs`](Self::install_obs), but binds every emitted
-    /// event to `node`: the runtime's events then carry that node id
-    /// and tick its Lamport clock, so a local runtime can share a trace
-    /// with a distributed simulation without colliding on node 0.
+    /// Creates a runtime with the given configuration and the default
+    /// single-node permanence backend.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::builder().config(..).build()` instead"
+    )]
+    #[must_use]
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        Runtime::builder().config(config).build()
+    }
+
+    /// Creates a runtime whose permanence of effect is provided by
+    /// `backend`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::builder().config(..).backend(..).build()` instead"
+    )]
+    #[must_use]
+    pub fn with_backend(config: RuntimeConfig, backend: Arc<dyn PermanenceBackend>) -> Self {
+        Runtime::builder().config(config).backend(backend).build()
+    }
+
+    /// Like [`Observable::install_obs`] with an [`Obs`] bound via
+    /// [`Obs::at_node`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Observable::install_obs` with `Obs::new(bus).at_node(node)`, or \
+                `Runtime::builder().obs(bus).at_node(node)`"
+    )]
     pub fn install_obs_at(&self, bus: Arc<EventBus>, node: NodeId) {
-        let obs = Obs::new(bus).at_node(node);
-        self.inner.obs.set(obs.clone());
-        self.inner.locks.set_obs(obs.clone());
-        self.inner.stable.install_obs(obs);
+        self.install_obs(Obs::new(bus).at_node(node));
     }
 
     /// Returns the colour universe of this runtime.
@@ -434,7 +537,9 @@ impl Runtime {
             }
         }
         inner.tree.set_state(action, ActionState::Committed);
-        inner.locks.clear_interrupt(action);
+        // Drop the lock table's per-action bookkeeping (shard index,
+        // any pending interrupt) now that the action is terminated.
+        inner.locks.retire_action(action);
         inner.stats.committed.fetch_add(1, Ordering::Relaxed);
         obs.emit(EventKind::ActionCommit { action });
         if let Some(started) = started {
@@ -843,6 +948,33 @@ impl Runtime {
     #[must_use]
     pub fn lock_wait_stats(&self) -> chroma_locks::WaitStats {
         self.inner.locks.wait_stats()
+    }
+
+    /// The number of shards the lock table was built with (see
+    /// [`RuntimeBuilder::lock_shards`]).
+    #[must_use]
+    pub fn lock_shard_count(&self) -> usize {
+        self.inner.locks.shard_count()
+    }
+
+    /// Per-shard lock-wait statistics, indexed by shard — a skewed
+    /// distribution reveals a hot object concentrating contention.
+    #[must_use]
+    pub fn lock_shard_wait_stats(&self) -> Vec<chroma_locks::WaitStats> {
+        self.inner.locks.shard_wait_stats()
+    }
+}
+
+impl Observable for Runtime {
+    /// Installs observability across the runtime, its lock table and
+    /// its permanence backend: they start emitting lifecycle, lock and
+    /// WAL events, and commit latency feeds the `core.commit_us`
+    /// histogram. Node binding travels inside `obs` (see
+    /// [`Obs::at_node`] or [`RuntimeBuilder::at_node`]).
+    fn install_obs(&self, obs: Obs) {
+        self.inner.obs.set(obs.clone());
+        self.inner.locks.install_obs(obs.clone());
+        self.inner.stable.install_obs(obs);
     }
 }
 

@@ -27,7 +27,7 @@ use crate::runtime::Runtime;
 /// use chroma_core::Runtime;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let counter = rt.create_object(&0u64)?;
 /// rt.atomic(|a| {
 ///     let n: u64 = a.read(counter)?;

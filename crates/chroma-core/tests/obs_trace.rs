@@ -6,15 +6,17 @@ use std::sync::Arc;
 
 use chroma_base::{ColourSet, NodeId};
 use chroma_core::Runtime;
-use chroma_obs::{EventBus, EventKind, MemorySink, Outcome, SpanForest, SpanKind, TraceAuditor};
+use chroma_obs::{
+    EventBus, EventKind, MemorySink, Obs, Observable, Outcome, SpanForest, SpanKind, TraceAuditor,
+};
 
 #[test]
 fn nested_workload_trace_audits_clean() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let bus = Arc::new(EventBus::new());
     let sink = Arc::new(MemorySink::new(100_000));
     bus.add_sink(sink.clone());
-    rt.install_obs(bus.clone());
+    rt.install_obs(Obs::new(bus.clone()));
 
     let o = rt.create_object(&0i64).unwrap();
     for i in 0..5i64 {
@@ -61,11 +63,11 @@ fn critical_path_phases_sum_to_measured_commit_latency() {
     // action, the per-phase attribution must account for the span's
     // entire measured duration (the gap partition is exact, so the
     // "within 5%" budget is met with zero slack).
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let bus = Arc::new(EventBus::new());
     let sink = Arc::new(MemorySink::new(100_000));
     bus.add_sink(sink.clone());
-    rt.install_obs_at(bus, NodeId::from_raw(7));
+    rt.install_obs(Obs::new(bus).at_node(NodeId::from_raw(7)));
 
     let o = rt.create_object(&0i64).unwrap();
     for i in 0..4i64 {
@@ -77,7 +79,7 @@ fn critical_path_phases_sum_to_measured_commit_latency() {
     }
 
     let events = sink.events();
-    // install_obs_at stamps the bound node on every runtime event.
+    // A node-bound `Obs` stamps that node on every runtime event.
     assert!(
         events.iter().all(|e| e.node == Some(NodeId::from_raw(7))),
         "unbound event in trace"
@@ -122,7 +124,7 @@ fn critical_path_phases_sum_to_measured_commit_latency() {
 #[test]
 fn uninstrumented_runtime_behaves_identically() {
     // The no-op handle path: no bus installed, everything still works.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&1i64).unwrap();
     rt.atomic(|a| a.modify(o, |v: &mut i64| *v += 1)).unwrap();
     assert_eq!(rt.read_committed::<i64>(o).unwrap(), 2);

@@ -138,7 +138,7 @@ proptest! {
     /// Observed effect survival equals the inheritance-chain oracle.
     #[test]
     fn survival_matches_inheritance_chain_oracle(specs in tree_strategy(10)) {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let writes = execute(&rt, &specs).expect("execution succeeds");
         for (writer, objs) in writes.iter().enumerate() {
             for &(bit, object) in objs {
@@ -164,7 +164,7 @@ proptest! {
         initial in prop::collection::vec(any::<i64>(), 1..8),
         ops in prop::collection::vec((0..8usize, any::<i64>()), 0..24),
     ) {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let objects: Vec<ObjectId> = initial
             .iter()
             .map(|v| rt.create_object(v).expect("create"))
@@ -191,7 +191,7 @@ proptest! {
         committed in prop::collection::vec(any::<i64>(), 1..6),
         uncommitted in prop::collection::vec(any::<i64>(), 1..6),
     ) {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let objects: Vec<ObjectId> = committed
             .iter()
             .map(|v| rt.create_object(v).expect("create"))

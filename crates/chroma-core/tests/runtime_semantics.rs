@@ -6,9 +6,11 @@ use chroma_core::{ActionError, ActionState, Colour, ColourSet, LockMode, Runtime
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(200)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(200)),
+        })
+        .build()
 }
 
 fn two_colours(rt: &Runtime) -> (Colour, Colour) {
@@ -21,7 +23,7 @@ fn two_colours(rt: &Runtime) -> (Colour, Colour) {
 
 #[test]
 fn atomic_commit_persists() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&1i64).unwrap();
     rt.atomic(|a| {
         let v: i64 = a.read(o)?;
@@ -34,7 +36,7 @@ fn atomic_commit_persists() {
 
 #[test]
 fn atomic_abort_restores_state() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&1i64).unwrap();
     let result: Result<(), ActionError> = rt.atomic(|a| {
         a.write(o, &99i64)?;
@@ -47,7 +49,7 @@ fn atomic_abort_restores_state() {
 
 #[test]
 fn atomic_abort_releases_locks() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&1i64).unwrap();
     let _ = rt.atomic(|a| {
         a.write(o, &2i64)?;
@@ -61,7 +63,7 @@ fn atomic_abort_releases_locks() {
 
 #[test]
 fn created_object_vanishes_on_abort() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let mut created = None;
     let _ = rt.atomic(|a| {
         created = Some(a.create(&42u8)?);
@@ -74,7 +76,7 @@ fn created_object_vanishes_on_abort() {
 
 #[test]
 fn created_object_survives_commit() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.atomic(|a| a.create(&42u8)).unwrap();
     assert_eq!(rt.read_committed::<u8>(o).unwrap(), 42);
 }
@@ -85,7 +87,7 @@ fn created_object_survives_commit() {
 
 #[test]
 fn nested_commit_is_only_permanent_with_top_level() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     // Fig. 2: B commits inside A, then A aborts — B's work is lost.
     let result: Result<(), ActionError> = rt.atomic(|a| {
@@ -98,7 +100,7 @@ fn nested_commit_is_only_permanent_with_top_level() {
 
 #[test]
 fn nested_abort_is_contained() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     rt.atomic(|a| {
         let _ = a.nested(|b| {
@@ -146,7 +148,7 @@ fn child_lock_inherited_by_parent_on_commit() {
 
 #[test]
 fn deeply_nested_abort_cascades_to_children_only() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o1 = rt.create_object(&0i64).unwrap();
     let o2 = rt.create_object(&0i64).unwrap();
     rt.atomic(|a| {
@@ -165,7 +167,7 @@ fn deeply_nested_abort_cascades_to_children_only() {
 
 #[test]
 fn commit_with_active_children_is_refused() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let top = rt
         .begin_top(ColourSet::single(rt.default_colour()))
         .unwrap();
@@ -181,7 +183,7 @@ fn commit_with_active_children_is_refused() {
 
 #[test]
 fn abort_cascades_through_active_children() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let top = rt
         .begin_top(ColourSet::single(rt.default_colour()))
@@ -202,7 +204,7 @@ fn abort_cascades_through_active_children() {
 
 #[test]
 fn fig10_red_effects_survive_enclosing_abort() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let (red, blue) = two_colours(&rt);
     let o_red = rt.create_object(&0i32).unwrap();
     let o_blue = rt.create_object(&0i32).unwrap();
@@ -240,7 +242,7 @@ fn fig10_red_effects_survive_enclosing_abort() {
 
 #[test]
 fn fig10_commit_of_enclosing_makes_blue_permanent() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let (red, blue) = two_colours(&rt);
     let o_blue = rt.create_object(&0i32).unwrap();
 
@@ -259,7 +261,7 @@ fn fig10_commit_of_enclosing_makes_blue_permanent() {
 #[test]
 fn inheritance_skips_uncoloured_ancestors() {
     // Fig. 15 shape: E (blue) inside B (red) inside A (red, blue).
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let (red, blue) = two_colours(&rt);
     let o = rt.create_object(&0i32).unwrap();
 
@@ -298,7 +300,7 @@ fn write_locks_on_an_object_are_single_coloured() {
 
 #[test]
 fn colour_not_possessed_is_refused() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let (red, blue) = two_colours(&rt);
     let o = rt.create_object(&0i32).unwrap();
     let a = rt.begin_top(ColourSet::single(blue)).unwrap();
@@ -342,7 +344,7 @@ fn xread_fence_blocks_strangers_but_not_descendants() {
 
 #[test]
 fn crash_loses_uncommitted_work() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&1i64).unwrap();
     let a = rt
         .begin_top(ColourSet::single(rt.default_colour()))
@@ -357,7 +359,7 @@ fn crash_loses_uncommitted_work() {
 
 #[test]
 fn crash_preserves_committed_work() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&1i64).unwrap();
     rt.atomic(|a| a.write(o, &2i64)).unwrap();
     rt.crash_and_recover();
@@ -369,7 +371,7 @@ fn crash_preserves_committed_work() {
 
 #[test]
 fn crash_preserves_outermost_coloured_commits_only() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let (red, blue) = two_colours(&rt);
     let o_red = rt.create_object(&0i32).unwrap();
     let o_blue = rt.create_object(&0i32).unwrap();
@@ -397,7 +399,7 @@ fn crash_preserves_outermost_coloured_commits_only() {
 
 #[test]
 fn concurrent_increments_serialize() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let threads: Vec<_> = (0..8)
         .map(|_| {
@@ -419,9 +421,11 @@ fn concurrent_increments_serialize() {
 
 #[test]
 fn deadlock_victims_make_progress_possible() {
-    let rt = Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_secs(5)),
-    });
+    let rt = Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(5)),
+        })
+        .build();
     let o1 = rt.create_object(&0i64).unwrap();
     let o2 = rt.create_object(&0i64).unwrap();
     let mut handles = Vec::new();
@@ -456,7 +460,7 @@ fn deadlock_victims_make_progress_possible() {
 fn read_then_write_retry_recovers_from_upgrade_deadlocks() {
     // Two threads using the naive read-then-write pattern provoke
     // upgrade deadlocks; atomic_retry (with backoff) makes progress.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let threads: Vec<_> = (0..2)
         .map(|_| {
@@ -481,7 +485,7 @@ fn read_then_write_retry_recovers_from_upgrade_deadlocks() {
 
 #[test]
 fn reader_blocks_until_writer_finishes() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let writer_started = std::sync::Arc::new(std::sync::Barrier::new(2));
 
@@ -509,7 +513,7 @@ fn reader_blocks_until_writer_finishes() {
 
 #[test]
 fn empty_colour_set_is_rejected() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     assert!(matches!(
         rt.begin_top(ColourSet::EMPTY),
         Err(ActionError::NoColours)
@@ -518,7 +522,7 @@ fn empty_colour_set_is_rejected() {
 
 #[test]
 fn operations_on_terminated_actions_fail() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let a = rt
         .begin_top(ColourSet::single(rt.default_colour()))
@@ -534,7 +538,7 @@ fn operations_on_terminated_actions_fail() {
 
 #[test]
 fn nesting_under_terminated_parent_fails() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let a = rt
         .begin_top(ColourSet::single(rt.default_colour()))
         .unwrap();
@@ -547,7 +551,7 @@ fn nesting_under_terminated_parent_fails() {
 
 #[test]
 fn read_of_missing_object_fails() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let bogus = chroma_core::ObjectId::from_raw(99_999);
     let err = rt.atomic(|a| a.read::<i64>(bogus)).unwrap_err();
     assert!(matches!(err, ActionError::NoSuchObject(_)));
@@ -555,7 +559,7 @@ fn read_of_missing_object_fails() {
 
 #[test]
 fn stats_track_lifecycle() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     rt.atomic(|a| a.write(o, &1i64)).unwrap();
     let _ = rt.atomic(|a| {

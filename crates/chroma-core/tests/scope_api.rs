@@ -11,14 +11,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(200)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(200)),
+        })
+        .build()
 }
 
 #[test]
 fn raw_reads_and_writes_round_trip() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt
         .create_object_raw(StoreBytes::from(vec![1, 2, 3]))
         .unwrap();
@@ -82,7 +84,7 @@ fn try_lock_reports_denial_reason() {
 
 #[test]
 fn nested_in_with_explicit_colours() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let extra = rt.universe().colour("extra");
     let o = rt.create_object(&0i64).unwrap();
     rt.atomic(|a| {
@@ -105,7 +107,7 @@ fn nested_in_with_explicit_colours() {
 
 #[test]
 fn scope_accessors_are_consistent() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     rt.atomic(|a| {
         assert_eq!(a.colours(), ColourSet::single(rt.default_colour()));
         assert_eq!(a.default_colour(), rt.default_colour());
@@ -118,7 +120,7 @@ fn scope_accessors_are_consistent() {
 
 #[test]
 fn prune_terminated_clears_finished_actions() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     for i in 0..10i64 {
         rt.atomic(|a| a.write(o, &i)).unwrap();
@@ -137,8 +139,14 @@ fn local_backend_is_shareable_between_runtimes() {
     // the other; locking is per-runtime, so this is only safe for
     // disjoint or read-only use — exactly how we use it here.
     let backend = Arc::new(LocalBackend::new());
-    let rt1 = Runtime::with_backend(RuntimeConfig::default(), backend.clone());
-    let rt2 = Runtime::with_backend(RuntimeConfig::default(), backend.clone());
+    let rt1 = Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(backend.clone())
+        .build();
+    let rt2 = Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(backend.clone())
+        .build();
     let o = rt1.create_object(&41i64).unwrap();
     rt1.atomic(|a| a.modify(o, |v: &mut i64| *v += 1)).unwrap();
     assert_eq!(rt2.read_committed::<i64>(o).unwrap(), 42);
@@ -147,7 +155,7 @@ fn local_backend_is_shareable_between_runtimes() {
 
 #[test]
 fn deep_nesting_commits_and_aborts_correctly() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     rt.atomic(|a| a.nested(|b| b.nested(|c| c.nested(|d| d.nested(|e| e.write(o, &5i64))))))
         .unwrap();
@@ -168,7 +176,7 @@ fn deep_nesting_commits_and_aborts_correctly() {
 
 #[test]
 fn action_states_progress_correctly() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let a = rt
         .begin_top(ColourSet::single(rt.default_colour()))
         .unwrap();
@@ -185,7 +193,7 @@ fn action_states_progress_correctly() {
 
 #[test]
 fn create_in_non_default_colour() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let red = rt.universe().colour("red");
     let blue = rt.universe().colour("blue");
     let a = rt.begin_top(ColourSet::from_iter([red, blue])).unwrap();
@@ -199,7 +207,7 @@ fn create_in_non_default_colour() {
 
 #[test]
 fn stats_deadlock_counter_increments() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o1 = rt.create_object(&0i64).unwrap();
     let o2 = rt.create_object(&0i64).unwrap();
     let rt2 = rt.clone();
@@ -226,7 +234,7 @@ fn stats_deadlock_counter_increments() {
 
 #[test]
 fn runtime_debug_output_is_nonempty() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let text = format!("{rt:?}");
     assert!(text.contains("Runtime"));
     assert!(text.contains("stats"));

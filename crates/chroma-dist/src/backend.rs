@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use chroma_base::{NodeId, ObjectId};
 use chroma_core::{BackendError, PermanenceBackend};
-use chroma_obs::EventKind;
+use chroma_obs::{EventKind, Observable};
 use chroma_store::{codec, StoreBytes};
 use parking_lot::Mutex;
 
@@ -54,7 +54,10 @@ struct PartitionedInner {
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
 /// let store = Arc::new(PartitionedStore::new(42, 3, 2));
-/// let rt = Runtime::with_backend(RuntimeConfig::default(), store.clone());
+/// let rt = Runtime::builder()
+///     .config(RuntimeConfig::default())
+///     .backend(store.clone())
+///     .build();
 ///
 /// let account = rt.create_object(&100i64)?;
 /// rt.atomic(|a| a.modify(account, |b: &mut i64| *b -= 30))?;
@@ -269,15 +272,15 @@ impl PermanenceBackend for PartitionedStore {
         }
         inner.sim.run_to_quiescence();
     }
+}
 
+impl Observable for PartitionedStore {
     fn install_obs(&self, obs: chroma_obs::Obs) {
-        // Thread the caller's bus into the internal simulation so the
-        // backend's 2PC, replica-install and catch-up events land in the
-        // same trace as the runtime's. Note this switches the bus clock
-        // to simulated time.
-        if let Some(bus) = obs.bus() {
-            self.inner.lock().sim.install_obs(bus.clone());
-        }
+        // Thread the caller's handle into the internal simulation so
+        // the backend's 2PC, replica-install and catch-up events land
+        // in the same trace as the runtime's. Note this switches the
+        // bus clock to simulated time.
+        self.inner.lock().sim.install_obs(obs);
     }
 }
 

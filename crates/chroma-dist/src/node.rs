@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use chroma_base::{NodeId, ObjectId};
-use chroma_obs::{EventKind, Obs};
+use chroma_obs::{EventKind, Obs, ObsCell, Observable};
 use chroma_store::{codec, DurableLog, StableStore, StoreBytes};
 use serde::{Deserialize, Serialize};
 
@@ -136,7 +136,7 @@ pub struct Node {
     pull_pending: HashMap<ObjectId, HashSet<NodeId>>,
     /// Observability handle (survives crashes: instrumentation is not
     /// part of the simulated machine).
-    obs: Obs,
+    obs: ObsCell,
 }
 
 impl Node {
@@ -157,21 +157,20 @@ impl Node {
             stale: HashSet::new(),
             replica_peers: HashMap::new(),
             pull_pending: HashMap::new(),
-            obs: Obs::none(),
+            obs: ObsCell::new(),
         }
     }
 
-    /// Installs an observability handle, forwarding it to the stable
-    /// store and the commit log so WAL events flow through too.
-    ///
-    /// The handle is rebound to this node's identity first, so every
-    /// event the node (or its store/log) emits carries a `node` field
-    /// and ticks this node's Lamport clock.
+    /// Installs an observability handle.
+    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
     pub fn set_obs(&mut self, obs: Obs) {
-        let obs = obs.at_node(self.id);
-        self.store.set_obs(obs.clone());
-        self.tpc_log.set_obs(obs.clone());
-        self.obs = obs;
+        self.install_obs(obs);
+    }
+
+    /// The node's current observability handle (already bound to its
+    /// identity).
+    fn obs(&self) -> Obs {
+        self.obs.get()
     }
 
     /// Returns the node's identifier.
@@ -280,7 +279,7 @@ impl Node {
                 acked: HashSet::new(),
                 prepare_attempts: 0,
                 decision_attempts: 0,
-                begin_at_us: self.obs.now_us(),
+                begin_at_us: self.obs().now_us(),
             },
         );
         effects
@@ -315,14 +314,14 @@ impl Node {
             delay: RETRY_INTERVAL,
             tag: TimerTag::DecisionRetry(txn),
         });
-        self.obs.emit(EventKind::TpcDecide {
+        self.obs().emit(EventKind::TpcDecide {
             node: self.id,
             txn: txn.0,
             commit,
             participants,
         });
-        self.obs
-            .observe("dist.decide_us", self.obs.now_us().saturating_sub(begun));
+        self.obs()
+            .observe("dist.decide_us", self.obs().now_us().saturating_sub(begun));
         effects
     }
 
@@ -409,7 +408,7 @@ impl Node {
             return Vec::new();
         }
         if prepared {
-            self.obs.emit(EventKind::TpcVote {
+            self.obs().emit(EventKind::TpcVote {
                 node: self.id,
                 txn: txn.0,
                 yes: true,
@@ -420,7 +419,7 @@ impl Node {
             }];
         }
         if self.veto.contains(&txn) {
-            self.obs.emit(EventKind::TpcVote {
+            self.obs().emit(EventKind::TpcVote {
                 node: self.id,
                 txn: txn.0,
                 yes: false,
@@ -435,11 +434,11 @@ impl Node {
             coordinator,
             writes,
         });
-        self.obs.emit(EventKind::TpcPrepare {
+        self.obs().emit(EventKind::TpcPrepare {
             node: self.id,
             txn: txn.0,
         });
-        self.obs.emit(EventKind::TpcVote {
+        self.obs().emit(EventKind::TpcVote {
             node: self.id,
             txn: txn.0,
             yes: true,
@@ -476,7 +475,7 @@ impl Node {
             }
         }
         if !done {
-            self.obs.emit(EventKind::TpcResolve {
+            self.obs().emit(EventKind::TpcResolve {
                 node: self.id,
                 txn: txn.0,
                 commit,
@@ -506,7 +505,7 @@ impl Node {
                         self.store.commit_batch(updates);
                     }
                     for (object, version) in installed {
-                        self.obs.emit(EventKind::ReplicaInstall {
+                        self.obs().emit(EventKind::ReplicaInstall {
                             node: self.id,
                             object,
                             version,
@@ -679,7 +678,7 @@ impl Node {
     /// version it rejoined the group with.
     fn emit_catchup_end(&self, object: ObjectId) {
         let version = self.read_versioned(object).map_or(0, |(v, _)| v);
-        self.obs.emit(EventKind::CatchupEnd {
+        self.obs().emit(EventKind::CatchupEnd {
             node: self.id,
             object,
             version,
@@ -699,7 +698,7 @@ impl Node {
         let bytes = codec::to_bytes(&(version, state.to_vec())).expect("versioned encodes");
         self.store
             .commit_batch(vec![(object, StoreBytes::from(bytes))]);
-        self.obs.emit(EventKind::ReplicaInstall {
+        self.obs().emit(EventKind::ReplicaInstall {
             node: self.id,
             object,
             version,
@@ -909,7 +908,7 @@ impl Node {
                             acked: HashSet::new(),
                             prepare_attempts: 0,
                             decision_attempts: 0,
-                            begin_at_us: self.obs.now_us(),
+                            begin_at_us: self.obs().now_us(),
                         },
                     );
                     for &to in participants {
@@ -969,7 +968,7 @@ impl Node {
                 continue;
             }
             if self.stale.contains(&object) {
-                self.obs.emit(EventKind::CatchupBegin {
+                self.obs().emit(EventKind::CatchupBegin {
                     node: self.id,
                     object,
                 });
@@ -984,5 +983,20 @@ impl Node {
             }
         }
         effects
+    }
+}
+
+impl Observable for Node {
+    /// Installs an observability handle, forwarding it to the stable
+    /// store and the commit log so WAL events flow through too.
+    ///
+    /// The handle is rebound to this node's identity first, so every
+    /// event the node (or its store/log) emits carries a `node` field
+    /// and ticks this node's Lamport clock.
+    fn install_obs(&self, obs: Obs) {
+        let obs = obs.at_node(self.id);
+        self.store.install_obs(obs.clone());
+        self.tpc_log.install_obs(obs.clone());
+        self.obs.set(obs);
     }
 }

@@ -2,10 +2,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::Arc;
 
 use chroma_base::NodeId;
-use chroma_obs::{EventBus, EventKind, Obs};
+use chroma_obs::{EventKind, Obs, ObsCell, Observable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,7 +121,7 @@ pub struct Sim {
     /// Event trace (bounded), populated when enabled.
     trace: Option<Vec<TraceEntry>>,
     /// Observability handle; stamped with simulated time each step.
-    obs: Obs,
+    obs: ObsCell,
 }
 
 /// One traced simulation event (see [`Sim::enable_trace`]).
@@ -158,35 +157,24 @@ impl Sim {
             stats: NetStats::default(),
             partitions: HashSet::new(),
             trace: None,
-            obs: Obs::none(),
+            obs: ObsCell::new(),
         }
-    }
-
-    /// Installs a shared observability bus: every node (current and
-    /// future) emits through it, and the simulation stamps its events
-    /// with simulated time and reports network and crash activity.
-    pub fn install_obs(&mut self, bus: Arc<EventBus>) {
-        let obs = Obs::new(bus);
-        for node in self.nodes.values_mut() {
-            node.set_obs(obs.clone());
-        }
-        self.obs = obs;
-        self.sync_time();
     }
 
     fn sync_time(&self) {
-        if let Some(bus) = self.obs.bus() {
+        let obs = self.obs();
+        if let Some(bus) = obs.bus() {
             bus.set_time_us(self.now);
         }
     }
 
     /// The simulation's observability handle (inert until
-    /// [`install_obs`](Sim::install_obs)) — lets protocols layered on
-    /// top of the simulation (replica groups, the partitioned backend)
-    /// emit into the same simulated-time trace.
+    /// [`Observable::install_obs`]) — lets protocols layered on top of
+    /// the simulation (replica groups, the partitioned backend) emit
+    /// into the same simulated-time trace.
     #[must_use]
     pub fn obs(&self) -> Obs {
-        self.obs.clone()
+        self.obs.get()
     }
 
     /// Starts recording an event trace (delivered messages, drops,
@@ -255,9 +243,10 @@ impl Sim {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from_raw(self.next_node);
         self.next_node += 1;
-        let mut node = Node::new(id);
-        if self.obs.enabled() {
-            node.set_obs(self.obs.clone());
+        let node = Node::new(id);
+        let obs = self.obs();
+        if obs.enabled() {
+            node.install_obs(obs);
         }
         self.nodes.insert(id, node);
         id
@@ -344,18 +333,18 @@ impl Sim {
         // the send's Lamport clock travels with the message, so the
         // receive side can merge past it (untraced runs carry 0)
         let send_lc = self
-            .obs
+            .obs()
             .emit_corr(corr, EventKind::MsgSend { from, to, kind })
             .map_or(0, |e| e.lc);
         if self.partitions.contains(&Self::link(from, to)) {
             self.stats.dropped += 1;
-            self.obs
+            self.obs()
                 .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
             return;
         }
         if self.rng.gen_bool(self.net.loss.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
-            self.obs
+            self.obs()
                 .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
             return;
         }
@@ -372,7 +361,7 @@ impl Sim {
         );
         if self.rng.gen_bool(self.net.duplication.clamp(0.0, 1.0)) {
             self.stats.duplicated += 1;
-            self.obs
+            self.obs()
                 .emit_corr(corr, EventKind::MsgDup { from, to, kind });
             let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
             self.push(
@@ -413,21 +402,20 @@ impl Sim {
                     ));
                 }
                 let kind = msg.kind();
+                let obs = self.obs();
                 let Some(node) = self.nodes.get_mut(&to) else {
                     return true;
                 };
                 if !node.up {
                     self.stats.dropped += 1;
-                    self.obs
-                        .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
+                    obs.emit_corr(corr, EventKind::MsgDrop { from, to, kind });
                     return true;
                 }
                 self.stats.delivered += 1;
                 // merge before emitting: the delivery's clock must
                 // strictly exceed the send's (audit rule R8)
-                self.obs.merge_clock(to, send_lc);
-                self.obs
-                    .emit_corr(corr, EventKind::MsgDeliver { from, to, kind });
+                obs.merge_clock(to, send_lc);
+                obs.emit_corr(corr, EventKind::MsgDeliver { from, to, kind });
                 let effects = node.handle_message(from, msg);
                 self.apply_effects(to, effects);
             }
@@ -447,7 +435,7 @@ impl Sim {
                     let was_up = node.up;
                     node.crash();
                     if was_up {
-                        self.obs.emit(EventKind::NodeCrash { node: id });
+                        self.obs().emit(EventKind::NodeCrash { node: id });
                     }
                 }
             }
@@ -456,7 +444,7 @@ impl Sim {
                 let effects = match self.nodes.get_mut(&id) {
                     Some(node) if !node.up => {
                         let effects = node.recover();
-                        self.obs.emit(EventKind::NodeRecover { node: id });
+                        self.obs().emit(EventKind::NodeRecover { node: id });
                         effects
                     }
                     _ => Vec::new(),
@@ -532,6 +520,19 @@ impl Sim {
             .rpc_call(server, op);
         self.apply_effects(client, effects);
         call
+    }
+}
+
+impl Observable for Sim {
+    /// Installs a shared observability handle: every node (current and
+    /// future) emits through it, and the simulation stamps its events
+    /// with simulated time and reports network and crash activity.
+    fn install_obs(&self, obs: Obs) {
+        for node in self.nodes.values() {
+            node.install_obs(obs.clone());
+        }
+        self.obs.set(obs);
+        self.sync_time();
     }
 }
 

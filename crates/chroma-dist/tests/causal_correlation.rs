@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use chroma_base::ObjectId;
 use chroma_dist::{ReplicatedObject, Sim, Write};
-use chroma_obs::{EventBus, EventKind, MemorySink, SpanForest, TraceAuditor};
+use chroma_obs::{EventBus, EventKind, MemorySink, Obs, Observable, SpanForest, TraceAuditor};
 use chroma_store::StoreBytes;
 
 fn torture_seed() -> u64 {
@@ -34,7 +34,7 @@ fn every_applied_receive_pairs_with_exactly_one_send() {
     let bus = Arc::new(EventBus::new());
     let sink = Arc::new(MemorySink::new(500_000));
     bus.add_sink(sink.clone());
-    sim.install_obs(bus.clone());
+    sim.install_obs(Obs::new(bus.clone()));
 
     let nodes = vec![sim.add_node(), sim.add_node(), sim.add_node()];
     let replica = ReplicatedObject::create(&mut sim, ObjectId::from_raw(9), &nodes, b"v0");

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use chroma_base::ObjectId;
 use chroma_dist::{Sim, Write, RETRY_INTERVAL};
-use chroma_obs::{EventBus, MemorySink, TraceAuditor};
+use chroma_obs::{EventBus, MemorySink, Obs, Observable, TraceAuditor};
 use chroma_store::StoreBytes;
 use proptest::prelude::*;
 
@@ -27,7 +27,7 @@ proptest! {
         let bus = Arc::new(EventBus::new());
         let sink = Arc::new(MemorySink::new(500_000));
         bus.add_sink(sink.clone());
-        sim.install_obs(bus.clone());
+        sim.install_obs(Obs::new(bus.clone()));
 
         let nodes = [sim.add_node(), sim.add_node(), sim.add_node()];
         let coord = nodes[0];

@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use chroma_base::{NodeId, ObjectId};
 use chroma_dist::{Message, Node, ReplicatedObject, Sim, TxnId, Write, RETRY_INTERVAL};
-use chroma_obs::{Event, EventBus, EventKind, MemorySink, TraceAuditor, Violation};
+use chroma_obs::{
+    Event, EventBus, EventKind, MemorySink, Obs, Observable, TraceAuditor, Violation,
+};
 use chroma_store::{codec, StoreBytes};
 
 /// splitmix64 — one deterministic stream per seed (CI sweeps
@@ -46,7 +48,7 @@ fn run_schedule(seed: u64) {
     let bus = Arc::new(EventBus::new());
     let sink = Arc::new(MemorySink::new(500_000));
     bus.add_sink(sink.clone());
-    sim.install_obs(bus.clone());
+    sim.install_obs(Obs::new(bus.clone()));
 
     let nodes = vec![sim.add_node(), sim.add_node(), sim.add_node()];
     let replica = ReplicatedObject::create(&mut sim, obj(), &nodes, b"v0");

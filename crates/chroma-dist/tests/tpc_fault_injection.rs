@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use chroma_base::{NodeId, ObjectId};
 use chroma_dist::{RpcOp, Sim, Write, RETRY_INTERVAL};
-use chroma_obs::{EventBus, MemorySink, TraceAuditor};
+use chroma_obs::{EventBus, MemorySink, Obs, Observable, TraceAuditor};
 use chroma_store::StoreBytes;
 
 fn w(object: u64, value: u8) -> Write {
@@ -125,7 +125,7 @@ fn randomized_sweep_preserves_atomicity() {
         let bus = Arc::new(EventBus::new());
         let sink = Arc::new(MemorySink::new(200_000));
         bus.add_sink(sink.clone());
-        sim.install_obs(bus);
+        sim.install_obs(Obs::new(bus));
         let coord = sim.add_node();
         let p1 = sim.add_node();
         let p2 = sim.add_node();

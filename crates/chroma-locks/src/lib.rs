@@ -56,4 +56,4 @@ pub use ancestry::{Ancestry, FlatAncestry};
 pub use deadlock::{DeadlockReport, WaitForGraph};
 pub use entry::{LockEntry, LockSnapshot};
 pub use policy::{ClassicPolicy, ColouredPolicy, LockPolicy};
-pub use table::{AcquireOutcome, LockTable, WaitStats};
+pub use table::{AcquireOutcome, LockTable, WaitStats, DEFAULT_LOCK_SHARDS, MAX_LOCK_SHARDS};

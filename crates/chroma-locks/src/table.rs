@@ -1,16 +1,58 @@
 //! The lock table: granted locks, blocked waiters, inheritance.
+//!
+//! # Sharding
+//!
+//! The table is partitioned into a power-of-two number of **shards**
+//! keyed by [`ObjectId`] hash. Each shard owns its slice of the granted
+//! lock entries behind its own mutex and condvar, so acquisitions on
+//! disjoint objects never contend on a shared lock — the grant fast
+//! path touches exactly one shard.
+//!
+//! Cross-object state is kept out of the fast path:
+//!
+//! * the **waits-for graph** (deadlock detection, external wait edges)
+//!   lives in a single registry that is only locked once a request has
+//!   already conflicted and is about to park — a path that is orders of
+//!   magnitude colder than a grant;
+//! * a **striped per-action index** remembers, as a bitmask, which
+//!   shards an action may hold locks in. Multi-object operations
+//!   ([`release_colour`](LockTable::release_colour),
+//!   [`inherit_colour`](LockTable::inherit_colour),
+//!   [`discard_action`](LockTable::discard_action),
+//!   [`locks_of`](LockTable::locks_of)) walk only those shards, in
+//!   ascending index order, taking one shard lock at a time. The mask
+//!   is maintained as a superset (bits are set *before* an entry can
+//!   appear, and only dropped when the action terminates), so a walk
+//!   can at worst visit a shard and find nothing.
+//!
+//! Interrupt delivery (deadlock victims, cancelled waiters) is stored
+//! in the shard the victim is parked on, under the same mutex as its
+//! condvar, so a wake-up can never be lost. Lock ordering is strictly
+//! `shard → registry`, never the reverse, and no two shard locks are
+//! ever held at once.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use chroma_base::{ActionId, Colour, LockError, LockMode, ObjectId};
-use chroma_obs::{EventKind, Obs};
+use chroma_obs::{EventKind, Obs, Observable};
 use parking_lot::{Condvar, Mutex};
 
 use crate::deadlock::WaitForGraph;
 use crate::entry::{LockEntry, LockSnapshot};
 use crate::policy::{DynAncestry, LockPolicy};
+
+/// Default shard count of a [`LockTable`]; see
+/// [`LockTable::with_shards`] to choose another.
+pub const DEFAULT_LOCK_SHARDS: usize = 16;
+
+/// Upper bound on the shard count (the per-action index is a 64-bit
+/// shard bitmask).
+pub const MAX_LOCK_SHARDS: usize = 64;
+
+/// Multiplier for Fibonacci hashing of ids onto shards/stripes.
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// How an acquisition request concluded.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -26,23 +68,55 @@ pub enum AcquireOutcome {
 }
 
 #[derive(Default)]
-struct TableState {
+struct ShardState {
     objects: HashMap<ObjectId, Vec<LockEntry>>,
-    graph: WaitForGraph,
-    /// Waiters that must give up with the recorded error next time they
-    /// observe the state (deadlock victims, externally cancelled actions).
+    /// Waiters parked on this shard that must give up with the recorded
+    /// error next time they observe the state (deadlock victims,
+    /// externally cancelled actions). Guarded by the same mutex as the
+    /// shard's condvar so an interrupt can never race a park.
     interrupts: HashMap<ActionId, Interrupt>,
-    /// Actions currently inside a blocking [`LockTable::acquire`].
-    /// [`LockTable::cancel_waiter`] only interrupts these: an interrupt
-    /// posted for an action that never waits again would leak forever
-    /// and poison a later reuse of the same `ActionId`.
+    /// Actions currently inside a blocking [`LockTable::acquire`] on an
+    /// object of this shard. [`LockTable::cancel_waiter`] only
+    /// interrupts these: an interrupt posted for an action that never
+    /// waits again would leak forever and poison a later reuse of the
+    /// same `ActionId`.
     waiting: HashSet<ActionId>,
+    /// The shard's copy of the observability handle (kept inside the
+    /// state so the hot path pays no extra synchronisation to read it).
+    obs: Obs,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    changed: Condvar,
+    waits_started: AtomicU64,
+    wait_micros: AtomicU64,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            state: Mutex::new(ShardState::default()),
+            changed: Condvar::new(),
+            waits_started: AtomicU64::new(0),
+            wait_micros: AtomicU64::new(0),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 enum Interrupt {
     DeadlockVictim,
     Cancelled,
+}
+
+impl Interrupt {
+    fn into_error(self, action: ActionId, object: ObjectId) -> LockError {
+        match self {
+            Interrupt::DeadlockVictim => LockError::DeadlockVictim { object },
+            Interrupt::Cancelled => LockError::ActionNotActive { action },
+        }
+    }
 }
 
 /// A table of object locks shared by every action of one runtime (or one
@@ -55,6 +129,9 @@ enum Interrupt {
 /// detection, per-colour inheritance and release — is rule-set
 /// independent, mirroring the paper's observation that colours require
 /// only "minor modifications to the conventional rules".
+///
+/// Internally the table is sharded by object hash (see the module docs);
+/// acquisitions on disjoint objects proceed fully in parallel.
 ///
 /// Blocking acquisition parks the calling thread until the request can be
 /// granted, the optional timeout expires, the waiter is chosen as a
@@ -85,15 +162,31 @@ enum Interrupt {
 /// ```
 pub struct LockTable<P> {
     policy: P,
-    state: Mutex<TableState>,
-    changed: Condvar,
+    shards: Box<[Shard]>,
+    /// `shards.len() == 1 << shard_bits`.
+    shard_bits: u32,
+    /// Waits-for graph for deadlock detection; only locked on the
+    /// conflict path and for external wait edges. Lock order: a shard
+    /// lock may be held while taking this, never the reverse.
+    graph: Mutex<WaitForGraph>,
+    /// Striped `action → shard bitmask` index: which shards an action
+    /// may hold locks in (a superset; see module docs).
+    action_index: Box<[Mutex<HashMap<ActionId, u64>>]>,
+    /// Outstanding planted interrupts across all shards, so the common
+    /// no-interrupt case of [`clear_interrupt`](LockTable::clear_interrupt)
+    /// and [`retire_action`](LockTable::retire_action) is one atomic load.
+    interrupts_outstanding: AtomicU64,
+    /// Actions currently registered as blocking waiters, so
+    /// [`cancel_waiter`](LockTable::cancel_waiter) can skip the shard
+    /// walk when nothing waits.
+    waiters_registered: AtomicU64,
     waits_started: AtomicU64,
     wait_micros: AtomicU64,
-    obs: Mutex<Obs>,
 }
 
 /// Aggregate waiting statistics of a [`LockTable`], from
-/// [`LockTable::wait_stats`].
+/// [`LockTable::wait_stats`] (whole table) or
+/// [`LockTable::shard_wait_stats`] (per shard).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WaitStats {
     /// Blocking acquisitions that had to park at least once.
@@ -114,29 +207,98 @@ impl WaitStats {
     }
 }
 
-impl<P: LockPolicy> LockTable<P> {
-    /// Creates an empty table using `policy` for grant decisions.
+impl<P> LockTable<P> {
+    /// Creates an empty table using `policy` for grant decisions, with
+    /// [`DEFAULT_LOCK_SHARDS`] shards.
     #[must_use]
     pub fn new(policy: P) -> Self {
+        LockTable::with_shards(policy, DEFAULT_LOCK_SHARDS)
+    }
+
+    /// Creates an empty table with (roughly) `shards` shards: the count
+    /// is clamped to `1..=`[`MAX_LOCK_SHARDS`] and rounded up to a
+    /// power of two.
+    #[must_use]
+    pub fn with_shards(policy: P, shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_LOCK_SHARDS).next_power_of_two();
         LockTable {
             policy,
-            state: Mutex::new(TableState::default()),
-            changed: Condvar::new(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shard_bits: shards.trailing_zeros(),
+            graph: Mutex::new(WaitForGraph::new()),
+            action_index: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            interrupts_outstanding: AtomicU64::new(0),
+            waiters_registered: AtomicU64::new(0),
             waits_started: AtomicU64::new(0),
             wait_micros: AtomicU64::new(0),
-            obs: Mutex::new(Obs::none()),
         }
     }
 
-    /// Installs an observability handle; subsequent lock traffic emits
-    /// `LockRequest`/`LockGrant`/`LockConflict`/`LockInherit`/
-    /// `LockRelease` events and feeds the `locks.wait_us` histogram.
-    pub fn set_obs(&self, obs: Obs) {
-        *self.obs.lock() = obs;
+    /// The number of shards the table was built with (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    fn obs(&self) -> Obs {
-        self.obs.lock().clone()
+    /// The shard index an object's locks live in. Exposed so tests and
+    /// benchmarks can construct cross-shard or same-shard workloads
+    /// deterministically.
+    #[must_use]
+    pub fn shard_of(&self, object: ObjectId) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        (object.as_raw().wrapping_mul(HASH_MULT) >> (64 - self.shard_bits)) as usize
+    }
+
+    fn stripe_of(&self, action: ActionId) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        (action.as_raw().wrapping_mul(HASH_MULT) >> (64 - self.shard_bits)) as usize
+    }
+
+    /// Marks `shard` as possibly holding locks of `action` (called
+    /// *before* any entry becomes visible, keeping the mask a superset).
+    fn note_holding(&self, action: ActionId, shard: usize) {
+        let mut stripe = self.action_index[self.stripe_of(action)].lock();
+        *stripe.entry(action).or_insert(0) |= 1u64 << shard;
+    }
+
+    fn or_mask(&self, action: ActionId, bits: u64) {
+        if bits != 0 {
+            let mut stripe = self.action_index[self.stripe_of(action)].lock();
+            *stripe.entry(action).or_insert(0) |= bits;
+        }
+    }
+
+    fn mask_of(&self, action: ActionId) -> u64 {
+        self.action_index[self.stripe_of(action)]
+            .lock()
+            .get(&action)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn take_mask(&self, action: ActionId) -> u64 {
+        self.action_index[self.stripe_of(action)]
+            .lock()
+            .remove(&action)
+            .unwrap_or(0)
+    }
+
+    /// Iterates the shard indices set in `mask`, in ascending order —
+    /// the fixed walk order of every multi-shard operation.
+    fn mask_shards(mask: u64) -> impl Iterator<Item = usize> {
+        (0..64usize).filter(move |i| mask & (1u64 << i) != 0)
+    }
+
+    /// Number of planted-but-unconsumed interrupts (deadlock victims and
+    /// cancellations still awaiting delivery). Exposed for metrics and
+    /// for the interrupt-leak regression tests.
+    #[must_use]
+    pub fn interrupts_outstanding(&self) -> u64 {
+        self.interrupts_outstanding.load(Ordering::Relaxed)
     }
 
     /// Returns aggregate waiting statistics (how often and how long
@@ -150,6 +312,65 @@ impl<P: LockPolicy> LockTable<P> {
         }
     }
 
+    /// Per-shard waiting statistics, indexed by shard. A heavily skewed
+    /// distribution means a hot object (or an unlucky hash) is
+    /// concentrating contention on one shard.
+    #[must_use]
+    pub fn shard_wait_stats(&self) -> Vec<WaitStats> {
+        self.shards
+            .iter()
+            .map(|s| WaitStats {
+                waits: s.waits_started.load(Ordering::Relaxed),
+                total_wait_micros: s.wait_micros.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Installs an observability handle; subsequent lock traffic emits
+    /// `LockRequest`/`LockGrant`/`LockConflict`/`LockInherit`/
+    /// `LockRelease` events and feeds the `locks.wait_us`,
+    /// `locks.wait_us.shard<k>` and `locks.shard_contention`
+    /// histograms.
+    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
+    pub fn set_obs(&self, obs: Obs) {
+        self.install_obs(obs);
+    }
+
+    /// Plants `interrupt` for `victim` in whichever shard it is parked
+    /// on and wakes it. A no-op if the victim is not currently waiting
+    /// (it may have been granted or given up since the cycle was
+    /// observed), so interrupts can never leak onto reused ids.
+    ///
+    /// Must be called with no shard lock held.
+    fn plant_interrupt(&self, victim: ActionId, interrupt: Interrupt) {
+        for shard in self.shards.iter() {
+            let mut state = shard.state.lock();
+            if state.waiting.contains(&victim) {
+                if state.interrupts.insert(victim, interrupt).is_none() {
+                    self.interrupts_outstanding.fetch_add(1, Ordering::Relaxed);
+                }
+                shard.changed.notify_all();
+                return;
+            }
+        }
+    }
+
+    fn consume_interrupt(&self, state: &mut ShardState, action: ActionId) -> Option<Interrupt> {
+        let interrupt = state.interrupts.remove(&action)?;
+        self.interrupts_outstanding.fetch_sub(1, Ordering::Relaxed);
+        Some(interrupt)
+    }
+}
+
+impl<P> Observable for LockTable<P> {
+    fn install_obs(&self, obs: Obs) {
+        for shard in self.shards.iter() {
+            shard.state.lock().obs = obs.clone();
+        }
+    }
+}
+
+impl<P: LockPolicy> LockTable<P> {
     /// Attempts to acquire a lock without waiting.
     ///
     /// # Errors
@@ -164,7 +385,12 @@ impl<P: LockPolicy> LockTable<P> {
         colour: Colour,
         mode: LockMode,
     ) -> Result<AcquireOutcome, LockError> {
-        let obs = self.obs();
+        let shard_idx = self.shard_of(object);
+        // Superset invariant: the mask bit is set before the entry can
+        // exist (a spurious bit on a denied request is harmless).
+        self.note_holding(action, shard_idx);
+        let mut state = self.shards[shard_idx].state.lock();
+        let obs = state.obs.clone();
         if obs.enabled() {
             obs.emit(EventKind::LockRequest {
                 action,
@@ -173,7 +399,6 @@ impl<P: LockPolicy> LockTable<P> {
                 mode,
             });
         }
-        let mut state = self.state.lock();
         let result = match self.check_and_apply(&mut state, ancestry, action, object, colour, mode)
         {
             Ok(outcome) => Ok(outcome),
@@ -221,7 +446,12 @@ impl<P: LockPolicy> LockTable<P> {
         mode: LockMode,
         timeout: Option<Duration>,
     ) -> Result<AcquireOutcome, LockError> {
-        let obs = self.obs();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let shard_idx = self.shard_of(object);
+        let shard = &self.shards[shard_idx];
+        self.note_holding(action, shard_idx);
+        let mut state = shard.state.lock();
+        let obs = state.obs.clone();
         if obs.enabled() {
             obs.emit(EventKind::LockRequest {
                 action,
@@ -230,22 +460,28 @@ impl<P: LockPolicy> LockTable<P> {
                 mode,
             });
         }
-        let deadline = timeout.map(|t| Instant::now() + t);
-        let mut state = self.state.lock();
-        state.waiting.insert(action);
         let mut registered: Vec<ActionId> = Vec::new();
+        // Victims this waiter already flagged, so re-observing the same
+        // (still unwinding) cycle after a wake-up does not replant.
+        let mut victimised: HashSet<ActionId> = HashSet::new();
         let mut parked_since: Option<Instant> = None;
         let mut conflict_emitted = false;
         let result = loop {
-            if let Some(interrupt) = state.interrupts.remove(&action) {
-                break Err(match interrupt {
-                    Interrupt::DeadlockVictim => LockError::DeadlockVictim { object },
-                    Interrupt::Cancelled => LockError::ActionNotActive { action },
-                });
+            if let Some(interrupt) = self.consume_interrupt(&mut state, action) {
+                break Err(interrupt.into_error(action, object));
             }
             match self.check_and_apply(&mut state, ancestry, action, object, colour, mode) {
                 Ok(outcome) => break Ok(outcome),
                 Err(_reason) => {
+                    // Join the shard's wait set only once a conflict is
+                    // real: an immediately granted acquire never takes
+                    // the shared-counter hit, while every action that
+                    // is about to publish wait-for edges is registered
+                    // first, so a concurrent victim selection can
+                    // always plant its interrupt.
+                    if state.waiting.insert(action) {
+                        self.waiters_registered.fetch_add(1, Ordering::Relaxed);
+                    }
                     if obs.enabled() && !conflict_emitted {
                         conflict_emitted = true;
                         obs.emit(EventKind::LockConflict {
@@ -255,32 +491,48 @@ impl<P: LockPolicy> LockTable<P> {
                             mode,
                         });
                     }
-                    // Refresh the wait-for edges to the current blockers.
+                    // Refresh the wait-for edges to the current
+                    // blockers; detection runs in the shared graph
+                    // (shard → graph lock order).
                     let blockers = Self::blockers(&state, ancestry, action, object, colour, mode);
-                    for &old in &registered {
-                        state.graph.remove_wait(action, old);
-                    }
-                    registered.clear();
                     let mut victim_is_self = false;
-                    for blocker in blockers {
-                        registered.push(blocker);
-                        if let Some(report) = state.graph.add_wait(action, blocker, true) {
-                            if report.victim == action {
-                                victim_is_self = true;
-                            } else {
-                                state
-                                    .interrupts
-                                    .insert(report.victim, Interrupt::DeadlockVictim);
-                                self.changed.notify_all();
+                    let mut remote_victims: Vec<ActionId> = Vec::new();
+                    {
+                        let mut graph = self.graph.lock();
+                        for &old in &registered {
+                            graph.remove_wait(action, old);
+                        }
+                        registered.clear();
+                        for blocker in blockers {
+                            registered.push(blocker);
+                            if let Some(report) = graph.add_wait(action, blocker, true) {
+                                if report.victim == action {
+                                    victim_is_self = true;
+                                } else if victimised.insert(report.victim) {
+                                    remote_victims.push(report.victim);
+                                }
                             }
                         }
                     }
                     if victim_is_self {
                         break Err(LockError::DeadlockVictim { object });
                     }
+                    if !remote_victims.is_empty() {
+                        // The victims may be parked on other shards;
+                        // planting locks those shards, so release ours
+                        // first (never two shard locks at once) and
+                        // re-evaluate from the top afterwards.
+                        drop(state);
+                        for victim in remote_victims {
+                            self.plant_interrupt(victim, Interrupt::DeadlockVictim);
+                        }
+                        state = shard.state.lock();
+                        continue;
+                    }
                     if parked_since.is_none() {
                         parked_since = Some(Instant::now());
                         self.waits_started.fetch_add(1, Ordering::Relaxed);
+                        shard.waits_started.fetch_add(1, Ordering::Relaxed);
                     }
                     let timed_out = match deadline {
                         Some(deadline) => {
@@ -288,13 +540,14 @@ impl<P: LockPolicy> LockTable<P> {
                             if now >= deadline {
                                 true
                             } else {
-                                self.changed
+                                shard
+                                    .changed
                                     .wait_for(&mut state, deadline - now)
                                     .timed_out()
                             }
                         }
                         None => {
-                            self.changed.wait(&mut state);
+                            shard.changed.wait(&mut state);
                             false
                         }
                     };
@@ -304,11 +557,8 @@ impl<P: LockPolicy> LockTable<P> {
                         // was released, or we were victimised, just as
                         // the wait expired) must not be dropped on the
                         // floor.
-                        if let Some(interrupt) = state.interrupts.remove(&action) {
-                            break Err(match interrupt {
-                                Interrupt::DeadlockVictim => LockError::DeadlockVictim { object },
-                                Interrupt::Cancelled => LockError::ActionNotActive { action },
-                            });
+                        if let Some(interrupt) = self.consume_interrupt(&mut state, action) {
+                            break Err(interrupt.into_error(action, object));
                         }
                         if let Ok(outcome) =
                             self.check_and_apply(&mut state, ancestry, action, object, colour, mode)
@@ -320,15 +570,25 @@ impl<P: LockPolicy> LockTable<P> {
                 }
             }
         };
-        state.waiting.remove(&action);
-        for &old in &registered {
-            state.graph.remove_wait(action, old);
+        if state.waiting.remove(&action) {
+            self.waiters_registered.fetch_sub(1, Ordering::Relaxed);
+        }
+        if !registered.is_empty() {
+            let mut graph = self.graph.lock();
+            for &old in &registered {
+                graph.remove_wait(action, old);
+            }
         }
         drop(state);
         if let Some(since) = parked_since {
             let waited = u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX);
             self.wait_micros.fetch_add(waited, Ordering::Relaxed);
-            obs.observe("locks.wait_us", waited);
+            shard.wait_micros.fetch_add(waited, Ordering::Relaxed);
+            if obs.enabled() {
+                obs.observe("locks.wait_us", waited);
+                obs.observe(&format!("locks.wait_us.shard{shard_idx}"), waited);
+                obs.observe("locks.shard_contention", shard_idx as u64);
+            }
         }
         if obs.enabled() && result.is_ok() {
             obs.emit(EventKind::LockGrant {
@@ -354,14 +614,10 @@ impl<P: LockPolicy> LockTable<P> {
         waiter: ActionId,
         target: ActionId,
     ) -> Option<crate::DeadlockReport> {
-        let mut state = self.state.lock();
-        let report = state.graph.add_wait(waiter, target, false);
+        let report = self.graph.lock().add_wait(waiter, target, false);
         if let Some(report) = &report {
             if report.victim != waiter {
-                state
-                    .interrupts
-                    .insert(report.victim, Interrupt::DeadlockVictim);
-                self.changed.notify_all();
+                self.plant_interrupt(report.victim, Interrupt::DeadlockVictim);
             }
         }
         report
@@ -370,7 +626,7 @@ impl<P: LockPolicy> LockTable<P> {
     /// Removes an external wait edge added with
     /// [`LockTable::add_external_wait`].
     pub fn remove_external_wait(&self, waiter: ActionId, target: ActionId) {
-        self.state.lock().graph.remove_wait(waiter, target);
+        self.graph.lock().remove_wait(waiter, target);
     }
 
     /// Makes an in-progress wait by `action` fail with
@@ -382,38 +638,65 @@ impl<P: LockPolicy> LockTable<P> {
     /// consume the interrupt, so posting one would leak it and poison
     /// a later reuse of the same `ActionId`.
     pub fn cancel_waiter(&self, action: ActionId) {
-        let mut state = self.state.lock();
-        if state.waiting.contains(&action) {
-            state.interrupts.insert(action, Interrupt::Cancelled);
-            self.changed.notify_all();
+        if self.waiters_registered.load(Ordering::Relaxed) == 0 {
+            return;
         }
+        self.plant_interrupt(action, Interrupt::Cancelled);
     }
 
     /// Discards a pending interrupt for `action`, if any (the action
     /// finished its work without needing another lock).
     pub fn clear_interrupt(&self, action: ActionId) {
-        self.state.lock().interrupts.remove(&action);
+        if self.interrupts_outstanding.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for shard in self.shards.iter() {
+            let mut state = shard.state.lock();
+            if self.consume_interrupt(&mut state, action).is_some() {
+                return;
+            }
+        }
+    }
+
+    /// Drops the table's per-action bookkeeping for a *terminated*
+    /// action: its shard-index entry and any pending interrupt. The
+    /// runtime calls this when an action commits (an aborting action
+    /// goes through [`LockTable::discard_action`], which does the same
+    /// and more). Bounds the index in long-running systems.
+    pub fn retire_action(&self, action: ActionId) {
+        self.take_mask(action);
+        self.clear_interrupt(action);
     }
 
     /// Releases every lock `action` holds in `colour` (the action is
     /// outermost for that colour and committed). Returns the objects
     /// whose lock sets changed.
+    ///
+    /// Walks only the shards the action may hold locks in, in ascending
+    /// shard order; each shard's release is atomic under its own lock.
     pub fn release_colour(&self, action: ActionId, colour: Colour) -> Vec<ObjectId> {
-        let mut state = self.state.lock();
+        let mask = self.mask_of(action);
         let mut touched = Vec::new();
-        state.objects.retain(|&object, holders| {
-            let before = holders.len();
-            holders.retain(|e| !(e.action == action && e.colour == colour));
-            if holders.len() != before {
-                touched.push(object);
+        let mut obs = Obs::none();
+        for idx in Self::mask_shards(mask) {
+            let shard = &self.shards[idx];
+            let mut state = shard.state.lock();
+            if !obs.enabled() {
+                obs = state.obs.clone();
             }
-            !holders.is_empty()
-        });
-        if !touched.is_empty() {
-            self.changed.notify_all();
+            let before = touched.len();
+            state.objects.retain(|&object, holders| {
+                let held = holders.len();
+                holders.retain(|e| !(e.action == action && e.colour == colour));
+                if holders.len() != held {
+                    touched.push(object);
+                }
+                !holders.is_empty()
+            });
+            if touched.len() != before {
+                shard.changed.notify_all();
+            }
         }
-        drop(state);
-        let obs = self.obs();
         if obs.enabled() {
             for &object in &touched {
                 obs.emit(EventKind::LockRelease {
@@ -434,33 +717,43 @@ impl<P: LockPolicy> LockTable<P> {
     /// "the parent will hold each of the locks in the same mode as the
     /// child held them". Returns the objects affected.
     pub fn inherit_colour(&self, from: ActionId, colour: Colour, to: ActionId) -> Vec<ObjectId> {
-        let mut state = self.state.lock();
+        let mask = self.mask_of(from);
+        // The ancestor may now hold locks wherever the child did; set
+        // its mask bits before the entries move (superset invariant).
+        self.or_mask(to, mask);
         let mut touched = Vec::new();
-        for (&object, holders) in state.objects.iter_mut() {
-            let Some(pos) = holders
-                .iter()
-                .position(|e| e.action == from && e.colour == colour)
-            else {
-                continue;
-            };
-            let child_mode = holders[pos].mode;
-            holders.remove(pos);
-            match holders
-                .iter_mut()
-                .find(|e| e.action == to && e.colour == colour)
-            {
-                Some(parent_entry) => {
-                    parent_entry.mode = parent_entry.mode.strongest(child_mode);
-                }
-                None => holders.push(LockEntry::new(to, colour, child_mode)),
+        let mut obs = Obs::none();
+        for idx in Self::mask_shards(mask) {
+            let shard = &self.shards[idx];
+            let mut state = shard.state.lock();
+            if !obs.enabled() {
+                obs = state.obs.clone();
             }
-            touched.push(object);
+            let before = touched.len();
+            for (&object, holders) in state.objects.iter_mut() {
+                let Some(pos) = holders
+                    .iter()
+                    .position(|e| e.action == from && e.colour == colour)
+                else {
+                    continue;
+                };
+                let child_mode = holders[pos].mode;
+                holders.remove(pos);
+                match holders
+                    .iter_mut()
+                    .find(|e| e.action == to && e.colour == colour)
+                {
+                    Some(parent_entry) => {
+                        parent_entry.mode = parent_entry.mode.strongest(child_mode);
+                    }
+                    None => holders.push(LockEntry::new(to, colour, child_mode)),
+                }
+                touched.push(object);
+            }
+            if touched.len() != before {
+                shard.changed.notify_all();
+            }
         }
-        if !touched.is_empty() {
-            self.changed.notify_all();
-        }
-        drop(state);
-        let obs = self.obs();
         if obs.enabled() {
             for &object in &touched {
                 obs.emit(EventKind::LockInherit {
@@ -478,29 +771,35 @@ impl<P: LockPolicy> LockTable<P> {
     /// action aborted). Ancestors holding the same locks keep them.
     /// Returns the objects whose lock sets changed.
     pub fn discard_action(&self, action: ActionId) -> Vec<ObjectId> {
-        let mut state = self.state.lock();
+        let mask = self.take_mask(action);
         let mut touched = Vec::new();
         let mut dropped: Vec<(ObjectId, Colour)> = Vec::new();
-        state.objects.retain(|&object, holders| {
-            let before = holders.len();
-            holders.retain(|e| {
-                if e.action == action {
-                    dropped.push((object, e.colour));
-                    false
-                } else {
-                    true
-                }
-            });
-            if holders.len() != before {
-                touched.push(object);
+        let mut obs = Obs::none();
+        for idx in Self::mask_shards(mask) {
+            let shard = &self.shards[idx];
+            let mut state = shard.state.lock();
+            if !obs.enabled() {
+                obs = state.obs.clone();
             }
-            !holders.is_empty()
-        });
-        state.graph.remove_action(action);
-        state.interrupts.remove(&action);
-        self.changed.notify_all();
-        drop(state);
-        let obs = self.obs();
+            state.objects.retain(|&object, holders| {
+                let before = holders.len();
+                holders.retain(|e| {
+                    if e.action == action {
+                        dropped.push((object, e.colour));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if holders.len() != before {
+                    touched.push(object);
+                }
+                !holders.is_empty()
+            });
+            shard.changed.notify_all();
+        }
+        self.graph.lock().remove_action(action);
+        self.clear_interrupt(action);
         if obs.enabled() {
             for &(object, colour) in &dropped {
                 obs.emit(EventKind::LockRelease {
@@ -516,7 +815,8 @@ impl<P: LockPolicy> LockTable<P> {
     /// Returns the current holders of `object`.
     #[must_use]
     pub fn holders(&self, object: ObjectId) -> Vec<LockEntry> {
-        self.state
+        self.shards[self.shard_of(object)]
+            .state
             .lock()
             .objects
             .get(&object)
@@ -528,11 +828,11 @@ impl<P: LockPolicy> LockTable<P> {
     /// colours.
     #[must_use]
     pub fn locks_of(&self, action: ActionId) -> Vec<LockSnapshot> {
-        let state = self.state.lock();
-        let mut snapshots: Vec<LockSnapshot> = state
-            .objects
-            .iter()
-            .flat_map(|(&object, holders)| {
+        let mask = self.mask_of(action);
+        let mut snapshots: Vec<LockSnapshot> = Vec::new();
+        for idx in Self::mask_shards(mask) {
+            let state = self.shards[idx].state.lock();
+            snapshots.extend(state.objects.iter().flat_map(|(&object, holders)| {
                 holders
                     .iter()
                     .filter(|e| e.action == action)
@@ -541,8 +841,8 @@ impl<P: LockPolicy> LockTable<P> {
                         colour: e.colour,
                         mode: e.mode,
                     })
-            })
-            .collect();
+            }));
+        }
         snapshots.sort_by_key(|s| (s.object, s.colour));
         snapshots
     }
@@ -551,17 +851,17 @@ impl<P: LockPolicy> LockTable<P> {
     /// mode. Drives per-colour commit in the runtime.
     #[must_use]
     pub fn locks_of_colour(&self, action: ActionId, colour: Colour) -> Vec<(ObjectId, LockMode)> {
-        let state = self.state.lock();
-        let mut locks: Vec<(ObjectId, LockMode)> = state
-            .objects
-            .iter()
-            .flat_map(|(&object, holders)| {
+        let mask = self.mask_of(action);
+        let mut locks: Vec<(ObjectId, LockMode)> = Vec::new();
+        for idx in Self::mask_shards(mask) {
+            let state = self.shards[idx].state.lock();
+            locks.extend(state.objects.iter().flat_map(|(&object, holders)| {
                 holders
                     .iter()
                     .filter(|e| e.action == action && e.colour == colour)
                     .map(move |e| (object, e.mode))
-            })
-            .collect();
+            }));
+        }
         locks.sort_by_key(|&(object, _)| object);
         locks
     }
@@ -570,12 +870,15 @@ impl<P: LockPolicy> LockTable<P> {
     /// metrics).
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        self.state.lock().objects.values().map(Vec::len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().objects.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     fn check_and_apply(
         &self,
-        state: &mut TableState,
+        state: &mut ShardState,
         ancestry: &dyn DynAncestry,
         action: ActionId,
         object: ObjectId,
@@ -588,9 +891,6 @@ impl<P: LockPolicy> LockTable<P> {
             .find(|e| e.action == action && e.colour == colour)
         {
             if own.mode >= mode {
-                if holders.is_empty() {
-                    state.objects.remove(&object);
-                }
                 return Ok(AcquireOutcome::AlreadyHeld);
             }
         }
@@ -617,7 +917,7 @@ impl<P: LockPolicy> LockTable<P> {
     /// non-ancestor holder for exclusive requests, and any differently
     /// coloured write holder for write requests.
     fn blockers(
-        state: &TableState,
+        state: &ShardState,
         ancestry: &dyn DynAncestry,
         action: ActionId,
         object: ObjectId,
@@ -652,14 +952,17 @@ impl<P: LockPolicy> LockTable<P> {
 
 impl<P: std::fmt::Debug> std::fmt::Debug for LockTable<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.state.lock();
+        let (mut objects, mut entries) = (0usize, 0usize);
+        for shard in self.shards.iter() {
+            let state = shard.state.lock();
+            objects += state.objects.len();
+            entries += state.objects.values().map(Vec::len).sum::<usize>();
+        }
         f.debug_struct("LockTable")
             .field("policy", &self.policy)
-            .field("objects", &state.objects.len())
-            .field(
-                "entries",
-                &state.objects.values().map(Vec::len).sum::<usize>(),
-            )
+            .field("shards", &self.shards.len())
+            .field("objects", &objects)
+            .field("entries", &entries)
             .finish()
     }
 }
@@ -920,16 +1223,17 @@ mod tests {
             )
         });
         std::thread::sleep(Duration::from_millis(10));
-        // Schedule the release exactly at the deadline: hold the table
+        // Schedule the release exactly at the deadline: hold the shard
         // mutex across the waiter's deadline, free the lock, then let
         // go. The waiter's wait has timed out by the time it
         // reacquires the mutex, but the lock is free — the grant must
         // not be dropped for a Timeout error.
         {
-            let mut state = table.state.lock();
+            let shard = &table.shards[table.shard_of(o(1))];
+            let mut state = shard.state.lock();
             std::thread::sleep(Duration::from_millis(80));
             state.objects.remove(&o(1));
-            table.changed.notify_all();
+            shard.changed.notify_all();
         }
         let outcome = waiter.join().unwrap();
         assert_eq!(outcome.unwrap(), AcquireOutcome::Granted);
@@ -947,7 +1251,7 @@ mod tests {
         table.discard_action(a(1));
         table.cancel_waiter(a(1));
         // No interrupt may leak from cancelling a non-waiter...
-        assert!(table.state.lock().interrupts.is_empty());
+        assert_eq!(table.interrupts_outstanding(), 0);
         // ...so a later reuse of the id acquires normally.
         assert_eq!(
             table
@@ -996,5 +1300,65 @@ mod tests {
         assert!(table
             .try_acquire(&ctx, a(3), o(1), red(), LockMode::Write)
             .is_err());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_a_power_of_two() {
+        assert_eq!(LockTable::with_shards(ColouredPolicy, 0).shard_count(), 1);
+        assert_eq!(LockTable::with_shards(ColouredPolicy, 3).shard_count(), 4);
+        assert_eq!(LockTable::with_shards(ColouredPolicy, 16).shard_count(), 16);
+        assert_eq!(
+            LockTable::with_shards(ColouredPolicy, 1000).shard_count(),
+            MAX_LOCK_SHARDS
+        );
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let table = LockTable::with_shards(ColouredPolicy, 8);
+        for raw in 0..1000 {
+            let s = table.shard_of(o(raw));
+            assert!(s < 8);
+            assert_eq!(s, table.shard_of(o(raw)));
+        }
+        // A single-shard table maps everything to shard 0.
+        let single = LockTable::with_shards(ColouredPolicy, 1);
+        for raw in 0..100 {
+            assert_eq!(single.shard_of(o(raw)), 0);
+        }
+    }
+
+    #[test]
+    fn retire_action_drops_index_entries() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        table
+            .try_acquire(&ctx, a(1), o(1), red(), LockMode::Write)
+            .unwrap();
+        table.release_colour(a(1), red());
+        assert_ne!(table.mask_of(a(1)), 0, "mask persists until retirement");
+        table.retire_action(a(1));
+        assert_eq!(table.mask_of(a(1)), 0);
+        assert!(table.locks_of(a(1)).is_empty());
+    }
+
+    #[test]
+    fn multi_shard_release_returns_every_object() {
+        let table = LockTable::new(ColouredPolicy);
+        let ctx = FlatAncestry::new();
+        // Lock enough objects that several shards are certainly hit.
+        let objects: Vec<ObjectId> = (1..=64).map(o).collect();
+        for &obj in &objects {
+            table
+                .try_acquire(&ctx, a(1), obj, red(), LockMode::Write)
+                .unwrap();
+        }
+        let shards_hit: HashSet<usize> = objects.iter().map(|&ob| table.shard_of(ob)).collect();
+        assert!(shards_hit.len() > 1, "expected objects on several shards");
+        assert_eq!(table.locks_of(a(1)).len(), 64);
+        let mut touched = table.release_colour(a(1), red());
+        touched.sort();
+        assert_eq!(touched, objects);
+        assert_eq!(table.entry_count(), 0);
     }
 }

@@ -317,6 +317,58 @@ impl Obs {
     }
 }
 
+impl From<Arc<EventBus>> for Obs {
+    /// A bus converts into a handle bound to it (no node context), so
+    /// `Observable::install_obs` call sites can pass a bare bus.
+    fn from(bus: Arc<EventBus>) -> Self {
+        Obs::new(bus)
+    }
+}
+
+impl From<&Arc<EventBus>> for Obs {
+    fn from(bus: &Arc<EventBus>) -> Self {
+        Obs::new(Arc::clone(bus))
+    }
+}
+
+/// The one way to wire observability into a subsystem.
+///
+/// Every traced component — lock tables, stores, logs, runtimes, nodes,
+/// whole simulations — implements this single entry point; installing a
+/// handle recursively re-installs it into the component's children, so
+/// one call at the top threads the bus through a whole stack. Pass
+/// [`Obs::none`] to detach.
+///
+/// Node binding travels inside the [`Obs`] itself (see [`Obs::at_node`]):
+/// a component that knows its own node identity rebinds the handle it
+/// receives, so callers never need a separate `install_obs_at` variant.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use chroma_obs::{EventBus, Obs, Observable, ObsCell};
+///
+/// struct Subsystem {
+///     obs: ObsCell,
+/// }
+///
+/// impl Observable for Subsystem {
+///     fn install_obs(&self, obs: Obs) {
+///         self.obs.set(obs);
+///     }
+/// }
+///
+/// let s = Subsystem { obs: ObsCell::new() };
+/// s.install_obs(Obs::new(Arc::new(EventBus::new())));
+/// assert!(s.obs.get().enabled());
+/// ```
+pub trait Observable {
+    /// Installs `obs` as this component's observability handle,
+    /// replacing any previous one and propagating it to children.
+    fn install_obs(&self, obs: Obs);
+}
+
 /// An [`Obs`] slot settable through `&self`, for subsystems that are
 /// built before tracing is installed and are only reachable behind
 /// shared references afterwards.

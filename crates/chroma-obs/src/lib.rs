@@ -63,7 +63,7 @@ mod metrics;
 mod span;
 
 pub use audit::{AuditReport, TraceAuditor, Violation};
-pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell};
+pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell, Observable};
 pub use event::{escape_json_str, Event, EventKind, MsgKind, TraceParseError};
 pub use export::{chrome_trace, chrome_trace_from};
 pub use metrics::{Histogram, Snapshot, Summary};

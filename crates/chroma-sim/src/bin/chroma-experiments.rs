@@ -22,7 +22,7 @@ use std::sync::Arc;
 use chroma_base::{ColourSet, NodeId, ObjectId};
 use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
 use chroma_dist::{ReplicatedObject, Sim, Write, RETRY_INTERVAL};
-use chroma_obs::{EventBus, JsonlSink, MemorySink, TraceAuditor};
+use chroma_obs::{EventBus, JsonlSink, MemorySink, Obs, Observable, TraceAuditor};
 use chroma_store::StoreBytes;
 
 /// The node id the local (non-simulated) runtime is bound to in traces.
@@ -93,11 +93,11 @@ fn write_trace(path: &Path) {
     // attaches (installing a sim switches the bus to simulated time).
     let dir = std::env::temp_dir().join(format!("chroma-trace-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
-    let rt = Runtime::with_backend(
-        RuntimeConfig::default(),
-        Arc::new(DiskBackend::open(&dir).expect("open trace store")),
-    );
-    rt.install_obs_at(bus.clone(), NodeId::from_raw(LOCAL_RUNTIME_NODE));
+    let rt = Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(Arc::new(DiskBackend::open(&dir).expect("open trace store")))
+        .build();
+    rt.install_obs(Obs::new(bus.clone()).at_node(NodeId::from_raw(LOCAL_RUNTIME_NODE)));
     let o = rt.create_object(&0i64).expect("create");
     for i in 0..8i64 {
         rt.atomic(|a| {
@@ -133,7 +133,7 @@ fn write_trace(path: &Path) {
         .unwrap_or(7u64);
     let mut sim = Sim::new(seed);
     sim.net.loss = 0.1;
-    sim.install_obs(bus.clone());
+    sim.install_obs(Obs::new(bus.clone()));
     let coord = sim.add_node();
     let p1 = sim.add_node();
     let p2 = sim.add_node();

@@ -52,9 +52,11 @@ pub fn run_all() -> Vec<ExperimentReport> {
 }
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(500)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(500)),
+        })
+        .build()
 }
 
 /// Can a bystander take a write lock on `object` right now?
@@ -83,7 +85,7 @@ pub fn e01_concurrent_nested() -> ExperimentReport {
         "nested actions run concurrently within a parent; only the \
          top-level commit makes their effects permanent",
     );
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let objects: Vec<ObjectId> = (0..4)
         .map(|_| rt.create_object(&0i64).expect("create"))
         .collect();
@@ -143,7 +145,7 @@ pub fn e02_nesting_loses_work() -> ExperimentReport {
         "if B terminates successfully but a failure prevents completion \
          of A, A's abort undoes the effects of B",
     );
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let units = 16usize;
     let objects: Vec<ObjectId> = (0..units)
         .map(|_| rt.create_object(&0i64).expect("create"))
@@ -427,7 +429,7 @@ pub fn e07_independent_actions() -> ExperimentReport {
         "an invoked independent action can commit although its invoker \
          aborts (and vice versa); charging information is not recovered",
     );
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let ledger = Ledger::create(&rt).expect("ledger");
     let trials = 50u32;
     let mut preserved = 0u32;
@@ -488,7 +490,7 @@ pub fn e08_distributed_make() -> ExperimentReport {
     let delay = Duration::from_millis(15);
 
     // Concurrency measurement.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let mut make =
         DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).expect("parse")).expect("engine");
     make.set_command_delay(delay);
@@ -509,7 +511,7 @@ pub fn e08_distributed_make() -> ExperimentReport {
 
     // Work preserved after failure: serializing vs monolithic baseline.
     let count_retry_work = |monolithic: bool| -> u64 {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let make =
             DistMake::new(&rt, Makefile::parse(WIDE_MAKEFILE).expect("parse")).expect("engine");
         for i in 0..4 {
@@ -644,7 +646,7 @@ pub fn e10_coloured_basics() -> ExperimentReport {
          permanent; blue locks are retained by A; if A aborts only the \
          blue effects are undone",
     );
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let red = rt.universe().colour("red");
     let blue = rt.universe().colour("blue");
     let o_red = rt.create_object(&0i32).expect("create");
@@ -848,9 +850,11 @@ pub fn e13_independent_via_colours() -> ExperimentReport {
          access to A's objects the deadlock is detected (the coloured \
          system does not silently hang)",
     );
-    let rt = Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_secs(10)),
-    });
+    let rt = Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(10)),
+        })
+        .build();
     let o = rt.create_object(&0i64).expect("create");
     let begun = Instant::now();
     let outcome = rt
@@ -916,7 +920,7 @@ pub fn e14_nlevel_independence() -> ExperimentReport {
     let plan = assign(&fig14_structure()).expect("assign");
     let works = ["D", "C.body", "E.body", "F.body"];
     for aborter in ["A", "B", "C", "E", "F"] {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let result = plan.execute(&rt, &|name| name != aborter).expect("execute");
         let survived: Vec<String> = works
             .iter()
@@ -926,7 +930,7 @@ pub fn e14_nlevel_independence() -> ExperimentReport {
         report.row(format!("{aborter} aborts → survivors"), survived.join(", "));
     }
     // The paper's two explicit claims:
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let a_aborts = plan.execute(&rt, &|n| n != "A").expect("execute");
     report.check(
         "A aborts ⇒ D, E undone; C, F survive",
@@ -935,7 +939,7 @@ pub fn e14_nlevel_independence() -> ExperimentReport {
             && a_aborts.survived["C.body"]
             && a_aborts.survived["F.body"],
     );
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let b_aborts = plan.execute(&rt, &|n| n != "B").expect("execute");
     report.check(
         "B aborts ⇒ E's effects survive",
@@ -977,7 +981,7 @@ pub fn e15_automatic_colours() -> ExperimentReport {
     // Prediction vs execution over every single-aborter schedule.
     let mut agree = true;
     for aborter in ["A", "B", "C", "E", "F"] {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let result = plan.execute(&rt, &|n| n != aborter).expect("execute");
         for work in ["D", "C.body", "E.body", "F.body"] {
             let predicted = !plan.undone_by(work, aborter).expect("known");
@@ -1354,7 +1358,10 @@ pub fn a6_distributed_runtime() -> ExperimentReport {
          atomicity",
     );
     let store = Arc::new(PartitionedStore::new(606, 4, 2));
-    let rt = Runtime::with_backend(RuntimeConfig::default(), store.clone());
+    let rt = Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(store.clone())
+        .build();
     let objects: Vec<ObjectId> = (0..8)
         .map(|_| rt.create_object(&0i64).expect("create"))
         .collect();
@@ -1428,7 +1435,7 @@ pub fn a7_type_specific_concurrency() -> ExperimentReport {
 
     // Baseline: one shared counter object — whole actions serialize.
     let naive = {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let counter = rt.create_object(&0i64).expect("create");
         let begun = Instant::now();
         std::thread::scope(|scope| {
@@ -1457,7 +1464,7 @@ pub fn a7_type_specific_concurrency() -> ExperimentReport {
     // Typed: an escrow counter — adds land on distinct stripes, so the
     // actions overlap fully.
     let typed = {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let counter = Arc::new(EscrowCounter::create(&rt, threads * 2).expect("create"));
         let begun = Instant::now();
         std::thread::scope(|scope| {

@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn workload_commits_everything() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let config = WorkloadConfig {
             threads: 3,
             actions_per_thread: 20,
@@ -174,7 +174,7 @@ mod tests {
     fn write_counts_are_serializable() {
         // Total increments recorded across objects equals the number of
         // write ops performed (no lost updates).
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let config = WorkloadConfig {
             objects: 4,
             threads: 4,

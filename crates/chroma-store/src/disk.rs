@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use chroma_base::ObjectId;
-use chroma_obs::{EventKind, Obs, ObsCell};
+use chroma_obs::{EventKind, Obs, ObsCell, Observable};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
@@ -279,11 +279,9 @@ impl DiskStore {
     /// `DiskAppend`/`DiskGroupCommit`/`DiskCheckpoint` events; if
     /// `open` replayed the intentions log, the deferred `DiskReplay`
     /// event is emitted now.
+    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
     pub fn set_obs(&self, obs: Obs) {
-        self.obs.set(obs.clone());
-        if let Some((batches, objects)) = self.pending_replay.lock().take() {
-            obs.emit(EventKind::DiskReplay { batches, objects });
-        }
+        self.install_obs(obs);
     }
 
     /// Total fsyncs paid on the intentions log since `open` — two per
@@ -663,10 +661,23 @@ impl DiskStore {
         fs::write(self.log_path(), LOG_MAGIC)?;
         if !records.is_empty() {
             // Tracing cannot be installed yet (recovery runs inside
-            // `open`); remember the stats for `set_obs`.
+            // `open`); remember the stats for `install_obs`.
             *self.pending_replay.lock() = Some((committed.len() as u64, installed));
         }
         Ok(max_batch)
+    }
+}
+
+impl Observable for DiskStore {
+    /// Installs a tracing handle (see the deprecated
+    /// [`DiskStore::set_obs`] for the emitted events); if `open`
+    /// replayed the intentions log, the deferred `DiskReplay` event is
+    /// emitted now.
+    fn install_obs(&self, obs: Obs) {
+        self.obs.set(obs.clone());
+        if let Some((batches, objects)) = self.pending_replay.lock().take() {
+            obs.emit(EventKind::DiskReplay { batches, objects });
+        }
     }
 }
 

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use chroma_base::ObjectId;
-use chroma_obs::{EventKind, Obs, ObsCell};
+use chroma_obs::{EventKind, Obs, ObsCell, Observable};
 use parking_lot::Mutex;
 
 use crate::StoreBytes;
@@ -145,8 +145,9 @@ impl StableStore {
     /// Installs an observability handle; commits emit `WalAppend` (log
     /// records reaching stable storage) and `WalFlush` (a batch of
     /// object states installed).
+    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
     pub fn set_obs(&self, obs: Obs) {
-        self.obs.set(obs);
+        self.install_obs(obs);
     }
 
     /// Returns the installed state of `object`, if any.
@@ -330,6 +331,14 @@ impl StableStore {
             // yet installed (mid-flight from this store's perspective).
             committed.contains(&batch) && !installed.contains(&batch)
         });
+    }
+}
+
+impl Observable for StableStore {
+    /// Installs an observability handle; commits emit `WalAppend` and
+    /// `WalFlush`.
+    fn install_obs(&self, obs: Obs) {
+        self.obs.set(obs);
     }
 }
 

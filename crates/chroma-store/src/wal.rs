@@ -1,6 +1,6 @@
 //! A generic crash-surviving append-only log.
 
-use chroma_obs::{EventKind, Obs, ObsCell};
+use chroma_obs::{EventKind, Obs, ObsCell, Observable};
 use parking_lot::Mutex;
 
 /// An append-only log that lives on a node's stable storage.
@@ -44,6 +44,7 @@ impl<T> DurableLog<T> {
     }
 
     /// Installs an observability handle; appends emit `WalAppend`.
+    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
     pub fn set_obs(&self, obs: Obs) {
         self.obs.set(obs);
     }
@@ -74,6 +75,13 @@ impl<T> DurableLog<T> {
     /// Removes the records for which `keep` returns `false`.
     pub fn retain(&self, keep: impl FnMut(&T) -> bool) {
         self.records.lock().retain(keep);
+    }
+}
+
+impl<T> Observable for DurableLog<T> {
+    /// Installs an observability handle; appends emit `WalAppend`.
+    fn install_obs(&self, obs: Obs) {
+        self.obs.set(obs);
     }
 }
 

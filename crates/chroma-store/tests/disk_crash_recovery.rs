@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use chroma_base::ObjectId;
-use chroma_obs::{EventBus, MemorySink, Obs, TraceAuditor};
+use chroma_obs::{EventBus, MemorySink, Obs, Observable, TraceAuditor};
 use chroma_store::{DiskCrashPoint, DiskError, DiskStore, StoreBytes};
 use proptest::prelude::*;
 
@@ -267,7 +267,7 @@ fn seed_matrix_truncation_torture() {
         let bus = Arc::new(EventBus::new());
         let sink = Arc::new(MemorySink::new(10_000));
         bus.add_sink(sink.clone());
-        store.set_obs(Obs::new(bus.clone()));
+        store.install_obs(Obs::new(bus.clone()));
 
         assert_all_or_nothing(&store, batch_size, survives);
         if survives {
@@ -317,7 +317,7 @@ fn seed_matrix_group_commit_crash_torture() {
         bus.add_sink(sink.clone());
 
         let store = Arc::new(DiskStore::open(&dir).unwrap());
-        store.set_obs(Obs::new(bus.clone()));
+        store.install_obs(Obs::new(bus.clone()));
         let crasher = splitmix(&mut state) % COMMITTERS;
         let marker = (splitmix(&mut state) % 0xFF) as u8 + 1;
         let barrier = Arc::new(Barrier::new(COMMITTERS as usize));
@@ -358,7 +358,7 @@ fn seed_matrix_group_commit_crash_torture() {
         // DiskReplay must balance the group-fsynced, unchecked markers
         // for R9).
         let store = DiskStore::open(&dir).unwrap();
-        store.set_obs(Obs::new(bus.clone()));
+        store.install_obs(Obs::new(bus.clone()));
         for i in 0..COMMITTERS {
             let first = store.read(o(100 + 2 * i)).unwrap();
             let second = store.read(o(101 + 2 * i)).unwrap();

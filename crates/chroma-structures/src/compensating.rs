@@ -59,7 +59,7 @@ impl UnwindReport {
 /// use chroma_structures::CompensatingChain;
 ///
 /// # fn main() -> Result<(), ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let seats = rt.create_object(&10i64)?;
 /// let hotel = rt.create_object(&5i64)?;
 ///
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn complete_keeps_all_effects() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let a = rt.create_object(&0i64).unwrap();
         let b = rt.create_object(&0i64).unwrap();
         let chain = CompensatingChain::begin(&rt);
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn unwind_runs_in_reverse_order() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let log = rt.create_object(&Vec::<String>::new()).unwrap();
         let chain = CompensatingChain::begin(&rt);
         for name in ["first", "second", "third"] {
@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn failed_step_registers_no_compensation() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let o = rt.create_object(&0i64).unwrap();
         let chain = CompensatingChain::begin(&rt);
         let result = chain.step(
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn failed_compensation_is_reported_but_others_run() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let good = rt.create_object(&1i64).unwrap();
         let chain = CompensatingChain::begin(&rt);
         chain
@@ -264,7 +264,7 @@ mod tests {
 
     #[test]
     fn steps_are_visible_immediately() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let o = rt.create_object(&0i64).unwrap();
         let chain = CompensatingChain::begin(&rt);
         chain

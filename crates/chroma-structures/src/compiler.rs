@@ -701,7 +701,7 @@ mod tests {
         let work_nodes = ["D", "C.body", "E.body", "F.body"];
         let aborters = ["A", "B", "C", "E", "F"];
         for aborter in aborters {
-            let rt = Runtime::new();
+            let rt = Runtime::builder().build();
             let report = plan.execute(&rt, &|name| name != aborter).unwrap();
             for work in work_nodes {
                 // A work node under an aborted action never commits its
@@ -721,7 +721,7 @@ mod tests {
     #[test]
     fn execution_all_commit_everything_survives() {
         let plan = assign(&fig14()).unwrap();
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let report = plan.execute(&rt, &|_| true).unwrap();
         assert!(report.survived.values().all(|&s| s));
         assert_eq!(report.survived.len(), 4);

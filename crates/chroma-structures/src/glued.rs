@@ -46,7 +46,7 @@ use serde::Serialize;
 /// use chroma_structures::GluedChain;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let kept = rt.create_object(&0i64)?;
 /// let dropped = rt.create_object(&0i64)?;
 ///
@@ -379,7 +379,7 @@ impl GluedStep<'_, '_> {
 /// use chroma_structures::GluedGroup;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let o = rt.create_object(&1i64)?;
 /// let group = GluedGroup::begin(&rt)?;
 /// group.contribute(|s| {

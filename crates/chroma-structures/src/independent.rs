@@ -49,7 +49,7 @@ use chroma_core::{ActionError, ActionScope, Runtime};
 /// use chroma_structures::independent_sync;
 ///
 /// # fn main() -> Result<(), ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let audit = rt.create_object(&0u32)?;
 /// let result: Result<(), ActionError> = rt.atomic(|a| {
 ///     independent_sync(a, |log| log.modify(audit, |n: &mut u32| *n += 1))?;
@@ -143,7 +143,7 @@ impl<R> IndependentHandle<R> {
 /// use chroma_structures::independent_async;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let o = rt.create_object(&0u32)?;
 /// let handle = independent_async(&rt, move |a| a.write(o, &7u32));
 /// handle.join()?;

@@ -48,7 +48,7 @@ use serde::Serialize;
 /// use chroma_structures::SerializingAction;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let o = rt.create_object(&0i64)?;
 ///
 /// let sa = SerializingAction::begin(&rt)?;

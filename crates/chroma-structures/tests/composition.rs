@@ -6,16 +6,18 @@ use chroma_structures::{independent_sync, CompensatingChain, GluedChain, Seriali
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(300)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(300)),
+        })
+        .build()
 }
 
 #[test]
 fn serializing_action_nested_under_an_atomic_action() {
     // begin_under: the wrapper is lexically nested, but its steps stay
     // top-level for permanence thanks to their private update colours.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let outer = rt
         .begin_top(ColourSet::single(rt.default_colour()))
@@ -30,7 +32,7 @@ fn serializing_action_nested_under_an_atomic_action() {
 
 #[test]
 fn glued_chain_nested_under_an_atomic_action() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let outer = rt
         .begin_top(ColourSet::single(rt.default_colour()))
@@ -74,7 +76,7 @@ fn serializing_inside_a_serializing_step() {
 fn compensating_chain_wrapping_serializing_work() {
     // A compensating step whose body internally uses a serializing
     // action; the compensation undoes the net effect.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let chain = CompensatingChain::begin(&rt);
     chain
@@ -95,7 +97,7 @@ fn compensating_chain_wrapping_serializing_work() {
 
 #[test]
 fn independent_action_inside_glued_step() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let staged = rt.create_object(&0i64).unwrap();
     let audit = rt.create_object(&0u32).unwrap();
     let chain = GluedChain::begin(&rt, 2).unwrap();
@@ -119,7 +121,7 @@ fn independent_action_inside_glued_step() {
 fn colour_budget_sustained_over_many_structures() {
     // Thousands of structures over one runtime: colour recycling keeps
     // the 64-slot universe from exhausting.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     for i in 0..500 {
         match i % 3 {

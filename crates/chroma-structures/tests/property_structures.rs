@@ -22,7 +22,7 @@ proptest! {
         outcomes in prop::collection::vec(any::<bool>(), 1..8),
         abandon in any::<bool>(),
     ) {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let objects: Vec<_> = outcomes
             .iter()
             .map(|_| rt.create_object(&0i64).expect("create"))
@@ -62,7 +62,7 @@ proptest! {
     fn serializing_single_object_last_success_wins(
         outcomes in prop::collection::vec(any::<bool>(), 1..8),
     ) {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let object = rt.create_object(&0i64).expect("create");
         let sa = SerializingAction::begin(&rt).expect("begin");
         let mut expected = 0i64;
@@ -91,9 +91,9 @@ proptest! {
     fn glued_chain_handover_schedule(
         hand_over in prop::collection::vec(any::<bool>(), 1..6),
     ) {
-        let rt = Runtime::with_config(chroma_core::RuntimeConfig {
+        let rt = Runtime::builder().config(chroma_core::RuntimeConfig {
             lock_timeout: Some(std::time::Duration::from_millis(100)),
-        });
+        }).build();
         let objects: Vec<_> = hand_over
             .iter()
             .map(|_| rt.create_object(&0u8).expect("create"))
@@ -206,7 +206,7 @@ proptest! {
         names.dedup();
         // Cap the schedules to keep runtime bounded.
         for aborter in names.iter().take(6) {
-            let rt = Runtime::new();
+            let rt = Runtime::builder().build();
             let result = plan
                 .execute(&rt, &|name| name != aborter)
                 .expect("execute");

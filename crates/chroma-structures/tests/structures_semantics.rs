@@ -14,9 +14,11 @@ use chroma_structures::{
 };
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(300)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(300)),
+        })
+        .build()
 }
 
 // ---------------------------------------------------------------------
@@ -25,7 +27,7 @@ fn rt_fast() -> Runtime {
 
 #[test]
 fn serializing_outcome_both_commit() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let b_obj = rt.create_object(&0i64).unwrap();
     let c_obj = rt.create_object(&0i64).unwrap();
     let sa = SerializingAction::begin(&rt).unwrap();
@@ -42,7 +44,7 @@ fn serializing_outcome_both_commit() {
 
 #[test]
 fn serializing_outcome_first_step_aborts() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let b_obj = rt.create_object(&0i64).unwrap();
     let sa = SerializingAction::begin(&rt).unwrap();
     let err = sa.step(|s| {
@@ -57,7 +59,7 @@ fn serializing_outcome_first_step_aborts() {
 
 #[test]
 fn serializing_outcome_second_step_aborts_first_survives() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let b_obj = rt.create_object(&0i64).unwrap();
     let c_obj = rt.create_object(&0i64).unwrap();
     let sa = SerializingAction::begin(&rt).unwrap();
@@ -76,7 +78,7 @@ fn serializing_outcome_second_step_aborts_first_survives() {
 
 #[test]
 fn serializing_step_work_survives_wrapper_abandon() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let b_obj = rt.create_object(&0i64).unwrap();
     let sa = SerializingAction::begin(&rt).unwrap();
     sa.step(|s| s.write(b_obj, &1i64)).unwrap();
@@ -136,7 +138,7 @@ fn serializing_steps_make_visible_simultaneously_at_end() {
 
 #[test]
 fn serializing_concurrent_steps_serialize_on_conflicts() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let sa = Arc::new(SerializingAction::begin(&rt).unwrap());
     let threads: Vec<_> = (0..4)
@@ -241,7 +243,7 @@ fn glued_chain_releases_rejected_objects_mid_chain() {
 
 #[test]
 fn glued_step_effects_survive_later_failures() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let chain = GluedChain::begin(&rt, 2).unwrap();
     chain
@@ -263,7 +265,7 @@ fn glued_step_effects_survive_later_failures() {
 
 #[test]
 fn glued_failed_step_can_be_retried() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let chain = GluedChain::begin(&rt, 2).unwrap();
     chain
@@ -289,7 +291,7 @@ fn glued_failed_step_can_be_retried() {
 
 #[test]
 fn glued_capacity_is_enforced() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let chain = GluedChain::begin(&rt, 1).unwrap();
     assert_eq!(chain.remaining_capacity(), 2);
     chain.step(|_| Ok(())).unwrap();
@@ -302,7 +304,7 @@ fn glued_capacity_is_enforced() {
 
 #[test]
 fn glued_final_step_cannot_hand_over() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0u8).unwrap();
     let chain = GluedChain::begin(&rt, 1).unwrap();
     chain
@@ -372,7 +374,7 @@ fn glued_group_concurrent_contributors_and_receivers() {
 
 #[test]
 fn sync_independent_survives_invoker_abort() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let ledger = rt.create_object(&0u32).unwrap();
     let main = rt.create_object(&0u32).unwrap();
     let result: Result<(), ActionError> = rt.atomic(|a| {
@@ -387,7 +389,7 @@ fn sync_independent_survives_invoker_abort() {
 
 #[test]
 fn sync_independent_failure_leaves_invoker_free_to_continue() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0u32).unwrap();
     rt.atomic(|a| {
         let failed = independent_sync(a, |_b| {
@@ -404,7 +406,7 @@ fn sync_independent_failure_leaves_invoker_free_to_continue() {
 
 #[test]
 fn async_independent_runs_concurrently_and_survives() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let board = rt.create_object(&0u32).unwrap();
     let started = Arc::new(AtomicBool::new(false));
     let result: Result<(), ActionError> = rt.atomic(|a| {
@@ -427,9 +429,11 @@ fn fig13_conflicting_access_is_detected_not_hung() {
     // same object. Two true top-level actions would deadlock (fig. 13a);
     // the coloured implementation detects the cycle and victimises the
     // invoked action.
-    let rt = Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_secs(5)),
-    });
+    let rt = Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(5)),
+        })
+        .build();
     let o = rt.create_object(&0i64).unwrap();
     let outcome = rt.atomic(|a| {
         a.write(o, &1i64)?;
@@ -450,7 +454,7 @@ fn fig13_conflicting_access_is_detected_not_hung() {
 
 #[test]
 fn probe_conflict_reports_invoker_conflicts() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     rt.atomic(|a| {
         assert!(probe_conflict(a, o, LockMode::Read)?);
@@ -466,7 +470,7 @@ fn probe_conflict_reports_invoker_conflicts() {
 #[test]
 fn n_level_independence_at_level_one() {
     // Fig. 14/15: E invoked inside B survives B's abort but not A's.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let e_obj = rt.create_object(&0i64).unwrap();
 
     // Case 1: B aborts — E survives.
@@ -505,7 +509,7 @@ fn n_level_independence_at_level_one() {
 
 #[test]
 fn independent_at_level_zero_is_plain_nesting() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let o = rt.create_object(&0i64).unwrap();
     let result: Result<(), ActionError> = rt.atomic(|a| {
         independent_at_level(a, 0, |n| n.write(o, &5i64))?;
@@ -517,7 +521,7 @@ fn independent_at_level_zero_is_plain_nesting() {
 
 #[test]
 fn compensation_fires_on_invoker_abort() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let board = rt.create_object(&Vec::<String>::new()).unwrap();
     let result: Result<(), ActionError> = rt.atomic(|a| {
         let ((), comp) = independent_with_compensation(
@@ -545,7 +549,7 @@ fn compensation_fires_on_invoker_abort() {
 
 #[test]
 fn compensation_discarded_on_invoker_commit() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let board = rt.create_object(&Vec::<String>::new()).unwrap();
     rt.atomic(|a| {
         let ((), comp) = independent_with_compensation(

@@ -28,7 +28,7 @@ use chroma_core::{ActionError, ActionScope, ObjectId, Runtime};
 /// use chroma_typed::EscrowCounter;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let hits = EscrowCounter::create(&rt, 4)?;
 /// rt.atomic(|a| hits.add(a, 3))?;
 /// rt.atomic(|a| hits.add(a, 4))?;
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn adds_and_reads() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let counter = EscrowCounter::create(&rt, 3).unwrap();
         rt.atomic(|a| counter.add(a, 5)).unwrap();
         rt.atomic(|a| counter.add(a, -2)).unwrap();
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn aborted_add_is_undone() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let counter = EscrowCounter::create(&rt, 2).unwrap();
         rt.atomic(|a| counter.add(a, 10)).unwrap();
         let _ = rt.atomic(|a| {
@@ -168,9 +168,11 @@ mod tests {
         // Two actions add concurrently while both stay open — with a
         // single shared object the second would block until the first
         // commits; with stripes both proceed.
-        let rt = Runtime::with_config(RuntimeConfig {
-            lock_timeout: Some(Duration::from_millis(300)),
-        });
+        let rt = Runtime::builder()
+            .config(RuntimeConfig {
+                lock_timeout: Some(Duration::from_millis(300)),
+            })
+            .build();
         let counter = EscrowCounter::create(&rt, 2).unwrap();
         let a1 = rt
             .begin_top(chroma_base::ColourSet::single(rt.default_colour()))
@@ -188,9 +190,11 @@ mod tests {
     #[test]
     fn reader_waits_for_open_adders() {
         // value() is serializable: it cannot observe an uncommitted add.
-        let rt = Runtime::with_config(RuntimeConfig {
-            lock_timeout: Some(Duration::from_millis(200)),
-        });
+        let rt = Runtime::builder()
+            .config(RuntimeConfig {
+                lock_timeout: Some(Duration::from_millis(200)),
+            })
+            .build();
         let counter = EscrowCounter::create(&rt, 2).unwrap();
         let adder = rt
             .begin_top(chroma_base::ColourSet::single(rt.default_colour()))
@@ -204,7 +208,7 @@ mod tests {
 
     #[test]
     fn parallel_throughput_no_lost_updates() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let counter = std::sync::Arc::new(EscrowCounter::create(&rt, 8).unwrap());
         let threads: Vec<_> = (0..8)
             .map(|_| {
@@ -226,7 +230,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one stripe")]
     fn zero_stripes_rejected() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let _ = EscrowCounter::create(&rt, 0);
     }
 }

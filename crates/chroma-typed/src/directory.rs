@@ -28,7 +28,7 @@ type Bucket = Vec<(String, Vec<u8>)>;
 /// use chroma_typed::KeyedDirectory;
 ///
 /// # fn main() -> Result<(), chroma_core::ActionError> {
-/// let rt = Runtime::new();
+/// let rt = Runtime::builder().build();
 /// let dir: KeyedDirectory<String> = KeyedDirectory::create(&rt, 8)?;
 /// rt.atomic(|a| dir.insert(a, "printer", &"room 3".to_owned()))?;
 /// assert_eq!(
@@ -207,14 +207,16 @@ mod tests {
     use std::time::Duration;
 
     fn rt_fast() -> Runtime {
-        Runtime::with_config(RuntimeConfig {
-            lock_timeout: Some(Duration::from_millis(300)),
-        })
+        Runtime::builder()
+            .config(RuntimeConfig {
+                lock_timeout: Some(Duration::from_millis(300)),
+            })
+            .build()
     }
 
     #[test]
     fn insert_lookup_remove() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let dir: KeyedDirectory<u32> = KeyedDirectory::create(&rt, 4).unwrap();
         rt.atomic(|a| {
             assert_eq!(dir.insert(a, "a", &1)?, None);
@@ -230,7 +232,7 @@ mod tests {
 
     #[test]
     fn entries_and_len() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let dir: KeyedDirectory<String> = KeyedDirectory::create(&rt, 3).unwrap();
         rt.atomic(|a| {
             dir.insert(a, "b", &"two".to_owned())?;
@@ -310,7 +312,7 @@ mod tests {
 
     #[test]
     fn aborted_updates_are_undone_per_key() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let dir: KeyedDirectory<u32> = KeyedDirectory::create(&rt, 4).unwrap();
         rt.atomic(|a| dir.insert(a, "kept", &1)).unwrap();
         let _ = rt.atomic(|a| {
@@ -328,7 +330,7 @@ mod tests {
 
     #[test]
     fn concurrent_threads_on_disjoint_keys() {
-        let rt = Runtime::new();
+        let rt = Runtime::builder().build();
         let dir: std::sync::Arc<KeyedDirectory<u32>> =
             std::sync::Arc::new(KeyedDirectory::create(&rt, 16).unwrap());
         let threads: Vec<_> = (0..4)

@@ -16,7 +16,7 @@ fn main() -> Result<(), chroma::core::ActionError> {
     // {blue}. B behaves like a top-level action for red objects and
     // like a nested action for blue ones.
     // ------------------------------------------------------------------
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let red = rt.universe().colour("red");
     let blue = rt.universe().colour("blue");
     let audit_log = rt.create_object(&0i32)?; // accessed in red
@@ -86,7 +86,7 @@ fn main() -> Result<(), chroma::core::ActionError> {
 
     // Execute the plan with "A aborts at the end" and verify the claims
     // on the real runtime.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let report = plan.execute(&rt, &|name| name != "A")?;
     println!("\nexecuted with A aborting — survivors:");
     let mut names: Vec<_> = report.survived.iter().collect();

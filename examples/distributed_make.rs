@@ -17,7 +17,7 @@ const PAPER_MAKEFILE: &str = "Test: Test0.o Test1.o\n\
                               \tcc -c Test1.c\n";
 
 fn main() -> Result<(), ActionError> {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let make = DistMake::new(&rt, Makefile::parse(PAPER_MAKEFILE)?)?;
     for src in ["Test0.h", "Test1.h", "Test0.c", "Test1.c"] {
         make.write_source(src, &format!("// source of {src}"))?;

@@ -9,7 +9,7 @@ use chroma::apps::{schedule_meeting, Diary, ScheduleOutcome};
 use chroma::core::{ActionError, Runtime};
 
 fn main() -> Result<(), ActionError> {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let slots = 8; // say, 9:00..17:00
 
     let ada = Diary::create(&rt, "ada", slots)?;

@@ -7,7 +7,7 @@
 use chroma::core::{ActionError, Runtime};
 
 fn main() -> Result<(), ActionError> {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
 
     // Persistent objects live in the runtime's object store.
     let checking = rt.create_object(&100i64)?;

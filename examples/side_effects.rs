@@ -10,7 +10,7 @@ use chroma::apps::{BulletinBoard, Ledger, NameServer};
 use chroma::core::{ActionError, Runtime};
 
 fn main() -> Result<(), ActionError> {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let board = BulletinBoard::create(&rt)?;
     let names = NameServer::create(&rt)?;
     let ledger = Ledger::create(&rt)?;

@@ -13,7 +13,7 @@ use chroma::core::{ActionError, Runtime};
 use chroma::typed::{EscrowCounter, KeyedDirectory};
 
 fn main() -> Result<(), ActionError> {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
 
     // ------------------------------------------------------------------
     // Escrow counter: commuting adds overlap even while actions hold

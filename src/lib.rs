@@ -23,15 +23,18 @@
 //!   nodes, lossy network, RPC, two-phase commit, replication);
 //! * [`apps`] — the paper's five example applications;
 //! * [`sim`] — workload generators and metrics used by the experiment
-//!   harness.
+//!   harness;
+//! * [`typed`] — typed handles ([`EscrowCounter`], [`KeyedDirectory`])
+//!   that encode an object's commutativity in its API.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use chroma::core::Runtime;
+//! use chroma::{EscrowCounter, KeyedDirectory};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let rt = Runtime::new();
+//! let rt = Runtime::builder().lock_shards(8).build();
 //! let account = rt.create_object(&100i64)?;
 //!
 //! // A conventional top-level atomic action: all-or-nothing.
@@ -42,6 +45,19 @@
 //! })?;
 //!
 //! assert_eq!(rt.read_committed::<i64>(account)?, 70);
+//!
+//! // Typed handles ride on the same runtime: a striped counter whose
+//! // increments commute, and a directory whose entries lock per key.
+//! let hits = EscrowCounter::create(&rt, 4)?;
+//! rt.atomic(|a| hits.add(a, 3))?;
+//! assert_eq!(hits.committed_value(&rt)?, 3);
+//!
+//! let dir: KeyedDirectory<String> = KeyedDirectory::create(&rt, 8)?;
+//! rt.atomic(|a| dir.insert(a, "printer", &"room 3".to_owned()))?;
+//! assert_eq!(
+//!     rt.atomic(|a| dir.lookup(a, "printer"))?,
+//!     Some("room 3".to_owned())
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -56,3 +72,7 @@ pub use chroma_sim as sim;
 pub use chroma_store as store;
 pub use chroma_structures as structures;
 pub use chroma_typed as typed;
+
+// The typed handles are the recommended way to model commutative
+// objects, so they are first-class citizens of the façade.
+pub use chroma_typed::{EscrowCounter, KeyedDirectory};

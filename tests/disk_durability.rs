@@ -21,10 +21,10 @@ fn temp_dir() -> std::path::PathBuf {
 }
 
 fn open_runtime(dir: &std::path::Path) -> Runtime {
-    Runtime::with_backend(
-        RuntimeConfig::default(),
-        Arc::new(DiskBackend::open(dir).expect("open disk backend")),
-    )
+    Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(Arc::new(DiskBackend::open(dir).expect("open disk backend")))
+        .build()
 }
 
 #[test]

@@ -16,7 +16,10 @@ fn distributed_runtime(
 ) -> (Runtime, Arc<PartitionedStore>) {
     let store = Arc::new(PartitionedStore::new(seed, nodes, replication));
     (
-        Runtime::with_backend(RuntimeConfig::default(), store.clone()),
+        Runtime::builder()
+            .config(RuntimeConfig::default())
+            .backend(store.clone())
+            .build(),
         store,
     )
 }
@@ -149,7 +152,10 @@ fn lossy_network_does_not_affect_correctness() {
             ..chroma::dist::NetConfig::default()
         },
     ));
-    let rt = Runtime::with_backend(RuntimeConfig::default(), store);
+    let rt = Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(store)
+        .build();
     let o = rt.create_object(&0i64).unwrap();
     for i in 1..=10i64 {
         rt.atomic(|a| a.write(o, &i)).unwrap();

@@ -10,14 +10,16 @@ use chroma::structures::{independent_sync, GluedChain, SerializingAction};
 use std::time::Duration;
 
 fn rt_fast() -> Runtime {
-    Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_millis(400)),
-    })
+    Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_millis(400)),
+        })
+        .build()
 }
 
 #[test]
 fn one_runtime_hosts_every_application() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let board = BulletinBoard::create(&rt).unwrap();
     let ledger = Ledger::create(&rt).unwrap();
     let make = DistMake::new(&rt, Makefile::parse("out: in\n\tbuild\n").unwrap()).unwrap();
@@ -92,7 +94,7 @@ fn structures_compose_serializing_inside_glued_step() {
 fn independent_actions_inside_serializing_steps() {
     // A serializing step that bills for itself: the charge survives
     // even when the step aborts.
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let ledger = Ledger::create(&rt).unwrap();
     let target = rt.create_object(&0i64).unwrap();
     let sa = SerializingAction::begin(&rt).unwrap();
@@ -119,7 +121,7 @@ fn facade_reexports_are_complete() {
     let _universe = chroma::base::ColourUniverse::new();
     let _table = chroma::locks::LockTable::new(chroma::locks::ColouredPolicy);
     let _store = chroma::store::StableStore::new();
-    let rt: chroma::core::Runtime = chroma::core::Runtime::new();
+    let rt: chroma::core::Runtime = chroma::core::Runtime::builder().build();
     let _board = chroma::apps::BulletinBoard::create(&rt).unwrap();
     let mut sim = chroma::dist::Sim::new(1);
     let _node = sim.add_node();
@@ -162,7 +164,7 @@ fn concurrent_applications_do_not_interfere() {
 
 #[test]
 fn workload_runs_through_the_facade() {
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let result = chroma::sim::run_contention(
         &rt,
         &chroma::sim::WorkloadConfig {

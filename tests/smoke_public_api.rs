@@ -13,7 +13,7 @@ use std::sync::Arc;
 use chroma::base::ObjectId;
 use chroma::core::{DiskBackend, Runtime, RuntimeConfig};
 use chroma::dist::{PartitionedStore, ReplicatedObject, Sim};
-use chroma::obs::{EventBus, MemorySink, TraceAuditor};
+use chroma::obs::{EventBus, MemorySink, Obs, Observable, TraceAuditor};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -30,11 +30,11 @@ fn temp_dir() -> std::path::PathBuf {
 #[test]
 fn facade_covers_the_stack_end_to_end() {
     // ---- coloured atomic actions, traced ----
-    let rt = Runtime::new();
+    let rt = Runtime::builder().build();
     let bus = Arc::new(EventBus::new());
     let sink = Arc::new(MemorySink::new(100_000));
     bus.add_sink(sink.clone());
-    rt.install_obs(bus.clone());
+    rt.install_obs(Obs::new(bus.clone()));
 
     let account = rt.create_object(&100i64).unwrap();
     rt.atomic(|a| a.modify(account, |b: &mut i64| *b -= 30))
@@ -52,21 +52,21 @@ fn facade_covers_the_stack_end_to_end() {
     let dir = temp_dir();
     let saved;
     {
-        let disk_rt = Runtime::with_backend(
-            RuntimeConfig::default(),
-            Arc::new(DiskBackend::open(&dir).unwrap()),
-        );
-        disk_rt.install_obs(bus.clone());
+        let disk_rt = Runtime::builder()
+            .config(RuntimeConfig::default())
+            .backend(Arc::new(DiskBackend::open(&dir).unwrap()))
+            .build();
+        disk_rt.install_obs(Obs::new(bus.clone()));
         saved = disk_rt.create_object(&7i64).unwrap();
         disk_rt
             .atomic(|a| a.modify(saved, |v: &mut i64| *v *= 6))
             .unwrap();
     }
     {
-        let disk_rt = Runtime::with_backend(
-            RuntimeConfig::default(),
-            Arc::new(DiskBackend::open(&dir).unwrap()),
-        );
+        let disk_rt = Runtime::builder()
+            .config(RuntimeConfig::default())
+            .backend(Arc::new(DiskBackend::open(&dir).unwrap()))
+            .build();
         assert_eq!(disk_rt.read_committed::<i64>(saved).unwrap(), 42);
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -76,7 +76,10 @@ fn facade_covers_the_stack_end_to_end() {
 
     // ---- distributed permanence with a storage-node crash ----
     let store = Arc::new(PartitionedStore::new(11, 3, 2));
-    let dist_rt = Runtime::with_backend(RuntimeConfig::default(), store.clone());
+    let dist_rt = Runtime::builder()
+        .config(RuntimeConfig::default())
+        .backend(store.clone())
+        .build();
     let ledger = dist_rt.create_object(&1i64).unwrap();
     dist_rt.atomic(|a| a.write(ledger, &2i64)).unwrap();
     store.crash_node(0);
@@ -86,7 +89,7 @@ fn facade_covers_the_stack_end_to_end() {
 
     // ---- replication with catch-up, audited ----
     let mut sim = Sim::new(5);
-    sim.install_obs(bus.clone());
+    sim.install_obs(Obs::new(bus.clone()));
     let members = vec![sim.add_node(), sim.add_node(), sim.add_node()];
     let replica = ReplicatedObject::create(&mut sim, ObjectId::from_raw(9), &members, b"v0");
     replica.write(&mut sim, b"v1").unwrap();
@@ -106,4 +109,49 @@ fn facade_covers_the_stack_end_to_end() {
     assert!(bus.counter("replica_install") >= 2);
     let report = TraceAuditor::audit_events(&sink.events());
     assert!(report.is_clean(), "audit failed:\n{report}");
+}
+
+#[test]
+fn builder_observability_and_sharded_locks_through_the_facade() {
+    // The builder is the one front door: config, backend, observability
+    // and lock sharding in a single fluent chain.
+    let bus = Arc::new(EventBus::new());
+    let rt = Arc::new(
+        Runtime::builder()
+            .config(RuntimeConfig::default())
+            .lock_shards(8)
+            .obs(bus.clone())
+            .build(),
+    );
+    assert_eq!(rt.lock_shard_count(), 8);
+
+    // Four threads over disjoint objects: the sharded lock table must
+    // not manufacture waits between them.
+    let objects: Vec<_> = (0..4).map(|_| rt.create_object(&0i64).unwrap()).collect();
+    let handles: Vec<_> = objects
+        .iter()
+        .map(|&object| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    rt.atomic(|a| a.modify(object, |v: &mut i64| *v += 1))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for object in &objects {
+        assert_eq!(rt.read_committed::<i64>(*object).unwrap(), 25);
+    }
+    let parked: u64 = rt.lock_shard_wait_stats().iter().map(|s| s.waits).sum();
+    assert_eq!(parked, 0, "disjoint objects must not contend");
+
+    // The `Observable` trait reaches the same bus after the fact too.
+    rt.install_obs(Obs::new(bus.clone()));
+    rt.atomic(|a| a.modify(objects[0], |v: &mut i64| *v += 1))
+        .unwrap();
+    assert!(bus.snapshot().histogram("core.commit_us").is_some());
 }

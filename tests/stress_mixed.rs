@@ -20,9 +20,11 @@ use rand::{Rng, SeedableRng};
 
 #[test]
 fn mixed_structures_stress() {
-    let rt = Runtime::with_config(RuntimeConfig {
-        lock_timeout: Some(Duration::from_secs(5)),
-    });
+    let rt = Runtime::builder()
+        .config(RuntimeConfig {
+            lock_timeout: Some(Duration::from_secs(5)),
+        })
+        .build();
     let cells: Vec<_> = (0..8).map(|_| rt.create_object(&0i64).unwrap()).collect();
     let counter = Arc::new(EscrowCounter::create(&rt, 8).unwrap());
     let ledger = Ledger::create(&rt).unwrap();
