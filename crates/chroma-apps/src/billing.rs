@@ -138,6 +138,25 @@ impl Ledger {
             .map(|s| s.charges)
     }
 
+    /// Settles the ledger: folds the itemised charges into the running
+    /// total (which they already contribute to) and clears the list,
+    /// keeping ledger state bounded under sustained charging. Returns
+    /// the number of charges folded.
+    ///
+    /// # Errors
+    ///
+    /// Lock or codec failures.
+    pub fn settle(&self) -> Result<usize, ActionError> {
+        let ledger = self.ledger;
+        self.rt.atomic(|a| {
+            a.modify(ledger, |state: &mut LedgerState| {
+                let folded = state.charges.len();
+                state.charges.clear();
+                folded
+            })
+        })
+    }
+
     /// Returns the total charged to one account.
     ///
     /// # Errors
@@ -210,6 +229,27 @@ mod tests {
         assert_eq!(ledger.account_total("ada").unwrap(), 6);
         assert_eq!(ledger.account_total("bob").unwrap(), 2);
         assert_eq!(ledger.charges().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn settle_keeps_total_and_clears_items() {
+        let rt = Runtime::builder().build();
+        let ledger = Ledger::create(&rt).unwrap();
+        rt.atomic(|a| {
+            ledger.charge_from(a, "ada", "cpu", 5)?;
+            ledger.charge_from(a, "bob", "cpu", 2)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ledger.settle().unwrap(), 2);
+        assert_eq!(ledger.total().unwrap(), 7); // total survives
+        assert!(ledger.charges().unwrap().is_empty());
+        assert_eq!(ledger.settle().unwrap(), 0); // idempotent when empty
+                                                 // Post-settlement charges accumulate afresh.
+        rt.atomic(|a| ledger.charge_from(a, "ada", "disk", 1))
+            .unwrap();
+        assert_eq!(ledger.total().unwrap(), 8);
+        assert_eq!(ledger.charges().unwrap().len(), 1);
     }
 
     #[test]

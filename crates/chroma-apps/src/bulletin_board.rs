@@ -154,6 +154,37 @@ impl BulletinBoard {
         result
     }
 
+    /// Prunes the board to its most recent `keep_last` posts, dropping
+    /// the oldest ones (retracted or not). Returns how many were
+    /// removed. Sequence numbering is unaffected, so later retracts of
+    /// surviving posts still work.
+    ///
+    /// # Errors
+    ///
+    /// Lock or codec failures from the board update.
+    pub fn prune(&self, keep_last: usize) -> Result<usize, ActionError> {
+        let board = self.board;
+        self.rt.atomic(|a| {
+            a.modify(board, |state: &mut BoardState| {
+                let excess = state.posts.len().saturating_sub(keep_last);
+                state.posts.drain(..excess);
+                excess
+            })
+        })
+    }
+
+    /// The number of posts currently on the board.
+    ///
+    /// # Errors
+    ///
+    /// Lock or codec failures.
+    pub fn post_count(&self) -> Result<usize, ActionError> {
+        let board = self.board;
+        self.rt
+            .atomic(|a| a.read::<BoardState>(board))
+            .map(|s| s.posts.len())
+    }
+
     /// Reads all posts (as a top-level atomic action).
     ///
     /// # Errors
@@ -245,6 +276,26 @@ mod tests {
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_newest_posts() {
+        let rt = Runtime::builder().build();
+        let board = BulletinBoard::create(&rt).unwrap();
+        for i in 0..5 {
+            board.post_async("a", &format!("post {i}")).join().unwrap();
+        }
+        assert_eq!(board.post_count().unwrap(), 5);
+        assert_eq!(board.prune(2).unwrap(), 3);
+        let posts = board.posts().unwrap();
+        assert_eq!(posts.len(), 2);
+        // The newest posts survive, and their seqs still resolve.
+        assert_eq!(posts[0].text, "post 3");
+        assert_eq!(posts[1].text, "post 4");
+        assert!(board.retract(posts[1].seq).unwrap());
+        // Pruning below the floor is a no-op.
+        assert_eq!(board.prune(10).unwrap(), 0);
+        assert_eq!(board.post_count().unwrap(), 2);
     }
 
     #[test]

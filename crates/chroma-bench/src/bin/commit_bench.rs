@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use chroma_bench::report::{Obj, Report};
 use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
 use chroma_obs::{EventBus, Obs, Observable};
 
@@ -119,26 +120,22 @@ fn run(threads: usize, iters: u64) -> RunResult {
     }
 }
 
-fn render_json(results: &[RunResult]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"commit_throughput\",\n  \"runs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"threads\": {}, \"commits\": {}, \"elapsed_ms\": {:.3}, \
-             \"commits_per_sec\": {:.1}, \"fsyncs\": {}, \"fsyncs_per_commit\": {:.4}, \
-             \"mean_group_size\": {:.3}, \"max_group_size\": {:.0}}}{}\n",
-            r.threads,
-            r.commits,
-            r.elapsed.as_secs_f64() * 1000.0,
-            r.commits_per_sec(),
-            r.fsyncs,
-            r.fsyncs_per_commit(),
-            r.mean_group_size,
-            r.max_group_size,
-            if i + 1 == results.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+fn render_report(results: &[RunResult]) -> Report {
+    results
+        .iter()
+        .fold(Report::new("commit_throughput"), |report, r| {
+            report.run(
+                Obj::new()
+                    .field("threads", r.threads)
+                    .field("commits", r.commits)
+                    .field("elapsed_ms", r.elapsed.as_secs_f64() * 1000.0)
+                    .field("commits_per_sec", r.commits_per_sec())
+                    .field("fsyncs", r.fsyncs)
+                    .field("fsyncs_per_commit", r.fsyncs_per_commit())
+                    .field("mean_group_size", r.mean_group_size)
+                    .field("max_group_size", r.max_group_size),
+            )
+        })
 }
 
 fn main() {
@@ -176,7 +173,9 @@ fn main() {
         })
         .collect();
 
-    std::fs::write(&out_path, render_json(&results)).expect("write results");
+    render_report(&results)
+        .write(&out_path)
+        .expect("write results");
     println!("wrote {out_path}");
 
     let at_8 = results

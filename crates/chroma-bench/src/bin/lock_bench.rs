@@ -27,6 +27,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use chroma_base::{ActionId, Colour, LockMode, ObjectId};
+use chroma_bench::report::{Obj, Report};
 use chroma_locks::{ColouredPolicy, FlatAncestry, LockTable};
 
 /// Lock-client thread counts benchmarked, in order.
@@ -131,28 +132,24 @@ fn run(workload: Workload, threads: usize, iters: u64) -> RunResult {
     }
 }
 
-fn render_json(results: &[RunResult]) -> String {
+fn render_report(results: &[RunResult]) -> Report {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let mut out = format!(
-        "{{\n  \"benchmark\": \"lock_scalability\",\n  \"cores\": {cores},\n  \"runs\": [\n"
-    );
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"threads\": {}, \"acquires\": {}, \
-             \"elapsed_ms\": {:.3}, \"acquires_per_sec\": {:.1}, \"waits\": {}}}{}\n",
-            r.workload,
-            r.threads,
-            r.acquires,
-            r.elapsed.as_secs_f64() * 1000.0,
-            r.acquires_per_sec(),
-            r.waits,
-            if i + 1 == results.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    results.iter().fold(
+        Report::new("lock_scalability").field("cores", cores),
+        |report, r| {
+            report.run(
+                Obj::new()
+                    .field("workload", r.workload)
+                    .field("threads", r.threads)
+                    .field("acquires", r.acquires)
+                    .field("elapsed_ms", r.elapsed.as_secs_f64() * 1000.0)
+                    .field("acquires_per_sec", r.acquires_per_sec())
+                    .field("waits", r.waits),
+            )
+        },
+    )
 }
 
 fn main() {
@@ -188,7 +185,9 @@ fn main() {
         }
     }
 
-    std::fs::write(&out_path, render_json(&results)).expect("write results");
+    render_report(&results)
+        .write(&out_path)
+        .expect("write results");
     println!("wrote {out_path}");
 
     let cores = std::thread::available_parallelism()

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use chroma_core::{Runtime, RuntimeConfig};
 use std::time::Duration;
 

@@ -1,0 +1,360 @@
+//! End-to-end load harness: seeded mixed-colour traffic against the
+//! full `Runtime` + `DiskBackend` stack and the §4 applications.
+//!
+//! Runs the [`LoadSpec`] phase plan (closed-loop KV at two skews, an
+//! open-loop arrival ramp, billing and bulletin-board app phases),
+//! traces every event through a `JsonlSink`, then re-reads the trace to
+//! attribute latency via the critical-path profiler and to re-check the
+//! R1–R9 invariants with the trace auditor.
+//!
+//! Results go to `BENCH_load.json` (override with `--out <path>`) in
+//! the unified BENCH schema (DESIGN.md §5.3): one run object per phase
+//! with per-class p50/p95/p99, plus `critical_path`, `audit` and `slo`
+//! top-level fields.
+//!
+//! Exits non-zero when:
+//!
+//! * a closed-loop class with enough samples has
+//!   `p99 > max(100 × p50, 500 ms)` — reads whose healthy p99 is a few
+//!   group-commit fsyncs behind hot-key writers carry a huge p99/p50
+//!   ratio by design, so the gate convicts orders of magnitude, not
+//!   noise (the latency histogram's log2 buckets quantise p99 in 2×
+//!   steps);
+//! * an open-loop phase's worst p99 exceeds 5 s — the stack collapsed
+//!   under the offered ramp (healthy runs sit around 100 ms; the
+//!   margin absorbs transient scheduler/disk stalls on busy hosts);
+//! * any phase's error rate exceeds 0.5 %;
+//! * the trace audit reports any R1–R9 violation.
+//!
+//! `--smoke` (the CI configuration) runs ~116k actions; the default
+//! full profile runs ~1.16M. The seed comes from `--seed` or
+//! `CHROMA_TORTURE_SEED` (default 42).
+
+use std::io::BufWriter;
+use std::sync::Arc;
+use std::time::Instant;
+
+use chroma_bench::report::{Obj, Report};
+use chroma_core::{DiskBackend, Runtime};
+use chroma_load::{
+    run_closed, run_open, BillingExecutor, BulletinExecutor, Executor, KvExecutor, LoadSpec,
+    PhaseMode, PhaseResult, PhaseSpec, Scale, Target, Workload,
+};
+use chroma_obs::{Event, EventBus, JsonlSink, Phase, SpanForest, TraceAuditor};
+
+/// Closed-loop tail SLO: p99 must stay within this multiple of p50.
+/// The histogram's log2 buckets quantise p99 in 2× steps, and reads
+/// that queue behind hot-key writers legitimately wait out several
+/// group-commit fsyncs (a 60×+ p99/p50 ratio on a healthy stack under
+/// the write-heavy phase's deliberate skew), so the ratio is an
+/// order-of-magnitude gate, not a regression detector.
+const TAIL_RATIO: f64 = 100.0;
+
+/// Minimum closed-loop p99 ceiling (µs): classes with tiny medians are
+/// gated on this absolute bound instead of `TAIL_RATIO × p50`. Healthy
+/// smoke runs measure ≤ ~130 ms worst-class p99; a leaked lock rides
+/// the 10 s timeout straight through 500 ms.
+const TAIL_MIN_CEILING_US: f64 = 500_000.0;
+
+/// Open-loop ceiling (µs): queueing delay beyond this means the stack
+/// fell over under the offered rate instead of riding the ramp.
+/// Healthy smoke runs measure 30–130 ms; a single transient ~1 s stall
+/// at the ramp's 2000 ops/s peak queues seconds of backlog into the
+/// tail, so the ceiling sits well above that noise while still
+/// convicting sustained collapse (a leaked lock rides the 10 s
+/// timeout straight through it).
+const OPEN_P99_CEILING_US: u64 = 5_000_000;
+
+/// Classes with fewer samples than this are reported but not gated.
+const SLO_MIN_SAMPLES: u64 = 500;
+
+/// Highest tolerated per-phase error rate (post-retry).
+const MAX_ERROR_RATE: f64 = 0.005;
+
+fn build_executor(
+    rt: &Arc<Runtime>,
+    phase: &PhaseSpec,
+) -> Result<Box<dyn Executor>, chroma_core::ActionError> {
+    Ok(match phase.target {
+        Target::Kv => Box::new(KvExecutor::new(rt.clone(), phase.mix.keys)?),
+        Target::Billing => Box::new(BillingExecutor::new(rt.clone(), phase.mix.keys)?),
+        Target::Bulletin => Box::new(BulletinExecutor::new(rt.clone(), phase.mix.keys)?),
+    })
+}
+
+fn run_phase(rt: &Arc<Runtime>, phase: &PhaseSpec, threads_cap: usize) -> PhaseResult {
+    let exec = build_executor(rt, phase).expect("executor setup");
+    let mut workload = phase.workload();
+    let ops = workload.take_ops(phase.ops);
+    let threads = phase.threads.min(threads_cap).max(1);
+    match &phase.mode {
+        PhaseMode::Closed => run_closed(phase.name, exec.as_ref(), &ops, threads),
+        PhaseMode::Open(ramp) => {
+            let arrivals = ramp.arrival_offsets_us();
+            run_open(phase.name, exec.as_ref(), &ops, &arrivals, threads)
+        }
+    }
+}
+
+fn classes_obj(result: &PhaseResult) -> Obj {
+    let mut classes = Obj::new();
+    for (label, hist) in &result.classes {
+        let s = hist.summary();
+        classes = classes.field(
+            label,
+            Obj::new()
+                .field("count", s.count)
+                .field("mean_us", s.mean_us)
+                .field("p50_us", s.p50_us)
+                .field("p95_us", s.p95_us)
+                .field("p99_us", s.p99_us)
+                .field("max_us", s.max_us),
+        );
+    }
+    classes
+}
+
+fn phase_run_obj(result: &PhaseResult) -> Obj {
+    Obj::new()
+        .field("name", result.name.as_str())
+        .field("mode", result.mode)
+        .field("threads", result.threads)
+        .field("ops", result.ops)
+        .field("errors", result.errors)
+        .field("error_rate", result.error_rate())
+        .field("elapsed_ms", result.elapsed.as_secs_f64() * 1e3)
+        .field("ops_per_sec", result.ops_per_sec())
+        .field("classes", classes_obj(result))
+}
+
+/// Per-class SLO gates over all phases; returns human-readable
+/// violations.
+fn check_slos(results: &[PhaseResult]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in results {
+        if r.error_rate() > MAX_ERROR_RATE {
+            violations.push(format!(
+                "{}: error rate {:.3}% exceeds {:.1}%",
+                r.name,
+                r.error_rate() * 100.0,
+                MAX_ERROR_RATE * 100.0
+            ));
+        }
+        for (label, hist) in &r.classes {
+            if hist.count() < SLO_MIN_SAMPLES {
+                continue;
+            }
+            let s = hist.summary();
+            match r.mode {
+                "closed" => {
+                    let ceiling = (TAIL_RATIO * s.p50_us).max(TAIL_MIN_CEILING_US);
+                    if s.p99_us > ceiling {
+                        violations.push(format!(
+                            "{}/{}: p99 {:.0}µs exceeds {:.0}µs (max(100×p50, {:.0}µs))",
+                            r.name, label, s.p99_us, ceiling, TAIL_MIN_CEILING_US
+                        ));
+                    }
+                }
+                _ => {
+                    if s.p99_us > OPEN_P99_CEILING_US as f64 {
+                        violations.push(format!(
+                            "{}/{}: open-loop p99 {:.0}µs exceeds {}µs ceiling",
+                            r.name, label, s.p99_us, OPEN_P99_CEILING_US
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Parses the JSONL trace back into events (panics on a corrupt line —
+/// the harness wrote it moments ago, so corruption is a bug).
+fn read_trace(path: &std::path::Path) -> Vec<Event> {
+    let text = std::fs::read_to_string(path).expect("read trace");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Event::from_json_line(l).expect("parse trace line"))
+        .collect()
+}
+
+fn critical_path_obj(events: &[Event]) -> Obj {
+    let forest = SpanForest::build(events);
+    let report = forest.critical_path(events);
+    let colours: Vec<Obj> = report
+        .colours
+        .iter()
+        .map(|(colour, row)| {
+            let mut o = Obj::new()
+                .field("colour", u64::from(*colour))
+                .field("actions", row.actions)
+                .field("total_us", row.total_us);
+            for (i, name) in Phase::NAMES.iter().enumerate() {
+                o = o.field(&format!("{name}_us"), row.phases[i]);
+            }
+            o
+        })
+        .collect();
+    Obj::new().field("colours", colours).field(
+        "txns",
+        Obj::new()
+            .field("count", report.txns.count)
+            .field("total_us", report.txns.total_us),
+    )
+}
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_path = "BENCH_load.json".to_owned();
+    let mut trace_path: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads_cap = usize::MAX;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .expect("--seed needs a number")
+                        .parse()
+                        .expect("--seed needs a number"),
+                );
+            }
+            "--threads" => {
+                threads_cap = args
+                    .next()
+                    .expect("--threads needs a number")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
+            other => {
+                eprintln!(
+                    "usage: load_bench [--smoke] [--out <path>] [--trace <path>] \
+                     [--seed <n>] [--threads <n>]"
+                );
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let seed = seed.unwrap_or_else(|| {
+        std::env::var("CHROMA_TORTURE_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42)
+    });
+    let spec = LoadSpec { seed, scale };
+
+    // Everything lives in a per-run scratch dir: the disk store, and
+    // the trace too unless --trace pinned it somewhere.
+    let scratch = std::env::temp_dir().join(format!("chroma_load_{}_{seed}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let data_dir = scratch.join("store");
+    let trace_file = trace_path
+        .as_ref()
+        .map_or_else(|| scratch.join("trace.jsonl"), std::path::PathBuf::from);
+
+    let bus = Arc::new(EventBus::new());
+    let sink = Arc::new(JsonlSink::new(BufWriter::new(
+        std::fs::File::create(&trace_file).expect("create trace file"),
+    )));
+    bus.add_sink(sink.clone());
+    let backend = Arc::new(DiskBackend::open(&data_dir).expect("open disk backend"));
+    let rt = Arc::new(Runtime::builder().backend(backend).obs(bus.clone()).build());
+
+    eprintln!(
+        "load_bench: seed {seed}, {} scale, {} ops planned, trace -> {}",
+        match scale {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        },
+        spec.total_ops(),
+        trace_file.display()
+    );
+
+    let started = Instant::now();
+    let mut results = Vec::new();
+    for phase in spec.phases() {
+        let phase_started = Instant::now();
+        let result = run_phase(&rt, &phase, threads_cap);
+        eprintln!(
+            "  {}: {} ops in {:.2}s ({:.0} ops/s, {} errors)",
+            result.name,
+            result.ops,
+            phase_started.elapsed().as_secs_f64(),
+            result.ops_per_sec(),
+            result.errors
+        );
+        results.push(result);
+    }
+    let elapsed = started.elapsed();
+    bus.flush();
+    assert!(!sink.had_errors(), "trace sink reported write errors");
+
+    let events = read_trace(&trace_file);
+    eprintln!(
+        "load_bench: {} ops in {:.2}s, {} trace events",
+        results.iter().map(|r| r.ops).sum::<u64>(),
+        elapsed.as_secs_f64(),
+        events.len()
+    );
+    let audit = TraceAuditor::audit_events(&events);
+    let mut violations = check_slos(&results);
+    if !audit.is_clean() {
+        for v in &audit.violations {
+            violations.push(format!("audit: {v}"));
+        }
+    }
+
+    let audit_obj = Obj::new()
+        .field("events", audit.events)
+        .field("violations", audit.violations.len() as u64)
+        .field("clean", audit.is_clean());
+    let slo_violations: Vec<chroma_bench::report::Value> =
+        violations.iter().map(|v| v.as_str().into()).collect();
+    let slo_obj = Obj::new()
+        .field("pass", violations.is_empty())
+        .field("violations", slo_violations);
+    let mut report = Report::new("load_harness")
+        .field("seed", seed)
+        .field(
+            "scale",
+            match scale {
+                Scale::Smoke => "smoke",
+                Scale::Full => "full",
+            },
+        )
+        .field("total_ops", results.iter().map(|r| r.ops).sum::<u64>())
+        .field(
+            "total_errors",
+            results.iter().map(|r| r.errors).sum::<u64>(),
+        )
+        .field("elapsed_ms", elapsed.as_secs_f64() * 1e3)
+        .field("critical_path", critical_path_obj(&events))
+        .field("audit", audit_obj)
+        .field("slo", slo_obj);
+    for r in &results {
+        report = report.run(phase_run_obj(r));
+    }
+    report.write(&out_path).expect("write report");
+    eprintln!("load_bench: wrote {out_path}");
+
+    // The scratch store is disposable; a pinned trace lives elsewhere
+    // and survives.
+    drop(rt);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if violations.is_empty() {
+        eprintln!("load_bench: all SLOs met, audit clean");
+    } else {
+        eprintln!("load_bench: FAILED —");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

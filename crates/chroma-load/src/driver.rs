@@ -1,0 +1,299 @@
+//! Open- and closed-loop drivers: execute a generated op stream on an
+//! [`Executor`](crate::exec::Executor) and account per-class latency.
+//!
+//! * **Closed loop** — `threads` workers pull the next op as soon as
+//!   the previous one finishes; latency is pure service time and
+//!   throughput is the stack's capacity at that concurrency.
+//! * **Open loop** — arrivals follow a precomputed
+//!   [`RampSchedule`](crate::workload::RampSchedule); latency is
+//!   measured from the op's *intended arrival* to its completion, so
+//!   queueing delay when the stack falls behind the offered rate is
+//!   charged to the op (no coordinated omission).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use chroma_obs::Histogram;
+
+use crate::exec::Executor;
+use crate::workload::Op;
+
+/// One phase's measured outcome.
+#[derive(Clone, Debug)]
+pub struct PhaseResult {
+    /// Phase name (report key).
+    pub name: String,
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Operations attempted.
+    pub ops: u64,
+    /// Operations that returned an error (after executor retries).
+    pub errors: u64,
+    /// Wall-clock from first to last op.
+    pub elapsed: Duration,
+    /// Per-class latency, keyed by `Op::label`.
+    pub classes: BTreeMap<&'static str, Histogram>,
+}
+
+impl PhaseResult {
+    /// Completed-operation throughput.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.ops - self.errors) as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of attempted ops that errored.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.errors as f64 / self.ops as f64
+    }
+}
+
+struct WorkerOut {
+    classes: BTreeMap<&'static str, Histogram>,
+    errors: u64,
+}
+
+fn merge(outs: Vec<WorkerOut>) -> (BTreeMap<&'static str, Histogram>, u64) {
+    let mut classes: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    let mut errors = 0;
+    for out in outs {
+        errors += out.errors;
+        for (label, h) in out.classes {
+            classes.entry(label).or_default().merge(&h);
+        }
+    }
+    (classes, errors)
+}
+
+/// Runs `ops` closed-loop on `threads` workers sharing one cursor.
+#[must_use]
+pub fn run_closed(name: &str, exec: &dyn Executor, ops: &[Op], threads: usize) -> PhaseResult {
+    let threads = threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    let outs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut classes: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+                    let mut errors = 0u64;
+                    barrier.wait();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(op) = ops.get(i) else { break };
+                        let started = Instant::now();
+                        match exec.execute(op) {
+                            Ok(()) => classes
+                                .entry(op.label())
+                                .or_default()
+                                .observe_duration(started.elapsed()),
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    WorkerOut { classes, errors }
+                })
+            })
+            .collect();
+        let started = Instant::now();
+        let outs: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect();
+        (outs, started.elapsed())
+    });
+    let (outs, elapsed) = outs;
+    let (classes, errors) = merge(outs);
+    PhaseResult {
+        name: name.to_owned(),
+        mode: "closed",
+        threads,
+        ops: ops.len() as u64,
+        errors,
+        elapsed,
+        classes,
+    }
+}
+
+/// Runs `ops` open-loop: op `i` is released at `arrivals_us[i]` past
+/// the phase start, and its latency includes any backlog delay.
+///
+/// # Panics
+///
+/// If `arrivals_us.len() != ops.len()`.
+#[must_use]
+pub fn run_open(
+    name: &str,
+    exec: &dyn Executor,
+    ops: &[Op],
+    arrivals_us: &[u64],
+    threads: usize,
+) -> PhaseResult {
+    assert_eq!(ops.len(), arrivals_us.len(), "one arrival per op");
+    let threads = threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let lag_max = AtomicU64::new(0);
+    let barrier = Barrier::new(threads);
+    // The clock starts when all workers are ready; each worker
+    // re-reads it through a reference.
+    let start_cell = std::sync::OnceLock::new();
+    let outs = std::thread::scope(|scope| {
+        let start_cell = &start_cell;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let start = *start_cell.get_or_init(Instant::now);
+                    let mut classes: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+                    let mut errors = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(op) = ops.get(i) else { break };
+                        let target = Duration::from_micros(arrivals_us[i]);
+                        // Sleep coarsely, then let the executor run; a
+                        // sub-millisecond early release is noise
+                        // relative to the latencies being measured.
+                        loop {
+                            let now = start.elapsed();
+                            if now >= target {
+                                break;
+                            }
+                            std::thread::sleep((target - now).min(Duration::from_millis(1)));
+                        }
+                        let result = exec.execute(op);
+                        let done = start.elapsed();
+                        let latency = done.saturating_sub(target);
+                        match result {
+                            Ok(()) => {
+                                classes
+                                    .entry(op.label())
+                                    .or_default()
+                                    .observe_duration(latency);
+                                let lag = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                                lag_max.fetch_max(lag, Ordering::Relaxed);
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    WorkerOut { classes, errors }
+                })
+            })
+            .collect();
+        let outs: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect();
+        let elapsed = start_cell.get().map_or(Duration::ZERO, Instant::elapsed);
+        (outs, elapsed)
+    });
+    let (outs, elapsed) = outs;
+    let (classes, errors) = merge(outs);
+    PhaseResult {
+        name: name.to_owned(),
+        mode: "open",
+        threads,
+        ops: ops.len() as u64,
+        errors,
+        elapsed,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ActionClass, OpKind};
+    use chroma_core::ActionError;
+
+    /// An executor that sleeps a fixed time and fails on demand.
+    struct FakeExec {
+        sleep: Duration,
+        fail_every: u64,
+    }
+
+    impl Executor for FakeExec {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+
+        fn execute(&self, op: &Op) -> Result<(), ActionError> {
+            if !self.sleep.is_zero() {
+                std::thread::sleep(self.sleep);
+            }
+            if self.fail_every > 0 && op.seq.is_multiple_of(self.fail_every) {
+                return Err(ActionError::failed("injected"));
+            }
+            Ok(())
+        }
+    }
+
+    fn ops(n: u64) -> Vec<Op> {
+        (0..n)
+            .map(|seq| Op {
+                seq,
+                class: ActionClass::Serializing,
+                kind: if seq % 2 == 0 {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                },
+                key: seq % 8,
+                aux: (seq + 1) % 8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_counts_everything() {
+        let exec = FakeExec {
+            sleep: Duration::ZERO,
+            fail_every: 10,
+        };
+        let ops = ops(1000);
+        let r = run_closed("t", &exec, &ops, 4);
+        assert_eq!(r.ops, 1000);
+        assert_eq!(r.errors, 100);
+        let measured: u64 = r.classes.values().map(Histogram::count).sum();
+        assert_eq!(measured, 900);
+        assert!(r.classes.contains_key("serializing_read"));
+        assert!(r.classes.contains_key("serializing_write"));
+        assert!((r.error_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_loop_charges_backlog_to_latency() {
+        // One worker, 2ms service time, arrivals every 500us: the
+        // backlog grows, so late ops see multi-millisecond latency even
+        // though service time is constant.
+        let exec = FakeExec {
+            sleep: Duration::from_millis(2),
+            fail_every: 0,
+        };
+        let ops = ops(20);
+        let arrivals: Vec<u64> = (0..20).map(|i| i * 500).collect();
+        let r = run_open("t", &exec, &ops, &arrivals, 1);
+        assert_eq!(r.errors, 0);
+        let mut all = Histogram::new();
+        for h in r.classes.values() {
+            all.merge(h);
+        }
+        assert_eq!(all.count(), 20);
+        // The last op arrived at 9.5ms but ~40ms of service stood
+        // before it: p99 must be far above one service time.
+        assert!(
+            all.quantile_us(0.99) > 10_000,
+            "p99 {}us",
+            all.quantile_us(0.99)
+        );
+    }
+}

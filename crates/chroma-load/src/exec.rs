@@ -1,0 +1,266 @@
+//! Executors: map generated [`Op`]s onto the real runtime stack.
+//!
+//! Three targets, all driven through the public APIs an application
+//! would use:
+//!
+//! * [`KvExecutor`] — a table of `u64` objects on `Runtime` (+ any
+//!   backend), exercising plain, serializing, glued and independent
+//!   coloured actions;
+//! * [`BillingExecutor`] — the §4(iii) [`Ledger`] app;
+//! * [`BulletinExecutor`] — the §4(i) [`BulletinBoard`] app.
+//!
+//! Two-key operations always touch the lower-indexed object first, so
+//! the harness itself never creates lock-order cycles: observed
+//! deadlocks would be runtime bugs, not workload artefacts (deadlock
+//! victims are retried a few times, then counted as errors).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use chroma_apps::{BulletinBoard, Ledger};
+use chroma_core::{ActionError, ObjectId, Runtime};
+use chroma_structures::{independent_sync, GluedChain, SerializingAction};
+
+use crate::workload::{ActionClass, Op, OpKind};
+
+/// Deadlock-victim retries before an op counts as an error.
+const RETRIES: usize = 4;
+
+/// Executes generated operations against a target.
+pub trait Executor: Sync {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs one operation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime/application error; the driver counts it.
+    fn execute(&self, op: &Op) -> Result<(), ActionError>;
+}
+
+/// The raw-runtime target: `keys` persistent `u64` counters.
+pub struct KvExecutor {
+    rt: Arc<Runtime>,
+    objects: Vec<ObjectId>,
+}
+
+impl KvExecutor {
+    /// Creates the object table (one committed action per object).
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-creation failures.
+    pub fn new(rt: Arc<Runtime>, keys: u64) -> Result<Self, ActionError> {
+        let objects = (0..keys)
+            .map(|_| rt.create_object(&0u64))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(KvExecutor { rt, objects })
+    }
+
+    /// The two objects of an op, lock-order normalised (low index
+    /// first).
+    fn pair(&self, op: &Op) -> (ObjectId, ObjectId) {
+        let (lo, hi) = if op.key <= op.aux {
+            (op.key, op.aux)
+        } else {
+            (op.aux, op.key)
+        };
+        (self.objects[lo as usize], self.objects[hi as usize])
+    }
+}
+
+fn bump(v: &mut u64) {
+    *v = v.wrapping_add(1);
+}
+
+impl Executor for KvExecutor {
+    fn name(&self) -> &'static str {
+        "kv"
+    }
+
+    fn execute(&self, op: &Op) -> Result<(), ActionError> {
+        let key = self.objects[op.key as usize];
+        let (lo, hi) = self.pair(op);
+        match (op.class, op.kind) {
+            (ActionClass::Serializing, OpKind::Read) => {
+                self.rt.atomic(|a| a.read::<u64>(key)).map(drop)
+            }
+            (ActionClass::Serializing, OpKind::Write) => {
+                self.rt.atomic_retry(RETRIES, |a| a.modify(key, bump))
+            }
+            (ActionClass::Serializing, OpKind::Structure) => {
+                let sa = SerializingAction::begin(&self.rt)?;
+                sa.step(|s| s.modify(lo, bump))?;
+                sa.step(|s| {
+                    let v: u64 = s.read(lo)?;
+                    s.modify(hi, |w: &mut u64| *w = w.wrapping_add(v & 1))
+                })?;
+                sa.end()
+            }
+            (ActionClass::Glued, OpKind::Read) => {
+                let chain = GluedChain::begin(&self.rt, 1)?;
+                chain.step(|s| s.read::<u64>(lo).map(drop))?;
+                chain.step(|s| s.read::<u64>(hi).map(drop))?;
+                chain.end()
+            }
+            (ActionClass::Glued, OpKind::Write | OpKind::Structure) => {
+                let chain = GluedChain::begin(&self.rt, 1)?;
+                chain.step(|s| {
+                    s.modify(lo, bump)?;
+                    s.hand_over(lo)
+                })?;
+                chain.step(|s| {
+                    let v: u64 = s.read(lo)?;
+                    s.modify(hi, |w: &mut u64| *w = w.wrapping_add(v & 1))
+                })?;
+                chain.end()
+            }
+            (ActionClass::Independent, OpKind::Read) => self
+                .rt
+                .atomic(|a| independent_sync(a, |b| b.read::<u64>(key).map(drop))),
+            (ActionClass::Independent, OpKind::Write) => self
+                .rt
+                .atomic_retry(RETRIES, |a| independent_sync(a, |b| b.modify(key, bump))),
+            (ActionClass::Independent, OpKind::Structure) => self.rt.atomic_retry(RETRIES, |a| {
+                independent_sync(a, |b| b.modify(lo, bump))?;
+                independent_sync(a, |b| b.modify(hi, bump))
+            }),
+        }
+    }
+}
+
+/// The §4(iii) billing target: charges under skewed account ids, with
+/// periodic [`Ledger::settle`] keeping the itemised list bounded.
+pub struct BillingExecutor {
+    rt: Arc<Runtime>,
+    ledger: Ledger,
+    accounts: Vec<String>,
+}
+
+impl BillingExecutor {
+    /// Creates a fresh ledger and `keys` account names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger-creation failures.
+    pub fn new(rt: Arc<Runtime>, keys: u64) -> Result<Self, ActionError> {
+        let ledger = Ledger::create(&rt)?;
+        let accounts = (0..keys).map(|i| format!("acct-{i}")).collect();
+        Ok(BillingExecutor {
+            rt,
+            ledger,
+            accounts,
+        })
+    }
+
+    /// Total charged so far (for end-of-phase sanity checks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger read failures.
+    pub fn total(&self) -> Result<u64, ActionError> {
+        self.ledger.total()
+    }
+}
+
+impl Executor for BillingExecutor {
+    fn name(&self) -> &'static str {
+        "billing"
+    }
+
+    fn execute(&self, op: &Op) -> Result<(), ActionError> {
+        let account = &self.accounts[op.key as usize];
+        let amount = op.aux % 7 + 1;
+        match op.kind {
+            OpKind::Read => self.ledger.total().map(drop),
+            OpKind::Write => self.rt.atomic_retry(RETRIES, |a| {
+                self.ledger.charge_from(a, account, "io", amount)
+            }),
+            // Structure ops alternate metering (charge + nested service
+            // body) with settlement, which folds the itemised charges
+            // into the running total and keeps ledger state bounded
+            // under sustained load.
+            OpKind::Structure => {
+                if op.aux.is_multiple_of(2) {
+                    self.ledger.settle().map(drop)
+                } else {
+                    self.rt.atomic_retry(RETRIES, |a| {
+                        self.ledger.metered(a, account, "svc", amount, |_s| Ok(()))
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// The §4(i) bulletin-board target: skewed authors posting, readers
+/// scanning, and retract/prune as the structure ops.
+pub struct BulletinExecutor {
+    rt: Arc<Runtime>,
+    board: BulletinBoard,
+    authors: Vec<String>,
+    /// Posts made through this executor (drives retract targets).
+    posted: AtomicU64,
+    /// Board size the periodic prune keeps.
+    keep_live: usize,
+}
+
+impl BulletinExecutor {
+    /// Creates a fresh board and `keys` author names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates board-creation failures.
+    pub fn new(rt: Arc<Runtime>, keys: u64) -> Result<Self, ActionError> {
+        let board = BulletinBoard::create(&rt)?;
+        let authors = (0..keys).map(|i| format!("author-{i}")).collect();
+        Ok(BulletinExecutor {
+            rt,
+            board,
+            authors,
+            posted: AtomicU64::new(0),
+            keep_live: 512,
+        })
+    }
+
+    /// Posts on the board right now (for end-of-phase sanity checks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates board read failures.
+    pub fn post_count(&self) -> Result<usize, ActionError> {
+        self.board.post_count()
+    }
+}
+
+impl Executor for BulletinExecutor {
+    fn name(&self) -> &'static str {
+        "bulletin"
+    }
+
+    fn execute(&self, op: &Op) -> Result<(), ActionError> {
+        let author = &self.authors[op.key as usize];
+        match op.kind {
+            OpKind::Read => self.board.posts().map(drop),
+            OpKind::Write => {
+                self.rt
+                    .atomic_retry(RETRIES, |a| self.board.post_from(a, author, "load post"))?;
+                self.posted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            // Structure ops alternate the compensating retract (of a
+            // recent-ish post; a miss is fine and reports false) with
+            // the prune that bounds board growth under sustained load.
+            OpKind::Structure => {
+                if op.aux.is_multiple_of(2) {
+                    self.board.prune(self.keep_live).map(drop)
+                } else {
+                    let posted = self.posted.load(Ordering::Relaxed);
+                    let target = posted.saturating_sub(op.aux % 64 + 1);
+                    self.board.retract(target).map(drop)
+                }
+            }
+        }
+    }
+}

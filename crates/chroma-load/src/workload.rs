@@ -1,0 +1,429 @@
+//! Deterministic operation generation: the [`Workload`] trait, the
+//! mixed KV workload, and open-loop arrival schedules.
+//!
+//! Everything here is a pure function of a seed: the same seed yields
+//! byte-identical operation streams and ramp schedules across runs
+//! (the determinism test encodes two independently constructed streams
+//! and compares the bytes). Execution — which thread runs which op,
+//! how long it takes — is *not* deterministic; only generation is.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Which coloured-action structure an operation runs as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ActionClass {
+    /// A plain single-colour top-level action (the serializing base
+    /// case), or a `SerializingAction` wrapper for structure ops.
+    Serializing,
+    /// A two-step `GluedChain` handing a lock between steps.
+    Glued,
+    /// A top-level independent action invoked from inside a client
+    /// action (the §4 billing/bulletin shape).
+    Independent,
+}
+
+impl ActionClass {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionClass::Serializing => "serializing",
+            ActionClass::Glued => "glued",
+            ActionClass::Independent => "independent",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ActionClass::Serializing => 0,
+            ActionClass::Glued => 1,
+            ActionClass::Independent => 2,
+        }
+    }
+}
+
+/// What an operation does to its key(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Read-only.
+    Read,
+    /// Read-modify-write of one key.
+    Write,
+    /// A multi-key / maintenance structure operation (two-step
+    /// structures on the KV target; settle/prune/retract on the apps).
+    Structure,
+}
+
+impl OpKind {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Structure => "structure",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+            OpKind::Structure => 2,
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Position in the generated stream.
+    pub seq: u64,
+    /// Colour structure the executor runs it as.
+    pub class: ActionClass,
+    /// What it does.
+    pub kind: OpKind,
+    /// Primary key (Zipf-skewed).
+    pub key: u64,
+    /// Secondary key / payload knob; never equals `key` when the key
+    /// space allows it, so two-key ops are genuinely two-key.
+    pub aux: u64,
+}
+
+impl Op {
+    /// The label latency is accounted under: `<class>_<kind>`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match (self.class, self.kind) {
+            (ActionClass::Serializing, OpKind::Read) => "serializing_read",
+            (ActionClass::Serializing, OpKind::Write) => "serializing_write",
+            (ActionClass::Serializing, OpKind::Structure) => "serializing_structure",
+            (ActionClass::Glued, OpKind::Read) => "glued_read",
+            (ActionClass::Glued, OpKind::Write) => "glued_write",
+            (ActionClass::Glued, OpKind::Structure) => "glued_structure",
+            (ActionClass::Independent, OpKind::Read) => "independent_read",
+            (ActionClass::Independent, OpKind::Write) => "independent_write",
+            (ActionClass::Independent, OpKind::Structure) => "independent_structure",
+        }
+    }
+
+    /// Appends a fixed-width byte encoding (the determinism test's
+    /// comparison unit).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.class.tag());
+        out.push(self.kind.tag());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.extend_from_slice(&self.aux.to_le_bytes());
+    }
+}
+
+/// A deterministic, seeded operation generator.
+pub trait Workload: Send {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Generates the next operation. Must depend only on the seed and
+    /// the number of prior calls.
+    fn next_op(&mut self) -> Op;
+
+    /// Generates `count` operations.
+    fn take_ops(&mut self, count: u64) -> Vec<Op> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+
+    /// Encodes `count` operations to bytes (for determinism checks).
+    fn encode_ops(&mut self, count: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0) * 26);
+        for _ in 0..count {
+            self.next_op().encode(&mut out);
+        }
+        out
+    }
+}
+
+/// Mix fractions and key-space shape for [`MixWorkload`].
+///
+/// The three kind fractions and the three class fractions must each
+/// sum to 1 (validated at construction).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixConfig {
+    /// Key-space size (object count on the KV target, account/author
+    /// count on the apps).
+    pub keys: u64,
+    /// Zipfian skew `theta` in `[0, 1)`.
+    pub theta: f64,
+    /// Fraction of read ops.
+    pub reads: f64,
+    /// Fraction of write ops.
+    pub writes: f64,
+    /// Fraction of structure ops.
+    pub structures: f64,
+    /// Fraction of serializing-class actions.
+    pub serializing: f64,
+    /// Fraction of glued-class actions.
+    pub glued: f64,
+    /// Fraction of independent-class actions.
+    pub independent: f64,
+}
+
+impl MixConfig {
+    /// The default read-heavy skewed mix (Sutra & Shapiro's read-mostly
+    /// shape): 70/20/10 kinds, 60/20/20 classes, theta 0.8.
+    #[must_use]
+    pub fn read_heavy(keys: u64) -> Self {
+        MixConfig {
+            keys,
+            theta: 0.8,
+            reads: 0.7,
+            writes: 0.2,
+            structures: 0.1,
+            serializing: 0.6,
+            glued: 0.2,
+            independent: 0.2,
+        }
+    }
+
+    /// A write-heavy contended mix: 20/60/20 kinds, same classes,
+    /// theta 0.9 (Xu et al.'s complex-concurrency shape).
+    #[must_use]
+    pub fn write_heavy(keys: u64) -> Self {
+        MixConfig {
+            keys,
+            theta: 0.9,
+            reads: 0.2,
+            writes: 0.6,
+            structures: 0.2,
+            serializing: 0.6,
+            glued: 0.2,
+            independent: 0.2,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.keys >= 2, "mix needs at least two keys");
+        let kinds = self.reads + self.writes + self.structures;
+        let classes = self.serializing + self.glued + self.independent;
+        assert!((kinds - 1.0).abs() < 1e-9, "kind mix sums to {kinds}");
+        assert!((classes - 1.0).abs() < 1e-9, "class mix sums to {classes}");
+        assert!(
+            self.reads >= 0.0 && self.writes >= 0.0 && self.structures >= 0.0,
+            "negative kind fraction"
+        );
+        assert!(
+            self.serializing >= 0.0 && self.glued >= 0.0 && self.independent >= 0.0,
+            "negative class fraction"
+        );
+    }
+}
+
+/// The standard mixed workload: Zipf-skewed keys, configurable
+/// kind/class mix, fully determined by `(config, seed)`.
+#[derive(Clone, Debug)]
+pub struct MixWorkload {
+    cfg: MixConfig,
+    zipf: Zipf,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl MixWorkload {
+    /// Builds the generator. Draw order is part of the determinism
+    /// contract: kind, class, key, then aux — always four draws per op.
+    #[must_use]
+    pub fn new(cfg: MixConfig, seed: u64) -> Self {
+        cfg.validate();
+        MixWorkload {
+            cfg,
+            zipf: Zipf::new(cfg.keys, cfg.theta),
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+        }
+    }
+
+    /// The configuration this generator draws from.
+    #[must_use]
+    pub fn config(&self) -> MixConfig {
+        self.cfg
+    }
+}
+
+impl Workload for MixWorkload {
+    fn name(&self) -> &'static str {
+        "mix"
+    }
+
+    fn next_op(&mut self) -> Op {
+        // Fixed draw order; every op consumes exactly four draws so the
+        // stream position is a pure function of `seq`.
+        let kind_u: f64 = self.rng.gen_range(0.0..1.0);
+        let class_u: f64 = self.rng.gen_range(0.0..1.0);
+        let key = self.zipf.sample(&mut self.rng);
+        let aux_raw = self.rng.gen_range(0..self.cfg.keys - 1);
+        // aux is drawn from the key space minus `key`, keeping two-key
+        // ops two-key.
+        let aux = if aux_raw >= key { aux_raw + 1 } else { aux_raw };
+
+        let kind = if kind_u < self.cfg.reads {
+            OpKind::Read
+        } else if kind_u < self.cfg.reads + self.cfg.writes {
+            OpKind::Write
+        } else {
+            OpKind::Structure
+        };
+        let class = if class_u < self.cfg.serializing {
+            ActionClass::Serializing
+        } else if class_u < self.cfg.serializing + self.cfg.glued {
+            ActionClass::Glued
+        } else {
+            ActionClass::Independent
+        };
+
+        let seq = self.seq;
+        self.seq += 1;
+        Op {
+            seq,
+            class,
+            kind,
+            key,
+            aux,
+        }
+    }
+}
+
+/// One constant-rate segment of an open-loop arrival schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RampPhase {
+    /// Target arrival rate, operations per second.
+    pub rate_per_sec: u64,
+    /// Operations issued at this rate before moving on.
+    pub ops: u64,
+}
+
+/// A deterministic open-loop arrival schedule: phases of evenly spaced
+/// arrivals at increasing (or any) rates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RampSchedule {
+    phases: Vec<RampPhase>,
+}
+
+impl RampSchedule {
+    /// Builds a schedule from `(rate_per_sec, ops)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// If any phase has a zero rate or zero ops.
+    #[must_use]
+    pub fn new(phases: Vec<RampPhase>) -> Self {
+        assert!(!phases.is_empty(), "empty ramp schedule");
+        for p in &phases {
+            assert!(p.rate_per_sec > 0, "zero arrival rate");
+            assert!(p.ops > 0, "zero-op ramp phase");
+        }
+        RampSchedule { phases }
+    }
+
+    /// Total operations across all phases.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+
+    /// The phases, in order.
+    #[must_use]
+    pub fn phases(&self) -> &[RampPhase] {
+        &self.phases
+    }
+
+    /// Intended arrival offsets in microseconds from the run start, one
+    /// per operation, non-decreasing. Evenly spaced within each phase:
+    /// arrival `i` of a phase at rate `r` lands at `i * 1e6 / r` past
+    /// the phase start.
+    #[must_use]
+    pub fn arrival_offsets_us(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(usize::try_from(self.total_ops()).unwrap_or(0));
+        let mut base_us = 0u64;
+        for p in &self.phases {
+            for i in 0..p.ops {
+                out.push(base_us + i * 1_000_000 / p.rate_per_sec);
+            }
+            base_us += p.ops * 1_000_000 / p.rate_per_sec;
+        }
+        out
+    }
+
+    /// Byte encoding of the schedule (for determinism checks).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.phases.len() * 16);
+        for p in &self.phases {
+            out.extend_from_slice(&p.rate_per_sec.to_le_bytes());
+            out.extend_from_slice(&p.ops.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let cfg = MixConfig::read_heavy(1024);
+        let mut w = MixWorkload::new(cfg, 9);
+        let ops = w.take_ops(20_000);
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count() as f64;
+        let glued = ops.iter().filter(|o| o.class == ActionClass::Glued).count() as f64;
+        let n = ops.len() as f64;
+        assert!((reads / n - 0.7).abs() < 0.02, "reads {}", reads / n);
+        assert!((glued / n - 0.2).abs() < 0.02, "glued {}", glued / n);
+    }
+
+    #[test]
+    fn aux_never_equals_key() {
+        let mut w = MixWorkload::new(MixConfig::write_heavy(2), 5);
+        for op in w.take_ops(2_000) {
+            assert_ne!(op.key, op.aux);
+            assert!(op.key < 2 && op.aux < 2);
+        }
+    }
+
+    #[test]
+    fn seq_numbers_and_encoding_are_stable() {
+        let mut a = MixWorkload::new(MixConfig::read_heavy(64), 1234);
+        let mut b = MixWorkload::new(MixConfig::read_heavy(64), 1234);
+        assert_eq!(a.encode_ops(5_000), b.encode_ops(5_000));
+        let mut c = MixWorkload::new(MixConfig::read_heavy(64), 1235);
+        assert_ne!(
+            MixWorkload::new(MixConfig::read_heavy(64), 1234).encode_ops(1_000),
+            c.encode_ops(1_000),
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn ramp_arrivals_are_monotone_and_rate_shaped() {
+        let ramp = RampSchedule::new(vec![
+            RampPhase {
+                rate_per_sec: 1_000,
+                ops: 100,
+            },
+            RampPhase {
+                rate_per_sec: 2_000,
+                ops: 100,
+            },
+        ]);
+        let arrivals = ramp.arrival_offsets_us();
+        assert_eq!(arrivals.len(), 200);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Phase 1 spacing 1000us, phase 2 spacing 500us.
+        assert_eq!(arrivals[1] - arrivals[0], 1_000);
+        assert_eq!(arrivals[101] - arrivals[100], 500);
+        // Phase 2 starts exactly where phase 1's budget ends.
+        assert_eq!(arrivals[100], 100_000);
+    }
+}

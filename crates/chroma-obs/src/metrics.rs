@@ -17,6 +17,9 @@ pub struct Summary {
     pub p50_us: f64,
     /// 95th percentile, in microseconds.
     pub p95_us: f64,
+    /// 99th percentile, in microseconds — the tail the load-harness
+    /// SLO gates on.
+    pub p99_us: f64,
     /// Maximum, in microseconds.
     pub max_us: f64,
 }
@@ -38,6 +41,7 @@ impl Summary {
             mean_us,
             p50_us: pick(0.5),
             p95_us: pick(0.95),
+            p99_us: pick(0.99),
             max_us: us[count - 1],
         }
     }
@@ -47,8 +51,8 @@ impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs max={:.1}µs",
-            self.count, self.mean_us, self.p50_us, self.p95_us, self.max_us
+            "n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs p99={:.1}µs max={:.1}µs",
+            self.count, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
         )
     }
 }
@@ -169,6 +173,7 @@ impl Histogram {
             mean_us: self.sum_us as f64 / self.count as f64,
             p50_us: self.quantile_us(0.5) as f64,
             p95_us: self.quantile_us(0.95) as f64,
+            p99_us: self.quantile_us(0.99) as f64,
             max_us: self.max_us as f64,
         }
     }
@@ -251,6 +256,7 @@ mod tests {
         assert!((s.mean_us - 50.5).abs() < 0.01);
         assert!((s.p50_us - 50.0).abs() <= 1.0);
         assert!((s.p95_us - 95.0).abs() <= 1.0);
+        assert!((s.p99_us - 99.0).abs() <= 1.0);
         assert!((s.max_us - 100.0).abs() < 0.01);
     }
 
@@ -287,6 +293,70 @@ mod tests {
         assert!(s.p50_us >= 500.0 && s.p50_us <= 1000.0, "p50 {}", s.p50_us);
         assert!(s.p95_us >= 950.0, "p95 {}", s.p95_us);
         assert_eq!(s.max_us, 1000.0);
+    }
+
+    #[test]
+    fn p99_at_bucket_boundaries() {
+        // 98 fast samples in the [8, 16) bucket, two slow outliers: the
+        // p99 rank (98 of 0..=99) lands on the first outlier, whose
+        // bucket upper bound is clamped to the exact observed maximum.
+        let mut h = Histogram::new();
+        for _ in 0..98 {
+            h.observe(10);
+        }
+        h.observe(1000);
+        h.observe(1000);
+        let s = h.summary();
+        assert_eq!(s.p50_us, 15.0, "upper bound of the [8, 16) bucket");
+        assert_eq!(s.p99_us, 1000.0, "outlier bucket clamped to max");
+        assert_eq!(s.max_us, 1000.0);
+
+        // One outlier among 100 is *below* the p99 rank: the tail
+        // percentile stays in the fast bucket while max records it.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10);
+        }
+        h.observe(1000);
+        let s = h.summary();
+        assert_eq!(s.p99_us, 15.0);
+        assert_eq!(s.max_us, 1000.0);
+
+        // With the outliers at an exact power of two the clamp still
+        // returns the observed value, not the bucket's 2x upper bound.
+        let mut h = Histogram::new();
+        for _ in 0..98 {
+            h.observe(10);
+        }
+        h.observe(1024);
+        h.observe(1024);
+        assert_eq!(h.summary().p99_us, 1024.0);
+
+        // 100 identical samples on a bucket boundary: every percentile
+        // is that sample.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(1024);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50_us, 1024.0);
+        assert_eq!(s.p99_us, 1024.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for us in [1u64, 3, 7, 100, 5_000, 80_000, 1_000_000] {
+            for _ in 0..10 {
+                h.observe(us);
+            }
+        }
+        let s = h.summary();
+        assert!(s.p50_us <= s.p95_us);
+        assert!(s.p95_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        let text = format!("{s}");
+        assert!(text.contains("p99="), "Display carries p99: {text}");
     }
 
     #[test]
