@@ -13,6 +13,16 @@
 //! `Write` acquisitions, `release_colour`, `retire_action` — the same
 //! sequence the runtime's commit path performs.
 //!
+//! A second section drives the full `Runtime` with a **readers vs
+//! writers** workload: 1/2/4/8 writer threads each hammering their own
+//! disjoint key range while one scanner thread continuously reads every
+//! key. The scanner runs twice — as a conventional read-locking action
+//! (`rw_locked`) and as a declared read-only snapshot (`rw_snapshot`).
+//! Writers' key ranges are disjoint, so the scanner is the *only*
+//! possible source of lock waits; the snapshot runs must therefore
+//! record exactly zero waits, and the benchmark exits non-zero if they
+//! don't — the MVCC read path touching the lock table is a regression.
+//!
 //! Results are written as JSON to `BENCH_locks.json` (override with
 //! `--out <path>`). `--smoke` shrinks the workload for CI. Exits
 //! non-zero if the disjoint workload ever parks a waiter, or if
@@ -23,11 +33,13 @@
 //! floor degrades to a no-regression check (8 threads must stay within
 //! noise of the serial run).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use chroma_base::{ActionId, Colour, LockMode, ObjectId};
 use chroma_bench::report::{Obj, Report};
+use chroma_core::Runtime;
 use chroma_locks::{ColouredPolicy, FlatAncestry, LockTable};
 
 /// Lock-client thread counts benchmarked, in order.
@@ -132,24 +144,162 @@ fn run(workload: Workload, threads: usize, iters: u64) -> RunResult {
     }
 }
 
-fn render_report(results: &[RunResult]) -> Report {
+/// Keys each writer owns in the readers-vs-writers workload.
+const RW_KEYS_PER_WRITER: u64 = 64;
+
+#[derive(Clone, Copy, PartialEq)]
+enum ScanMode {
+    /// The scanner is a normal action taking read locks (2PL).
+    Locked,
+    /// The scanner is a declared read-only snapshot (no locks).
+    Snapshot,
+}
+
+impl ScanMode {
+    fn name(self) -> &'static str {
+        match self {
+            ScanMode::Locked => "rw_locked",
+            ScanMode::Snapshot => "rw_snapshot",
+        }
+    }
+}
+
+struct RwResult {
+    mode: &'static str,
+    writers: usize,
+    commits: u64,
+    scans: u64,
+    elapsed: Duration,
+    /// Lock waits during the run. Writers' ranges are disjoint, so any
+    /// wait involves the scanner; in snapshot mode this must be zero.
+    waits: u64,
+}
+
+/// One readers-vs-writers run: `writers` threads each committing
+/// `iters` single-key modifications on their own key range, racing one
+/// scanner thread that reads every key until the writers finish.
+fn run_rw(mode: ScanMode, writers: usize, iters: u64) -> RwResult {
+    let rt = Runtime::builder().build();
+    let objects: Vec<ObjectId> = (0..writers as u64 * RW_KEYS_PER_WRITER)
+        .map(|_| rt.create_object(&0u64).expect("create key"))
+        .collect();
+    let objects = Arc::new(objects);
+    let waits_before = rt.lock_wait_stats().waits;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(writers + 2));
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let rt = rt.clone();
+            let objects = Arc::clone(&objects);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let range = &objects
+                    [w * RW_KEYS_PER_WRITER as usize..(w + 1) * RW_KEYS_PER_WRITER as usize];
+                barrier.wait();
+                for i in 0..iters {
+                    let object = range[(i % RW_KEYS_PER_WRITER) as usize];
+                    rt.atomic(|a| a.modify::<u64, _>(object, |v| *v += 1))
+                        .expect("writer commit");
+                }
+            })
+        })
+        .collect();
+
+    let scanner = {
+        let rt = rt.clone();
+        let objects = Arc::clone(&objects);
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            barrier.wait();
+            let mut scans = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match mode {
+                    ScanMode::Locked => {
+                        rt.atomic(|a| {
+                            let mut sum = 0u64;
+                            for &object in objects.iter() {
+                                sum += a.read::<u64>(object)?;
+                            }
+                            Ok(sum)
+                        })
+                        .expect("locked scan");
+                    }
+                    ScanMode::Snapshot => {
+                        let snap = rt.begin_read_only();
+                        for &object in objects.iter() {
+                            snap.read::<u64>(object).expect("snapshot scan");
+                        }
+                        snap.end();
+                    }
+                }
+                scans += 1;
+            }
+            scans
+        })
+    };
+
+    barrier.wait();
+    let started = Instant::now();
+    for h in writer_handles {
+        h.join().expect("writer thread");
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let scans = scanner.join().expect("scanner thread");
+
+    RwResult {
+        mode: mode.name(),
+        writers,
+        commits: writers as u64 * iters,
+        scans,
+        elapsed,
+        waits: rt.lock_wait_stats().waits - waits_before,
+    }
+}
+
+fn render_report(results: &[RunResult], rw_results: &[RwResult]) -> Report {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    results.iter().fold(
-        Report::new("lock_scalability").field("cores", cores),
-        |report, r| {
-            report.run(
-                Obj::new()
-                    .field("workload", r.workload)
-                    .field("threads", r.threads)
-                    .field("acquires", r.acquires)
-                    .field("elapsed_ms", r.elapsed.as_secs_f64() * 1000.0)
-                    .field("acquires_per_sec", r.acquires_per_sec())
-                    .field("waits", r.waits),
-            )
-        },
-    )
+    let waits_in = |mode: &str| {
+        rw_results
+            .iter()
+            .filter(|r| r.mode == mode)
+            .map(|r| r.waits)
+            .sum::<u64>()
+    };
+    let report = Report::new("lock_scalability")
+        .field("cores", cores)
+        .field("writer_waits_without_snapshots", waits_in("rw_locked"))
+        .field("writer_waits_with_snapshots", waits_in("rw_snapshot"));
+    let report = results.iter().fold(report, |report, r| {
+        report.run(
+            Obj::new()
+                .field("workload", r.workload)
+                .field("threads", r.threads)
+                .field("acquires", r.acquires)
+                .field("elapsed_ms", r.elapsed.as_secs_f64() * 1000.0)
+                .field("acquires_per_sec", r.acquires_per_sec())
+                .field("waits", r.waits),
+        )
+    });
+    rw_results.iter().fold(report, |report, r| {
+        report.run(
+            Obj::new()
+                .field("workload", r.mode)
+                .field("threads", r.writers)
+                .field("commits", r.commits)
+                .field("scans", r.scans)
+                .field("elapsed_ms", r.elapsed.as_secs_f64() * 1000.0)
+                .field(
+                    "commits_per_sec",
+                    r.commits as f64 / r.elapsed.as_secs_f64(),
+                )
+                .field("waits", r.waits),
+        )
+    })
 }
 
 fn main() {
@@ -185,10 +335,44 @@ fn main() {
         }
     }
 
-    render_report(&results)
+    let rw_iters: u64 = if smoke { 2_000 } else { 20_000 };
+    let mut rw_results = Vec::new();
+    for mode in [ScanMode::Locked, ScanMode::Snapshot] {
+        for &writers in &THREAD_COUNTS {
+            let r = run_rw(mode, writers, rw_iters);
+            println!(
+                "{:12}  writers={:2}  commits={:8}  scans={:6}  {:10.1} commits/s  waits={}",
+                r.mode,
+                r.writers,
+                r.commits,
+                r.scans,
+                r.commits as f64 / r.elapsed.as_secs_f64(),
+                r.waits,
+            );
+            rw_results.push(r);
+        }
+    }
+
+    render_report(&results, &rw_results)
         .write(&out_path)
         .expect("write results");
     println!("wrote {out_path}");
+
+    let snapshot_waits: u64 = rw_results
+        .iter()
+        .filter(|r| r.mode == "rw_snapshot")
+        .map(|r| r.waits)
+        .sum();
+    if snapshot_waits > 0 {
+        eprintln!(
+            "FAIL: {snapshot_waits} lock waits with a snapshot scanner — \
+             writers' key ranges are disjoint, so the read-only scanner \
+             must be the culprit; snapshot reads are touching the lock \
+             table",
+        );
+        std::process::exit(1);
+    }
+    println!("snapshot scanner caused 0 writer waits across all writer counts");
 
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

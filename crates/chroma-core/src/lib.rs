@@ -30,6 +30,7 @@ mod backend;
 mod error;
 mod runtime;
 mod scope;
+mod snapshot;
 mod tree;
 mod undo;
 
@@ -37,6 +38,7 @@ pub use backend::{BackendError, DiskBackend, LocalBackend, PermanenceBackend};
 pub use error::ActionError;
 pub use runtime::{Runtime, RuntimeBuilder, RuntimeConfig, RuntimeStats};
 pub use scope::ActionScope;
+pub use snapshot::SnapshotScope;
 pub use tree::{ActionState, ActionTree};
 pub use undo::{BeforeImage, UndoLog};
 

@@ -1,5 +1,6 @@
 //! The multi-coloured action runtime.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -9,15 +10,24 @@ use chroma_base::{
 };
 use chroma_locks::{ColouredPolicy, LockTable, DEFAULT_LOCK_SHARDS};
 use chroma_obs::{EventBus, EventKind, Obs, ObsCell, Observable};
-use chroma_store::{codec, StoreBytes, VolatileStore};
+use chroma_store::{
+    codec, GcStats, SnapshotStamps, StampClock, StoreBytes, VersionChains, VisibleVersion,
+    VolatileStore,
+};
+use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use crate::backend::{LocalBackend, PermanenceBackend};
 use crate::error::ActionError;
 use crate::scope::ActionScope;
+use crate::snapshot::SnapshotScope;
 use crate::tree::{ActionState, ActionTree};
 use crate::undo::UndoLog;
+
+/// Stamped outermost flushes between automatic version-chain GC
+/// sweeps ([`Runtime::version_gc`] runs one on demand).
+const GC_EVERY: u64 = 64;
 
 /// Tunables for a [`Runtime`].
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +80,19 @@ struct Inner {
     config: RuntimeConfig,
     stats: StatCounters,
     obs: ObsCell,
+    /// Per-object version chains feeding read-only snapshot actions.
+    versions: VersionChains,
+    /// Allocates and publishes the per-colour commit stamps snapshots
+    /// capture.
+    stamps: StampClock,
+    /// Live read-only snapshots: id → the stamp vector captured at
+    /// open. Capture happens *inside* this lock (both here and in
+    /// [`Runtime::version_gc`]) so GC can never miss a
+    /// concurrently-opening snapshot with an older capture than its
+    /// own.
+    snapshots: Mutex<HashMap<ActionId, Arc<SnapshotStamps>>>,
+    /// Stamped outermost flushes since boot; drives automatic GC.
+    gc_tick: AtomicU64,
 }
 
 /// The multi-coloured action runtime: persistent objects, coloured
@@ -237,6 +260,10 @@ impl RuntimeBuilder {
                 config: self.config,
                 stats: StatCounters::default(),
                 obs: ObsCell::new(),
+                versions: VersionChains::new(),
+                stamps: StampClock::new(),
+                snapshots: Mutex::new(HashMap::new()),
+                gc_tick: AtomicU64::new(0),
             }),
         };
         if let Some(obs) = self.obs {
@@ -495,6 +522,7 @@ impl Runtime {
             .tree
             .colours(action)
             .ok_or(ActionError::NotActive(action))?;
+        let mut stamped = false;
         for colour in colours {
             match inner.tree.closest_ancestor_with_colour(action, colour) {
                 Some(ancestor) => {
@@ -515,16 +543,44 @@ impl Runtime {
                         })
                         .collect();
                     if !updates.is_empty() {
-                        if let Err(e) = inner.stable.commit_batch(updates) {
+                        // Seed each updated object's version chain with
+                        // its before-image *before* the stable install:
+                        // a snapshot reader that finds no chain falls
+                        // back to stable storage, and must never find
+                        // this commit's states there first.
+                        for (object, image) in &records {
+                            inner.versions.seed_base(*object, image.clone());
+                        }
+                        if let Err(e) = inner.stable.commit_batch(updates.clone()) {
                             // Permanence is unreachable: put the undo
                             // records back and keep the action active
                             // (with its locks) so commit can be retried
-                            // or the action aborted.
+                            // or the action aborted. The seeded bases
+                            // stay — they hold the still-committed
+                            // states, and re-seeding is a no-op.
                             for (object, image) in records {
                                 inner.undo.record_before(action, object, colour, image);
                             }
                             return Err(ActionError::Backend(e));
                         }
+                        // Publish the new states as versions under the
+                        // colour's stamp gate: same-colour stamps enter
+                        // chains in order, so a snapshot capturing
+                        // frontier `s` is guaranteed every version
+                        // `<= s` is already appended.
+                        let gate = inner.stamps.publish_guard(colour);
+                        let stamp = inner.stamps.allocate();
+                        for (object, state) in &updates {
+                            inner.versions.append(*object, colour, stamp, state.clone());
+                            obs.emit(EventKind::VersionPublish {
+                                object: *object,
+                                colour,
+                                stamp,
+                            });
+                        }
+                        inner.stamps.publish(colour, stamp);
+                        drop(gate);
+                        stamped = true;
                     }
                     inner.locks.release_colour(action, colour);
                     if let Some(flush_started) = flush_started {
@@ -547,6 +603,11 @@ impl Runtime {
                 "core.commit_us",
                 u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
             );
+        }
+        // Bound chain growth: every GC_EVERY stamped flushes, reclaim
+        // versions no live snapshot can reach.
+        if stamped && inner.gc_tick.fetch_add(1, Ordering::Relaxed) % GC_EVERY == GC_EVERY - 1 {
+            self.version_gc();
         }
         Ok(())
     }
@@ -771,6 +832,20 @@ impl Runtime {
         }
         inner.undo.clear();
         inner.volatile.crash();
+        // Version chains are volatile too; recovery rebuilds bases
+        // lazily from stable storage. The stamp clock itself survives
+        // (stamps are never reused, the published frontier only
+        // advances), so post-recovery snapshots stay sound.
+        inner.versions.crash();
+        // Open snapshots die with the node: later reads through a
+        // stale scope fail `NotActive`.
+        let mut dead: Vec<ActionId> = inner.snapshots.lock().drain().map(|(id, _)| id).collect();
+        dead.sort_unstable();
+        for id in dead {
+            inner.locks.unmark_lockless(id);
+            inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            obs.emit(EventKind::ActionAbort { action: id });
+        }
         inner.stable.recover();
         obs.emit(EventKind::NodeRecover { node });
     }
@@ -780,6 +855,196 @@ impl Runtime {
     /// how many were pruned.
     pub fn prune_terminated(&self) -> usize {
         self.inner.tree.prune_terminated()
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only snapshot actions
+    // ------------------------------------------------------------------
+
+    /// Opens a declared read-only action: captures the published
+    /// per-colour commit frontier and returns a [`SnapshotScope`] whose
+    /// reads all observe that one consistent snapshot. Snapshot reads
+    /// are served from version chains and never touch the lock table,
+    /// so a read-only action can neither block a writer nor deadlock.
+    ///
+    /// The scope counts as committed when ended (explicitly or on
+    /// drop); a [`Runtime::crash_and_recover`] kills it like any other
+    /// active action, after which its reads fail
+    /// [`ActionError::NotActive`].
+    pub fn begin_read_only(&self) -> SnapshotScope<'_> {
+        let inner = &self.inner;
+        let id = ActionId::from_raw(inner.next_action.fetch_add(1, Ordering::Relaxed));
+        // Capture inside the registry lock so a concurrent GC (which
+        // also captures inside it) can never hold a *newer* frontier
+        // than a snapshot it did not see registered.
+        let stamps = {
+            let mut registry = inner.snapshots.lock();
+            let stamps = Arc::new(inner.stamps.capture());
+            registry.insert(id, Arc::clone(&stamps));
+            stamps
+        };
+        inner.locks.mark_lockless(id);
+        inner.stats.begun.fetch_add(1, Ordering::Relaxed);
+        let obs = inner.obs.get();
+        obs.emit(EventKind::ActionBegin {
+            action: id,
+            parent: None,
+            colours: 0,
+        });
+        let captured = stamps.nonzero();
+        if captured.is_empty() {
+            // Nothing published yet: record the open with the base
+            // stamp so the trace still marks this action as a snapshot
+            // reader (auditor rule R10b).
+            obs.emit(EventKind::SnapshotOpen {
+                action: id,
+                colour: Colour::from_index(0),
+                stamp: 0,
+            });
+        } else {
+            for (colour, stamp) in captured {
+                obs.emit(EventKind::SnapshotOpen {
+                    action: id,
+                    colour,
+                    stamp,
+                });
+            }
+        }
+        SnapshotScope::new(self, id, stamps)
+    }
+
+    /// Ends a read-only snapshot action (idempotent; called by
+    /// [`SnapshotScope`] on end/drop). A scope already killed by a
+    /// crash is a no-op — its abort was recorded then.
+    pub(crate) fn end_read_only(&self, action: ActionId) {
+        let inner = &self.inner;
+        if inner.snapshots.lock().remove(&action).is_some() {
+            inner.locks.unmark_lockless(action);
+            inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+            inner.obs.get().emit(EventKind::ActionCommit { action });
+        }
+    }
+
+    /// Serves one snapshot read: the newest version of `object` visible
+    /// at the snapshot's captured stamps, falling back to stable
+    /// storage for objects with no version chain.
+    pub(crate) fn op_snapshot_read(
+        &self,
+        action: ActionId,
+        object: ObjectId,
+    ) -> Result<StoreBytes, ActionError> {
+        let inner = &self.inner;
+        let stamps = inner
+            .snapshots
+            .lock()
+            .get(&action)
+            .cloned()
+            .ok_or(ActionError::NotActive(action))?;
+        let obs = inner.obs.get();
+        let mut rechecked = false;
+        loop {
+            match inner.versions.read_visible(object, &stamps) {
+                VisibleVersion::Version {
+                    colour,
+                    stamp,
+                    state,
+                } => {
+                    if obs.enabled() {
+                        obs.emit(EventKind::SnapshotRead {
+                            action,
+                            object,
+                            colour,
+                            stamp,
+                        });
+                        obs.observe(
+                            "core.snapshot_lag",
+                            inner.stamps.current().saturating_sub(stamp),
+                        );
+                    }
+                    // A `None` state is a tombstone base: the object
+                    // did not exist at the snapshot.
+                    return state.ok_or(ActionError::NoSuchObject(object));
+                }
+                VisibleVersion::NoChain => {
+                    let stable = inner.stable.read(object);
+                    // A commit may have seeded the chain and installed
+                    // its states between our two looks; the chain is
+                    // then authoritative (the stable state could
+                    // already be newer than this snapshot). One
+                    // re-check suffices: a seeded chain always has a
+                    // visible base.
+                    if !rechecked && inner.versions.has_chain(object) {
+                        rechecked = true;
+                        continue;
+                    }
+                    let Some(state) = stable else {
+                        return Err(ActionError::NoSuchObject(object));
+                    };
+                    if obs.enabled() {
+                        obs.emit(EventKind::SnapshotRead {
+                            action,
+                            object,
+                            colour: Colour::from_index(0),
+                            stamp: 0,
+                        });
+                    }
+                    return Ok(state);
+                }
+            }
+        }
+    }
+
+    /// Runs one version-chain GC sweep: reclaims versions no live
+    /// snapshot can reach. The newest selectable version of every chain
+    /// always survives, so writers never lose their committed state.
+    /// Sweeps also run automatically every few stamped commits; call
+    /// this to force one (e.g. after closing a long scan).
+    pub fn version_gc(&self) -> GcStats {
+        let inner = &self.inner;
+        // Capture inside the registry lock (see `begin_read_only`): any
+        // snapshot not yet registered will capture *after* us, hence a
+        // frontier at least as new as ours, and our fresh capture pins
+        // everything it can need.
+        let live: Vec<SnapshotStamps> = {
+            let registry = inner.snapshots.lock();
+            let mut live: Vec<SnapshotStamps> = registry.values().map(|s| (**s).clone()).collect();
+            live.push(inner.stamps.capture());
+            live
+        };
+        let stats = inner.versions.collect(&live);
+        let obs = inner.obs.get();
+        if obs.enabled() {
+            obs.emit(EventKind::VersionGc {
+                reclaimed: stats.reclaimed,
+                retained: stats.retained,
+            });
+        }
+        stats
+    }
+
+    /// Number of read-only snapshot actions currently open.
+    #[must_use]
+    pub fn live_snapshot_count(&self) -> usize {
+        self.inner.snapshots.lock().len()
+    }
+
+    /// Version-chain length of one object (tests/metrics).
+    #[must_use]
+    pub fn version_chain_len(&self, object: ObjectId) -> usize {
+        self.inner.versions.chain_len(object)
+    }
+
+    /// Total versions held across all chains (tests/metrics).
+    #[must_use]
+    pub fn version_count(&self) -> u64 {
+        self.inner.versions.total_versions()
+    }
+
+    /// The newest commit stamp allocated so far (0 before any stamped
+    /// flush).
+    #[must_use]
+    pub fn current_stamp(&self) -> u64 {
+        self.inner.stamps.current()
     }
 
     // ------------------------------------------------------------------

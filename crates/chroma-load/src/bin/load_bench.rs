@@ -5,7 +5,7 @@
 //! open-loop arrival ramp, billing and bulletin-board app phases),
 //! traces every event through a `JsonlSink`, then re-reads the trace to
 //! attribute latency via the critical-path profiler and to re-check the
-//! R1–R9 invariants with the trace auditor.
+//! R1–R10 invariants with the trace auditor.
 //!
 //! Results go to `BENCH_load.json` (override with `--out <path>`) in
 //! the unified BENCH schema (DESIGN.md §5.3): one run object per phase
@@ -24,7 +24,7 @@
 //!   under the offered ramp (healthy runs sit around 100 ms; the
 //!   margin absorbs transient scheduler/disk stalls on busy hosts);
 //! * any phase's error rate exceeds 0.5 %;
-//! * the trace audit reports any R1–R9 violation.
+//! * the trace audit reports any R1–R10 violation.
 //!
 //! `--smoke` (the CI configuration) runs ~116k actions; the default
 //! full profile runs ~1.16M. The seed comes from `--seed` or

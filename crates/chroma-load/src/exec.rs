@@ -126,6 +126,29 @@ impl Executor for KvExecutor {
                 independent_sync(a, |b| b.modify(lo, bump))?;
                 independent_sync(a, |b| b.modify(hi, bump))
             }),
+            // Snapshot-class actions are declared read-only: every
+            // variant reads at one consistent MVCC snapshot without
+            // ever touching the lock table (kinds only vary the scan
+            // width — there is nothing to write).
+            (ActionClass::Snapshot, OpKind::Read) => {
+                let snap = self.rt.begin_read_only();
+                snap.read::<u64>(key).map(drop)
+            }
+            (ActionClass::Snapshot, OpKind::Write) => {
+                let snap = self.rt.begin_read_only();
+                snap.read::<u64>(lo)?;
+                snap.read::<u64>(hi).map(drop)
+            }
+            (ActionClass::Snapshot, OpKind::Structure) => {
+                // A longer consistent scan: eight keys, wrapping around
+                // the table from the op's primary key.
+                let snap = self.rt.begin_read_only();
+                for i in 0..8u64 {
+                    let idx = (op.key + i) % self.objects.len() as u64;
+                    snap.read::<u64>(self.objects[idx as usize]).map(drop)?;
+                }
+                Ok(())
+            }
         }
     }
 }

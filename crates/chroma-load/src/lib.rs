@@ -14,7 +14,7 @@
 //! throughput and per-class p50/p95/p99 latency to `BENCH_load.json`,
 //! feeds the run's trace through the critical-path profiler so tail
 //! latency is attributed to lock-wait/fsync/network/2PC/compute, and
-//! exits non-zero when a smoke-scale SLO is violated or the R1–R9
+//! exits non-zero when a smoke-scale SLO is violated or the R1–R10
 //! trace audit fails. Every perf-oriented PR gates on it.
 //!
 //! Determinism contract: for a fixed seed, generated operation
@@ -199,6 +199,18 @@ impl LoadSpec {
                 ops: 10_000 * m,
                 mode: PhaseMode::Closed,
                 threads: 4,
+                workload_seed: 0,
+            },
+            // Appended after the original five so their derived phase
+            // seeds (by index) — and hence their op streams — are
+            // unchanged from pre-snapshot runs.
+            PhaseSpec {
+                name: "closed_kv_snapshots",
+                target: Target::Kv,
+                mix: MixConfig::read_heavy_snapshots(4_096),
+                ops: 16_000 * m,
+                mode: PhaseMode::Closed,
+                threads: 16,
                 workload_seed: 0,
             },
         ];

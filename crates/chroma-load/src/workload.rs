@@ -23,6 +23,9 @@ pub enum ActionClass {
     /// A top-level independent action invoked from inside a client
     /// action (the §4 billing/bulletin shape).
     Independent,
+    /// A declared read-only action over an MVCC snapshot: lock-free
+    /// reads at the captured commit frontier.
+    Snapshot,
 }
 
 impl ActionClass {
@@ -33,6 +36,7 @@ impl ActionClass {
             ActionClass::Serializing => "serializing",
             ActionClass::Glued => "glued",
             ActionClass::Independent => "independent",
+            ActionClass::Snapshot => "snapshot",
         }
     }
 
@@ -41,6 +45,7 @@ impl ActionClass {
             ActionClass::Serializing => 0,
             ActionClass::Glued => 1,
             ActionClass::Independent => 2,
+            ActionClass::Snapshot => 3,
         }
     }
 }
@@ -107,6 +112,9 @@ impl Op {
             (ActionClass::Independent, OpKind::Read) => "independent_read",
             (ActionClass::Independent, OpKind::Write) => "independent_write",
             (ActionClass::Independent, OpKind::Structure) => "independent_structure",
+            (ActionClass::Snapshot, OpKind::Read) => "snapshot_read",
+            (ActionClass::Snapshot, OpKind::Write) => "snapshot_write",
+            (ActionClass::Snapshot, OpKind::Structure) => "snapshot_structure",
         }
     }
 
@@ -168,6 +176,8 @@ pub struct MixConfig {
     pub glued: f64,
     /// Fraction of independent-class actions.
     pub independent: f64,
+    /// Fraction of snapshot-class (declared read-only) actions.
+    pub snapshot: f64,
 }
 
 impl MixConfig {
@@ -184,6 +194,7 @@ impl MixConfig {
             serializing: 0.6,
             glued: 0.2,
             independent: 0.2,
+            snapshot: 0.0,
         }
     }
 
@@ -200,13 +211,32 @@ impl MixConfig {
             serializing: 0.6,
             glued: 0.2,
             independent: 0.2,
+            snapshot: 0.0,
+        }
+    }
+
+    /// The read-heavy mix with a third of its serializing actions
+    /// recast as declared read-only snapshots: 70/20/10 kinds,
+    /// 40/20/20/20 classes, theta 0.8.
+    #[must_use]
+    pub fn read_heavy_snapshots(keys: u64) -> Self {
+        MixConfig {
+            keys,
+            theta: 0.8,
+            reads: 0.7,
+            writes: 0.2,
+            structures: 0.1,
+            serializing: 0.4,
+            glued: 0.2,
+            independent: 0.2,
+            snapshot: 0.2,
         }
     }
 
     fn validate(&self) {
         assert!(self.keys >= 2, "mix needs at least two keys");
         let kinds = self.reads + self.writes + self.structures;
-        let classes = self.serializing + self.glued + self.independent;
+        let classes = self.serializing + self.glued + self.independent + self.snapshot;
         assert!((kinds - 1.0).abs() < 1e-9, "kind mix sums to {kinds}");
         assert!((classes - 1.0).abs() < 1e-9, "class mix sums to {classes}");
         assert!(
@@ -214,7 +244,10 @@ impl MixConfig {
             "negative kind fraction"
         );
         assert!(
-            self.serializing >= 0.0 && self.glued >= 0.0 && self.independent >= 0.0,
+            self.serializing >= 0.0
+                && self.glued >= 0.0
+                && self.independent >= 0.0
+                && self.snapshot >= 0.0,
             "negative class fraction"
         );
     }
@@ -274,10 +307,16 @@ impl Workload for MixWorkload {
         } else {
             OpKind::Structure
         };
+        // The snapshot slice is carved off the *top* of the unit
+        // interval: with `snapshot == 0.0` the comparison is
+        // `class_u >= 1.0`, which a draw from `0.0..1.0` never
+        // satisfies, so pre-snapshot streams stay byte-identical.
         let class = if class_u < self.cfg.serializing {
             ActionClass::Serializing
         } else if class_u < self.cfg.serializing + self.cfg.glued {
             ActionClass::Glued
+        } else if class_u >= 1.0 - self.cfg.snapshot {
+            ActionClass::Snapshot
         } else {
             ActionClass::Independent
         };
@@ -381,6 +420,24 @@ mod tests {
         let n = ops.len() as f64;
         assert!((reads / n - 0.7).abs() < 0.02, "reads {}", reads / n);
         assert!((glued / n - 0.2).abs() < 0.02, "glued {}", glued / n);
+    }
+
+    #[test]
+    fn snapshot_class_fraction_is_respected_and_absent_at_zero() {
+        let mut w = MixWorkload::new(MixConfig::read_heavy_snapshots(1024), 11);
+        let ops = w.take_ops(20_000);
+        let snaps = ops
+            .iter()
+            .filter(|o| o.class == ActionClass::Snapshot)
+            .count() as f64;
+        assert!((snaps / 20_000.0 - 0.2).abs() < 0.02, "snapshot {snaps}");
+        // A zero snapshot fraction must never emit the class (the
+        // byte-identity guarantee for pre-snapshot seeds).
+        let mut w0 = MixWorkload::new(MixConfig::read_heavy(1024), 11);
+        assert!(w0
+            .take_ops(20_000)
+            .iter()
+            .all(|o| o.class != ActionClass::Snapshot));
     }
 
     #[test]

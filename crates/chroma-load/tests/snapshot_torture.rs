@@ -1,0 +1,368 @@
+//! MVCC snapshot torture: concurrent Zipfian writers racing long
+//! read-only snapshot scans, across crash/recover schedules, with the
+//! full event trace audited clean under R1–R10 — plus one negative
+//! trace per R10 sub-rule proving the auditor actually bites.
+//!
+//! Seeded like the rest of the torture tooling: `CHROMA_TORTURE_SEED`
+//! selects the run, so a failing CI seed reproduces locally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use chroma_base::{ActionId, Colour, ObjectId};
+use chroma_core::Runtime;
+use chroma_load::Zipf;
+use chroma_obs::{
+    Event, EventBus, EventKind, MemorySink, Obs, Observable, TraceAuditor, Violation,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn torture_seed() -> u64 {
+    std::env::var("CHROMA_TORTURE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// SplitMix64 step — derives independent sub-seeds from the run seed.
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const KEYS: u64 = 128;
+const WRITERS: usize = 4;
+const READERS: usize = 2;
+const COMMITS_PER_WRITER: u64 = 300;
+const ROUNDS: u64 = 3;
+
+/// The torture centrepiece: rounds of concurrent Zipf-skewed
+/// increments racing full-table snapshot scans, a crash/recover
+/// between rounds, and the whole trace audited clean at the end.
+///
+/// Each scan asserts two MVCC guarantees directly:
+/// * **repeatability** — re-reading a key inside one snapshot returns
+///   the identical value, no matter what writers commit meanwhile;
+/// * **monotonicity** — writers only increment, so a later snapshot
+///   must see per-key values at least as large as an earlier one from
+///   the same reader thread.
+#[test]
+fn zipfian_writers_vs_snapshot_scans_survive_crashes_and_audit_clean() {
+    let seed = torture_seed();
+    let rt = Runtime::builder().build();
+    let bus = Arc::new(EventBus::new());
+    let sink = Arc::new(MemorySink::new(2_000_000));
+    bus.add_sink(sink.clone());
+    rt.install_obs(Obs::new(bus));
+
+    let objects: Arc<Vec<ObjectId>> = Arc::new(
+        (0..KEYS)
+            .map(|_| rt.create_object(&0u64).expect("create key"))
+            .collect(),
+    );
+
+    for round in 0..ROUNDS {
+        let barrier = Arc::new(Barrier::new(WRITERS + READERS));
+        let writers_done = Arc::new(AtomicU64::new(0));
+
+        let writer_handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let rt = rt.clone();
+                let objects = Arc::clone(&objects);
+                let barrier = Arc::clone(&barrier);
+                let writers_done = Arc::clone(&writers_done);
+                let zipf_seed = splitmix(seed, round * 100 + w as u64);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(zipf_seed);
+                    let zipf = Zipf::new(KEYS, 0.9);
+                    barrier.wait();
+                    for _ in 0..COMMITS_PER_WRITER {
+                        let object = objects[zipf.sample(&mut rng) as usize];
+                        rt.atomic(|a| a.modify(object, |v: &mut u64| *v += 1))
+                            .expect("writer commit");
+                    }
+                    writers_done.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+
+        let reader_handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let rt = rt.clone();
+                let objects = Arc::clone(&objects);
+                let barrier = Arc::clone(&barrier);
+                let writers_done = Arc::clone(&writers_done);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut floor = vec![0u64; KEYS as usize];
+                    // Scan until every writer finished, then once more so
+                    // the final frontier is observed too.
+                    let mut last_pass = false;
+                    loop {
+                        let snap = rt.begin_read_only();
+                        for (i, &object) in objects.iter().enumerate() {
+                            let v: u64 = snap.read(object).expect("snapshot read");
+                            let again: u64 = snap.read(object).expect("snapshot re-read");
+                            assert_eq!(v, again, "snapshot read not repeatable");
+                            assert!(
+                                v >= floor[i],
+                                "snapshot went backwards: key {i} was {} now {v}",
+                                floor[i]
+                            );
+                            floor[i] = v;
+                        }
+                        snap.end();
+                        if last_pass {
+                            break;
+                        }
+                        last_pass = writers_done.load(Ordering::Relaxed) == WRITERS as u64;
+                    }
+                    floor.iter().sum::<u64>()
+                })
+            })
+            .collect();
+
+        for h in writer_handles {
+            h.join().expect("writer thread");
+        }
+        let mut scanned_totals = Vec::new();
+        for h in reader_handles {
+            scanned_totals.push(h.join().expect("reader thread"));
+        }
+        // The last scan ran after every writer committed, so it must
+        // have observed the full round's increments over all rounds so
+        // far.
+        let expected = (round + 1) * WRITERS as u64 * COMMITS_PER_WRITER;
+        for total in scanned_totals {
+            assert_eq!(total, expected, "final scan missed committed increments");
+        }
+
+        // Crash between rounds — all threads joined first, so no
+        // in-flight snapshot read straddles the NodeCrash event.
+        rt.crash_and_recover();
+        let snap = rt.begin_read_only();
+        let total: u64 = objects.iter().map(|&o| snap.read::<u64>(o).unwrap()).sum();
+        snap.end();
+        assert_eq!(total, expected, "committed increments lost in crash");
+    }
+
+    assert_eq!(sink.dropped(), 0, "trace truncated; grow the sink");
+    let events = sink.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SnapshotRead { .. })),
+        "torture run produced no snapshot reads"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::VersionPublish { .. })),
+        "torture run published no versions"
+    );
+    let report = TraceAuditor::audit_events(&events);
+    assert!(report.is_clean(), "seed {seed}: {report}");
+}
+
+#[test]
+fn crash_kills_open_snapshots() {
+    let rt = Runtime::builder().build();
+    let bus = Arc::new(EventBus::new());
+    let sink = Arc::new(MemorySink::new(100_000));
+    bus.add_sink(sink.clone());
+    rt.install_obs(Obs::new(bus));
+
+    let o = rt.create_object(&7u64).unwrap();
+    let snap = rt.begin_read_only();
+    assert_eq!(snap.read::<u64>(o).unwrap(), 7);
+    assert_eq!(rt.live_snapshot_count(), 1);
+
+    rt.crash_and_recover();
+    assert_eq!(rt.live_snapshot_count(), 0);
+    assert!(
+        matches!(
+            snap.read::<u64>(o),
+            Err(chroma_core::ActionError::NotActive(_))
+        ),
+        "snapshot survived the crash"
+    );
+    drop(snap); // the scope's drop must not double-report the action
+
+    // Committed state survived; a fresh snapshot serves it.
+    let fresh = rt.begin_read_only();
+    assert_eq!(fresh.read::<u64>(o).unwrap(), 7);
+    fresh.end();
+
+    assert_eq!(sink.dropped(), 0);
+    let report = TraceAuditor::audit_events(&sink.events());
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn gc_never_reclaims_reachable_versions_and_bounds_chains() {
+    let rt = Runtime::builder().build();
+    let o = rt.create_object(&0u64).unwrap();
+
+    // Pin the base with a long-lived snapshot, then write through
+    // several automatic GC cycles (one fires every 64 stamped commits).
+    let pinned = rt.begin_read_only();
+    for _ in 0..200 {
+        rt.atomic(|a| a.modify(o, |v: &mut u64| *v += 1)).unwrap();
+    }
+    rt.version_gc();
+    assert_eq!(
+        pinned.read::<u64>(o).unwrap(),
+        0,
+        "GC reclaimed a version a live snapshot needed"
+    );
+    assert_eq!(rt.read_committed::<u64>(o).unwrap(), 200);
+
+    // Closing the snapshot unpins history: the next sweep keeps only
+    // the newest version.
+    pinned.end();
+    rt.version_gc();
+    assert_eq!(rt.version_chain_len(o), 1, "chain not bounded after GC");
+    let fresh = rt.begin_read_only();
+    assert_eq!(fresh.read::<u64>(o).unwrap(), 200);
+    fresh.end();
+}
+
+// --- R10 negative traces: one per sub-rule -------------------------
+
+fn ev(kind: EventKind) -> Event {
+    Event::at(0, kind)
+}
+
+/// R10a: a snapshot read that serves an *older* version than the
+/// newest one visible at the snapshot's stamps must be flagged.
+#[test]
+fn auditor_flags_stale_snapshot_read() {
+    let snap = ActionId::from_raw(1);
+    let o = ObjectId::from_raw(9);
+    let c = Colour::from_index(0);
+    let trace = vec![
+        ev(EventKind::VersionPublish {
+            object: o,
+            colour: c,
+            stamp: 1,
+        }),
+        ev(EventKind::VersionPublish {
+            object: o,
+            colour: c,
+            stamp: 2,
+        }),
+        ev(EventKind::ActionBegin {
+            action: snap,
+            parent: None,
+            colours: 0,
+        }),
+        ev(EventKind::SnapshotOpen {
+            action: snap,
+            colour: c,
+            stamp: 2,
+        }),
+        ev(EventKind::SnapshotRead {
+            action: snap,
+            object: o,
+            colour: c,
+            stamp: 1, // stale: stamp 2 is visible
+        }),
+        ev(EventKind::ActionCommit { action: snap }),
+    ];
+    let report = TraceAuditor::audit_events(&trace);
+    assert!(matches!(
+        report.violations.as_slice(),
+        [Violation::SnapshotReadNotNewest {
+            served: 1,
+            expected: 2,
+            ..
+        }]
+    ));
+}
+
+/// R10a (future-read side): serving a version *beyond* the captured
+/// stamp breaks snapshot isolation and must be flagged.
+#[test]
+fn auditor_flags_snapshot_read_beyond_its_stamp() {
+    let snap = ActionId::from_raw(1);
+    let o = ObjectId::from_raw(9);
+    let c = Colour::from_index(0);
+    let trace = vec![
+        ev(EventKind::VersionPublish {
+            object: o,
+            colour: c,
+            stamp: 1,
+        }),
+        ev(EventKind::ActionBegin {
+            action: snap,
+            parent: None,
+            colours: 0,
+        }),
+        ev(EventKind::SnapshotOpen {
+            action: snap,
+            colour: c,
+            stamp: 1,
+        }),
+        ev(EventKind::VersionPublish {
+            object: o,
+            colour: c,
+            stamp: 2,
+        }),
+        ev(EventKind::SnapshotRead {
+            action: snap,
+            object: o,
+            colour: c,
+            stamp: 2, // beyond the captured frontier
+        }),
+        ev(EventKind::ActionCommit { action: snap }),
+    ];
+    let report = TraceAuditor::audit_events(&trace);
+    assert!(matches!(
+        report.violations.as_slice(),
+        [Violation::SnapshotReadNotNewest {
+            served: 2,
+            expected: 1,
+            ..
+        }]
+    ));
+}
+
+/// R10b: a snapshot action appearing in lock traffic must be flagged —
+/// the whole point of declared read-only actions is never touching the
+/// lock table.
+#[test]
+fn auditor_flags_snapshot_reader_in_lock_traffic() {
+    let snap = ActionId::from_raw(1);
+    let o = ObjectId::from_raw(9);
+    let c = Colour::from_index(0);
+    let trace = vec![
+        ev(EventKind::ActionBegin {
+            action: snap,
+            parent: None,
+            colours: 0,
+        }),
+        ev(EventKind::SnapshotOpen {
+            action: snap,
+            colour: c,
+            stamp: 0,
+        }),
+        ev(EventKind::LockRequest {
+            action: snap,
+            object: o,
+            colour: c,
+            mode: chroma_base::LockMode::Read,
+        }),
+        ev(EventKind::ActionCommit { action: snap }),
+    ];
+    let report = TraceAuditor::audit_events(&trace);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SnapshotReaderLocks { .. })),
+        "{report}"
+    );
+}

@@ -44,6 +44,15 @@
 //!   replays exactly the batches whose markers were group-fsynced but
 //!   never checkpointed. The rule only arms once the trace contains a
 //!   `DiskGroupCommit`, so pre-group-commit traces still audit.
+//! * **R10 — snapshot-read correctness.** A declared read-only action
+//!   (`SnapshotOpen`) must (a) serve every `SnapshotRead` from the
+//!   *newest* published version (`VersionPublish`) whose stamp is
+//!   `<=` the snapshot's captured stamp for that version's colour —
+//!   stamp 0 meaning the base/stable state — and (b) never appear in
+//!   lock traffic (request, grant, or conflict: a waiting snapshot
+//!   reader would be a waits-for edge). Version chains are volatile,
+//!   so a `NodeCrash` resets the node's published history: post-crash
+//!   snapshots correctly see the stable state as stamp 0.
 //!
 //! The auditor is deliberately independent of the runtime: it sees
 //! only the trace, so a bug that corrupts runtime state *and* its own
@@ -235,6 +244,28 @@ pub enum Violation {
         /// Marked-but-unchecked batches the trace had accumulated.
         marked: u64,
     },
+    /// R10: a snapshot read did not observe the newest committed
+    /// version visible at the snapshot's captured stamps.
+    SnapshotReadNotNewest {
+        /// The reading snapshot action.
+        action: ActionId,
+        /// The object read.
+        object: ObjectId,
+        /// The version stamp the read claims it served.
+        served: u64,
+        /// The newest published stamp visible at the snapshot's
+        /// captured frontier (0 = the base / stable state).
+        expected: u64,
+    },
+    /// R10: a snapshot (read-only) action appeared in lock traffic —
+    /// it requested, was granted, or waited for a lock, so it could
+    /// appear in a waits-for edge.
+    SnapshotReaderLocks {
+        /// The offending snapshot action.
+        action: ActionId,
+        /// The object it touched in the lock table.
+        object: ObjectId,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -358,6 +389,19 @@ impl fmt::Display for Violation {
                 f,
                 "group commit: recovery replayed {replayed} batch(es) but {marked} were marked and never checkpointed"
             ),
+            Violation::SnapshotReadNotNewest {
+                action,
+                object,
+                served,
+                expected,
+            } => write!(
+                f,
+                "snapshot: {action} read {object} at stamp {served}, but the newest visible version is stamp {expected}"
+            ),
+            Violation::SnapshotReaderLocks { action, object } => write!(
+                f,
+                "snapshot: read-only {action} appeared in lock traffic for {object}"
+            ),
         }
     }
 }
@@ -460,6 +504,17 @@ pub struct TraceAuditor {
     marked_unchecked: u64,
     /// R9 only arms once the trace proves the store group-commits.
     saw_group_commit: bool,
+    /// R10: published versions per (node, object) in append order,
+    /// as (colour index, stamp). Cleared per node on a crash: chains
+    /// are volatile, so post-crash snapshots see the stable (stamp-0)
+    /// state again. Node-less local emissions key as node 0.
+    published: HashMap<(u32, u64), Vec<(usize, u64)>>,
+    /// R10: each snapshot action's captured frontier (colour index →
+    /// stamp), accumulated from its `SnapshotOpen` events.
+    snapshot_stamps: HashMap<ActionId, HashMap<usize, u64>>,
+    /// Actions the trace declared read-only (they must never appear
+    /// in lock traffic).
+    snapshot_actions: HashSet<ActionId>,
     violations: Vec<Violation>,
     events: usize,
 }
@@ -481,6 +536,9 @@ impl Default for TraceAuditor {
             group_appends: 0,
             marked_unchecked: 0,
             saw_group_commit: false,
+            published: HashMap::new(),
+            snapshot_stamps: HashMap::new(),
+            snapshot_actions: HashSet::new(),
             violations: Vec::new(),
             events: 0,
         }
@@ -600,6 +658,10 @@ impl TraceAuditor {
                 colour,
                 mode,
             } => {
+                if self.snapshot_actions.contains(&action) {
+                    self.violations
+                        .push(Violation::SnapshotReaderLocks { action, object });
+                }
                 match self.actions.get(&action) {
                     Some(state) if state.shrunk => {
                         self.violations.push(Violation::LockAfterShrink {
@@ -894,19 +956,91 @@ impl TraceAuditor {
                 // replay installs and truncates: no batch stays marked
                 self.marked_unchecked = 0;
             }
-            // request/conflict traffic, WAL activity, the fan-out
-            // announcement, crashes and in-flight network
-            // perturbations carry no audited obligations of their own
-            EventKind::LockRequest { .. }
-            | EventKind::LockConflict { .. }
-            | EventKind::WalAppend { .. }
+            // R10: a read-only action must never enter the lock table,
+            // not even to request or wait — a waiting snapshot reader
+            // is a waits-for edge.
+            EventKind::LockRequest { action, object, .. }
+            | EventKind::LockConflict { action, object, .. } => {
+                if self.snapshot_actions.contains(&action) {
+                    self.violations
+                        .push(Violation::SnapshotReaderLocks { action, object });
+                }
+            }
+            EventKind::SnapshotOpen {
+                action,
+                colour,
+                stamp,
+            } => {
+                self.snapshot_actions.insert(action);
+                self.snapshot_stamps
+                    .entry(action)
+                    .or_default()
+                    .insert(colour.index(), stamp);
+            }
+            EventKind::SnapshotRead {
+                action,
+                object,
+                stamp,
+                ..
+            } => {
+                let caps = match self.snapshot_stamps.get(&action) {
+                    Some(caps) => caps.clone(),
+                    None => {
+                        self.violations.push(Violation::UnknownAction {
+                            action,
+                            context: "snapshot_read",
+                        });
+                        HashMap::new()
+                    }
+                };
+                // Newest published version of the object visible at
+                // the captured frontier; publications are appended in
+                // stamp order, so the last visible one is the newest.
+                let key = (event.node.map_or(0, NodeId::as_raw), object.as_raw());
+                let expected = self.published.get(&key).map_or(0, |versions| {
+                    versions
+                        .iter()
+                        .rev()
+                        .find(|(ci, s)| caps.get(ci).copied().unwrap_or(0) >= *s)
+                        .map_or(0, |&(_, s)| s)
+                });
+                if stamp != expected {
+                    self.violations.push(Violation::SnapshotReadNotNewest {
+                        action,
+                        object,
+                        served: stamp,
+                        expected,
+                    });
+                }
+            }
+            EventKind::VersionPublish {
+                object,
+                colour,
+                stamp,
+            } => {
+                let key = (event.node.map_or(0, NodeId::as_raw), object.as_raw());
+                self.published
+                    .entry(key)
+                    .or_default()
+                    .push((colour.index(), stamp));
+            }
+            // Version chains are volatile: after a crash the node's
+            // snapshot readers fall back to the stable (stamp-0)
+            // state, which must not read as "not newest".
+            EventKind::NodeCrash { node } => {
+                self.published.retain(|&(n, _), _| n != node.as_raw());
+            }
+            // WAL activity, the fan-out announcement, recovery
+            // markers, GC sweeps and in-flight network perturbations
+            // carry no audited obligations of their own
+            EventKind::WalAppend { .. }
             | EventKind::WalFlush { .. }
             | EventKind::ReplicaWrite { .. }
             | EventKind::TpcPrepare { .. }
-            | EventKind::NodeCrash { .. }
             | EventKind::NodeRecover { .. }
             | EventKind::MsgDrop { .. }
-            | EventKind::MsgDup { .. } => {}
+            | EventKind::MsgDup { .. }
+            | EventKind::VersionGc { .. } => {}
         }
     }
 
@@ -1367,6 +1501,267 @@ mod tests {
         ];
         let report = TraceAuditor::audit_events(&trace);
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn r10_clean_snapshot_trace_passes() {
+        let writer = ActionId::from_raw(1);
+        let reader = ActionId::from_raw(2);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        let trace = vec![
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 1,
+            }),
+            ev(EventKind::ActionCommit { action: writer }),
+            ev(EventKind::SnapshotOpen {
+                action: reader,
+                colour: c,
+                stamp: 1,
+            }),
+            ev(EventKind::SnapshotRead {
+                action: reader,
+                object: o,
+                colour: c,
+                stamp: 1,
+            }),
+            // a later publish is invisible to the open snapshot
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 2,
+            }),
+            ev(EventKind::SnapshotRead {
+                action: reader,
+                object: o,
+                colour: c,
+                stamp: 1,
+            }),
+            ev(EventKind::ActionCommit { action: reader }),
+        ];
+        let mut auditor = TraceAuditor::new();
+        for e in &trace {
+            auditor.observe(e);
+        }
+        // `writer` / `reader` never had ActionBegin here, so filter
+        // lifecycle noise and keep only R10 verdicts.
+        let r10: Vec<_> = auditor
+            .finish()
+            .violations
+            .into_iter()
+            .filter(|v| {
+                matches!(
+                    v,
+                    Violation::SnapshotReadNotNewest { .. } | Violation::SnapshotReaderLocks { .. }
+                )
+            })
+            .collect();
+        assert!(r10.is_empty(), "{r10:?}");
+    }
+
+    #[test]
+    fn r10_flags_snapshot_read_that_misses_newest_visible() {
+        let reader = ActionId::from_raw(2);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        let trace = vec![
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 1,
+            }),
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 2,
+            }),
+            ev(EventKind::SnapshotOpen {
+                action: reader,
+                colour: c,
+                stamp: 2,
+            }),
+            // stale: stamp 2 is visible but the read served stamp 1
+            ev(EventKind::SnapshotRead {
+                action: reader,
+                object: o,
+                colour: c,
+                stamp: 1,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations[..],
+            [Violation::SnapshotReadNotNewest {
+                served: 1,
+                expected: 2,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn r10_flags_snapshot_read_beyond_its_stamp() {
+        let reader = ActionId::from_raw(2);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        let trace = vec![
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 1,
+            }),
+            ev(EventKind::SnapshotOpen {
+                action: reader,
+                colour: c,
+                stamp: 1,
+            }),
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 2,
+            }),
+            // dirty: served a version newer than the captured stamp
+            ev(EventKind::SnapshotRead {
+                action: reader,
+                object: o,
+                colour: c,
+                stamp: 2,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations[..],
+            [Violation::SnapshotReadNotNewest {
+                served: 2,
+                expected: 1,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn r10_flags_snapshot_reader_in_lock_traffic() {
+        let reader = ActionId::from_raw(3);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        for kind in [
+            EventKind::LockRequest {
+                action: reader,
+                object: o,
+                colour: c,
+                mode: LockMode::Read,
+            },
+            EventKind::LockGrant {
+                action: reader,
+                object: o,
+                colour: c,
+                mode: LockMode::Read,
+            },
+            EventKind::LockConflict {
+                action: reader,
+                object: o,
+                colour: c,
+                mode: LockMode::Read,
+            },
+        ] {
+            let trace = vec![
+                ev(EventKind::SnapshotOpen {
+                    action: reader,
+                    colour: c,
+                    stamp: 0,
+                }),
+                ev(kind),
+            ];
+            let mut auditor = TraceAuditor::new();
+            for e in &trace {
+                auditor.observe(e);
+            }
+            let report = auditor.finish();
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::SnapshotReaderLocks { action, .. } if *action == reader)),
+                "lock traffic {trace:?} must flag the snapshot reader: {report}"
+            );
+        }
+        // ...while the same traffic from a normal action stays clean
+        let writer = ActionId::from_raw(9);
+        let trace = vec![
+            ev(EventKind::ActionBegin {
+                action: writer,
+                parent: None,
+                colours: 0b1,
+            }),
+            ev(EventKind::LockRequest {
+                action: writer,
+                object: o,
+                colour: c,
+                mode: LockMode::Write,
+            }),
+            ev(EventKind::LockGrant {
+                action: writer,
+                object: o,
+                colour: c,
+                mode: LockMode::Write,
+            }),
+        ];
+        assert!(TraceAuditor::audit_events(&trace).is_clean());
+    }
+
+    #[test]
+    fn r10_node_crash_resets_published_history() {
+        let reader = ActionId::from_raw(4);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        let trace = vec![
+            ev(EventKind::VersionPublish {
+                object: o,
+                colour: c,
+                stamp: 3,
+            }),
+            // chains are volatile: node 0 is the node-less local key
+            ev(EventKind::NodeCrash {
+                node: NodeId::from_raw(0),
+            }),
+            ev(EventKind::NodeRecover {
+                node: NodeId::from_raw(0),
+            }),
+            ev(EventKind::SnapshotOpen {
+                action: reader,
+                colour: c,
+                stamp: 3,
+            }),
+            // post-crash the read falls back to stable: stamp 0 is
+            // correct, not "missed stamp 3"
+            ev(EventKind::SnapshotRead {
+                action: reader,
+                object: o,
+                colour: c,
+                stamp: 0,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn r10_snapshot_read_without_open_is_unknown_action() {
+        let report = TraceAuditor::audit_events(&[ev(EventKind::SnapshotRead {
+            action: ActionId::from_raw(8),
+            object: ObjectId::from_raw(1),
+            colour: Colour::from_index(0),
+            stamp: 0,
+        })]);
+        assert!(matches!(
+            report.violations[..],
+            [Violation::UnknownAction {
+                context: "snapshot_read",
+                ..
+            }]
+        ));
     }
 
     #[test]

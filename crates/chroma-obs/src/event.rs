@@ -342,10 +342,53 @@ pub enum EventKind {
         /// The member's version at rejoin.
         version: u64,
     },
+    /// A declared read-only action captured one colour's published
+    /// commit frontier at open. Emitted once per colour with a
+    /// non-zero frontier (or once with colour 0 / stamp 0 when nothing
+    /// has committed yet), before any read by the action.
+    SnapshotOpen {
+        /// The read-only action.
+        action: ActionId,
+        /// The colour whose frontier was captured.
+        colour: Colour,
+        /// The captured stamp: the snapshot sees this colour's
+        /// versions with stamps `<=` it.
+        stamp: u64,
+    },
+    /// A snapshot read was served from a version chain (or from stable
+    /// storage, reported as the stamp-0 base version).
+    SnapshotRead {
+        /// The reading read-only action.
+        action: ActionId,
+        /// The object read.
+        object: ObjectId,
+        /// The served version's colour (colour 0 for base versions).
+        colour: Colour,
+        /// The served version's commit stamp (0 = base version).
+        stamp: u64,
+    },
+    /// An outermost-coloured commit appended a new version to an
+    /// object's chain, just before publishing the colour's frontier.
+    VersionPublish {
+        /// The object whose chain grew.
+        object: ObjectId,
+        /// The committing colour.
+        colour: Colour,
+        /// The version's commit stamp.
+        stamp: u64,
+    },
+    /// A version-chain GC sweep reclaimed versions no live snapshot
+    /// can reach.
+    VersionGc {
+        /// Versions dropped by the sweep.
+        reclaimed: u64,
+        /// Versions still held after the sweep.
+        retained: u64,
+    },
 }
 
 /// Count of [`EventKind`] variants; sizes the per-kind counter array.
-pub(crate) const KIND_COUNT: usize = 30;
+pub(crate) const KIND_COUNT: usize = 34;
 
 /// The stable tag of every kind, indexed by [`EventKind::index`].
 pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -379,6 +422,10 @@ pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
     "catchup_begin",
     "catchup_end",
     "disk_group_commit",
+    "snapshot_open",
+    "snapshot_read",
+    "version_publish",
+    "version_gc",
 ];
 
 impl EventKind {
@@ -416,6 +463,10 @@ impl EventKind {
             EventKind::CatchupBegin { .. } => 27,
             EventKind::CatchupEnd { .. } => 28,
             EventKind::DiskGroupCommit { .. } => 29,
+            EventKind::SnapshotOpen { .. } => 30,
+            EventKind::SnapshotRead { .. } => 31,
+            EventKind::VersionPublish { .. } => 32,
+            EventKind::VersionGc { .. } => 33,
         }
     }
 
@@ -662,6 +713,42 @@ impl Event {
                 num(&mut s, "object", object.as_raw());
                 num(&mut s, "version", version);
             }
+            EventKind::SnapshotOpen {
+                action,
+                colour,
+                stamp,
+            } => {
+                num(&mut s, "action", action.as_raw());
+                num(&mut s, "colour", colour.index() as u64);
+                num(&mut s, "stamp", stamp);
+            }
+            EventKind::SnapshotRead {
+                action,
+                object,
+                colour,
+                stamp,
+            } => {
+                num(&mut s, "action", action.as_raw());
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "colour", colour.index() as u64);
+                num(&mut s, "stamp", stamp);
+            }
+            EventKind::VersionPublish {
+                object,
+                colour,
+                stamp,
+            } => {
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "colour", colour.index() as u64);
+                num(&mut s, "stamp", stamp);
+            }
+            EventKind::VersionGc {
+                reclaimed,
+                retained,
+            } => {
+                num(&mut s, "reclaimed", reclaimed);
+                num(&mut s, "retained", retained);
+            }
         }
         if self.lc > 0 {
             num(&mut s, "lc", self.lc);
@@ -898,6 +985,26 @@ impl Event {
                 node: node("node")?,
                 object: object()?,
                 version: get_u64("version")?,
+            },
+            "snapshot_open" => EventKind::SnapshotOpen {
+                action: action("action")?,
+                colour: colour()?,
+                stamp: get_u64("stamp")?,
+            },
+            "snapshot_read" => EventKind::SnapshotRead {
+                action: action("action")?,
+                object: object()?,
+                colour: colour()?,
+                stamp: get_u64("stamp")?,
+            },
+            "version_publish" => EventKind::VersionPublish {
+                object: object()?,
+                colour: colour()?,
+                stamp: get_u64("stamp")?,
+            },
+            "version_gc" => EventKind::VersionGc {
+                reclaimed: get_u64("reclaimed")?,
+                retained: get_u64("retained")?,
             },
             other => {
                 return Err(TraceParseError::new(format!("unknown event tag `{other}`")));
@@ -1263,6 +1370,26 @@ mod tests {
                 object: o,
                 version: 4,
             },
+            EventKind::SnapshotOpen {
+                action: a1,
+                colour: c(0),
+                stamp: 5,
+            },
+            EventKind::SnapshotRead {
+                action: a1,
+                object: o,
+                colour: c(1),
+                stamp: 5,
+            },
+            EventKind::VersionPublish {
+                object: o,
+                colour: c(0),
+                stamp: 6,
+            },
+            EventKind::VersionGc {
+                reclaimed: 2,
+                retained: 5,
+            },
         ];
         kinds
             .into_iter()
@@ -1385,6 +1512,10 @@ mod tests {
             "{\"at_us\":1,\"ev\":\"replica_read\",\"node\":1,\"object\":1,\"version\":1}", // missing stale
             "{\"at_us\":1,\"ev\":\"replica_install\",\"node\":1,\"object\":1,\"version\":true}", // wrong type
             "{\"at_us\":1,\"ev\":\"catchup_end\",\"node\":1,\"object\":1}", // missing version
+            "{\"at_us\":1,\"ev\":\"snapshot_open\",\"action\":1,\"colour\":0}", // missing stamp
+            "{\"at_us\":1,\"ev\":\"snapshot_read\",\"action\":1,\"object\":1,\"stamp\":2}", // missing colour
+            "{\"at_us\":1,\"ev\":\"version_publish\",\"object\":1,\"colour\":9999,\"stamp\":2}", // colour range
+            "{\"at_us\":1,\"ev\":\"version_gc\",\"reclaimed\":1}", // missing retained
         ] {
             assert!(
                 Event::from_json_line(bad).is_err(),

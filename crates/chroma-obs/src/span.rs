@@ -267,7 +267,9 @@ impl SpanForest {
                 }
                 EventKind::LockConflict { action, .. }
                 | EventKind::LockRelease { action, .. }
-                | EventKind::UndoRecord { action, .. } => {
+                | EventKind::UndoRecord { action, .. }
+                | EventKind::SnapshotOpen { action, .. }
+                | EventKind::SnapshotRead { action, .. } => {
                     if let Some(&aidx) = action_spans.get(&action) {
                         attribute(&mut forest, aidx, i, at);
                     }
@@ -384,7 +386,9 @@ impl SpanForest {
                 | EventKind::NodeRecover { .. }
                 | EventKind::ReplicaWrite { .. }
                 | EventKind::ReplicaInstall { .. }
-                | EventKind::ReplicaRead { .. } => {}
+                | EventKind::ReplicaRead { .. }
+                | EventKind::VersionPublish { .. }
+                | EventKind::VersionGc { .. } => {}
             }
         }
         forest.unpaired_sends = paired

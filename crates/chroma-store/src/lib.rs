@@ -21,6 +21,10 @@
 //!   deployments wanting true on-disk durability;
 //! * [`DurableLog`] — a generic append-only crash-surviving log used by
 //!   the distributed commit protocol for prepare/decision records;
+//! * [`VersionChains`] + [`StampClock`] — short per-object version
+//!   chains and the published per-colour commit frontier that let
+//!   declared read-only actions take consistent snapshots without
+//!   touching the lock table;
 //! * [`codec`] — a compact serde binary codec so applications store
 //!   typed values.
 //!
@@ -43,11 +47,13 @@ pub mod codec;
 mod crc32;
 mod disk;
 mod stable;
+mod versions;
 mod volatile;
 mod wal;
 
 pub use disk::{DiskCrashPoint, DiskError, DiskStore};
 pub use stable::{BatchId, CommitCrashPoint, Crashed, LogRecord, StableStore};
+pub use versions::{GcStats, SnapshotStamps, StampClock, VersionChains, VisibleVersion};
 pub use volatile::VolatileStore;
 pub use wal::DurableLog;
 

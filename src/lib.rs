@@ -58,6 +58,15 @@
 //!     rt.atomic(|a| dir.lookup(a, "printer"))?,
 //!     Some("room 3".to_owned())
 //! );
+//!
+//! // Declared read-only actions read a consistent MVCC snapshot
+//! // without ever touching the lock table — they cannot block a
+//! // writer or deadlock, no matter how long the scan runs.
+//! let snap = rt.begin_read_only();
+//! let frozen: i64 = snap.read(account)?;
+//! rt.atomic(|a| a.modify(account, |b: &mut i64| *b += 5))?;
+//! assert_eq!(snap.read::<i64>(account)?, frozen); // still the old cut
+//! snap.end();
 //! # Ok(())
 //! # }
 //! ```
@@ -76,3 +85,7 @@ pub use chroma_typed as typed;
 // The typed handles are the recommended way to model commutative
 // objects, so they are first-class citizens of the façade.
 pub use chroma_typed::{EscrowCounter, KeyedDirectory};
+
+// Declared read-only actions are the recommended way to run long
+// scans, so the scope type is first-class too.
+pub use chroma_core::SnapshotScope;
