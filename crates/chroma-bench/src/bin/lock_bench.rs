@@ -22,6 +22,8 @@
 //! possible source of lock waits; the snapshot runs must therefore
 //! record exactly zero waits, and the benchmark exits non-zero if they
 //! don't — the MVCC read path touching the lock table is a regression.
+//! Every readers-vs-writers run also carries the streaming watchdog on
+//! its event bus; any online R1–R10 violation fails the benchmark.
 //!
 //! Results are written as JSON to `BENCH_locks.json` (override with
 //! `--out <path>`). `--smoke` shrinks the workload for CI. Exits
@@ -41,6 +43,7 @@ use chroma_base::{ActionId, Colour, LockMode, ObjectId};
 use chroma_bench::report::{Obj, Report};
 use chroma_core::Runtime;
 use chroma_locks::{ColouredPolicy, FlatAncestry, LockTable};
+use chroma_obs::{EventBus, Obs, Observable, Watchdog};
 
 /// Lock-client thread counts benchmarked, in order.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -173,6 +176,9 @@ struct RwResult {
     /// Lock waits during the run. Writers' ranges are disjoint, so any
     /// wait involves the scanner; in snapshot mode this must be zero.
     waits: u64,
+    /// Online watchdog violations observed during the run; any value
+    /// above zero fails the benchmark — a protocol bug under load.
+    violations: u64,
 }
 
 /// One readers-vs-writers run: `writers` threads each committing
@@ -180,6 +186,12 @@ struct RwResult {
 /// scanner thread that reads every key until the writers finish.
 fn run_rw(mode: ScanMode, writers: usize, iters: u64) -> RwResult {
     let rt = Runtime::builder().build();
+    // Every rw run is watchdog-audited: the streaming R1–R10 checks
+    // ride the event bus in-line, so a locking or snapshot-visibility
+    // bug under real thread contention fails the benchmark outright.
+    let bus = Arc::new(EventBus::new());
+    let watchdog = Watchdog::attach(&bus);
+    rt.install_obs(Obs::new(bus));
     let objects: Vec<ObjectId> = (0..writers as u64 * RW_KEYS_PER_WRITER)
         .map(|_| rt.create_object(&0u64).expect("create key"))
         .collect();
@@ -256,6 +268,7 @@ fn run_rw(mode: ScanMode, writers: usize, iters: u64) -> RwResult {
         scans,
         elapsed,
         waits: rt.lock_wait_stats().waits - waits_before,
+        violations: watchdog.violations(),
     }
 }
 
@@ -297,7 +310,8 @@ fn render_report(results: &[RunResult], rw_results: &[RwResult]) -> Report {
                     "commits_per_sec",
                     r.commits as f64 / r.elapsed.as_secs_f64(),
                 )
-                .field("waits", r.waits),
+                .field("waits", r.waits)
+                .field("watchdog_violations", r.violations),
         )
     })
 }
@@ -363,6 +377,17 @@ fn main() {
         .filter(|r| r.mode == "rw_snapshot")
         .map(|r| r.waits)
         .sum();
+    let rw_violations: u64 = rw_results.iter().map(|r| r.violations).sum();
+    if rw_violations > 0 {
+        eprintln!(
+            "FAIL: {rw_violations} online watchdog violation(s) during the \
+             readers-vs-writers runs — the locking or snapshot protocol \
+             broke under contention",
+        );
+        std::process::exit(1);
+    }
+    println!("watchdog silent across all readers-vs-writers runs");
+
     if snapshot_waits > 0 {
         eprintln!(
             "FAIL: {snapshot_waits} lock waits with a snapshot scanner — \

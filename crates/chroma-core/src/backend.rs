@@ -74,6 +74,13 @@ pub trait PermanenceBackend: Send + Sync + Observable {
     fn max_object(&self) -> Option<ObjectId> {
         None
     }
+
+    /// Instantaneous depth of the backend's commit queue (batches
+    /// waiting behind a group-commit leader), for live gauges. `0`
+    /// (the default) for backends that install synchronously.
+    fn queue_depth(&self) -> u64 {
+        0
+    }
 }
 
 /// Single-node permanence: a [`StableStore`] with intentions-list
@@ -197,6 +204,10 @@ impl PermanenceBackend for DiskBackend {
 
     fn max_object(&self) -> Option<ObjectId> {
         self.store.object_ids().ok()?.into_iter().max()
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.store.group_queue_depth()
     }
 }
 

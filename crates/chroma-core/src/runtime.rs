@@ -1228,6 +1228,66 @@ impl Runtime {
     pub fn lock_shard_wait_stats(&self) -> Vec<chroma_locks::WaitStats> {
         self.inner.locks.shard_wait_stats()
     }
+
+    /// Actions currently parked waiting for a lock (instantaneous
+    /// wait-queue depth across shards).
+    #[must_use]
+    pub fn lock_waiting_count(&self) -> usize {
+        self.inner.locks.waiting_count()
+    }
+
+    /// Actions begun but not yet terminated (includes open snapshot
+    /// actions).
+    #[must_use]
+    pub fn live_action_count(&self) -> u64 {
+        let s = self.stats();
+        s.begun.saturating_sub(s.committed + s.aborted)
+    }
+
+    /// Stamped flushes since the last automatic version-chain GC sweep
+    /// — how much publication traffic the next sweep will cover.
+    #[must_use]
+    pub fn gc_backlog(&self) -> u64 {
+        self.inner.gc_tick.load(Ordering::Relaxed) % GC_EVERY
+    }
+
+    /// Publishes one live gauge snapshot: sets the gauge registry on
+    /// the installed bus (no-op without one) and emits a
+    /// `metrics_snapshot` event so JSONL traces carry the series for
+    /// `chroma-trace watch`.
+    ///
+    /// Gauge catalogue: `locks.entries` (granted lock entries),
+    /// `locks.waiting` (parked acquirers), `store.group_queue`
+    /// (batches behind the group-commit leader), `store.versions`
+    /// (versions across all chains), `store.gc_backlog` (stamped
+    /// flushes since the last sweep), `core.snapshots` (open read-only
+    /// snapshot actions), `core.live_actions` (begun − terminated).
+    pub fn publish_metrics_snapshot(&self) {
+        let lock_entries = self.inner.locks.entry_count() as u64;
+        let lock_waiters = self.inner.locks.waiting_count() as u64;
+        let group_queue = self.inner.stable.queue_depth();
+        let versions = self.inner.versions.total_versions();
+        let gc_backlog = self.gc_backlog();
+        let snapshots = self.inner.snapshots.lock().len() as u64;
+        let live_actions = self.live_action_count();
+        let obs = self.inner.obs.get();
+        obs.set_gauge("locks.entries", lock_entries);
+        obs.set_gauge("locks.waiting", lock_waiters);
+        obs.set_gauge("store.group_queue", group_queue);
+        obs.set_gauge("store.versions", versions);
+        obs.set_gauge("store.gc_backlog", gc_backlog);
+        obs.set_gauge("core.snapshots", snapshots);
+        obs.set_gauge("core.live_actions", live_actions);
+        obs.emit(EventKind::MetricsSnapshot {
+            lock_entries,
+            lock_waiters,
+            group_queue,
+            versions,
+            gc_backlog,
+            snapshots,
+            live_actions,
+        });
+    }
 }
 
 impl Observable for Runtime {

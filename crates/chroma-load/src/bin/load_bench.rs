@@ -31,16 +31,19 @@
 //! `CHROMA_TORTURE_SEED` (default 42).
 
 use std::io::BufWriter;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use chroma_bench::report::{Obj, Report};
 use chroma_core::{DiskBackend, Runtime};
 use chroma_load::{
-    run_closed, run_open, BillingExecutor, BulletinExecutor, Executor, KvExecutor, LoadSpec,
-    PhaseMode, PhaseResult, PhaseSpec, Scale, Target, Workload,
+    run_closed, run_open, ActionClass, BillingExecutor, BulletinExecutor, Executor, KvExecutor,
+    LoadSpec, Op, OpKind, PhaseMode, PhaseResult, PhaseSpec, Scale, Target, Workload,
 };
-use chroma_obs::{Event, EventBus, JsonlSink, Phase, SpanForest, TraceAuditor};
+use chroma_obs::{
+    Event, EventBus, FlightRecorder, JsonlSink, Phase, SpanForest, Summary, TraceAuditor, Watchdog,
+};
 
 /// Closed-loop tail SLO: p99 must stay within this multiple of p50.
 /// The histogram's log2 buckets quantise p99 in 2× steps, and reads
@@ -204,10 +207,181 @@ fn critical_path_obj(events: &[Event]) -> Obj {
     )
 }
 
+/// Watchdog-overhead gate: p99 with the watchdog attached must stay
+/// within this multiple of the p99 without it.
+const OVERHEAD_RATIO_CEILING: f64 = 1.10;
+
+/// Absolute slack (µs) added to the overhead ceiling so scheduler
+/// jitter on sub-millisecond tails cannot fail the ratio gate
+/// spuriously.
+const OVERHEAD_SLACK_US: f64 = 250.0;
+
+/// Interleaved measurement rounds per arm.
+const OVERHEAD_ROUNDS: usize = 16;
+
+/// Closed-loop KV ops per arm per round.
+const OVERHEAD_OPS_PER_ROUND: u64 = 250;
+
+/// Measures the watchdog + recorder cost on the closed-loop KV path:
+/// twin disk-backed runtimes — one with watchdog and flight recorder
+/// attached from birth, one with only the trace sink — run identical
+/// op sequences in interleaved rounds, alternating which arm goes
+/// first each round so neither systematically inherits the other's
+/// fsync backlog. The disk path's p99 is fsync-dominated and fsync
+/// tails are wildly noisy on shared hosts, so a pooled p99 flakes;
+/// instead each arm's p99 is the *median of its per-round p99s* — an
+/// outlier round (a machine-wide stall, which hits both arms) moves
+/// one of sixteen round estimates, not the gate. Exact per-round p99s
+/// come from the raw samples rather than the log2-bucketed
+/// histograms. Returns the report object and the SLO violation, if
+/// the gate failed.
+///
+/// The measurement runs right after the main phases have dirtied
+/// hundreds of megabytes of trace and WAL, so it first waits for that
+/// writeback to drain (`sync`), and a failed gate re-measures once on
+/// fresh stores before convicting — a real regression fails both
+/// attempts, a device-level stall does not.
+fn measure_watchdog_overhead(scratch: &std::path::Path) -> (Obj, Option<String>) {
+    let _ = std::process::Command::new("sync").status();
+    let (obj, violation) = measure_watchdog_overhead_once(scratch, "a");
+    if violation.is_none() {
+        return (obj.field("attempts", 1u64), violation);
+    }
+    eprintln!("load_bench: watchdog overhead gate failed, re-measuring once on fresh stores");
+    let _ = std::process::Command::new("sync").status();
+    let (obj, violation) = measure_watchdog_overhead_once(scratch, "b");
+    (obj.field("attempts", 2u64), violation)
+}
+
+/// One full overhead measurement; `attempt` keys the scratch files so
+/// a retry starts on fresh stores.
+fn measure_watchdog_overhead_once(
+    scratch: &std::path::Path,
+    attempt: &str,
+) -> (Obj, Option<String>) {
+    let build_arm = |tag: &str, monitored: bool| {
+        let bus = Arc::new(EventBus::new());
+        let sink = Arc::new(JsonlSink::new(BufWriter::new(
+            std::fs::File::create(scratch.join(format!("overhead-{attempt}-{tag}.jsonl")))
+                .expect("create overhead trace"),
+        )));
+        bus.add_sink(sink);
+        if monitored {
+            let recorder = FlightRecorder::attach(&bus, 65_536);
+            recorder.set_auto_dump(Some(scratch.join("overhead-flight.jsonl")));
+            Watchdog::attach(&bus);
+        }
+        let backend = Arc::new(
+            DiskBackend::open(scratch.join(format!("overhead-{attempt}-{tag}-store")))
+                .expect("open overhead store"),
+        );
+        let rt = Arc::new(Runtime::builder().backend(backend).obs(bus.clone()).build());
+        let exec = KvExecutor::new(rt.clone(), 64).expect("kv executor");
+        (bus, rt, exec)
+    };
+    let (_bus_with, _rt_with, exec_with) = build_arm("with", true);
+    let (_bus_without, _rt_without, exec_without) = build_arm("without", false);
+
+    // The same deterministic closed-loop KV mix for both arms: reads,
+    // writes and snapshot scans (snapshot reads exercise the
+    // watchdog's R10 path, its most stateful rule).
+    let ops: Vec<Op> = (0..OVERHEAD_OPS_PER_ROUND)
+        .map(|seq| {
+            let (class, kind) = match seq % 4 {
+                0 | 2 => (ActionClass::Serializing, OpKind::Read),
+                1 => (ActionClass::Serializing, OpKind::Write),
+                _ => (ActionClass::Snapshot, OpKind::Read),
+            };
+            Op {
+                seq,
+                class,
+                kind,
+                key: seq % 64,
+                aux: (seq + 1) % 64,
+            }
+        })
+        .collect();
+
+    let run_arm = |exec: &KvExecutor, samples: &mut Vec<Duration>| {
+        for op in &ops {
+            let begun = Instant::now();
+            exec.execute(op).expect("overhead op");
+            samples.push(begun.elapsed());
+        }
+    };
+    // warm both stores (object creation, first fsyncs) outside the
+    // measured window
+    let mut warmup = Vec::new();
+    run_arm(&exec_with, &mut warmup);
+    run_arm(&exec_without, &mut warmup);
+
+    let mut with = Vec::new();
+    let mut without = Vec::new();
+    let mut round_p99s_with = Vec::new();
+    let mut round_p99s_without = Vec::new();
+    for round in 0..OVERHEAD_ROUNDS {
+        let mut round_with = Vec::new();
+        let mut round_without = Vec::new();
+        if round % 2 == 0 {
+            run_arm(&exec_without, &mut round_without);
+            run_arm(&exec_with, &mut round_with);
+        } else {
+            run_arm(&exec_with, &mut round_with);
+            run_arm(&exec_without, &mut round_without);
+        }
+        round_p99s_with.push(Summary::from_durations(&round_with).p99_us);
+        round_p99s_without.push(Summary::from_durations(&round_without).p99_us);
+        with.append(&mut round_with);
+        without.append(&mut round_without);
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let p99_with = median(&mut round_p99s_with);
+    let p99_without = median(&mut round_p99s_without);
+    let s_with = Summary::from_durations(&with);
+    let s_without = Summary::from_durations(&without);
+    let ceiling = p99_without * OVERHEAD_RATIO_CEILING + OVERHEAD_SLACK_US;
+    let pass = p99_with <= ceiling;
+    let ratio = if p99_without > 0.0 {
+        p99_with / p99_without
+    } else {
+        1.0
+    };
+    eprintln!(
+        "load_bench: watchdog overhead p99 {p99_with:.0}µs with vs {p99_without:.0}µs \
+         without (median of {OVERHEAD_ROUNDS} round p99s; ratio {ratio:.3}, \
+         ceiling {ceiling:.0}µs) — {}",
+        if pass { "pass" } else { "FAIL" }
+    );
+    let obj = Obj::new()
+        .field("samples_per_arm", with.len() as u64)
+        .field("rounds", OVERHEAD_ROUNDS as u64)
+        .field("p50_with_us", s_with.p50_us)
+        .field("p50_without_us", s_without.p50_us)
+        .field("p99_with_us", p99_with)
+        .field("p99_without_us", p99_without)
+        .field("pooled_p99_with_us", s_with.p99_us)
+        .field("pooled_p99_without_us", s_without.p99_us)
+        .field("ratio", ratio)
+        .field("ceiling_us", ceiling)
+        .field("pass", pass);
+    let violation = (!pass).then(|| {
+        format!(
+            "watchdog overhead: KV p99 {p99_with:.0}µs with watchdog exceeds \
+             {ceiling:.0}µs (1.10× the {p99_without:.0}µs without + \
+             {OVERHEAD_SLACK_US:.0}µs slack)",
+        )
+    });
+    (obj, violation)
+}
+
 fn main() {
     let mut scale = Scale::Full;
     let mut out_path = "BENCH_load.json".to_owned();
     let mut trace_path: Option<String> = None;
+    let mut dump_path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut threads_cap = usize::MAX;
     let mut args = std::env::args().skip(1);
@@ -216,6 +390,7 @@ fn main() {
             "--smoke" => scale = Scale::Smoke,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            "--dump" => dump_path = Some(args.next().expect("--dump needs a path")),
             "--seed" => {
                 seed = Some(
                     args.next()
@@ -234,7 +409,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: load_bench [--smoke] [--out <path>] [--trace <path>] \
-                     [--seed <n>] [--threads <n>]"
+                     [--dump <path>] [--seed <n>] [--threads <n>]"
                 );
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -263,8 +438,36 @@ fn main() {
         std::fs::File::create(&trace_file).expect("create trace file"),
     )));
     bus.add_sink(sink.clone());
+    // The online monitors run for the whole load: the watchdog
+    // re-checks R1–R4/R9/R10 in-line (the run fails on any online
+    // violation), the flight recorder keeps the newest events for a
+    // post-mortem dump on crash, violation, or SLO failure.
+    let recorder = FlightRecorder::attach(&bus, 65_536);
+    let dump_file = dump_path
+        .as_ref()
+        .map_or_else(|| scratch.join("flight.jsonl"), std::path::PathBuf::from);
+    recorder.set_auto_dump(Some(dump_file.clone()));
+    let watchdog = Watchdog::attach(&bus);
+    watchdog.on_violation(|event| {
+        eprintln!("load_bench: WATCHDOG {}", event.to_json_line());
+    });
     let backend = Arc::new(DiskBackend::open(&data_dir).expect("open disk backend"));
     let rt = Arc::new(Runtime::builder().backend(backend).obs(bus.clone()).build());
+
+    // Gauge ticker: periodic metrics_snapshot records in the trace,
+    // the series `chroma-trace watch` tails.
+    let ticker_stop = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let rt = rt.clone();
+        let stop = ticker_stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                rt.publish_metrics_snapshot();
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            rt.publish_metrics_snapshot();
+        })
+    };
 
     eprintln!(
         "load_bench: seed {seed}, {} scale, {} ops planned, trace -> {}",
@@ -292,6 +495,14 @@ fn main() {
         results.push(result);
     }
     let elapsed = started.elapsed();
+    ticker_stop.store(true, Ordering::Relaxed);
+    ticker.join().expect("gauge ticker");
+
+    // Watchdog overhead: closed-loop KV p99 with the watchdog attached
+    // must stay within 1.10× of the p99 without it, measured in this
+    // same run (interleaved rounds on twin runtimes).
+    let (overhead_obj, overhead_violation) = measure_watchdog_overhead(&scratch);
+
     bus.flush();
     assert!(!sink.had_errors(), "trace sink reported write errors");
 
@@ -308,6 +519,15 @@ fn main() {
         for v in &audit.violations {
             violations.push(format!("audit: {v}"));
         }
+    }
+    if watchdog.violations() > 0 {
+        violations.push(format!(
+            "watchdog: {} online violation(s) during the load",
+            watchdog.violations()
+        ));
+    }
+    if let Some(v) = overhead_violation {
+        violations.push(v);
     }
 
     let audit_obj = Obj::new()
@@ -336,6 +556,13 @@ fn main() {
         .field("elapsed_ms", elapsed.as_secs_f64() * 1e3)
         .field("critical_path", critical_path_obj(&events))
         .field("audit", audit_obj)
+        .field(
+            "watchdog",
+            Obj::new()
+                .field("violations", watchdog.violations())
+                .field("recorder_events", recorder.len() as u64)
+                .field("overhead", overhead_obj),
+        )
         .field("slo", slo_obj);
     for r in &results {
         report = report.run(phase_run_obj(r));
@@ -343,13 +570,27 @@ fn main() {
     report.write(&out_path).expect("write report");
     eprintln!("load_bench: wrote {out_path}");
 
-    // The scratch store is disposable; a pinned trace lives elsewhere
-    // and survives.
+    // Any failure yields a flight-recorder dump for the post-mortem
+    // (auto-dump already fired on watchdog violations and crashes).
+    if !violations.is_empty() {
+        if let Err(e) = recorder.dump_to(&dump_file) {
+            eprintln!("load_bench: flight-recorder dump failed: {e}");
+        } else {
+            eprintln!(
+                "load_bench: flight recorder dumped {} event(s) -> {}",
+                recorder.len(),
+                dump_file.display()
+            );
+        }
+    }
+
+    // The scratch store is disposable; a pinned trace or dump lives
+    // elsewhere and survives.
     drop(rt);
     let _ = std::fs::remove_dir_all(&scratch);
 
     if violations.is_empty() {
-        eprintln!("load_bench: all SLOs met, audit clean");
+        eprintln!("load_bench: all SLOs met, audit clean, watchdog silent");
     } else {
         eprintln!("load_bench: FAILED —");
         for v in &violations {

@@ -917,6 +917,17 @@ impl<P: LockPolicy> LockTable<P> {
             .sum()
     }
 
+    /// Number of actions currently parked waiting for a lock, summed
+    /// across shards — the instantaneous wait-queue depth behind the
+    /// cumulative [`wait_stats`](LockTable::wait_stats).
+    #[must_use]
+    pub fn waiting_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().waiting.len())
+            .sum()
+    }
+
     fn check_and_apply(
         &self,
         state: &mut ShardState,

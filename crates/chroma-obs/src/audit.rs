@@ -1031,8 +1031,9 @@ impl TraceAuditor {
                 self.published.retain(|&(n, _), _| n != node.as_raw());
             }
             // WAL activity, the fan-out announcement, recovery
-            // markers, GC sweeps and in-flight network perturbations
-            // carry no audited obligations of their own
+            // markers, GC sweeps, in-flight network perturbations and
+            // the online watchdog's own output carry no audited
+            // obligations of their own
             EventKind::WalAppend { .. }
             | EventKind::WalFlush { .. }
             | EventKind::ReplicaWrite { .. }
@@ -1040,7 +1041,9 @@ impl TraceAuditor {
             | EventKind::NodeRecover { .. }
             | EventKind::MsgDrop { .. }
             | EventKind::MsgDup { .. }
-            | EventKind::VersionGc { .. } => {}
+            | EventKind::VersionGc { .. }
+            | EventKind::WatchdogViolation { .. }
+            | EventKind::MetricsSnapshot { .. } => {}
         }
     }
 

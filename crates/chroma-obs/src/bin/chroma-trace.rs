@@ -4,27 +4,42 @@
 //! chroma-trace analyze <trace.jsonl>             audit R1–R8 + span/flow summary
 //! chroma-trace export <trace.jsonl> [out.json]   write Chrome trace-event JSON
 //! chroma-trace critical-path <trace.jsonl>       per-colour latency phase breakdown
+//! chroma-trace watch <trace.jsonl> [--once]      tail live gauges and violations
 //! ```
 //!
 //! `analyze` exits non-zero on any invariant violation or malformed
 //! line, so it slots straight into CI after a traced run.
+//!
+//! `watch` tails a trace a live system is appending to, printing each
+//! `metrics_snapshot` gauge record and every `watchdog_violation` as
+//! they land. With `--once` it reads to the current end of file and
+//! exits — non-zero if any violation was seen — so it doubles as a
+//! cheap CI gate on a finished trace.
 
+use std::io::Read as IoRead;
 use std::process::ExitCode;
 
-use chroma_obs::{chrome_trace_from, Event, SpanForest, TraceAuditor};
+use chroma_obs::{chrome_trace_from, Event, EventKind, SpanForest, TraceAuditor};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, path, out) = match args.as_slice() {
         [cmd, path] => (cmd.as_str(), path.as_str(), None),
         [cmd, path, out] if cmd == "export" => (cmd.as_str(), path.as_str(), Some(out.clone())),
+        [cmd, path, flag] if cmd == "watch" && flag == "--once" => {
+            return watch(path, true);
+        }
         _ => {
             eprintln!(
-                "usage: chroma-trace <analyze|export|critical-path> <trace.jsonl> [out.json]"
+                "usage: chroma-trace <analyze|export|critical-path> <trace.jsonl> [out.json]\n\
+                 \x20      chroma-trace watch <trace.jsonl> [--once]"
             );
             return ExitCode::from(2);
         }
     };
+    if cmd == "watch" {
+        return watch(path, false);
+    }
 
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -94,6 +109,98 @@ fn analyze(events: &[Event]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Tails `path`, printing gauge snapshots and violations as they
+/// arrive. `once` stops at the current end of file instead of
+/// following; the exit code then reflects whether violations were
+/// seen.
+fn watch(path: &str, once: bool) -> ExitCode {
+    let mut file = match std::fs::File::open(path) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("chroma-trace: cannot open {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut pending = String::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut snapshots = 0u64;
+    let mut violations = 0u64;
+    loop {
+        match file.read(&mut chunk) {
+            Ok(0) => {
+                if once {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            Ok(n) => {
+                pending.push_str(&String::from_utf8_lossy(&chunk[..n]));
+                // process complete lines only; a live writer may have
+                // half a record in flight
+                while let Some(eol) = pending.find('\n') {
+                    let line: String = pending.drain(..=eol).collect();
+                    watch_line(line.trim_end(), &mut snapshots, &mut violations);
+                }
+            }
+            Err(e) => {
+                eprintln!("chroma-trace: read error on {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !pending.trim().is_empty() {
+        watch_line(pending.trim_end(), &mut snapshots, &mut violations);
+    }
+    println!("watched {path}: {snapshots} gauge snapshot(s), {violations} violation(s)");
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn watch_line(line: &str, snapshots: &mut u64, violations: &mut u64) {
+    if line.is_empty() {
+        return;
+    }
+    let Ok(event) = Event::from_json_line(line) else {
+        return; // not this tool's record (or a torn write): skip
+    };
+    match event.kind {
+        EventKind::MetricsSnapshot {
+            lock_entries,
+            lock_waiters,
+            group_queue,
+            versions,
+            gc_backlog,
+            snapshots: open_snapshots,
+            live_actions,
+        } => {
+            *snapshots += 1;
+            println!(
+                "[{:>12}] gauges  locks.entries={lock_entries} locks.waiting={lock_waiters} \
+                 store.group_queue={group_queue} store.versions={versions} \
+                 store.gc_backlog={gc_backlog} core.snapshots={open_snapshots} \
+                 core.live_actions={live_actions}",
+                event.at_us
+            );
+        }
+        EventKind::WatchdogViolation {
+            rule,
+            action,
+            object,
+            aux,
+        } => {
+            *violations += 1;
+            println!(
+                "[{:>12}] VIOLATION {rule} action={action} object={object} aux={aux}",
+                event.at_us
+            );
+        }
+        _ => {}
     }
 }
 

@@ -13,6 +13,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::event::{Event, EventKind, KIND_COUNT, KIND_NAMES};
 use crate::metrics::{Histogram, Snapshot};
+use crate::watchdog::Watchdog;
 
 /// Receives every event emitted on a bus, in emission order.
 pub trait EventSink: Send + Sync {
@@ -32,7 +33,18 @@ pub trait EventSink: Send + Sync {
 pub struct EventBus {
     counters: [AtomicU64; KIND_COUNT],
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    /// Named instantaneous values — occupancies and queue depths that
+    /// move in both directions, unlike the monotone counters.
+    gauges: Mutex<BTreeMap<String, u64>>,
     sinks: RwLock<Vec<Arc<dyn EventSink>>>,
+    /// The in-line streaming watchdog, when installed. Kept apart from
+    /// `sinks` because the watchdog emits `watchdog_violation` events
+    /// *back through the bus*: running it after the sink fan-out (and
+    /// outside the sink read lock) keeps that re-entry safe.
+    watchdog: RwLock<Option<Arc<Watchdog>>>,
+    /// Fast-path flag mirroring `watchdog.is_some()`, so untraced
+    /// emissions never touch the watchdog lock.
+    has_watchdog: AtomicBool,
     origin: Instant,
     manual: AtomicBool,
     manual_us: AtomicU64,
@@ -54,7 +66,10 @@ impl EventBus {
         EventBus {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             sinks: RwLock::new(Vec::new()),
+            watchdog: RwLock::new(None),
+            has_watchdog: AtomicBool::new(false),
             origin: Instant::now(),
             manual: AtomicBool::new(false),
             manual_us: AtomicU64::new(0),
@@ -67,6 +82,23 @@ impl EventBus {
     /// Attaches a sink; it sees every subsequent event.
     pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
         self.sinks.write().push(sink);
+    }
+
+    /// Installs (or, with `None`, removes) the streaming watchdog: it
+    /// then inspects every subsequent event in-line and emits a
+    /// `watchdog_violation` event the moment a rule fires — the
+    /// violation appears in the trace immediately after the offending
+    /// event, with zero intervening events.
+    pub fn install_watchdog(&self, watchdog: Option<Arc<Watchdog>>) {
+        self.has_watchdog
+            .store(watchdog.is_some(), Ordering::Relaxed);
+        *self.watchdog.write() = watchdog;
+    }
+
+    /// The installed watchdog, if any.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<Arc<Watchdog>> {
+        self.watchdog.read().clone()
     }
 
     /// Current bus time in microseconds (wall since creation, or the
@@ -117,6 +149,19 @@ impl EventBus {
         };
         for sink in self.sinks.read().iter() {
             sink.record(&event);
+        }
+        if self.has_watchdog.load(Ordering::Relaxed)
+            && !matches!(kind, EventKind::WatchdogViolation { .. })
+        {
+            // Clone the Arc out so the watchdog lock is not held while
+            // the violation recursively re-enters `emit_traced`.
+            let watchdog = self.watchdog.read().clone();
+            if let Some(watchdog) = watchdog {
+                for violation in watchdog.scan(&event) {
+                    let emitted = self.emit_traced(None, None, violation);
+                    watchdog.deliver(&emitted);
+                }
+            }
         }
         event
     }
@@ -169,6 +214,24 @@ impl EventBus {
         }
     }
 
+    /// Sets a named gauge to its current value. Gauges are sampled
+    /// occupancies (lock entries, queue depths, live actions); setting
+    /// one repeatedly just overwrites the reading.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut gauges = self.gauges.lock();
+        if let Some(g) = gauges.get_mut(name) {
+            *g = value;
+        } else {
+            gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// The current value of a named gauge, if one was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.lock().get(name).copied()
+    }
+
     /// The count of one event kind by its tag (0 for unknown tags).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
@@ -186,6 +249,12 @@ impl EventBus {
                 .iter()
                 .enumerate()
                 .map(|(i, name)| (*name, self.counters[i].load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(name, v)| (name.clone(), *v))
                 .collect(),
             histograms: self
                 .histograms
@@ -307,6 +376,14 @@ impl Obs {
     pub fn observe(&self, metric: &str, us: u64) {
         if let Some(bus) = &self.bus {
             bus.observe(metric, us);
+        }
+    }
+
+    /// Sets a named gauge (no-op without a bus). See
+    /// [`EventBus::set_gauge`].
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if let Some(bus) = &self.bus {
+            bus.set_gauge(name, value);
         }
     }
 
@@ -696,6 +773,25 @@ mod tests {
             parent: Some(ActionId::from_raw(1)),
             colours: 1,
         });
+    }
+
+    #[test]
+    fn gauges_overwrite_and_snapshot() {
+        let bus = Arc::new(EventBus::new());
+        assert_eq!(bus.gauge("locks.entries"), None);
+        bus.set_gauge("locks.entries", 4);
+        bus.set_gauge("locks.entries", 2);
+        bus.set_gauge("store.group_queue", 9);
+        assert_eq!(bus.gauge("locks.entries"), Some(2), "gauges overwrite");
+        let snap = bus.snapshot();
+        assert_eq!(snap.gauge("locks.entries"), Some(2));
+        assert_eq!(snap.gauge("store.group_queue"), Some(9));
+        assert!(snap.render().contains("gauges:"));
+        // The Obs handle forwards (and is a no-op unbound).
+        Obs::none().set_gauge("x", 1);
+        let obs = Obs::new(bus.clone());
+        obs.set_gauge("core.live_actions", 3);
+        assert_eq!(bus.gauge("core.live_actions"), Some(3));
     }
 
     #[test]

@@ -80,6 +80,90 @@ impl fmt::Display for MsgKind {
     }
 }
 
+/// The invariant a streaming [`watchdog`](crate::Watchdog) violation
+/// reports, mirroring the offline auditor's online-checkable subset
+/// (R1–R4, R9, R10).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WatchdogRule {
+    /// R1: a lock was granted to an action that already shrank
+    /// (released or inherited away a lock, or terminated).
+    LockAfterShrink,
+    /// R2: a commit-time inheritance moved a lock the source never
+    /// held.
+    InheritWithoutLock,
+    /// R2: a lock was inherited by something other than the closest
+    /// ancestor possessing the colour.
+    BadInheritTarget,
+    /// R2: a release for a lock the action never held.
+    ReleaseWithoutLock,
+    /// R3: a before-image was recorded without a write-permitting lock.
+    WriteWithoutWriteLock,
+    /// R4: a commit decision without yes-votes from every participant.
+    CommitWithoutQuorum,
+    /// R4: a commit decision despite a recorded no-vote.
+    CommitDespiteNoVote,
+    /// R4: conflicting decisions recorded for one transaction.
+    DivergentDecision,
+    /// R9: a group fsync declared a batch count that does not match
+    /// the appends since the previous group fsync.
+    GroupFsyncCoverage,
+    /// R9: replay batches did not equal group-fsynced-not-checkpointed.
+    ReplayMarkMismatch,
+    /// R10: a declared read-only snapshot action appeared in lock
+    /// traffic.
+    SnapshotReaderLocks,
+    /// R10: a snapshot read served a version older than the newest
+    /// visible at the snapshot's captured stamps.
+    SnapshotReadNotNewest,
+}
+
+impl WatchdogRule {
+    /// Every rule, in wire-tag order.
+    pub const ALL: [WatchdogRule; 12] = [
+        WatchdogRule::LockAfterShrink,
+        WatchdogRule::InheritWithoutLock,
+        WatchdogRule::BadInheritTarget,
+        WatchdogRule::ReleaseWithoutLock,
+        WatchdogRule::WriteWithoutWriteLock,
+        WatchdogRule::CommitWithoutQuorum,
+        WatchdogRule::CommitDespiteNoVote,
+        WatchdogRule::DivergentDecision,
+        WatchdogRule::GroupFsyncCoverage,
+        WatchdogRule::ReplayMarkMismatch,
+        WatchdogRule::SnapshotReaderLocks,
+        WatchdogRule::SnapshotReadNotNewest,
+    ];
+
+    /// The stable wire tag.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            WatchdogRule::LockAfterShrink => "lock_after_shrink",
+            WatchdogRule::InheritWithoutLock => "inherit_without_lock",
+            WatchdogRule::BadInheritTarget => "bad_inherit_target",
+            WatchdogRule::ReleaseWithoutLock => "release_without_lock",
+            WatchdogRule::WriteWithoutWriteLock => "write_without_write_lock",
+            WatchdogRule::CommitWithoutQuorum => "commit_without_quorum",
+            WatchdogRule::CommitDespiteNoVote => "commit_despite_no_vote",
+            WatchdogRule::DivergentDecision => "divergent_decision",
+            WatchdogRule::GroupFsyncCoverage => "group_fsync_coverage",
+            WatchdogRule::ReplayMarkMismatch => "replay_mark_mismatch",
+            WatchdogRule::SnapshotReaderLocks => "snapshot_reader_locks",
+            WatchdogRule::SnapshotReadNotNewest => "snapshot_read_not_newest",
+        }
+    }
+
+    fn parse(tag: &str) -> Option<WatchdogRule> {
+        WatchdogRule::ALL.iter().copied().find(|r| r.name() == tag)
+    }
+}
+
+impl fmt::Display for WatchdogRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// What happened, strongly typed. See [`Event`] for the timestamped
 /// record.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -385,10 +469,43 @@ pub enum EventKind {
         /// Versions still held after the sweep.
         retained: u64,
     },
+    /// The streaming watchdog detected a violated invariant while the
+    /// system was running (the online counterpart of an offline
+    /// [`Violation`](crate::Violation)).
+    WatchdogViolation {
+        /// Which online rule fired.
+        rule: WatchdogRule,
+        /// The implicated action (`0` when the rule has none).
+        action: ActionId,
+        /// The implicated object (`0` when the rule has none).
+        object: ObjectId,
+        /// Rule-dependent extra context — a transaction id for R4, a
+        /// served stamp for R10, a batch count for R9; `0` otherwise.
+        aux: u64,
+    },
+    /// A periodic gauge sample: the live occupancy of the system's
+    /// bounded structures, published so an operator (or `chroma-trace
+    /// watch`) can follow a run without stopping it.
+    MetricsSnapshot {
+        /// Granted lock entries across all shards.
+        lock_entries: u64,
+        /// Actions currently parked in a blocking lock wait.
+        lock_waiters: u64,
+        /// Batches sitting in the group-commit queue.
+        group_queue: u64,
+        /// Versions held across all version chains.
+        versions: u64,
+        /// Stamped commits since the last automatic GC sweep.
+        gc_backlog: u64,
+        /// Open read-only snapshot actions.
+        snapshots: u64,
+        /// Actions begun and not yet terminated.
+        live_actions: u64,
+    },
 }
 
 /// Count of [`EventKind`] variants; sizes the per-kind counter array.
-pub(crate) const KIND_COUNT: usize = 34;
+pub(crate) const KIND_COUNT: usize = 36;
 
 /// The stable tag of every kind, indexed by [`EventKind::index`].
 pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -426,6 +543,8 @@ pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
     "snapshot_read",
     "version_publish",
     "version_gc",
+    "watchdog_violation",
+    "metrics_snapshot",
 ];
 
 impl EventKind {
@@ -467,6 +586,8 @@ impl EventKind {
             EventKind::SnapshotRead { .. } => 31,
             EventKind::VersionPublish { .. } => 32,
             EventKind::VersionGc { .. } => 33,
+            EventKind::WatchdogViolation { .. } => 34,
+            EventKind::MetricsSnapshot { .. } => 35,
         }
     }
 
@@ -749,6 +870,34 @@ impl Event {
                 num(&mut s, "reclaimed", reclaimed);
                 num(&mut s, "retained", retained);
             }
+            EventKind::WatchdogViolation {
+                rule,
+                action,
+                object,
+                aux,
+            } => {
+                s.push_str(&format!(",\"rule\":\"{rule}\""));
+                num(&mut s, "action", action.as_raw());
+                num(&mut s, "object", object.as_raw());
+                num(&mut s, "aux", aux);
+            }
+            EventKind::MetricsSnapshot {
+                lock_entries,
+                lock_waiters,
+                group_queue,
+                versions,
+                gc_backlog,
+                snapshots,
+                live_actions,
+            } => {
+                num(&mut s, "lock_entries", lock_entries);
+                num(&mut s, "lock_waiters", lock_waiters);
+                num(&mut s, "group_queue", group_queue);
+                num(&mut s, "versions", versions);
+                num(&mut s, "gc_backlog", gc_backlog);
+                num(&mut s, "snapshots", snapshots);
+                num(&mut s, "live_actions", live_actions);
+            }
         }
         if self.lc > 0 {
             num(&mut s, "lc", self.lc);
@@ -1005,6 +1154,26 @@ impl Event {
             "version_gc" => EventKind::VersionGc {
                 reclaimed: get_u64("reclaimed")?,
                 retained: get_u64("retained")?,
+            },
+            "watchdog_violation" => EventKind::WatchdogViolation {
+                rule: {
+                    let tag = get_str("rule")?;
+                    WatchdogRule::parse(tag).ok_or_else(|| {
+                        TraceParseError::new(format!("unknown watchdog rule `{tag}`"))
+                    })?
+                },
+                action: action("action")?,
+                object: object()?,
+                aux: get_u64("aux")?,
+            },
+            "metrics_snapshot" => EventKind::MetricsSnapshot {
+                lock_entries: get_u64("lock_entries")?,
+                lock_waiters: get_u64("lock_waiters")?,
+                group_queue: get_u64("group_queue")?,
+                versions: get_u64("versions")?,
+                gc_backlog: get_u64("gc_backlog")?,
+                snapshots: get_u64("snapshots")?,
+                live_actions: get_u64("live_actions")?,
             },
             other => {
                 return Err(TraceParseError::new(format!("unknown event tag `{other}`")));
@@ -1390,6 +1559,21 @@ mod tests {
                 reclaimed: 2,
                 retained: 5,
             },
+            EventKind::WatchdogViolation {
+                rule: WatchdogRule::WriteWithoutWriteLock,
+                action: a1,
+                object: o,
+                aux: 0,
+            },
+            EventKind::MetricsSnapshot {
+                lock_entries: 12,
+                lock_waiters: 1,
+                group_queue: 3,
+                versions: 40,
+                gc_backlog: 7,
+                snapshots: 2,
+                live_actions: 5,
+            },
         ];
         kinds
             .into_iter()
@@ -1404,6 +1588,23 @@ mod tests {
             let line = event.to_json_line();
             let back = Event::from_json_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, event, "round-trip of {line}");
+        }
+    }
+
+    #[test]
+    fn sample_events_cover_every_kind() {
+        // Adding an `EventKind` without adding it to `sample_events`
+        // (and therefore to the round-trip tests above) must fail here.
+        let mut covered = [false; KIND_COUNT];
+        for event in sample_events() {
+            covered[event.kind.index()] = true;
+        }
+        for (i, seen) in covered.iter().enumerate() {
+            assert!(
+                seen,
+                "kind `{}` (index {i}) has no round-trip sample event",
+                KIND_NAMES[i]
+            );
         }
     }
 
@@ -1516,6 +1717,9 @@ mod tests {
             "{\"at_us\":1,\"ev\":\"snapshot_read\",\"action\":1,\"object\":1,\"stamp\":2}", // missing colour
             "{\"at_us\":1,\"ev\":\"version_publish\",\"object\":1,\"colour\":9999,\"stamp\":2}", // colour range
             "{\"at_us\":1,\"ev\":\"version_gc\",\"reclaimed\":1}", // missing retained
+            "{\"at_us\":1,\"ev\":\"watchdog_violation\",\"rule\":\"made_up\",\"action\":1,\"object\":1,\"aux\":0}", // unknown rule
+            "{\"at_us\":1,\"ev\":\"watchdog_violation\",\"action\":1,\"object\":1,\"aux\":0}", // missing rule
+            "{\"at_us\":1,\"ev\":\"metrics_snapshot\",\"lock_entries\":1}", // missing gauges
         ] {
             assert!(
                 Event::from_json_line(bad).is_err(),
@@ -1536,5 +1740,17 @@ mod tests {
             assert_eq!(MsgKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(MsgKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn watchdog_rule_tags_round_trip() {
+        for rule in WatchdogRule::ALL {
+            assert_eq!(WatchdogRule::parse(rule.name()), Some(rule));
+        }
+        assert_eq!(WatchdogRule::parse("nope"), None);
+        let mut names: Vec<_> = WatchdogRule::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WatchdogRule::ALL.len());
     }
 }

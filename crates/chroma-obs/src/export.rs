@@ -57,6 +57,7 @@ pub fn chrome_trace_from(forest: &SpanForest, events: &[Event]) -> String {
             SpanKind::LockWait { .. } => "lock",
             SpanKind::Txn { .. } => "2pc",
             SpanKind::Catchup { .. } => "catchup",
+            SpanKind::Snapshot { .. } => "snapshot",
         };
         entries.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
@@ -73,6 +74,20 @@ pub fn chrome_trace_from(forest: &SpanForest, events: &[Event]) -> String {
             EventKind::NodeCrash { node } => entries.push(instant("crash", node, event.at_us)),
             EventKind::NodeRecover { node } => {
                 entries.push(instant("recover", node, event.at_us));
+            }
+            // version-chain GC sweeps have no span; show them as
+            // instants on the emitting track
+            EventKind::VersionGc {
+                reclaimed,
+                retained,
+            } => {
+                entries.push(format!(
+                    "{{\"name\":\"version gc\",\"cat\":\"gc\",\"ph\":\"i\",\"s\":\"p\",\
+                     \"ts\":{},\"pid\":{},\"tid\":1,\
+                     \"args\":{{\"reclaimed\":{reclaimed},\"retained\":{retained}}}}}",
+                    event.at_us,
+                    pid(event.node)
+                ));
             }
             _ => {}
         }
@@ -189,5 +204,56 @@ mod tests {
         assert!(json.contains("\"name\":\"crash\""), "{json}");
         // the action span exported as a complete slice
         assert!(json.contains("\"cat\":\"action\""), "{json}");
+    }
+
+    #[test]
+    fn export_has_snapshot_slices_and_gc_instants() {
+        use chroma_base::{Colour, ObjectId};
+        let a = ActionId::from_raw(9);
+        let events = vec![
+            Event::at(
+                0,
+                EventKind::ActionBegin {
+                    action: a,
+                    parent: None,
+                    colours: 0,
+                },
+            ),
+            Event::at(
+                2,
+                EventKind::SnapshotOpen {
+                    action: a,
+                    colour: Colour::from_index(0),
+                    stamp: 3,
+                },
+            ),
+            Event::at(
+                5,
+                EventKind::SnapshotRead {
+                    action: a,
+                    object: ObjectId::from_raw(7),
+                    colour: Colour::from_index(0),
+                    stamp: 3,
+                },
+            ),
+            Event::at(
+                8,
+                EventKind::VersionGc {
+                    reclaimed: 4,
+                    retained: 2,
+                },
+            ),
+            Event::at(10, EventKind::ActionCommit { action: a }),
+        ];
+        let json = chrome_trace(&events);
+        // the snapshot scope exported as a categorized slice
+        assert!(json.contains("\"cat\":\"snapshot\""), "{json}");
+        assert!(json.contains(&format!("snapshot {a}")), "{json}");
+        // the GC sweep is an instant carrying its counters
+        assert!(json.contains("\"name\":\"version gc\""), "{json}");
+        assert!(
+            json.contains("\"args\":{\"reclaimed\":4,\"retained\":2}"),
+            "{json}"
+        );
     }
 }

@@ -25,7 +25,14 @@
 //! * [`chrome_trace`] exports a trace as Chrome trace-event JSON
 //!   (one track per node, flow arrows for RPC pairs) for Perfetto;
 //!   the `chroma-trace` binary wraps audit, export and profiling as
-//!   a CLI over JSONL trace files.
+//!   a CLI over JSONL trace files;
+//! * [`Watchdog`] runs the online half of the auditor: installed on a
+//!   bus it re-checks the windowed rule subset (R1–R4, R9, R10)
+//!   in-line with bounded memory and raises `watchdog_violation`
+//!   events plus a non-fatal callback while the system is running;
+//! * [`FlightRecorder`] is an always-on, lock-sharded ring of recent
+//!   events that dumps an offline-analyzable JSONL post-mortem on
+//!   crash, violation, or demand.
 //!
 //! Instrumented code holds an [`Obs`] handle — a cheap clone that is a
 //! no-op until a bus is installed, so the hot paths pay one branch when
@@ -60,14 +67,18 @@ mod bus;
 mod event;
 mod export;
 mod metrics;
+mod recorder;
 mod span;
+mod watchdog;
 
 pub use audit::{AuditReport, TraceAuditor, Violation};
 pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell, Observable};
-pub use event::{escape_json_str, Event, EventKind, MsgKind, TraceParseError};
+pub use event::{escape_json_str, Event, EventKind, MsgKind, TraceParseError, WatchdogRule};
 pub use export::{chrome_trace, chrome_trace_from};
 pub use metrics::{Histogram, Snapshot, Summary};
+pub use recorder::FlightRecorder;
 pub use span::{
     ColourBreakdown, CriticalPathReport, Flow, Outcome, Phase, Span, SpanForest, SpanKind,
     TxnBreakdown,
 };
+pub use watchdog::{Watchdog, WatchdogConfig};

@@ -179,11 +179,14 @@ impl Histogram {
     }
 }
 
-/// A point-in-time copy of a bus's counters and histograms.
+/// A point-in-time copy of a bus's counters, gauges and histograms.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
     /// Per-event-kind counts, in kind order (zero counts included).
     pub counters: Vec<(&'static str, u64)>,
+    /// Named instantaneous values (current occupancies, queue depths),
+    /// alphabetical. Unlike counters these move in both directions.
+    pub gauges: Vec<(String, u64)>,
     /// Named latency summaries, alphabetical.
     pub histograms: Vec<(String, Summary)>,
 }
@@ -198,6 +201,12 @@ impl Snapshot {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// The current value of a named gauge, if one was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// The summary for a named histogram, if any samples were recorded.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<Summary> {
@@ -207,8 +216,8 @@ impl Snapshot {
             .map(|(_, s)| *s)
     }
 
-    /// Renders a plain-text report: non-zero counters, then latency
-    /// summaries.
+    /// Renders a plain-text report: non-zero counters, then gauges,
+    /// then latency summaries.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::from("counters:\n");
@@ -221,6 +230,12 @@ impl Snapshot {
         }
         if !any {
             out.push_str("  (none)\n");
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<16} {value}\n"));
+            }
         }
         out.push_str("latency:\n");
         if self.histograms.is_empty() {
@@ -370,6 +385,30 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0, "q={q} on empty histogram");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.summary(), Summary::default());
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp_to_endpoints() {
+        let mut h = Histogram::new();
+        for us in [1u64, 10, 100, 1000] {
+            h.observe(us);
+        }
+        // q outside [0, 1] clamps to the endpoints rather than
+        // indexing out of range.
+        assert_eq!(h.quantile_us(-1.0), h.quantile_us(0.0));
+        assert_eq!(h.quantile_us(2.0), h.quantile_us(1.0));
+        assert_eq!(h.quantile_us(1.0), 1000, "q=1 is the exact max");
+    }
+
+    #[test]
     fn histogram_merge_adds_counts() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -383,6 +422,26 @@ mod tests {
         assert_eq!(a.count(), 5);
         assert_eq!(a.max_us(), 10_000);
         assert_eq!(a.summary().count, 5);
+    }
+
+    #[test]
+    fn histogram_merge_preserves_count_and_max_each_way() {
+        // Merging an empty histogram changes nothing.
+        let mut a = Histogram::new();
+        for us in [7u64, 70, 700] {
+            a.observe(us);
+        }
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging empty is the identity");
+
+        // Merging *into* an empty histogram reproduces the source's
+        // count and max exactly.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), before.count());
+        assert_eq!(empty.max_us(), before.max_us());
+        assert_eq!(empty, before);
     }
 
     #[test]
@@ -401,15 +460,26 @@ mod tests {
         h.observe(100);
         let snap = Snapshot {
             counters: vec![("action_begin", 2), ("action_commit", 0)],
+            gauges: vec![("locks.entries".to_owned(), 12)],
             histograms: vec![("core.commit_us".to_owned(), h.summary())],
         };
         assert_eq!(snap.counter("action_begin"), 2);
         assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("locks.entries"), Some(12));
+        assert_eq!(snap.gauge("missing"), None);
         assert!(snap.histogram("core.commit_us").is_some());
         assert!(snap.histogram("missing").is_none());
         let text = snap.render();
         assert!(text.contains("action_begin"));
         assert!(!text.contains("action_commit"), "zero counters elided");
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("locks.entries"));
         assert!(text.contains("core.commit_us"));
+    }
+
+    #[test]
+    fn snapshot_without_gauges_elides_the_section() {
+        let snap = Snapshot::default();
+        assert!(!snap.render().contains("gauges:"));
     }
 }

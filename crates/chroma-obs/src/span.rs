@@ -64,6 +64,13 @@ pub enum SpanKind {
         /// The object being caught up.
         object: ObjectId,
     },
+    /// A read-only action's snapshot scope: from its first frontier
+    /// capture (`snapshot_open`) to the action's termination, with the
+    /// snapshot reads attributed inside.
+    Snapshot {
+        /// The reading action.
+        action: ActionId,
+    },
 }
 
 /// One reconstructed span.
@@ -112,6 +119,7 @@ impl Span {
                 None => format!("T{txn} undecided"),
             },
             SpanKind::Catchup { object, .. } => format!("catchup {object}"),
+            SpanKind::Snapshot { action } => format!("snapshot {action}"),
         }
     }
 }
@@ -166,6 +174,7 @@ impl SpanForest {
         let mut lock_waits: HashMap<(ActionId, u64), usize> = HashMap::new();
         let mut txn_spans: HashMap<u64, usize> = HashMap::new();
         let mut catchups: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut snapshot_spans: HashMap<ActionId, usize> = HashMap::new();
         // begin-order stack of actions still open, for attributing
         // node-less store/WAL events to the innermost enclosing action
         let mut open_actions: Vec<ActionId> = Vec::new();
@@ -236,6 +245,10 @@ impl SpanForest {
                                 true
                             }
                         });
+                        // a snapshot scope ends with its action
+                        if let Some(sidx) = snapshot_spans.remove(&action) {
+                            forest.spans[sidx].end_us = forest.spans[sidx].end_us.max(at);
+                        }
                     }
                     open_actions.retain(|a| *a != action);
                 }
@@ -267,13 +280,47 @@ impl SpanForest {
                 }
                 EventKind::LockConflict { action, .. }
                 | EventKind::LockRelease { action, .. }
-                | EventKind::UndoRecord { action, .. }
-                | EventKind::SnapshotOpen { action, .. }
-                | EventKind::SnapshotRead { action, .. } => {
+                | EventKind::UndoRecord { action, .. } => {
                     if let Some(&aidx) = action_spans.get(&action) {
                         attribute(&mut forest, aidx, i, at);
                     }
                 }
+                EventKind::SnapshotOpen { action, .. } => {
+                    // first frontier capture opens the snapshot scope
+                    // as a child of the action span
+                    if let Some(&aidx) = action_spans.get(&action) {
+                        let sidx = match snapshot_spans.get(&action) {
+                            Some(&idx) => idx,
+                            None => {
+                                let idx = push_span(
+                                    &mut forest,
+                                    Span {
+                                        kind: SpanKind::Snapshot { action },
+                                        node: event.node,
+                                        begin_us: at,
+                                        end_us: at,
+                                        parent: Some(aidx),
+                                        children: Vec::new(),
+                                        events: Vec::new(),
+                                    },
+                                );
+                                snapshot_spans.insert(action, idx);
+                                idx
+                            }
+                        };
+                        attribute(&mut forest, sidx, i, at);
+                    }
+                }
+                EventKind::SnapshotRead { action, .. } => match snapshot_spans.get(&action) {
+                    Some(&sidx) => attribute(&mut forest, sidx, i, at),
+                    // a read with no traced open still belongs to the
+                    // action span
+                    None => {
+                        if let Some(&aidx) = action_spans.get(&action) {
+                            attribute(&mut forest, aidx, i, at);
+                        }
+                    }
+                },
                 EventKind::LockInherit { from, .. } => {
                     if let Some(&aidx) = action_spans.get(&from) {
                         attribute(&mut forest, aidx, i, at);
@@ -388,7 +435,9 @@ impl SpanForest {
                 | EventKind::ReplicaInstall { .. }
                 | EventKind::ReplicaRead { .. }
                 | EventKind::VersionPublish { .. }
-                | EventKind::VersionGc { .. } => {}
+                | EventKind::VersionGc { .. }
+                | EventKind::WatchdogViolation { .. }
+                | EventKind::MetricsSnapshot { .. } => {}
             }
         }
         forest.unpaired_sends = paired
@@ -759,6 +808,70 @@ mod tests {
         assert!(forest.flows.iter().all(|f| f.corr == 1 && f.send_idx == 0));
         assert_eq!(forest.unpaired_sends, vec![2]);
         assert_eq!(forest.unpaired_receives, vec![3]);
+    }
+
+    #[test]
+    fn snapshot_scope_folds_into_a_child_span() {
+        let a = ActionId::from_raw(9);
+        let o = ObjectId::from_raw(5);
+        let c = Colour::from_index(0);
+        let events = vec![
+            ev(
+                0,
+                EventKind::ActionBegin {
+                    action: a,
+                    parent: None,
+                    colours: 0,
+                },
+            ),
+            // two frontier captures, one scope
+            ev(
+                5,
+                EventKind::SnapshotOpen {
+                    action: a,
+                    colour: c,
+                    stamp: 3,
+                },
+            ),
+            ev(
+                6,
+                EventKind::SnapshotOpen {
+                    action: a,
+                    colour: Colour::from_index(1),
+                    stamp: 1,
+                },
+            ),
+            ev(
+                20,
+                EventKind::SnapshotRead {
+                    action: a,
+                    object: o,
+                    colour: c,
+                    stamp: 3,
+                },
+            ),
+            // GC sweeps belong to no span
+            ev(
+                25,
+                EventKind::VersionGc {
+                    reclaimed: 2,
+                    retained: 1,
+                },
+            ),
+            ev(30, EventKind::ActionCommit { action: a }),
+        ];
+        let forest = SpanForest::build(&events);
+        assert_eq!(forest.roots.len(), 1);
+        let root = &forest.spans[forest.roots[0]];
+        assert_eq!(root.children.len(), 1, "one snapshot scope");
+        let snap = &forest.spans[root.children[0]];
+        assert_eq!(snap.kind, SpanKind::Snapshot { action: a });
+        assert_eq!((snap.begin_us, snap.end_us), (5, 30), "open to commit");
+        assert_eq!(snap.events, vec![1, 2, 3], "opens and reads attributed");
+        assert_eq!(snap.label(), format!("snapshot {a}"));
+        // the critical-path partition stays exact with the new span
+        let report = forest.critical_path(&events);
+        assert!(report.colours.is_empty(), "colour-less snapshot action");
     }
 
     #[test]

@@ -1,0 +1,1118 @@
+//! The streaming watchdog: online, bounded-memory enforcement of the
+//! offline auditor's checkable-in-flight rules.
+//!
+//! [`TraceAuditor`](crate::TraceAuditor) re-reads a finished JSONL
+//! trace; the [`Watchdog`] instead taps the [`EventBus`] in-line
+//! (see [`EventBus::install_watchdog`]) and re-implements the rules
+//! whose state can be windowed by *live* entities — R1 (no lock after
+//! shrink), R2 (Moss inheritance moves a held lock to the closest
+//! colour-holding ancestor), R3 (writes under write locks), R4 (2PC
+//! atomicity), R9 (group-fsync coverage) and R10 (snapshot reads serve
+//! the newest visible version; snapshot actions never lock).
+//!
+//! When a rule fires the bus emits a structured `watchdog_violation`
+//! event *immediately after the offending event* — zero intervening
+//! events — and the non-fatal callback registered with
+//! [`Watchdog::on_violation`] runs synchronously. The watchdog never
+//! panics and never stops the traced system.
+//!
+//! # Windowing discipline
+//!
+//! All state is bounded:
+//!
+//! * per-action state (held locks, shrunk flag, snapshot stamps) is
+//!   keyed by *live* actions and evicted on commit/abort;
+//! * recently terminated action ids sit in a fixed ring so a grant to
+//!   a dead action is still caught ([`WatchdogConfig::retired_window`]);
+//! * 2PC state is an insertion-ordered window of recent transactions
+//!   ([`WatchdogConfig::txn_window`]);
+//! * R9 is two counters and a flag;
+//! * R10 publication chains keep the newest
+//!   [`WatchdogConfig::published_window`] versions per object over at
+//!   most [`WatchdogConfig::published_objects`] objects. A check whose
+//!   answer fell off a window is *skipped*, never guessed — the
+//!   watchdog trades completeness for bounded memory, the offline
+//!   auditor stays exact.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use chroma_base::{ActionId, Colour, LockMode, ObjectId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::event::{Event, EventKind, WatchdogRule};
+
+/// Size limits for the watchdog's windowed state.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Recently terminated action ids remembered, so a lock grant to a
+    /// dead action is still flagged as R1.
+    pub retired_window: usize,
+    /// Transactions tracked for R4, evicted oldest-first.
+    pub txn_window: usize,
+    /// Version publications retained per object for R10.
+    pub published_window: usize,
+    /// Objects with tracked publication chains; beyond this the
+    /// oldest-tracked object is forgotten and reads of untracked
+    /// objects go unchecked.
+    pub published_objects: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            retired_window: 4096,
+            txn_window: 1024,
+            published_window: 32,
+            published_objects: 65536,
+        }
+    }
+}
+
+struct LiveAction {
+    parent: Option<ActionId>,
+    colours: u64,
+    /// The action released or inherited away a lock: 2PL's shrinking
+    /// phase began, no further grants are legal (R1).
+    shrunk: bool,
+    /// Locks currently held, keyed by (object, colour index).
+    held: HashMap<(u64, usize), LockMode>,
+    /// Declared read-only snapshot action (saw a `snapshot_open`).
+    snapshot: bool,
+    /// Captured per-colour-index stamps of a snapshot action.
+    caps: HashMap<usize, u64>,
+}
+
+impl LiveAction {
+    fn new(parent: Option<ActionId>, colours: u64) -> Self {
+        LiveAction {
+            parent,
+            colours,
+            shrunk: false,
+            held: HashMap::new(),
+            snapshot: false,
+            caps: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct TxnWatch {
+    yes: BTreeSet<u32>,
+    no: BTreeSet<u32>,
+    decision: Option<bool>,
+}
+
+#[derive(Default)]
+struct PubChain {
+    /// (colour index, stamp), in publication order.
+    entries: VecDeque<(usize, u64)>,
+    /// Older publications were dropped; an "expected = base" answer is
+    /// no longer trustworthy.
+    truncated: bool,
+}
+
+#[derive(Default)]
+struct WatchdogState {
+    actions: HashMap<ActionId, LiveAction>,
+    retired: HashSet<u64>,
+    retired_order: VecDeque<u64>,
+    txns: HashMap<u64, TxnWatch>,
+    txn_order: VecDeque<u64>,
+    group_appends: u64,
+    marked_unchecked: u64,
+    saw_group_commit: bool,
+    /// Publication chains keyed by (node raw id or 0, object raw id).
+    published: HashMap<(u32, u64), PubChain>,
+    published_order: VecDeque<(u32, u64)>,
+    /// Once any whole object was evicted, an absent chain no longer
+    /// means "nothing ever published" — reads of absent chains are
+    /// then skipped instead of expected at the base version.
+    published_evictions: u64,
+    rule_counts: HashMap<WatchdogRule, u64>,
+}
+
+type Callback = dyn Fn(&Event) + Send + Sync;
+
+/// The streaming watchdog. Install on a bus with
+/// [`EventBus::install_watchdog`](crate::EventBus::install_watchdog)
+/// (or the [`Watchdog::attach`] shorthand); it then inspects every
+/// emitted event in-line.
+pub struct Watchdog {
+    config: WatchdogConfig,
+    state: Mutex<WatchdogState>,
+    violations: AtomicU64,
+    callback: RwLock<Option<Arc<Callback>>>,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new()
+    }
+}
+
+impl Watchdog {
+    /// A watchdog with default window sizes.
+    #[must_use]
+    pub fn new() -> Self {
+        Watchdog::with_config(WatchdogConfig::default())
+    }
+
+    /// A watchdog with explicit window sizes (each clamped to ≥ 1).
+    #[must_use]
+    pub fn with_config(config: WatchdogConfig) -> Self {
+        let config = WatchdogConfig {
+            retired_window: config.retired_window.max(1),
+            txn_window: config.txn_window.max(1),
+            published_window: config.published_window.max(1),
+            published_objects: config.published_objects.max(1),
+        };
+        Watchdog {
+            config,
+            state: Mutex::new(WatchdogState::default()),
+            violations: AtomicU64::new(0),
+            callback: RwLock::new(None),
+        }
+    }
+
+    /// Creates a default watchdog, installs it on `bus` and returns
+    /// the handle.
+    pub fn attach(bus: &crate::EventBus) -> Arc<Watchdog> {
+        let watchdog = Arc::new(Watchdog::new());
+        bus.install_watchdog(Some(Arc::clone(&watchdog)));
+        watchdog
+    }
+
+    /// Registers the non-fatal violation callback, replacing any
+    /// previous one. It runs synchronously on the emitting thread with
+    /// the stamped `watchdog_violation` event; it must not block.
+    pub fn on_violation(&self, callback: impl Fn(&Event) + Send + Sync + 'static) {
+        *self.callback.write() = Some(Arc::new(callback));
+    }
+
+    /// Total violations detected so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Violations detected for one rule.
+    #[must_use]
+    pub fn rule_count(&self, rule: WatchdogRule) -> u64 {
+        self.state
+            .lock()
+            .rule_counts
+            .get(&rule)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Invokes the registered callback with a stamped violation event
+    /// (called by the bus after emitting it).
+    pub(crate) fn deliver(&self, event: &Event) {
+        let callback = self.callback.read().clone();
+        if let Some(callback) = callback {
+            callback(event);
+        }
+    }
+
+    /// Feeds one event through the rule machine; returns the violation
+    /// kinds it triggered (usually empty).
+    pub(crate) fn scan(&self, event: &Event) -> Vec<EventKind> {
+        let mut out = Vec::new();
+        {
+            let mut state = self.state.lock();
+            self.step(&mut state, event, &mut out);
+            let n = out.len() as u64;
+            if n > 0 {
+                self.violations.fetch_add(n, Ordering::Relaxed);
+                for kind in &out {
+                    if let EventKind::WatchdogViolation { rule, .. } = kind {
+                        *state.rule_counts.entry(*rule).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&self, state: &mut WatchdogState, event: &Event, out: &mut Vec<EventKind>) {
+        let violation =
+            |rule: WatchdogRule, action: ActionId, object: ObjectId, aux: u64| -> EventKind {
+                EventKind::WatchdogViolation {
+                    rule,
+                    action,
+                    object,
+                    aux,
+                }
+            };
+        let zero_a = ActionId::from_raw(0);
+        let zero_o = ObjectId::from_raw(0);
+        match event.kind {
+            EventKind::ActionBegin {
+                action,
+                parent,
+                colours,
+            } => {
+                state
+                    .actions
+                    .insert(action, LiveAction::new(parent, colours));
+            }
+            EventKind::ActionCommit { action } | EventKind::ActionAbort { action } => {
+                state.actions.remove(&action);
+                if state.retired.insert(action.as_raw()) {
+                    state.retired_order.push_back(action.as_raw());
+                    while state.retired_order.len() > self.config.retired_window {
+                        if let Some(old) = state.retired_order.pop_front() {
+                            state.retired.remove(&old);
+                        }
+                    }
+                }
+            }
+            EventKind::LockRequest { action, object, .. }
+            | EventKind::LockConflict { action, object, .. }
+                if state.actions.get(&action).is_some_and(|a| a.snapshot) =>
+            {
+                out.push(violation(
+                    WatchdogRule::SnapshotReaderLocks,
+                    action,
+                    object,
+                    0,
+                ));
+            }
+            EventKind::LockGrant {
+                action,
+                object,
+                colour,
+                mode,
+            } => {
+                if let Some(a) = state.actions.get_mut(&action) {
+                    if a.snapshot {
+                        out.push(violation(
+                            WatchdogRule::SnapshotReaderLocks,
+                            action,
+                            object,
+                            0,
+                        ));
+                    }
+                    if a.shrunk {
+                        out.push(violation(
+                            WatchdogRule::LockAfterShrink,
+                            action,
+                            object,
+                            colour.index() as u64,
+                        ));
+                    }
+                    let slot = a
+                        .held
+                        .entry((object.as_raw(), colour.index()))
+                        .or_insert(mode);
+                    *slot = slot.strongest(mode);
+                } else if state.retired.contains(&action.as_raw()) {
+                    // A grant to a terminated action: shrunk for good.
+                    out.push(violation(
+                        WatchdogRule::LockAfterShrink,
+                        action,
+                        object,
+                        colour.index() as u64,
+                    ));
+                }
+                // An action the watchdog never saw begin predates the
+                // attach; its lock discipline is unknowable online.
+            }
+            EventKind::LockInherit {
+                from,
+                to,
+                object,
+                colour,
+            } => {
+                let key = (object.as_raw(), colour.index());
+                let mut moved = LockMode::Read;
+                if let Some(a) = state.actions.get_mut(&from) {
+                    a.shrunk = true;
+                    match a.held.remove(&key) {
+                        Some(mode) => moved = mode,
+                        None => out.push(violation(
+                            WatchdogRule::InheritWithoutLock,
+                            from,
+                            object,
+                            colour.index() as u64,
+                        )),
+                    }
+                    if let Some(expected) = closest_ancestor_with_colour(state, from, colour) {
+                        if expected != to {
+                            out.push(violation(
+                                WatchdogRule::BadInheritTarget,
+                                from,
+                                object,
+                                expected.as_raw(),
+                            ));
+                        }
+                    }
+                }
+                if let Some(target) = state.actions.get_mut(&to) {
+                    let slot = target.held.entry(key).or_insert(moved);
+                    *slot = slot.strongest(moved);
+                }
+            }
+            EventKind::LockRelease {
+                action,
+                object,
+                colour,
+            } => {
+                if let Some(a) = state.actions.get_mut(&action) {
+                    a.shrunk = true;
+                    if a.held.remove(&(object.as_raw(), colour.index())).is_none() {
+                        out.push(violation(
+                            WatchdogRule::ReleaseWithoutLock,
+                            action,
+                            object,
+                            colour.index() as u64,
+                        ));
+                    }
+                }
+            }
+            EventKind::UndoRecord {
+                action,
+                object,
+                colour,
+            } => {
+                if let Some(a) = state.actions.get(&action) {
+                    let covered = a
+                        .held
+                        .get(&(object.as_raw(), colour.index()))
+                        .is_some_and(|m| m.permits_write());
+                    if !covered {
+                        out.push(violation(
+                            WatchdogRule::WriteWithoutWriteLock,
+                            action,
+                            object,
+                            colour.index() as u64,
+                        ));
+                    }
+                }
+            }
+            EventKind::TpcVote { node, txn, yes } => {
+                let watch = txn_entry(state, txn, self.config.txn_window);
+                if yes {
+                    watch.yes.insert(node.as_raw());
+                } else {
+                    watch.no.insert(node.as_raw());
+                    if watch.decision == Some(true) {
+                        out.push(violation(
+                            WatchdogRule::CommitDespiteNoVote,
+                            zero_a,
+                            zero_o,
+                            txn,
+                        ));
+                    }
+                }
+            }
+            EventKind::TpcDecide {
+                txn,
+                commit,
+                participants,
+                ..
+            } => {
+                let watch = txn_entry(state, txn, self.config.txn_window);
+                match watch.decision {
+                    None => {
+                        watch.decision = Some(commit);
+                        if commit {
+                            if (watch.yes.len() as u64) < participants {
+                                out.push(violation(
+                                    WatchdogRule::CommitWithoutQuorum,
+                                    zero_a,
+                                    zero_o,
+                                    txn,
+                                ));
+                            }
+                            if !watch.no.is_empty() {
+                                out.push(violation(
+                                    WatchdogRule::CommitDespiteNoVote,
+                                    zero_a,
+                                    zero_o,
+                                    txn,
+                                ));
+                            }
+                        }
+                    }
+                    Some(prior) if prior != commit => {
+                        out.push(violation(
+                            WatchdogRule::DivergentDecision,
+                            zero_a,
+                            zero_o,
+                            txn,
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            EventKind::TpcResolve { txn, commit, .. } => {
+                let watch = txn_entry(state, txn, self.config.txn_window);
+                match watch.decision {
+                    // Presumed abort: a participant may resolve before
+                    // the watchdog saw any decision.
+                    None => watch.decision = Some(commit),
+                    Some(prior) if prior != commit => {
+                        out.push(violation(
+                            WatchdogRule::DivergentDecision,
+                            zero_a,
+                            zero_o,
+                            txn,
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            EventKind::DiskAppend { .. } => {
+                state.group_appends += 1;
+            }
+            EventKind::DiskGroupCommit { batches, .. } => {
+                state.saw_group_commit = true;
+                if batches != state.group_appends {
+                    out.push(violation(
+                        WatchdogRule::GroupFsyncCoverage,
+                        zero_a,
+                        zero_o,
+                        batches,
+                    ));
+                }
+                state.group_appends = 0;
+                state.marked_unchecked += batches;
+            }
+            EventKind::DiskCheckpoint { .. } if state.saw_group_commit => {
+                state.marked_unchecked = state.marked_unchecked.saturating_sub(1);
+            }
+            EventKind::DiskReplay { batches, .. } if state.saw_group_commit => {
+                if batches != state.marked_unchecked {
+                    out.push(violation(
+                        WatchdogRule::ReplayMarkMismatch,
+                        zero_a,
+                        zero_o,
+                        batches,
+                    ));
+                }
+                state.marked_unchecked = 0;
+            }
+            EventKind::SnapshotOpen {
+                action,
+                colour,
+                stamp,
+            } => {
+                let a = state
+                    .actions
+                    .entry(action)
+                    .or_insert_with(|| LiveAction::new(None, 0));
+                a.snapshot = true;
+                a.caps.insert(colour.index(), stamp);
+            }
+            EventKind::SnapshotRead {
+                action,
+                object,
+                stamp,
+                ..
+            } => {
+                let Some(a) = state.actions.get(&action) else {
+                    return;
+                };
+                if !a.snapshot {
+                    return;
+                }
+                let key = (event.node.map_or(0, |n| n.as_raw()), object.as_raw());
+                let expected = match state.published.get(&key) {
+                    Some(chain) => {
+                        let newest_visible = chain
+                            .entries
+                            .iter()
+                            .rev()
+                            .find(|(ci, s)| a.caps.get(ci).copied().unwrap_or(0) >= *s)
+                            .map(|&(_, s)| s);
+                        match newest_visible {
+                            Some(s) => Some(s),
+                            // Every retained publication is newer than
+                            // the snapshot; with older ones dropped the
+                            // true answer is unknowable.
+                            None if chain.truncated => None,
+                            None => Some(0),
+                        }
+                    }
+                    None if state.published_evictions > 0 => None,
+                    None => Some(0),
+                };
+                if let Some(expected) = expected {
+                    if stamp != expected {
+                        out.push(violation(
+                            WatchdogRule::SnapshotReadNotNewest,
+                            action,
+                            object,
+                            stamp,
+                        ));
+                    }
+                }
+            }
+            EventKind::VersionPublish {
+                object,
+                colour,
+                stamp,
+            } => {
+                let key = (event.node.map_or(0, |n| n.as_raw()), object.as_raw());
+                if !state.published.contains_key(&key) {
+                    state.published_order.push_back(key);
+                    while state.published.len() >= self.config.published_objects {
+                        match state.published_order.pop_front() {
+                            Some(old) if old != key => {
+                                if state.published.remove(&old).is_some() {
+                                    state.published_evictions += 1;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                let chain = state.published.entry(key).or_default();
+                chain.entries.push_back((colour.index(), stamp));
+                while chain.entries.len() > self.config.published_window {
+                    chain.entries.pop_front();
+                    chain.truncated = true;
+                }
+            }
+            EventKind::NodeCrash { node } => {
+                // The node's version chains are volatile: publications
+                // die with it (recovery reseeds base versions).
+                state.published.retain(|&(n, _), _| n != node.as_raw());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walks `from`'s ancestors through the live-action map; the first one
+/// possessing `colour` is the legal Moss inheritance target. `None`
+/// when the walk leaves the window (unknown ancestor) — the check is
+/// then skipped — or genuinely reaches the root.
+fn closest_ancestor_with_colour(
+    state: &WatchdogState,
+    from: ActionId,
+    colour: Colour,
+) -> Option<ActionId> {
+    let bit = 1u64 << colour.index();
+    let mut cursor = state.actions.get(&from)?.parent;
+    let mut hops = 0u32;
+    while let Some(id) = cursor {
+        let a = state.actions.get(&id)?;
+        if a.colours & bit != 0 {
+            return Some(id);
+        }
+        cursor = a.parent;
+        hops += 1;
+        if hops > 10_000 {
+            return None; // cycle guard: corrupt parent chain
+        }
+    }
+    None
+}
+
+fn txn_entry(state: &mut WatchdogState, txn: u64, window: usize) -> &mut TxnWatch {
+    if !state.txns.contains_key(&txn) {
+        state.txn_order.push_back(txn);
+        while state.txns.len() >= window {
+            match state.txn_order.pop_front() {
+                Some(old) if old != txn => {
+                    state.txns.remove(&old);
+                }
+                _ => break,
+            }
+        }
+    }
+    state.txns.entry(txn).or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{EventBus, MemorySink};
+    use chroma_base::NodeId;
+    use std::sync::atomic::AtomicUsize;
+
+    fn aid(n: u64) -> ActionId {
+        ActionId::from_raw(n)
+    }
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+    fn col(i: usize) -> Colour {
+        Colour::from_index(i)
+    }
+
+    /// A bus with an attached watchdog, a memory sink and a violation
+    /// counter bumped by the callback.
+    fn rig() -> (
+        Arc<EventBus>,
+        Arc<Watchdog>,
+        Arc<MemorySink>,
+        Arc<AtomicUsize>,
+    ) {
+        let bus = Arc::new(EventBus::new());
+        let sink = Arc::new(MemorySink::new(4096));
+        bus.add_sink(sink.clone());
+        let watchdog = Watchdog::attach(&bus);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        watchdog.on_violation(move |event| {
+            assert!(matches!(event.kind, EventKind::WatchdogViolation { .. }));
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        (bus, watchdog, sink, fired)
+    }
+
+    fn begin(bus: &EventBus, action: u64) {
+        bus.emit(EventKind::ActionBegin {
+            action: aid(action),
+            parent: None,
+            colours: 0b1,
+        });
+    }
+
+    fn grant(bus: &EventBus, action: u64, object: u64, mode: LockMode) {
+        bus.emit(EventKind::LockGrant {
+            action: aid(action),
+            object: oid(object),
+            colour: col(0),
+            mode,
+        });
+    }
+
+    /// The violation must appear in the sink within `budget` events of
+    /// the offending event (the bus emits it with zero intervening
+    /// events; the assertion is deliberately looser so the *contract*
+    /// tested is the bounded budget the tentpole promises).
+    fn assert_violation_within(sink: &MemorySink, rule: WatchdogRule, budget: usize) {
+        let events = sink.events();
+        let offending = events
+            .len()
+            .checked_sub(budget + 1)
+            .expect("enough events recorded");
+        let found = events[offending..]
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WatchdogViolation { rule: r, .. } if r == rule));
+        assert!(
+            found,
+            "no {rule} violation within {budget} events; tail: {:?}",
+            &events[offending..]
+        );
+    }
+
+    #[test]
+    fn r1_grant_after_release_fires_online() {
+        let (bus, wd, sink, fired) = rig();
+        begin(&bus, 1);
+        grant(&bus, 1, 7, LockMode::Read);
+        bus.emit(EventKind::LockRelease {
+            action: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        assert_eq!(wd.violations(), 0, "release itself is clean");
+        grant(&bus, 1, 8, LockMode::Read);
+        assert_eq!(wd.violations(), 1);
+        assert_eq!(wd.rule_count(WatchdogRule::LockAfterShrink), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "callback ran");
+        assert_violation_within(&sink, WatchdogRule::LockAfterShrink, 1);
+    }
+
+    #[test]
+    fn r1_grant_to_terminated_action_fires() {
+        let (bus, wd, sink, _) = rig();
+        begin(&bus, 1);
+        bus.emit(EventKind::ActionCommit { action: aid(1) });
+        grant(&bus, 1, 7, LockMode::Write);
+        assert_eq!(wd.rule_count(WatchdogRule::LockAfterShrink), 1);
+        assert_violation_within(&sink, WatchdogRule::LockAfterShrink, 1);
+    }
+
+    #[test]
+    fn r2_inherit_without_lock_fires() {
+        let (bus, wd, sink, _) = rig();
+        begin(&bus, 1);
+        bus.emit(EventKind::ActionBegin {
+            action: aid(2),
+            parent: Some(aid(1)),
+            colours: 0b1,
+        });
+        bus.emit(EventKind::LockInherit {
+            from: aid(2),
+            to: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::InheritWithoutLock), 1);
+        assert_violation_within(&sink, WatchdogRule::InheritWithoutLock, 1);
+    }
+
+    #[test]
+    fn r2_bad_inherit_target_fires() {
+        let (bus, wd, sink, _) = rig();
+        // grandparent(1, colour 0) -> parent(2, colour 0) -> child(3)
+        begin(&bus, 1);
+        bus.emit(EventKind::ActionBegin {
+            action: aid(2),
+            parent: Some(aid(1)),
+            colours: 0b1,
+        });
+        bus.emit(EventKind::ActionBegin {
+            action: aid(3),
+            parent: Some(aid(2)),
+            colours: 0b1,
+        });
+        grant(&bus, 3, 7, LockMode::Write);
+        // Legal target is the *closest* colour-holding ancestor (2);
+        // skipping to the grandparent must fire.
+        bus.emit(EventKind::LockInherit {
+            from: aid(3),
+            to: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::BadInheritTarget), 1);
+        assert_violation_within(&sink, WatchdogRule::BadInheritTarget, 1);
+    }
+
+    #[test]
+    fn r2_release_without_lock_fires() {
+        let (bus, wd, sink, _) = rig();
+        begin(&bus, 1);
+        bus.emit(EventKind::LockRelease {
+            action: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::ReleaseWithoutLock), 1);
+        assert_violation_within(&sink, WatchdogRule::ReleaseWithoutLock, 1);
+    }
+
+    #[test]
+    fn r3_write_bypassing_lock_fires() {
+        let (bus, wd, sink, fired) = rig();
+        begin(&bus, 1);
+        grant(&bus, 1, 7, LockMode::Read);
+        // A before-image under a read lock: the classic write-without-
+        // write-lock injection.
+        bus.emit(EventKind::UndoRecord {
+            action: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::WriteWithoutWriteLock), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_violation_within(&sink, WatchdogRule::WriteWithoutWriteLock, 1);
+    }
+
+    #[test]
+    fn r4_commit_without_quorum_fires() {
+        let (bus, wd, sink, _) = rig();
+        bus.emit(EventKind::TpcVote {
+            node: NodeId::from_raw(1),
+            txn: 9,
+            yes: true,
+        });
+        bus.emit(EventKind::TpcDecide {
+            node: NodeId::from_raw(1),
+            txn: 9,
+            commit: true,
+            participants: 3,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::CommitWithoutQuorum), 1);
+        assert_violation_within(&sink, WatchdogRule::CommitWithoutQuorum, 1);
+    }
+
+    #[test]
+    fn r4_commit_despite_no_vote_and_divergence_fire() {
+        let (bus, wd, _, _) = rig();
+        bus.emit(EventKind::TpcVote {
+            node: NodeId::from_raw(1),
+            txn: 9,
+            yes: true,
+        });
+        bus.emit(EventKind::TpcVote {
+            node: NodeId::from_raw(2),
+            txn: 9,
+            yes: false,
+        });
+        bus.emit(EventKind::TpcDecide {
+            node: NodeId::from_raw(1),
+            txn: 9,
+            commit: true,
+            participants: 2,
+        });
+        // commit with one no-vote and only one yes: both R4 flavours
+        assert_eq!(wd.rule_count(WatchdogRule::CommitDespiteNoVote), 1);
+        assert_eq!(wd.rule_count(WatchdogRule::CommitWithoutQuorum), 1);
+        bus.emit(EventKind::TpcResolve {
+            node: NodeId::from_raw(2),
+            txn: 9,
+            commit: false,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::DivergentDecision), 1);
+    }
+
+    #[test]
+    fn r9_group_fsync_coverage_fires() {
+        let (bus, wd, sink, _) = rig();
+        bus.emit(EventKind::DiskAppend {
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskGroupCommit {
+            batches: 3, // only 1 append since the last group fsync
+            records: 6,
+            bytes: 128,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::GroupFsyncCoverage), 1);
+        assert_violation_within(&sink, WatchdogRule::GroupFsyncCoverage, 1);
+    }
+
+    #[test]
+    fn r9_replay_mark_mismatch_fires() {
+        let (bus, wd, sink, _) = rig();
+        bus.emit(EventKind::DiskAppend {
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskGroupCommit {
+            batches: 1,
+            records: 2,
+            bytes: 64,
+        });
+        // The one group-fsynced batch was never checkpointed, yet the
+        // replay claims two.
+        bus.emit(EventKind::DiskReplay {
+            batches: 2,
+            objects: 4,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::ReplayMarkMismatch), 1);
+        assert_violation_within(&sink, WatchdogRule::ReplayMarkMismatch, 1);
+    }
+
+    #[test]
+    fn r10_snapshot_read_not_newest_fires() {
+        let (bus, wd, sink, _) = rig();
+        bus.emit(EventKind::VersionPublish {
+            object: oid(7),
+            colour: col(0),
+            stamp: 1,
+        });
+        bus.emit(EventKind::VersionPublish {
+            object: oid(7),
+            colour: col(0),
+            stamp: 2,
+        });
+        begin(&bus, 5);
+        bus.emit(EventKind::SnapshotOpen {
+            action: aid(5),
+            colour: col(0),
+            stamp: 2,
+        });
+        // Stamp 2 is visible; serving stamp 1 is not the newest.
+        bus.emit(EventKind::SnapshotRead {
+            action: aid(5),
+            object: oid(7),
+            colour: col(0),
+            stamp: 1,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::SnapshotReadNotNewest), 1);
+        assert_violation_within(&sink, WatchdogRule::SnapshotReadNotNewest, 1);
+    }
+
+    #[test]
+    fn r10_snapshot_reader_taking_locks_fires() {
+        let (bus, wd, sink, _) = rig();
+        begin(&bus, 5);
+        bus.emit(EventKind::SnapshotOpen {
+            action: aid(5),
+            colour: col(0),
+            stamp: 0,
+        });
+        bus.emit(EventKind::LockRequest {
+            action: aid(5),
+            object: oid(7),
+            colour: col(0),
+            mode: LockMode::Read,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::SnapshotReaderLocks), 1);
+        assert_violation_within(&sink, WatchdogRule::SnapshotReaderLocks, 1);
+    }
+
+    #[test]
+    fn clean_nested_lifecycle_stays_silent() {
+        let (bus, wd, sink, fired) = rig();
+        // parent holds colour 0; child writes under a write lock, then
+        // inherits to the parent, which releases at commit.
+        begin(&bus, 1);
+        bus.emit(EventKind::ActionBegin {
+            action: aid(2),
+            parent: Some(aid(1)),
+            colours: 0b1,
+        });
+        grant(&bus, 2, 7, LockMode::Write);
+        bus.emit(EventKind::UndoRecord {
+            action: aid(2),
+            object: oid(7),
+            colour: col(0),
+        });
+        bus.emit(EventKind::LockInherit {
+            from: aid(2),
+            to: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        bus.emit(EventKind::ActionCommit { action: aid(2) });
+        bus.emit(EventKind::LockRelease {
+            action: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        bus.emit(EventKind::ActionCommit { action: aid(1) });
+        // Clean 2PC, group commit, snapshot traffic.
+        bus.emit(EventKind::TpcVote {
+            node: NodeId::from_raw(1),
+            txn: 3,
+            yes: true,
+        });
+        bus.emit(EventKind::TpcDecide {
+            node: NodeId::from_raw(1),
+            txn: 3,
+            commit: true,
+            participants: 1,
+        });
+        bus.emit(EventKind::DiskAppend {
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskGroupCommit {
+            batches: 1,
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskCheckpoint { objects: 1 });
+        bus.emit(EventKind::VersionPublish {
+            object: oid(7),
+            colour: col(0),
+            stamp: 1,
+        });
+        begin(&bus, 9);
+        bus.emit(EventKind::SnapshotOpen {
+            action: aid(9),
+            colour: col(0),
+            stamp: 1,
+        });
+        bus.emit(EventKind::SnapshotRead {
+            action: aid(9),
+            object: oid(7),
+            colour: col(0),
+            stamp: 1,
+        });
+        bus.emit(EventKind::ActionCommit { action: aid(9) });
+        assert_eq!(wd.violations(), 0, "clean run must stay silent");
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert!(sink
+            .events()
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::WatchdogViolation { .. })));
+    }
+
+    #[test]
+    fn truncated_publication_window_skips_rather_than_guesses() {
+        let bus = Arc::new(EventBus::new());
+        let watchdog = Arc::new(Watchdog::with_config(WatchdogConfig {
+            published_window: 2,
+            ..WatchdogConfig::default()
+        }));
+        bus.install_watchdog(Some(watchdog.clone()));
+        for stamp in 1..=5 {
+            bus.emit(EventKind::VersionPublish {
+                object: oid(7),
+                colour: col(0),
+                stamp,
+            });
+        }
+        begin(&bus, 1);
+        bus.emit(EventKind::SnapshotOpen {
+            action: aid(1),
+            colour: col(0),
+            stamp: 2,
+        });
+        // Stamps 1..=2 fell off the window; the read of stamp 2 cannot
+        // be validated and must NOT be flagged.
+        bus.emit(EventKind::SnapshotRead {
+            action: aid(1),
+            object: oid(7),
+            colour: col(0),
+            stamp: 2,
+        });
+        assert_eq!(watchdog.violations(), 0, "unknowable checks are skipped");
+    }
+
+    #[test]
+    fn windowed_state_is_evicted_on_termination() {
+        let (bus, wd, _, _) = rig();
+        begin(&bus, 1);
+        grant(&bus, 1, 7, LockMode::Write);
+        bus.emit(EventKind::ActionCommit { action: aid(1) });
+        {
+            let state = wd.state.lock();
+            assert!(state.actions.is_empty(), "live state evicted at commit");
+            assert!(state.retired.contains(&1));
+        }
+        // The retired ring is bounded.
+        let wd2 = Watchdog::with_config(WatchdogConfig {
+            retired_window: 2,
+            ..WatchdogConfig::default()
+        });
+        let bus2 = Arc::new(EventBus::new());
+        bus2.install_watchdog(Some(Arc::new(wd2)));
+        let wd2 = bus2.watchdog().unwrap();
+        for n in 1..=5u64 {
+            begin(&bus2, n);
+            bus2.emit(EventKind::ActionCommit { action: aid(n) });
+        }
+        let state = wd2.state.lock();
+        assert_eq!(state.retired.len(), 2);
+        assert_eq!(state.retired_order.len(), 2);
+    }
+
+    #[test]
+    fn node_crash_forgets_that_nodes_publications() {
+        let (bus, wd, _, _) = rig();
+        let n = NodeId::from_raw(3);
+        let obs = crate::Obs::new(bus.clone()).at_node(n);
+        obs.emit(EventKind::VersionPublish {
+            object: oid(7),
+            colour: col(0),
+            stamp: 1,
+        });
+        assert_eq!(wd.state.lock().published.len(), 1);
+        bus.emit(EventKind::NodeCrash { node: n });
+        assert!(
+            wd.state.lock().published.is_empty(),
+            "crash clears the node's chains"
+        );
+        assert_eq!(wd.violations(), 0);
+    }
+
+    #[test]
+    fn detached_watchdog_stops_scanning() {
+        let (bus, wd, _, _) = rig();
+        bus.install_watchdog(None);
+        begin(&bus, 1);
+        bus.emit(EventKind::LockRelease {
+            action: aid(1),
+            object: oid(7),
+            colour: col(0),
+        });
+        assert_eq!(wd.violations(), 0, "detached watchdog sees nothing");
+        assert!(bus.watchdog().is_none());
+    }
+}

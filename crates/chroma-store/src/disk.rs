@@ -293,6 +293,14 @@ impl DiskStore {
         self.log_fsyncs.load(Ordering::Relaxed)
     }
 
+    /// Batches currently queued behind the group-commit leader — the
+    /// instantaneous depth of the follower queue, 0 when the log is
+    /// idle.
+    #[must_use]
+    pub fn group_queue_depth(&self) -> u64 {
+        self.group.lock().queue.len() as u64
+    }
+
     fn log_path(&self) -> PathBuf {
         self.dir.join("log")
     }
