@@ -11,10 +11,16 @@
 //! * `mean_group_size` / `max_group_size` — from the
 //!   `store.group_size` histogram.
 //!
+//! A final recovery-replay probe commits a long history through small
+//! segments with periodic checkpoints, reopens the store, and gates on
+//! recovery replaying no more than the manifest's live suffix — never
+//! the total history.
+//!
 //! Results are written as JSON to `BENCH_commit.json` (override with
 //! `--out <path>`). `--smoke` shrinks the workload for CI. Exits
 //! non-zero if the 8-thread run fails to amortize fsyncs below 2.0 per
-//! commit, so CI catches a group-commit regression.
+//! commit or the replay bound is breached, so CI catches a regression
+//! in either.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -23,6 +29,7 @@ use std::time::{Duration, Instant};
 use chroma_bench::report::{Obj, Report};
 use chroma_core::{DiskBackend, Runtime, RuntimeConfig};
 use chroma_obs::{EventBus, Obs, Observable};
+use chroma_store::{DiskStore, DiskStoreOptions, StoreBytes};
 
 /// Committer-thread counts benchmarked, in order.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -120,7 +127,53 @@ fn run(threads: usize, iters: u64) -> RunResult {
     }
 }
 
-fn render_report(results: &[RunResult]) -> Report {
+struct ReplayProbe {
+    total_batches: u64,
+    live_suffix_batches: u64,
+    replayed_batches: u64,
+    replayed_records: u64,
+}
+
+/// Commits `total` single-object batches through a store sealing 4 KiB
+/// segments, checkpointing every 128 commits, then reopens it and
+/// measures how many batches recovery actually replayed. With bounded
+/// recovery that is at most the live suffix (the commits since the
+/// last checkpoint); a regression to full-history replay shows up as
+/// `replayed == total`.
+fn replay_probe(total: u64) -> ReplayProbe {
+    let dir = bench_dir(0);
+    std::fs::remove_dir_all(&dir).ok();
+    let opts = DiskStoreOptions {
+        segment_bytes: 4096,
+        auto_checkpoint: false,
+    };
+    let live_suffix_batches = {
+        let store = DiskStore::open_with(&dir, opts).expect("open probe store");
+        for i in 0..total {
+            store
+                .commit_batch(vec![(
+                    chroma_base::ObjectId::from_raw(i % 64 + 1),
+                    StoreBytes::from(vec![(i % 251) as u8; 32]),
+                )])
+                .expect("probe commit");
+            if i % 128 == 127 {
+                store.checkpoint_now().expect("probe checkpoint");
+            }
+        }
+        store.checkpoint_backlog()
+    };
+    let store = DiskStore::open_with(&dir, opts).expect("reopen probe store");
+    let stats = store.replay_stats();
+    std::fs::remove_dir_all(&dir).ok();
+    ReplayProbe {
+        total_batches: total,
+        live_suffix_batches,
+        replayed_batches: stats.batches,
+        replayed_records: stats.records,
+    }
+}
+
+fn render_report(results: &[RunResult], probe: &ReplayProbe) -> Report {
     results
         .iter()
         .fold(Report::new("commit_throughput"), |report, r| {
@@ -136,6 +189,14 @@ fn render_report(results: &[RunResult]) -> Report {
                     .field("max_group_size", r.max_group_size),
             )
         })
+        .run(
+            Obj::new()
+                .field("probe", "recovery_replay")
+                .field("total_batches", probe.total_batches)
+                .field("live_suffix_batches", probe.live_suffix_batches)
+                .field("replayed_batches", probe.replayed_batches)
+                .field("replayed_records", probe.replayed_records),
+        )
 }
 
 fn main() {
@@ -173,7 +234,16 @@ fn main() {
         })
         .collect();
 
-    render_report(&results)
+    let probe = replay_probe(if smoke { 300 } else { 1500 });
+    println!(
+        "recovery replay: {} of {} batches (live suffix {}) — {} records",
+        probe.replayed_batches,
+        probe.total_batches,
+        probe.live_suffix_batches,
+        probe.replayed_records,
+    );
+
+    render_report(&results, &probe)
         .write(&out_path)
         .expect("write results");
     println!("wrote {out_path}");
@@ -187,6 +257,16 @@ fn main() {
             "FAIL: {:.4} fsyncs/commit at 8 threads (budget < {FSYNC_BUDGET_AT_8}) — \
              group commit is not amortizing",
             at_8.fsyncs_per_commit()
+        );
+        std::process::exit(1);
+    }
+    if probe.replayed_batches > probe.live_suffix_batches
+        || probe.live_suffix_batches >= probe.total_batches
+    {
+        eprintln!(
+            "FAIL: recovery replayed {} batches against a live suffix of {} (total history {}) — \
+             replay work is not bounded by the checkpoint watermark",
+            probe.replayed_batches, probe.live_suffix_batches, probe.total_batches
         );
         std::process::exit(1);
     }

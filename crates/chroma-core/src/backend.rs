@@ -81,6 +81,13 @@ pub trait PermanenceBackend: Send + Sync + Observable {
     fn queue_depth(&self) -> u64 {
         0
     }
+
+    /// Committed batches not yet folded into installed object state by
+    /// a background checkpointer, for live gauges. `0` (the default)
+    /// for backends that install on the commit path.
+    fn checkpoint_backlog(&self) -> u64 {
+        0
+    }
 }
 
 /// Single-node permanence: a [`StableStore`] with intentions-list
@@ -198,8 +205,8 @@ impl PermanenceBackend for DiskBackend {
     }
 
     fn recover(&self) {
-        // Recovery runs at open; the log is empty between commits, so
-        // there is nothing to replay mid-process.
+        // Recovery runs at open: the store replays the manifest's live
+        // segment suffix then; mid-process there is nothing to replay.
     }
 
     fn max_object(&self) -> Option<ObjectId> {
@@ -208,6 +215,10 @@ impl PermanenceBackend for DiskBackend {
 
     fn queue_depth(&self) -> u64 {
         self.store.group_queue_depth()
+    }
+
+    fn checkpoint_backlog(&self) -> u64 {
+        self.store.checkpoint_backlog()
     }
 }
 
@@ -233,7 +244,14 @@ mod tests {
             .commit_batch(vec![(ObjectId::from_raw(1), StoreBytes::from(vec![1]))])
             .unwrap();
         assert_eq!(bus.counter("disk_append"), 1, "obs must reach the store");
-        assert_eq!(bus.counter("disk_checkpoint"), 1);
+        assert_eq!(
+            backend.checkpoint_backlog(),
+            1,
+            "install is off the commit path"
+        );
+        backend.store().checkpoint_now().unwrap();
+        assert_eq!(bus.counter("checkpoint_end"), 1);
+        assert_eq!(backend.checkpoint_backlog(), 0);
         assert!(bus.snapshot().histogram("store.fsync_us").is_some());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1260,14 +1260,17 @@ impl Runtime {
     /// `locks.waiting` (parked acquirers), `store.group_queue`
     /// (batches behind the group-commit leader), `store.versions`
     /// (versions across all chains), `store.gc_backlog` (stamped
-    /// flushes since the last sweep), `core.snapshots` (open read-only
-    /// snapshot actions), `core.live_actions` (begun − terminated).
+    /// flushes since the last sweep), `store.ckpt_backlog` (committed
+    /// batches the background checkpointer has not yet folded),
+    /// `core.snapshots` (open read-only snapshot actions),
+    /// `core.live_actions` (begun − terminated).
     pub fn publish_metrics_snapshot(&self) {
         let lock_entries = self.inner.locks.entry_count() as u64;
         let lock_waiters = self.inner.locks.waiting_count() as u64;
         let group_queue = self.inner.stable.queue_depth();
         let versions = self.inner.versions.total_versions();
         let gc_backlog = self.gc_backlog();
+        let ckpt_backlog = self.inner.stable.checkpoint_backlog();
         let snapshots = self.inner.snapshots.lock().len() as u64;
         let live_actions = self.live_action_count();
         let obs = self.inner.obs.get();
@@ -1276,6 +1279,7 @@ impl Runtime {
         obs.set_gauge("store.group_queue", group_queue);
         obs.set_gauge("store.versions", versions);
         obs.set_gauge("store.gc_backlog", gc_backlog);
+        obs.set_gauge("store.ckpt_backlog", ckpt_backlog);
         obs.set_gauge("core.snapshots", snapshots);
         obs.set_gauge("core.live_actions", live_actions);
         obs.emit(EventKind::MetricsSnapshot {
@@ -1284,6 +1288,7 @@ impl Runtime {
             group_queue,
             versions,
             gc_backlog,
+            ckpt_backlog,
             snapshots,
             live_actions,
         });

@@ -53,6 +53,15 @@
 //!   reader would be a waits-for edge). Version chains are volatile,
 //!   so a `NodeCrash` resets the node's published history: post-crash
 //!   snapshots correctly see the stable state as stamp 0.
+//! * **R11 — segment lifecycle.** The segmented intentions log's
+//!   maintenance never loses a committed batch: a segment is
+//!   garbage-collected (`SegmentGc`) only at or below the checkpoint
+//!   watermark (`CheckpointEnd`'s `upto`), and recovery (`DiskReplay`)
+//!   replays exactly the manifest's live suffix — the batches sealed
+//!   into uncheckpointed segments (`SegmentSeal`) plus those committed
+//!   into the active segment since the last seal. The rule only arms
+//!   once the trace contains a `SegmentSeal`, so pre-segment traces
+//!   still audit.
 //!
 //! The auditor is deliberately independent of the runtime: it sees
 //! only the trace, so a bug that corrupts runtime state *and* its own
@@ -266,6 +275,23 @@ pub enum Violation {
         /// The object it touched in the lock table.
         object: ObjectId,
     },
+    /// R11: a segment was garbage-collected above the checkpoint
+    /// watermark — its committed batches were never folded into the
+    /// object store, so a crash after the GC would lose them.
+    GcUncheckpointedSegment {
+        /// The segment the GC deleted.
+        segment: u64,
+        /// The checkpoint watermark at the time of the GC.
+        watermark: u64,
+    },
+    /// R11: recovery did not replay exactly the manifest's live
+    /// suffix (uncheckpointed sealed segments plus the active tail).
+    ReplayManifestMismatch {
+        /// Batches the `DiskReplay` event replayed.
+        replayed: u64,
+        /// Batches the live suffix held according to the trace.
+        live: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -402,6 +428,14 @@ impl fmt::Display for Violation {
                 f,
                 "snapshot: read-only {action} appeared in lock traffic for {object}"
             ),
+            Violation::GcUncheckpointedSegment { segment, watermark } => write!(
+                f,
+                "segment lifecycle: segment {segment} was GC'd above checkpoint watermark {watermark}"
+            ),
+            Violation::ReplayManifestMismatch { replayed, live } => write!(
+                f,
+                "segment lifecycle: recovery replayed {replayed} batch(es) but the manifest's live suffix held {live}"
+            ),
         }
     }
 }
@@ -504,6 +538,16 @@ pub struct TraceAuditor {
     marked_unchecked: u64,
     /// R9 only arms once the trace proves the store group-commits.
     saw_group_commit: bool,
+    /// R11: uncheckpointed sealed segments as (sequence, batches), in
+    /// seal order.
+    sealed_live: Vec<(u64, u64)>,
+    /// R11: batches committed into the active segment since the last
+    /// seal.
+    active_batches: u64,
+    /// R11: highest checkpointed segment sequence.
+    ckpt_watermark: u64,
+    /// R11 only arms once the trace proves the log is segmented.
+    saw_segment: bool,
     /// R10: published versions per (node, object) in append order,
     /// as (colour index, stamp). Cleared per node on a crash: chains
     /// are volatile, so post-crash snapshots see the stable (stamp-0)
@@ -536,6 +580,10 @@ impl Default for TraceAuditor {
             group_appends: 0,
             marked_unchecked: 0,
             saw_group_commit: false,
+            sealed_live: Vec::new(),
+            active_batches: 0,
+            ckpt_watermark: 0,
+            saw_segment: false,
             published: HashMap::new(),
             snapshot_stamps: HashMap::new(),
             snapshot_actions: HashSet::new(),
@@ -940,10 +988,39 @@ impl TraceAuditor {
                 }
                 self.group_appends = 0;
                 self.marked_unchecked += batches;
+                // R11: until the next seal these batches live in the
+                // active segment.
+                self.active_batches += batches;
             }
             EventKind::DiskCheckpoint { .. } => {
                 if self.saw_group_commit {
                     self.marked_unchecked = self.marked_unchecked.saturating_sub(1);
+                }
+            }
+            // R11: segment lifecycle. Seals move the active batches
+            // into the sealed-live set; a checkpoint retires every
+            // sealed segment up to its watermark; GC must stay at or
+            // below it; recovery must replay exactly what is left.
+            EventKind::SegmentSeal {
+                segment, batches, ..
+            } => {
+                self.saw_segment = true;
+                self.sealed_live.push((segment, batches));
+                self.active_batches = 0;
+            }
+            EventKind::CheckpointEnd { upto, batches, .. } => {
+                if self.saw_group_commit {
+                    self.marked_unchecked = self.marked_unchecked.saturating_sub(batches);
+                }
+                self.ckpt_watermark = self.ckpt_watermark.max(upto);
+                self.sealed_live.retain(|&(seq, _)| seq > upto);
+            }
+            EventKind::SegmentGc { segment, .. } => {
+                if self.saw_segment && segment > self.ckpt_watermark {
+                    self.violations.push(Violation::GcUncheckpointedSegment {
+                        segment,
+                        watermark: self.ckpt_watermark,
+                    });
                 }
             }
             EventKind::DiskReplay { batches, .. } => {
@@ -953,8 +1030,22 @@ impl TraceAuditor {
                         marked: self.marked_unchecked,
                     });
                 }
-                // replay installs and truncates: no batch stays marked
+                if self.saw_segment {
+                    let live: u64 =
+                        self.sealed_live.iter().map(|&(_, b)| b).sum::<u64>() + self.active_batches;
+                    if batches != live {
+                        self.violations.push(Violation::ReplayManifestMismatch {
+                            replayed: batches,
+                            live,
+                        });
+                    }
+                }
+                // replay installs and collapses the live suffix: no
+                // batch stays marked or live (the watermark survives —
+                // sequences are monotone across restarts)
                 self.marked_unchecked = 0;
+                self.sealed_live.clear();
+                self.active_batches = 0;
             }
             // R10: a read-only action must never enter the lock table,
             // not even to request or wait — a waiting snapshot reader
@@ -1043,7 +1134,8 @@ impl TraceAuditor {
             | EventKind::MsgDup { .. }
             | EventKind::VersionGc { .. }
             | EventKind::WatchdogViolation { .. }
-            | EventKind::MetricsSnapshot { .. } => {}
+            | EventKind::MetricsSnapshot { .. }
+            | EventKind::CheckpointBegin { .. } => {}
         }
     }
 
@@ -1500,6 +1592,195 @@ mod tests {
             ev(EventKind::DiskReplay {
                 batches: 7,
                 objects: 9,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn r11_clean_segment_lifecycle_passes() {
+        let group = |batches: u64| {
+            ev(EventKind::DiskGroupCommit {
+                batches,
+                records: batches * 2,
+                bytes: batches * 64,
+            })
+        };
+        let append = |records: u64| {
+            ev(EventKind::DiskAppend {
+                records,
+                bytes: records * 32,
+            })
+        };
+        let trace = vec![
+            append(2),
+            append(2),
+            group(2),
+            ev(EventKind::SegmentSeal {
+                segment: 1,
+                batches: 2,
+                bytes: 256,
+            }),
+            append(2),
+            group(1),
+            ev(EventKind::CheckpointBegin {
+                segments: 1,
+                batches: 2,
+            }),
+            ev(EventKind::CheckpointEnd {
+                upto: 1,
+                batches: 2,
+                objects: 2,
+            }),
+            ev(EventKind::SegmentGc {
+                segment: 1,
+                bytes: 256,
+            }),
+            // crash + reopen: only the active segment's batch replays
+            ev(EventKind::DiskReplay {
+                batches: 1,
+                objects: 1,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn r11_gc_above_watermark_is_flagged() {
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::SegmentSeal {
+                segment: 3,
+                batches: 1,
+                bytes: 64,
+            }),
+            // GC with no covering checkpoint: the batch is lost
+            ev(EventKind::SegmentGc {
+                segment: 3,
+                bytes: 64,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::GcUncheckpointedSegment {
+                segment: 3,
+                watermark: 0,
+            }]
+        ));
+    }
+
+    #[test]
+    fn r11_replay_must_match_live_suffix() {
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::SegmentSeal {
+                segment: 1,
+                batches: 1,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskAppend {
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 2,
+                bytes: 64,
+            }),
+            // live suffix = 1 sealed batch + 1 active batch, but
+            // recovery claims to have replayed only one of them
+            ev(EventKind::DiskReplay {
+                batches: 1,
+                objects: 1,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::ReplayManifestMismatch {
+                    replayed: 1,
+                    live: 2,
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn r11_stays_unarmed_on_pre_segment_traces() {
+        // A GC-like event stream without any seal must not arm R11.
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskReplay {
+                batches: 1,
+                objects: 1,
+            }),
+        ];
+        let report = TraceAuditor::audit_events(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn r11_watermark_survives_replay() {
+        // Sequences are monotone across restarts: a post-replay GC of
+        // a pre-crash segment is still checked against the watermark.
+        let trace = vec![
+            ev(EventKind::DiskAppend {
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 2,
+                bytes: 64,
+            }),
+            ev(EventKind::SegmentSeal {
+                segment: 1,
+                batches: 1,
+                bytes: 64,
+            }),
+            ev(EventKind::CheckpointEnd {
+                upto: 1,
+                batches: 1,
+                objects: 1,
+            }),
+            ev(EventKind::DiskReplay {
+                batches: 0,
+                objects: 0,
+            }),
+            // the old segment's deferred GC is fine: it is behind the
+            // watermark even after the restart
+            ev(EventKind::SegmentGc {
+                segment: 1,
+                bytes: 64,
             }),
         ];
         let report = TraceAuditor::audit_events(&trace);

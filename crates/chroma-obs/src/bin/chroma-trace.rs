@@ -176,6 +176,7 @@ fn watch_line(line: &str, snapshots: &mut u64, violations: &mut u64) {
             group_queue,
             versions,
             gc_backlog,
+            ckpt_backlog,
             snapshots: open_snapshots,
             live_actions,
         } => {
@@ -183,8 +184,8 @@ fn watch_line(line: &str, snapshots: &mut u64, violations: &mut u64) {
             println!(
                 "[{:>12}] gauges  locks.entries={lock_entries} locks.waiting={lock_waiters} \
                  store.group_queue={group_queue} store.versions={versions} \
-                 store.gc_backlog={gc_backlog} core.snapshots={open_snapshots} \
-                 core.live_actions={live_actions}",
+                 store.gc_backlog={gc_backlog} store.ckpt_backlog={ckpt_backlog} \
+                 core.snapshots={open_snapshots} core.live_actions={live_actions}",
                 event.at_us
             );
         }

@@ -115,11 +115,18 @@ pub enum WatchdogRule {
     /// R10: a snapshot read served a version older than the newest
     /// visible at the snapshot's captured stamps.
     SnapshotReadNotNewest,
+    /// R11: a segment was garbage-collected above the checkpoint
+    /// watermark — its batches were never folded into the object
+    /// store.
+    GcUncheckpointedSegment,
+    /// R11: recovery replayed a batch count that does not match the
+    /// manifest's live suffix (sealed segments + active tail).
+    ReplayManifestMismatch,
 }
 
 impl WatchdogRule {
     /// Every rule, in wire-tag order.
-    pub const ALL: [WatchdogRule; 12] = [
+    pub const ALL: [WatchdogRule; 14] = [
         WatchdogRule::LockAfterShrink,
         WatchdogRule::InheritWithoutLock,
         WatchdogRule::BadInheritTarget,
@@ -132,6 +139,8 @@ impl WatchdogRule {
         WatchdogRule::ReplayMarkMismatch,
         WatchdogRule::SnapshotReaderLocks,
         WatchdogRule::SnapshotReadNotNewest,
+        WatchdogRule::GcUncheckpointedSegment,
+        WatchdogRule::ReplayManifestMismatch,
     ];
 
     /// The stable wire tag.
@@ -150,6 +159,8 @@ impl WatchdogRule {
             WatchdogRule::ReplayMarkMismatch => "replay_mark_mismatch",
             WatchdogRule::SnapshotReaderLocks => "snapshot_reader_locks",
             WatchdogRule::SnapshotReadNotNewest => "snapshot_read_not_newest",
+            WatchdogRule::GcUncheckpointedSegment => "gc_uncheckpointed_segment",
+            WatchdogRule::ReplayManifestMismatch => "replay_manifest_mismatch",
         }
     }
 
@@ -501,11 +512,52 @@ pub enum EventKind {
         snapshots: u64,
         /// Actions begun and not yet terminated.
         live_actions: u64,
+        /// Batches committed to the segmented intentions log but not
+        /// yet folded behind the checkpoint watermark (the recovery
+        /// replay debt). Absent in traces from before segmented logs;
+        /// parsed as 0.
+        ckpt_backlog: u64,
+    },
+    /// The active intentions-log segment was sealed: a fresh segment
+    /// took over appends and the manifest committed to it.
+    SegmentSeal {
+        /// The sealed segment's sequence number.
+        segment: u64,
+        /// Batches committed into the sealed segment.
+        batches: u64,
+        /// Record bytes the sealed segment holds (past the magic).
+        bytes: u64,
+    },
+    /// The checkpointer started folding fully-committed sealed
+    /// segments into the object store.
+    CheckpointBegin {
+        /// Sealed segments in this fold.
+        segments: u64,
+        /// Committed batches the fold covers.
+        batches: u64,
+    },
+    /// The checkpointer committed a fold: the manifest no longer lists
+    /// the folded segments and the watermark advanced.
+    CheckpointEnd {
+        /// Highest folded segment sequence (the new watermark).
+        upto: u64,
+        /// Committed batches folded behind the watermark.
+        batches: u64,
+        /// Object states installed by the fold.
+        objects: u64,
+    },
+    /// A folded segment's file was garbage-collected (always behind
+    /// the checkpoint watermark — the auditor's R11 checks this).
+    SegmentGc {
+        /// The deleted segment's sequence number.
+        segment: u64,
+        /// Record bytes reclaimed.
+        bytes: u64,
     },
 }
 
 /// Count of [`EventKind`] variants; sizes the per-kind counter array.
-pub(crate) const KIND_COUNT: usize = 36;
+pub(crate) const KIND_COUNT: usize = 40;
 
 /// The stable tag of every kind, indexed by [`EventKind::index`].
 pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -545,6 +597,10 @@ pub(crate) const KIND_NAMES: [&str; KIND_COUNT] = [
     "version_gc",
     "watchdog_violation",
     "metrics_snapshot",
+    "segment_seal",
+    "checkpoint_begin",
+    "checkpoint_end",
+    "segment_gc",
 ];
 
 impl EventKind {
@@ -588,6 +644,10 @@ impl EventKind {
             EventKind::VersionGc { .. } => 33,
             EventKind::WatchdogViolation { .. } => 34,
             EventKind::MetricsSnapshot { .. } => 35,
+            EventKind::SegmentSeal { .. } => 36,
+            EventKind::CheckpointBegin { .. } => 37,
+            EventKind::CheckpointEnd { .. } => 38,
+            EventKind::SegmentGc { .. } => 39,
         }
     }
 
@@ -889,6 +949,7 @@ impl Event {
                 gc_backlog,
                 snapshots,
                 live_actions,
+                ckpt_backlog,
             } => {
                 num(&mut s, "lock_entries", lock_entries);
                 num(&mut s, "lock_waiters", lock_waiters);
@@ -897,6 +958,33 @@ impl Event {
                 num(&mut s, "gc_backlog", gc_backlog);
                 num(&mut s, "snapshots", snapshots);
                 num(&mut s, "live_actions", live_actions);
+                num(&mut s, "ckpt_backlog", ckpt_backlog);
+            }
+            EventKind::SegmentSeal {
+                segment,
+                batches,
+                bytes,
+            } => {
+                num(&mut s, "segment", segment);
+                num(&mut s, "batches", batches);
+                num(&mut s, "bytes", bytes);
+            }
+            EventKind::CheckpointBegin { segments, batches } => {
+                num(&mut s, "segments", segments);
+                num(&mut s, "batches", batches);
+            }
+            EventKind::CheckpointEnd {
+                upto,
+                batches,
+                objects,
+            } => {
+                num(&mut s, "upto", upto);
+                num(&mut s, "batches", batches);
+                num(&mut s, "objects", objects);
+            }
+            EventKind::SegmentGc { segment, bytes } => {
+                num(&mut s, "segment", segment);
+                num(&mut s, "bytes", bytes);
             }
         }
         if self.lc > 0 {
@@ -1174,6 +1262,34 @@ impl Event {
                 gc_backlog: get_u64("gc_backlog")?,
                 snapshots: get_u64("snapshots")?,
                 live_actions: get_u64("live_actions")?,
+                // Traces from before segmented logs lack the gauge.
+                ckpt_backlog: match fields.iter().find(|(k, _)| k == "ckpt_backlog") {
+                    Some((_, JsonValue::Num(n))) => *n,
+                    Some((_, other)) => {
+                        return Err(TraceParseError::new(format!(
+                            "field `ckpt_backlog` should be a number, got {other:?}"
+                        )))
+                    }
+                    None => 0,
+                },
+            },
+            "segment_seal" => EventKind::SegmentSeal {
+                segment: get_u64("segment")?,
+                batches: get_u64("batches")?,
+                bytes: get_u64("bytes")?,
+            },
+            "checkpoint_begin" => EventKind::CheckpointBegin {
+                segments: get_u64("segments")?,
+                batches: get_u64("batches")?,
+            },
+            "checkpoint_end" => EventKind::CheckpointEnd {
+                upto: get_u64("upto")?,
+                batches: get_u64("batches")?,
+                objects: get_u64("objects")?,
+            },
+            "segment_gc" => EventKind::SegmentGc {
+                segment: get_u64("segment")?,
+                bytes: get_u64("bytes")?,
             },
             other => {
                 return Err(TraceParseError::new(format!("unknown event tag `{other}`")));
@@ -1573,6 +1689,25 @@ mod tests {
                 gc_backlog: 7,
                 snapshots: 2,
                 live_actions: 5,
+                ckpt_backlog: 4,
+            },
+            EventKind::SegmentSeal {
+                segment: 3,
+                batches: 12,
+                bytes: 4096,
+            },
+            EventKind::CheckpointBegin {
+                segments: 2,
+                batches: 20,
+            },
+            EventKind::CheckpointEnd {
+                upto: 3,
+                batches: 20,
+                objects: 6,
+            },
+            EventKind::SegmentGc {
+                segment: 3,
+                bytes: 4096,
             },
         ];
         kinds
@@ -1720,12 +1855,33 @@ mod tests {
             "{\"at_us\":1,\"ev\":\"watchdog_violation\",\"rule\":\"made_up\",\"action\":1,\"object\":1,\"aux\":0}", // unknown rule
             "{\"at_us\":1,\"ev\":\"watchdog_violation\",\"action\":1,\"object\":1,\"aux\":0}", // missing rule
             "{\"at_us\":1,\"ev\":\"metrics_snapshot\",\"lock_entries\":1}", // missing gauges
+            "{\"at_us\":1,\"ev\":\"segment_seal\",\"segment\":1,\"batches\":2}", // missing bytes
+            "{\"at_us\":1,\"ev\":\"checkpoint_begin\",\"segments\":1}", // missing batches
+            "{\"at_us\":1,\"ev\":\"checkpoint_end\",\"upto\":1,\"batches\":2}", // missing objects
+            "{\"at_us\":1,\"ev\":\"segment_gc\",\"segment\":true,\"bytes\":1}", // wrong type
         ] {
             assert!(
                 Event::from_json_line(bad).is_err(),
                 "should reject: {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn pre_segment_metrics_snapshot_still_parses() {
+        // Traces from before the segmented log lack `ckpt_backlog`;
+        // they must load with the gauge defaulted to 0.
+        let line = "{\"at_us\":5,\"ev\":\"metrics_snapshot\",\"lock_entries\":1,\
+                    \"lock_waiters\":0,\"group_queue\":0,\"versions\":2,\
+                    \"gc_backlog\":0,\"snapshots\":1,\"live_actions\":3}";
+        let event = Event::from_json_line(line).unwrap();
+        assert!(matches!(
+            event.kind,
+            EventKind::MetricsSnapshot {
+                ckpt_backlog: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

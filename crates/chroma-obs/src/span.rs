@@ -331,7 +331,8 @@ impl SpanForest {
                 | EventKind::DiskAppend { .. }
                 | EventKind::DiskCheckpoint { .. }
                 | EventKind::DiskReplay { .. }
-                | EventKind::DiskGroupCommit { .. } => {
+                | EventKind::DiskGroupCommit { .. }
+                | EventKind::SegmentSeal { .. } => {
                     // store traffic carries no action id: charge the
                     // innermost action open on the same node (or any
                     // innermost one, for node-less local traces)
@@ -437,7 +438,12 @@ impl SpanForest {
                 | EventKind::VersionPublish { .. }
                 | EventKind::VersionGc { .. }
                 | EventKind::WatchdogViolation { .. }
-                | EventKind::MetricsSnapshot { .. } => {}
+                | EventKind::MetricsSnapshot { .. }
+                // checkpointer traffic is background work: it belongs
+                // to no action and must not be charged to one
+                | EventKind::CheckpointBegin { .. }
+                | EventKind::CheckpointEnd { .. }
+                | EventKind::SegmentGc { .. } => {}
             }
         }
         forest.unpaired_sends = paired
@@ -548,7 +554,8 @@ fn classify(kind: &EventKind) -> Phase {
         | EventKind::DiskAppend { .. }
         | EventKind::DiskCheckpoint { .. }
         | EventKind::DiskReplay { .. }
-        | EventKind::DiskGroupCommit { .. } => Phase::Fsync,
+        | EventKind::DiskGroupCommit { .. }
+        | EventKind::SegmentSeal { .. } => Phase::Fsync,
         EventKind::MsgSend { .. }
         | EventKind::MsgDeliver { .. }
         | EventKind::MsgDrop { .. }

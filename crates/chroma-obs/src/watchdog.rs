@@ -7,8 +7,10 @@
 //! whose state can be windowed by *live* entities — R1 (no lock after
 //! shrink), R2 (Moss inheritance moves a held lock to the closest
 //! colour-holding ancestor), R3 (writes under write locks), R4 (2PC
-//! atomicity), R9 (group-fsync coverage) and R10 (snapshot reads serve
-//! the newest visible version; snapshot actions never lock).
+//! atomicity), R9 (group-fsync coverage), R10 (snapshot reads serve
+//! the newest visible version; snapshot actions never lock) and R11
+//! (segment GC stays behind the checkpoint watermark; recovery
+//! replays exactly the manifest's live suffix).
 //!
 //! When a rule fires the bus emits a structured `watchdog_violation`
 //! event *immediately after the offending event* — zero intervening
@@ -27,6 +29,11 @@
 //! * 2PC state is an insertion-ordered window of recent transactions
 //!   ([`WatchdogConfig::txn_window`]);
 //! * R9 is two counters and a flag;
+//! * R11 keeps the uncheckpointed sealed segments in a window of at
+//!   most [`WatchdogConfig::segment_window`] entries; if it ever
+//!   overflows, the replay-matches-live-suffix check is skipped (the
+//!   GC-behind-watermark check needs only the watermark and stays
+//!   exact);
 //! * R10 publication chains keep the newest
 //!   [`WatchdogConfig::published_window`] versions per object over at
 //!   most [`WatchdogConfig::published_objects`] objects. A check whose
@@ -57,6 +64,10 @@ pub struct WatchdogConfig {
     /// oldest-tracked object is forgotten and reads of untracked
     /// objects go unchecked.
     pub published_objects: usize,
+    /// Uncheckpointed sealed segments tracked for R11's
+    /// replay-matches-live-suffix check; on overflow that check is
+    /// skipped until the next replay resets the window.
+    pub segment_window: usize,
 }
 
 impl Default for WatchdogConfig {
@@ -66,6 +77,7 @@ impl Default for WatchdogConfig {
             txn_window: 1024,
             published_window: 32,
             published_objects: 65536,
+            segment_window: 1024,
         }
     }
 }
@@ -123,6 +135,17 @@ struct WatchdogState {
     group_appends: u64,
     marked_unchecked: u64,
     saw_group_commit: bool,
+    /// R11: uncheckpointed sealed segments as (sequence, batches).
+    sealed_live: VecDeque<(u64, u64)>,
+    /// The seal window overflowed: the replay check is unreliable and
+    /// is skipped, never guessed.
+    sealed_truncated: bool,
+    /// R11: batches committed into the active segment since the last
+    /// seal.
+    active_batches: u64,
+    /// R11: highest checkpointed segment sequence.
+    ckpt_watermark: u64,
+    saw_segment: bool,
     /// Publication chains keyed by (node raw id or 0, object raw id).
     published: HashMap<(u32, u64), PubChain>,
     published_order: VecDeque<(u32, u64)>,
@@ -167,6 +190,7 @@ impl Watchdog {
             txn_window: config.txn_window.max(1),
             published_window: config.published_window.max(1),
             published_objects: config.published_objects.max(1),
+            segment_window: config.segment_window.max(1),
         };
         Watchdog {
             config,
@@ -482,20 +506,72 @@ impl Watchdog {
                 }
                 state.group_appends = 0;
                 state.marked_unchecked += batches;
+                // R11: until the next seal these batches live in the
+                // active segment.
+                state.active_batches += batches;
             }
             EventKind::DiskCheckpoint { .. } if state.saw_group_commit => {
                 state.marked_unchecked = state.marked_unchecked.saturating_sub(1);
             }
-            EventKind::DiskReplay { batches, .. } if state.saw_group_commit => {
-                if batches != state.marked_unchecked {
-                    out.push(violation(
-                        WatchdogRule::ReplayMarkMismatch,
-                        zero_a,
-                        zero_o,
-                        batches,
-                    ));
+            EventKind::SegmentSeal {
+                segment, batches, ..
+            } => {
+                state.saw_segment = true;
+                state.active_batches = 0;
+                state.sealed_live.push_back((segment, batches));
+                while state.sealed_live.len() > self.config.segment_window {
+                    state.sealed_live.pop_front();
+                    state.sealed_truncated = true;
                 }
-                state.marked_unchecked = 0;
+            }
+            EventKind::CheckpointEnd { upto, batches, .. } => {
+                if state.saw_group_commit {
+                    state.marked_unchecked = state.marked_unchecked.saturating_sub(batches);
+                }
+                state.ckpt_watermark = state.ckpt_watermark.max(upto);
+                state.sealed_live.retain(|&(seq, _)| seq > upto);
+            }
+            EventKind::SegmentGc { segment, .. }
+                if state.saw_segment && segment > state.ckpt_watermark =>
+            {
+                out.push(violation(
+                    WatchdogRule::GcUncheckpointedSegment,
+                    zero_a,
+                    zero_o,
+                    segment,
+                ));
+            }
+            EventKind::DiskReplay { batches, .. }
+                if state.saw_group_commit || state.saw_segment =>
+            {
+                if state.saw_group_commit {
+                    if batches != state.marked_unchecked {
+                        out.push(violation(
+                            WatchdogRule::ReplayMarkMismatch,
+                            zero_a,
+                            zero_o,
+                            batches,
+                        ));
+                    }
+                    state.marked_unchecked = 0;
+                }
+                if state.saw_segment {
+                    if !state.sealed_truncated {
+                        let live: u64 = state.sealed_live.iter().map(|&(_, b)| b).sum::<u64>()
+                            + state.active_batches;
+                        if batches != live {
+                            out.push(violation(
+                                WatchdogRule::ReplayManifestMismatch,
+                                zero_a,
+                                zero_o,
+                                batches,
+                            ));
+                        }
+                    }
+                    state.sealed_live.clear();
+                    state.sealed_truncated = false;
+                    state.active_batches = 0;
+                }
             }
             EventKind::SnapshotOpen {
                 action,
@@ -894,6 +970,136 @@ mod tests {
         });
         assert_eq!(wd.rule_count(WatchdogRule::ReplayMarkMismatch), 1);
         assert_violation_within(&sink, WatchdogRule::ReplayMarkMismatch, 1);
+    }
+
+    #[test]
+    fn r11_gc_uncheckpointed_segment_fires() {
+        let (bus, wd, sink, _) = rig();
+        bus.emit(EventKind::DiskAppend {
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskGroupCommit {
+            batches: 1,
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::SegmentSeal {
+            segment: 2,
+            batches: 1,
+            bytes: 64,
+        });
+        // GC with no covering checkpoint: the sealed batch is lost.
+        bus.emit(EventKind::SegmentGc {
+            segment: 2,
+            bytes: 64,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::GcUncheckpointedSegment), 1);
+        assert_violation_within(&sink, WatchdogRule::GcUncheckpointedSegment, 1);
+    }
+
+    #[test]
+    fn r11_replay_manifest_mismatch_fires() {
+        let (bus, wd, sink, _) = rig();
+        bus.emit(EventKind::DiskAppend {
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskGroupCommit {
+            batches: 1,
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::SegmentSeal {
+            segment: 1,
+            batches: 1,
+            bytes: 64,
+        });
+        // Live suffix = 1 sealed batch, but recovery replays none —
+        // the R9 mirror fires too (1 marked batch, 0 replayed).
+        bus.emit(EventKind::DiskReplay {
+            batches: 0,
+            objects: 0,
+        });
+        assert_eq!(wd.rule_count(WatchdogRule::ReplayManifestMismatch), 1);
+        assert_violation_within(&sink, WatchdogRule::ReplayManifestMismatch, 2);
+    }
+
+    #[test]
+    fn r11_clean_segment_lifecycle_stays_silent() {
+        let (bus, wd, _, fired) = rig();
+        bus.emit(EventKind::DiskAppend {
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::DiskGroupCommit {
+            batches: 1,
+            records: 2,
+            bytes: 64,
+        });
+        bus.emit(EventKind::SegmentSeal {
+            segment: 1,
+            batches: 1,
+            bytes: 64,
+        });
+        bus.emit(EventKind::CheckpointBegin {
+            segments: 1,
+            batches: 1,
+        });
+        bus.emit(EventKind::CheckpointEnd {
+            upto: 1,
+            batches: 1,
+            objects: 1,
+        });
+        bus.emit(EventKind::SegmentGc {
+            segment: 1,
+            bytes: 64,
+        });
+        // Everything checkpointed: recovery replays nothing.
+        bus.emit(EventKind::DiskReplay {
+            batches: 0,
+            objects: 0,
+        });
+        assert_eq!(wd.violations(), 0, "clean lifecycle must stay silent");
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn r11_truncated_segment_window_skips_rather_than_guesses() {
+        let bus = Arc::new(EventBus::new());
+        let watchdog = Arc::new(Watchdog::with_config(WatchdogConfig {
+            segment_window: 1,
+            ..WatchdogConfig::default()
+        }));
+        bus.install_watchdog(Some(watchdog.clone()));
+        for segment in 1..=3u64 {
+            bus.emit(EventKind::DiskAppend {
+                records: 2,
+                bytes: 64,
+            });
+            bus.emit(EventKind::DiskGroupCommit {
+                batches: 1,
+                records: 2,
+                bytes: 64,
+            });
+            bus.emit(EventKind::SegmentSeal {
+                segment,
+                batches: 1,
+                bytes: 64,
+            });
+        }
+        // The window saw only the newest seal; a replay count it
+        // cannot verify must be skipped, not guessed wrong. (The R9
+        // mirror still checks total marked batches and stays clean.)
+        bus.emit(EventKind::DiskReplay {
+            batches: 3,
+            objects: 3,
+        });
+        assert_eq!(
+            watchdog.rule_count(WatchdogRule::ReplayManifestMismatch),
+            0,
+            "truncated window must skip the replay check"
+        );
     }
 
     #[test]

@@ -1,13 +1,44 @@
 //! A disk-backed stable store: the same intentions-list protocol as
-//! [`StableStore`](crate::StableStore), persisted to a real directory.
+//! [`StableStore`](crate::StableStore), persisted to a real directory
+//! as a **segmented intentions log** under a tiny manifest.
 //!
 //! The in-memory [`StableStore`] *models* stable storage for simulation
-//! and fault-injection; `DiskStore` *is* stable storage: object states
-//! live in one file per object, updates go through a write-ahead
-//! intentions log that is fsynced before the commit marker, and
-//! [`DiskStore::open`] replays the log — completing committed batches
-//! and discarding uncommitted ones — so a process crash at any point
-//! leaves an all-or-nothing outcome.
+//! and fault-injection; `DiskStore` *is* stable storage: updates go
+//! through a write-ahead intentions log that is fsynced before the
+//! commit marker, and [`DiskStore::open`] replays the log — completing
+//! committed batches and discarding uncommitted ones — so a process
+//! crash at any point leaves an all-or-nothing outcome.
+//!
+//! # Segments and the manifest
+//!
+//! The log is a sequence of immutable *segments*. Appends go to the
+//! single active segment; when it passes
+//! [`DiskStoreOptions::segment_bytes`] it is *sealed*: a fresh segment
+//! file is created and fsynced, and the `MANIFEST` file — the
+//! authoritative, ordered list of live segments — is atomically
+//! rewritten (write temp, fsync, rename, fsync directory) to include
+//! it. A segment is in the manifest before any commit lands in it, and
+//! a batch's intents and marker never span segments (seals happen only
+//! between group flushes), so every segment carries a self-contained
+//! set of committed batches.
+//!
+//! # Checkpointing and GC
+//!
+//! Object installs are **off the commit path**. A committed batch's
+//! states are published to an in-memory tail map (reads consult it
+//! first); a background checkpointer thread folds fully-committed
+//! sealed segments into `objects/` — write-temp + rename per object,
+//! then one `objects/` directory fsync — and commits the fold by
+//! rewriting the manifest without them. Only then are the segment
+//! files deleted, so GC always trails the checkpoint watermark: a
+//! crash anywhere leaves either segments the manifest still owns
+//! (recovery re-replays them, idempotently) or orphan files the
+//! manifest never meant (swept on open, never replayed).
+//!
+//! Recovery therefore replays **exactly the manifest's live suffix**,
+//! segment by segment through a bounded-buffer reader, then collapses
+//! to a single fresh active segment — replay work is bounded by what
+//! was committed since the last checkpoint, not by history.
 //!
 //! # Group commit
 //!
@@ -25,29 +56,36 @@
 //!
 //! # Log format
 //!
-//! The log opens with the 8-byte magic `CHLOG001`; each record is then
-//! framed `[len: u32 LE][payload][crc32: u32 LE]`, the checksum taken
-//! over length prefix and payload (CRC-32/IEEE, zlib convention). A
-//! log without the magic is decoded with the pre-checksum framing
-//! (`[len][payload]`), so stores written before the format change
-//! still open. A complete record whose checksum mismatches is
+//! Every segment opens with the 8-byte magic `CHLOG001`; each record
+//! is then framed `[len: u32 LE][payload][crc32: u32 LE]`, the
+//! checksum taken over length prefix and payload (CRC-32/IEEE, zlib
+//! convention). A complete record whose checksum mismatches is
 //! corruption within the committed prefix and fails `open`; an
 //! incomplete record at the tail is a torn append and is discarded.
+//! A pre-segment store (a single `log` file, with or without the
+//! magic) is still opened: its committed batches are folded into
+//! `objects/` once and the directory is migrated to the manifest
+//! layout.
 //!
 //! Layout inside the store directory:
 //!
 //! ```text
 //! store/
-//! ├── log              the intentions log (magic + checksummed records)
+//! ├── MANIFEST              the ordered live-segment list (atomic
+//! │                         temp + rename + dir-fsync)
+//! ├── segments/
+//! │   └── seg-<seq>.log     CRC-framed intentions (magic CHLOG001)
 //! └── objects/
-//!     └── o<id>.bin    installed state of each object
+//!     └── o<id>.bin         checkpointed state of each object
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write as _};
+use std::io::{self, Read as _, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 use chroma_base::ObjectId;
@@ -62,15 +100,19 @@ use crate::StoreBytes;
 /// Magic prefix identifying the checksummed log format.
 const LOG_MAGIC: &[u8; 8] = b"CHLOG001";
 
+/// First line of the `MANIFEST` file.
+const MANIFEST_MAGIC: &str = "CHMAN001";
+
 /// Errors from the disk store.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum DiskError {
     /// An underlying filesystem operation failed.
     Io(io::Error),
-    /// The log contained a record that failed to decode or checksum
-    /// (corruption past the last valid record is tolerated and
-    /// truncated; this is corruption *within* the committed prefix).
+    /// The log or manifest contained a record that failed to decode or
+    /// checksum (corruption past the last valid record is tolerated
+    /// and truncated; this is corruption *within* the committed
+    /// prefix).
     CorruptLog(String),
     /// A fault-injection commit stopped at the requested crash point
     /// ([`DiskStore::commit_batch_with_crash`]); the directory is left
@@ -107,6 +149,10 @@ impl std::error::Error for DiskError {
 /// *whole* group (every batch sharing the flush gets
 /// [`DiskError::Crashed`]) and poisons the store: subsequent commits
 /// fail too, as they would against a dead process.
+///
+/// The seal and checkpoint points force the corresponding maintenance
+/// step right after the batch commits, then die inside it — the batch
+/// itself is durable at all of them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DiskCrashPoint {
     /// Before any intent reaches the log: the batch simply never
@@ -116,12 +162,27 @@ pub enum DiskCrashPoint {
     /// commit marker: recovery must discard the batch.
     AfterIntents,
     /// After the commit marker is fsynced (the commit point) but
-    /// before any state is installed: recovery must complete the
-    /// batch.
+    /// before the committed states are published to the in-memory
+    /// tail: recovery must complete the batch.
     AfterCommitRecord,
-    /// After the states are installed but before the log is
-    /// truncated: recovery re-installs idempotently.
+    /// After the committed states are published to the tail (the end
+    /// of the commit path): recovery re-installs idempotently.
     AfterInstall,
+    /// Mid-seal: the next segment file exists and is synced, but the
+    /// manifest still ends at the old active segment — the new file is
+    /// an orphan recovery must sweep, never replay.
+    SealBeforeManifest,
+    /// After a seal completed (the manifest lists the new active
+    /// segment).
+    AfterSeal,
+    /// Mid-checkpoint: folded states are installed in `objects/`, but
+    /// the manifest still lists the folded segments — recovery
+    /// re-replays them idempotently.
+    CheckpointBeforeManifest,
+    /// After the manifest dropped the folded segments but before their
+    /// files were deleted: the files are orphans recovery must sweep
+    /// without replaying.
+    CheckpointBeforeGc,
 }
 
 /// Commit-protocol stage order, for picking the earliest injected
@@ -132,6 +193,10 @@ fn crash_stage(point: DiskCrashPoint) -> u8 {
         DiskCrashPoint::AfterIntents => 1,
         DiskCrashPoint::AfterCommitRecord => 2,
         DiskCrashPoint::AfterInstall => 3,
+        DiskCrashPoint::SealBeforeManifest => 4,
+        DiskCrashPoint::AfterSeal => 5,
+        DiskCrashPoint::CheckpointBeforeManifest => 6,
+        DiskCrashPoint::CheckpointBeforeGc => 7,
     }
 }
 
@@ -139,6 +204,38 @@ impl From<io::Error> for DiskError {
     fn from(e: io::Error) -> Self {
         DiskError::Io(e)
     }
+}
+
+/// Tuning knobs for [`DiskStore::open_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiskStoreOptions {
+    /// Seal the active segment once its record payload passes this
+    /// many bytes.
+    pub segment_bytes: u64,
+    /// Run the background checkpointer thread. Disable for tests and
+    /// benchmarks that want deterministic, explicit
+    /// [`DiskStore::checkpoint_now`] calls.
+    pub auto_checkpoint: bool,
+}
+
+impl Default for DiskStoreOptions {
+    fn default() -> Self {
+        DiskStoreOptions {
+            segment_bytes: 1 << 20,
+            auto_checkpoint: true,
+        }
+    }
+}
+
+/// What [`DiskStore::open`] replayed from the manifest's live suffix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Committed batches (re)installed.
+    pub batches: u64,
+    /// Log records decoded (committed or not).
+    pub records: u64,
+    /// Object states installed into `objects/`.
+    pub objects: u64,
 }
 
 /// One framed record in the on-disk intentions log.
@@ -196,6 +293,79 @@ struct GroupState {
     poisoned: Option<DiskCrashPoint>,
 }
 
+impl std::fmt::Debug for GroupState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupState")
+            .field("next_batch", &self.next_batch)
+            .field("queued", &self.queue.len())
+            .field("leader_active", &self.leader_active)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+/// One live segment's bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct SegmentInfo {
+    seq: u64,
+    /// Batches committed into this segment.
+    batches: u64,
+    /// Record payload bytes appended (past the magic).
+    bytes: u64,
+    /// Highest batch id committed into this segment.
+    max_batch: u64,
+}
+
+/// Segment + manifest state. The group-commit leader holds this across
+/// a flush; the checkpointer takes it briefly to rewrite the manifest.
+#[derive(Debug)]
+struct WalState {
+    /// Live segments in manifest order; the last is the active one.
+    segments: Vec<SegmentInfo>,
+    /// Append handle to the active segment.
+    active: File,
+}
+
+/// Checkpointer wakeup state.
+#[derive(Debug)]
+struct CkptState {
+    shutdown: bool,
+    kicks: u64,
+}
+
+/// Everything the store and its checkpointer thread share.
+#[derive(Debug)]
+struct Shared {
+    dir: PathBuf,
+    opts: DiskStoreOptions,
+    /// Group-commit coordination: queue, outcomes, leader election.
+    group: Mutex<GroupState>,
+    /// Followers park here until the leader posts their outcome.
+    group_changed: Condvar,
+    wal: Mutex<WalState>,
+    /// Committed-but-not-yet-checkpointed newest state per object,
+    /// tagged with the committing batch id.
+    tail: Mutex<HashMap<u64, (u64, StoreBytes)>>,
+    /// Serialises checkpoints (background thread vs `checkpoint_now`).
+    ckpt_run: Mutex<()>,
+    ckpt: Mutex<CkptState>,
+    /// Wakes the checkpointer on seal or shutdown.
+    ckpt_signal: Condvar,
+    /// Batches committed but not yet folded behind the watermark.
+    backlog: AtomicU64,
+    /// Fsyncs paid on the active segment (two per flushed group).
+    log_fsyncs: AtomicU64,
+    /// Directory fsyncs (manifest renames, segment creation, object
+    /// installs).
+    dir_fsyncs: AtomicU64,
+    obs: ObsCell,
+    /// Replay stats from `open`, kept for inspection.
+    recovered: ReplayStats,
+    /// Replay stats held until tracing is installed — recovery runs
+    /// before any bus can exist.
+    pending_replay: Mutex<Option<ReplayStats>>,
+}
+
 /// A crash-safe object store on the local filesystem.
 ///
 /// # Examples
@@ -220,77 +390,105 @@ struct GroupState {
 /// ```
 #[derive(Debug)]
 pub struct DiskStore {
-    dir: PathBuf,
-    /// Group-commit coordination: queue, outcomes, leader election.
-    group: Mutex<GroupState>,
-    /// Followers park here until the leader posts their outcome.
-    group_changed: Condvar,
-    /// Fsyncs paid on the intentions log (two per flushed group).
-    log_fsyncs: AtomicU64,
-    obs: ObsCell,
-    /// Replay stats from `open` (batches, object installs), held until
-    /// tracing is installed — recovery runs before any bus can exist.
-    pending_replay: Mutex<Option<(u64, u64)>>,
-}
-
-impl std::fmt::Debug for GroupState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GroupState")
-            .field("next_batch", &self.next_batch)
-            .field("queued", &self.queue.len())
-            .field("leader_active", &self.leader_active)
-            .field("poisoned", &self.poisoned)
-            .finish()
-    }
+    shared: Arc<Shared>,
+    /// Background checkpointer, joined on drop.
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 impl DiskStore {
-    /// Opens (creating if necessary) a store in `dir`, running crash
-    /// recovery on the intentions log.
+    /// Opens (creating if necessary) a store in `dir` with default
+    /// options, running crash recovery on the manifest's live suffix.
     ///
     /// # Errors
     ///
-    /// I/O failures, or corruption within the log's committed prefix.
+    /// I/O failures, or corruption within a live segment's committed
+    /// prefix.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, DiskError> {
+        Self::open_with(dir, DiskStoreOptions::default())
+    }
+
+    /// [`open`](DiskStore::open) with explicit [`DiskStoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption within a live segment's committed
+    /// prefix.
+    pub fn open_with(dir: impl AsRef<Path>, opts: DiskStoreOptions) -> Result<Self, DiskError> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(dir.join("objects"))?;
-        let store = DiskStore {
+        let recovered = recover(&dir)?;
+        let shared = Arc::new(Shared {
             dir,
+            opts,
             group: Mutex::new(GroupState {
-                next_batch: 0,
+                next_batch: recovered.max_batch + 1,
                 queue: Vec::new(),
                 results: HashMap::new(),
                 leader_active: false,
                 poisoned: None,
             }),
             group_changed: Condvar::new(),
+            wal: Mutex::new(WalState {
+                segments: vec![recovered.active],
+                active: recovered.active_file,
+            }),
+            tail: Mutex::new(HashMap::new()),
+            ckpt_run: Mutex::new(()),
+            ckpt: Mutex::new(CkptState {
+                shutdown: false,
+                kicks: 0,
+            }),
+            ckpt_signal: Condvar::new(),
+            backlog: AtomicU64::new(0),
             log_fsyncs: AtomicU64::new(0),
+            dir_fsyncs: AtomicU64::new(recovered.dir_fsyncs),
             obs: ObsCell::new(),
-            pending_replay: Mutex::new(None),
+            recovered: recovered.stats,
+            pending_replay: Mutex::new((recovered.stats.records > 0).then_some(recovered.stats)),
+        });
+        let checkpointer = if opts.auto_checkpoint {
+            let thread_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("chroma-checkpointer".into())
+                    .spawn(move || checkpointer_loop(&thread_shared))
+                    .map_err(DiskError::Io)?,
+            )
+        } else {
+            None
         };
-        let max_batch = store.recover_log()?;
-        store.group.lock().next_batch = max_batch + 1;
-        Ok(store)
+        Ok(DiskStore {
+            shared,
+            checkpointer,
+        })
     }
 
     /// Installs a tracing handle. Fsync latency flows into the
     /// `store.fsync_us` histogram, group sizes into
-    /// `store.group_size`, and log/install activity is emitted as
-    /// `DiskAppend`/`DiskGroupCommit`/`DiskCheckpoint` events; if
-    /// `open` replayed the intentions log, the deferred `DiskReplay`
-    /// event is emitted now.
+    /// `store.group_size`, and log/segment activity is emitted as
+    /// `DiskAppend`/`DiskGroupCommit`/`SegmentSeal`/`CheckpointBegin`/
+    /// `CheckpointEnd`/`SegmentGc` events; if `open` replayed the
+    /// live suffix, the deferred `DiskReplay` event is emitted now.
     #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
     pub fn set_obs(&self, obs: Obs) {
         self.install_obs(obs);
     }
 
-    /// Total fsyncs paid on the intentions log since `open` — two per
+    /// Total fsyncs paid on the active segment since `open` — two per
     /// flushed group, so `log_fsync_count() / commits` is the
-    /// amortised cost group commit exists to shrink. Install-path
-    /// fsyncs (per-object temp files) are not counted.
+    /// amortised cost group commit exists to shrink. Seal, manifest
+    /// and install fsyncs are not counted (see
+    /// [`dir_fsync_count`](DiskStore::dir_fsync_count)).
     #[must_use]
     pub fn log_fsync_count(&self) -> u64 {
-        self.log_fsyncs.load(Ordering::Relaxed)
+        self.shared.log_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Directory fsyncs paid since `open`: after every manifest
+    /// rename, segment-file creation, and batch of object installs —
+    /// the metadata syncs that make renames durable across power loss.
+    #[must_use]
+    pub fn dir_fsync_count(&self) -> u64 {
+        self.shared.dir_fsyncs.load(Ordering::Relaxed)
     }
 
     /// Batches currently queued behind the group-commit leader — the
@@ -298,46 +496,77 @@ impl DiskStore {
     /// idle.
     #[must_use]
     pub fn group_queue_depth(&self) -> u64 {
-        self.group.lock().queue.len() as u64
+        self.shared.group.lock().queue.len() as u64
     }
 
-    fn log_path(&self) -> PathBuf {
-        self.dir.join("log")
+    /// Batches committed but not yet folded into `objects/` behind the
+    /// checkpoint watermark — the recovery replay debt a crash right
+    /// now would pay.
+    #[must_use]
+    pub fn checkpoint_backlog(&self) -> u64 {
+        self.shared.backlog.load(Ordering::Relaxed)
     }
 
-    fn object_path(&self, object: ObjectId) -> PathBuf {
-        self.dir
-            .join("objects")
-            .join(format!("o{}.bin", object.as_raw()))
+    /// What `open` replayed from the manifest's live suffix (zeros for
+    /// a fresh or fully-checkpointed store).
+    #[must_use]
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.shared.recovered
     }
 
-    /// Reads the installed state of `object`.
+    /// The manifest's live segment files for the store at `dir`,
+    /// oldest first — the last is the active segment. Works without an
+    /// open store (e.g. against a crashed directory); empty if no
+    /// manifest exists yet.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a corrupt manifest.
+    pub fn live_segment_paths(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, DiskError> {
+        let dir = dir.as_ref();
+        let seqs = read_manifest(dir)?.unwrap_or_default();
+        Ok(seqs
+            .into_iter()
+            .map(|seq| dir.join("segments").join(segment_file_name(seq)))
+            .collect())
+    }
+
+    /// Reads the newest committed state of `object` — from the
+    /// in-memory tail if the batch is not yet checkpointed, else from
+    /// `objects/`.
     ///
     /// # Errors
     ///
     /// I/O failures other than not-found.
     pub fn read(&self, object: ObjectId) -> Result<Option<StoreBytes>, DiskError> {
-        match fs::read(self.object_path(object)) {
+        if let Some((_, state)) = self.shared.tail.lock().get(&object.as_raw()) {
+            return Ok(Some(state.clone()));
+        }
+        match fs::read(self.shared.object_path(object)) {
             Ok(bytes) => Ok(Some(StoreBytes::from(bytes))),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
     }
 
-    /// Returns `true` if `object` has an installed state.
+    /// Returns `true` if `object` has a committed state.
     #[must_use]
     pub fn contains(&self, object: ObjectId) -> bool {
-        self.object_path(object).exists()
+        if self.shared.tail.lock().contains_key(&object.as_raw()) {
+            return true;
+        }
+        self.shared.object_path(object).exists()
     }
 
-    /// Returns the ids of all installed objects, unordered.
+    /// Returns the ids of all committed objects (checkpointed or still
+    /// in the tail), unordered.
     ///
     /// # Errors
     ///
     /// I/O failures listing the objects directory.
     pub fn object_ids(&self) -> Result<Vec<ObjectId>, DiskError> {
-        let mut ids = Vec::new();
-        for entry in fs::read_dir(self.dir.join("objects"))? {
+        let mut ids: HashSet<u64> = self.shared.tail.lock().keys().copied().collect();
+        for entry in fs::read_dir(self.shared.dir.join("objects"))? {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
             if let Some(raw) = name
@@ -345,25 +574,27 @@ impl DiskStore {
                 .and_then(|rest| rest.strip_suffix(".bin"))
                 .and_then(|digits| digits.parse::<u64>().ok())
             {
-                ids.push(ObjectId::from_raw(raw));
+                ids.insert(raw);
             }
         }
-        Ok(ids)
+        Ok(ids.into_iter().map(ObjectId::from_raw).collect())
     }
 
-    /// Atomically installs a batch of updates: intents are appended and
+    /// Atomically commits a batch of updates: intents are appended and
     /// fsynced, the commit marker is appended and fsynced (the commit
-    /// point), then states are installed via write-to-temp + rename and
-    /// the log is truncated. Concurrent callers share those fsyncs via
-    /// group commit (see the module docs); each batch keeps its own
-    /// commit marker, so atomicity is still per-batch.
+    /// point), then the states are published to the in-memory tail —
+    /// installs into `objects/` happen later, on the checkpointer.
+    /// Concurrent callers share those fsyncs via group commit (see the
+    /// module docs); each batch keeps its own commit marker, so
+    /// atomicity is still per-batch. An empty batch is vacuously
+    /// durable and pays no fsyncs at all.
     ///
     /// # Errors
     ///
     /// I/O failures; on error before the commit marker the batch is
     /// guaranteed absent after recovery.
     pub fn commit_batch(&self, updates: Vec<(ObjectId, StoreBytes)>) -> Result<(), DiskError> {
-        self.commit_batch_inner(updates, None)
+        self.shared.commit_batch_inner(updates, None)
     }
 
     /// [`commit_batch`](DiskStore::commit_batch), abandoned at `crash`
@@ -372,7 +603,8 @@ impl DiskStore {
     /// it; the store is poisoned (later commits fail like calls into a
     /// dead process) and any batch sharing the group flush crashes
     /// with it. Re-[`open`](DiskStore::open)ing the directory runs
-    /// recovery.
+    /// recovery. Seal and checkpoint points force the corresponding
+    /// maintenance step after the commit and die inside it.
     ///
     /// # Errors
     ///
@@ -383,7 +615,89 @@ impl DiskStore {
         updates: Vec<(ObjectId, StoreBytes)>,
         crash: DiskCrashPoint,
     ) -> Result<(), DiskError> {
-        self.commit_batch_inner(updates, Some(crash))
+        self.shared.commit_batch_inner(updates, Some(crash))
+    }
+
+    /// Seals the active segment (if it holds any batches) and folds
+    /// every sealed segment into `objects/` synchronously. Returns
+    /// whether anything was folded. Mostly for tests and benchmarks;
+    /// with [`DiskStoreOptions::auto_checkpoint`] the background
+    /// thread does this on its own.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`DiskError::Crashed`] on a poisoned store.
+    pub fn checkpoint_now(&self) -> Result<bool, DiskError> {
+        let shared = &self.shared;
+        if let Some(point) = shared.group.lock().poisoned {
+            return Err(DiskError::Crashed(point));
+        }
+        {
+            let mut wal = shared.wal.lock();
+            if wal.segments.last().is_some_and(|active| active.batches > 0) {
+                let obs = shared.obs.get();
+                shared.seal_active(&mut wal, None, &obs)?;
+            }
+        }
+        shared.checkpoint_inner(None)
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.checkpointer.take() {
+            self.shared.ckpt.lock().shutdown = true;
+            self.shared.ckpt_signal.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Observable for DiskStore {
+    /// Installs a tracing handle (see the deprecated
+    /// [`DiskStore::set_obs`] for the emitted events); if `open`
+    /// replayed the live suffix, the deferred `DiskReplay` event is
+    /// emitted now.
+    fn install_obs(&self, obs: Obs) {
+        self.shared.obs.set(obs.clone());
+        if let Some(stats) = self.shared.pending_replay.lock().take() {
+            obs.emit(EventKind::DiskReplay {
+                batches: stats.batches,
+                objects: stats.objects,
+            });
+        }
+    }
+}
+
+/// The background checkpointer: waits for seals, folds sealed
+/// segments, drains once more on shutdown so restarts replay little.
+fn checkpointer_loop(shared: &Shared) {
+    loop {
+        {
+            let mut st = shared.ckpt.lock();
+            while !st.shutdown && st.kicks == 0 {
+                shared.ckpt_signal.wait(&mut st);
+            }
+            if st.shutdown {
+                break;
+            }
+            st.kicks = 0;
+        }
+        if shared.checkpoint_inner(None).is_err() {
+            // A real I/O failure in the background: leave the segments
+            // in place (recovery will fold them) and stop
+            // checkpointing; commits stay durable without us.
+            return;
+        }
+    }
+    let _ = shared.checkpoint_inner(None);
+}
+
+impl Shared {
+    fn object_path(&self, object: ObjectId) -> PathBuf {
+        self.dir
+            .join("objects")
+            .join(format!("o{}.bin", object.as_raw()))
     }
 
     fn commit_batch_inner(
@@ -394,6 +708,11 @@ impl DiskStore {
         let mut group = self.group.lock();
         if let Some(point) = group.poisoned {
             return Err(DiskError::Crashed(point));
+        }
+        if updates.is_empty() && crash.is_none() {
+            // Vacuously durable: nothing needs logging, so the batch
+            // must not pay (or make a whole group pay) any fsyncs.
+            return Ok(());
         }
         let id = group.next_batch;
         group.next_batch += 1;
@@ -415,18 +734,18 @@ impl DiskStore {
         while !group.queue.is_empty() {
             let drained = std::mem::take(&mut group.queue);
             drop(group);
-            let shared = match self.flush_group(&drained) {
+            let flushed = match self.flush_group(&drained) {
                 Ok(()) => GroupOutcome::Done,
                 Err(DiskError::Crashed(point)) => GroupOutcome::Crashed(point),
                 Err(DiskError::Io(e)) => GroupOutcome::Io(e.to_string()),
                 Err(DiskError::CorruptLog(msg)) => GroupOutcome::Corrupt(msg),
             };
             group = self.group.lock();
-            if let GroupOutcome::Crashed(point) = shared {
+            if let GroupOutcome::Crashed(point) = flushed {
                 group.poisoned = Some(point);
             }
             for batch in &drained {
-                group.results.insert(batch.id, shared.clone());
+                group.results.insert(batch.id, flushed.clone());
             }
             if let Some(point) = group.poisoned {
                 // The "process" died mid-flush: batches that queued up
@@ -448,9 +767,10 @@ impl DiskStore {
     }
 
     /// Flushes one drained group: all intents, one fsync, one commit
-    /// marker per batch, one fsync, install everything, truncate.
-    /// Injected crashes take effect at the *earliest* stage requested
-    /// by any batch in the group.
+    /// marker per batch, one fsync, publish to the tail, seal the
+    /// active segment if it is full. Injected crashes take effect at
+    /// the *earliest* stage requested by any batch in the group.
+    #[allow(clippy::too_many_lines)]
     fn flush_group(&self, group: &[PendingBatch]) -> Result<(), DiskError> {
         let obs = self.obs.get();
         let crash = group
@@ -461,14 +781,15 @@ impl DiskStore {
             return Err(DiskError::Crashed(DiskCrashPoint::BeforeIntents));
         }
 
+        let mut wal = self.wal.lock();
         // 1-2. Log every batch's intents, fsync once; then every
-        // batch's commit marker, fsync once (the group's commit point).
-        let mut log = self.open_log()?;
+        // batch's commit marker, fsync once (the group's commit point,
+        // inside the active segment).
         let mut batch_bytes = vec![0u64; group.len()];
         for (i, batch) in group.iter().enumerate() {
             for (object, state) in &batch.updates {
-                batch_bytes[i] += Self::append_record(
-                    &mut log,
+                batch_bytes[i] += append_record(
+                    &mut wal.active,
                     &DiskRecord::Intent {
                         batch: batch.id,
                         object: object.as_raw(),
@@ -477,16 +798,15 @@ impl DiskStore {
                 )?;
             }
         }
-        self.log_fsync(&log, &obs)?;
+        self.log_fsync(&wal.active, &obs)?;
         if crash == Some(DiskCrashPoint::AfterIntents) {
             return Err(DiskError::Crashed(DiskCrashPoint::AfterIntents));
         }
         for (i, batch) in group.iter().enumerate() {
             batch_bytes[i] +=
-                Self::append_record(&mut log, &DiskRecord::Commit { batch: batch.id })?;
+                append_record(&mut wal.active, &DiskRecord::Commit { batch: batch.id })?;
         }
-        self.log_fsync(&log, &obs)?;
-        drop(log);
+        self.log_fsync(&wal.active, &obs)?;
         let mut records = 0u64;
         let mut bytes = 0u64;
         for (i, batch) in group.iter().enumerate() {
@@ -504,189 +824,599 @@ impl DiskStore {
             bytes,
         });
         obs.observe("store.group_size", group.len() as u64);
+        {
+            let info = wal.segments.last_mut().expect("live list never empty");
+            info.batches += group.len() as u64;
+            info.bytes += bytes;
+            info.max_batch = group.last().expect("group is non-empty").id;
+        }
         if crash == Some(DiskCrashPoint::AfterCommitRecord) {
             return Err(DiskError::Crashed(DiskCrashPoint::AfterCommitRecord));
         }
 
-        // 3. Install (idempotent, crash-retryable from the log).
-        for batch in group {
-            for (object, state) in &batch.updates {
-                self.install(*object, state)?;
+        // 3. Publish committed state to the in-memory tail; the
+        // checkpointer folds it into objects/ off the commit path.
+        {
+            let mut tail = self.tail.lock();
+            for batch in group {
+                for (object, state) in &batch.updates {
+                    tail.insert(object.as_raw(), (batch.id, state.clone()));
+                }
             }
         }
+        self.backlog
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
         if crash == Some(DiskCrashPoint::AfterInstall) {
             return Err(DiskError::Crashed(DiskCrashPoint::AfterInstall));
         }
-        // 4. Truncate the log (every logged batch is installed).
-        fs::write(self.log_path(), LOG_MAGIC)?;
-        for batch in group {
-            obs.emit(EventKind::DiskCheckpoint {
-                objects: batch.updates.len() as u64,
+
+        // 4. Seal when the active segment is full (an injected seal or
+        // checkpoint crash forces one so the point is reachable).
+        let forced = matches!(
+            crash,
+            Some(
+                DiskCrashPoint::SealBeforeManifest
+                    | DiskCrashPoint::AfterSeal
+                    | DiskCrashPoint::CheckpointBeforeManifest
+                    | DiskCrashPoint::CheckpointBeforeGc
+            )
+        );
+        let full = wal
+            .segments
+            .last()
+            .is_some_and(|active| active.bytes >= self.opts.segment_bytes);
+        let mut sealed = false;
+        if forced || full {
+            let seal_crash = crash.filter(|p| {
+                matches!(
+                    p,
+                    DiskCrashPoint::SealBeforeManifest | DiskCrashPoint::AfterSeal
+                )
+            });
+            self.seal_active(&mut wal, seal_crash, &obs)?;
+            sealed = true;
+        }
+        drop(wal);
+        if sealed {
+            self.kick_checkpointer();
+        }
+        if let Some(point) = crash.filter(|p| {
+            matches!(
+                p,
+                DiskCrashPoint::CheckpointBeforeManifest | DiskCrashPoint::CheckpointBeforeGc
+            )
+        }) {
+            // Die inside the forced checkpoint; the batch itself is
+            // already durable.
+            return match self.checkpoint_inner(Some(point)) {
+                Ok(_) => Err(DiskError::Crashed(point)),
+                Err(e) => Err(e),
+            };
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment: create + fsync the next segment file,
+    /// fsync the segments directory, then commit it into the manifest.
+    /// The new segment is in the manifest *before* any record lands in
+    /// it.
+    fn seal_active(
+        &self,
+        wal: &mut WalState,
+        crash: Option<DiskCrashPoint>,
+        obs: &Obs,
+    ) -> Result<(), DiskError> {
+        let next_seq = wal.segments.last().expect("live list never empty").seq + 1;
+        let segments_dir = self.dir.join("segments");
+        let mut file = File::create(segments_dir.join(segment_file_name(next_seq)))?;
+        file.write_all(LOG_MAGIC)?;
+        file.sync_all()?;
+        self.fsync_dir_counted(&segments_dir)?;
+        if crash == Some(DiskCrashPoint::SealBeforeManifest) {
+            return Err(DiskError::Crashed(DiskCrashPoint::SealBeforeManifest));
+        }
+        let seqs: Vec<u64> = wal
+            .segments
+            .iter()
+            .map(|s| s.seq)
+            .chain([next_seq])
+            .collect();
+        self.write_manifest_counted(&seqs)?;
+        let old = *wal.segments.last().expect("live list never empty");
+        wal.segments.push(SegmentInfo {
+            seq: next_seq,
+            batches: 0,
+            bytes: 0,
+            max_batch: 0,
+        });
+        wal.active = file;
+        obs.emit(EventKind::SegmentSeal {
+            segment: old.seq,
+            batches: old.batches,
+            bytes: old.bytes,
+        });
+        if crash == Some(DiskCrashPoint::AfterSeal) {
+            return Err(DiskError::Crashed(DiskCrashPoint::AfterSeal));
+        }
+        Ok(())
+    }
+
+    /// Folds every sealed segment into `objects/` and garbage-collects
+    /// it behind the checkpoint watermark. The manifest rewrite is the
+    /// fold's commit point: a crash before it re-replays (idempotent),
+    /// a crash after it leaves only orphan files (swept, not
+    /// replayed).
+    fn checkpoint_inner(&self, crash: Option<DiskCrashPoint>) -> Result<bool, DiskError> {
+        let _run = self.ckpt_run.lock();
+        if self.group.lock().poisoned.is_some() {
+            // A crashed "process" does no more disk work.
+            return Ok(false);
+        }
+        let obs = self.obs.get();
+        let folds: Vec<SegmentInfo> = {
+            let wal = self.wal.lock();
+            wal.segments[..wal.segments.len() - 1].to_vec()
+        };
+        if folds.is_empty() {
+            // An injected checkpoint crash still dies here even with
+            // nothing to fold.
+            return match crash {
+                Some(point) => Err(DiskError::Crashed(point)),
+                None => Ok(false),
+            };
+        }
+        let batches: u64 = folds.iter().map(|s| s.batches).sum();
+        let watermark = folds.iter().map(|s| s.max_batch).max().unwrap_or(0);
+        obs.emit(EventKind::CheckpointBegin {
+            segments: folds.len() as u64,
+            batches,
+        });
+        // Install the newest tail state of every object the folded
+        // batches cover. Newer-than-watermark states stay in the tail:
+        // their batches are still in the live suffix.
+        let covered: Vec<(u64, StoreBytes)> = self
+            .tail
+            .lock()
+            .iter()
+            .filter(|&(_, &(batch, _))| batch <= watermark)
+            .map(|(object, (_, state))| (*object, state.clone()))
+            .collect();
+        let objects_dir = self.dir.join("objects");
+        for (object, state) in &covered {
+            install_object(&objects_dir, *object, state)?;
+        }
+        if !covered.is_empty() {
+            self.fsync_dir_counted(&objects_dir)?;
+        }
+        if crash == Some(DiskCrashPoint::CheckpointBeforeManifest) {
+            return Err(DiskError::Crashed(DiskCrashPoint::CheckpointBeforeManifest));
+        }
+        let upto = folds.last().expect("folds is non-empty").seq;
+        {
+            let mut wal = self.wal.lock();
+            wal.segments.retain(|s| s.seq > upto);
+            let seqs: Vec<u64> = wal.segments.iter().map(|s| s.seq).collect();
+            self.write_manifest_counted(&seqs)?;
+        }
+        obs.emit(EventKind::CheckpointEnd {
+            upto,
+            batches,
+            objects: covered.len() as u64,
+        });
+        if crash == Some(DiskCrashPoint::CheckpointBeforeGc) {
+            return Err(DiskError::Crashed(DiskCrashPoint::CheckpointBeforeGc));
+        }
+        let segments_dir = self.dir.join("segments");
+        for seg in &folds {
+            fs::remove_file(segments_dir.join(segment_file_name(seg.seq)))?;
+            obs.emit(EventKind::SegmentGc {
+                segment: seg.seq,
+                bytes: seg.bytes,
             });
         }
-        Ok(())
+        self.tail.lock().retain(|_, (batch, _)| *batch > watermark);
+        self.backlog.fetch_sub(batches, Ordering::Relaxed);
+        Ok(true)
     }
 
-    /// Opens the log for appending, stamping the format magic if the
-    /// file is new or empty.
-    fn open_log(&self) -> Result<File, DiskError> {
-        let mut log = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.log_path())?;
-        if log.metadata()?.len() == 0 {
-            log.write_all(LOG_MAGIC)?;
-        }
-        Ok(log)
+    fn kick_checkpointer(&self) {
+        self.ckpt.lock().kicks += 1;
+        self.ckpt_signal.notify_all();
     }
 
-    fn install(&self, object: ObjectId, state: &[u8]) -> Result<(), DiskError> {
-        let final_path = self.object_path(object);
-        let tmp_path = final_path.with_extension("tmp");
-        {
-            let mut tmp = File::create(&tmp_path)?;
-            tmp.write_all(state)?;
-            Self::fsync(&tmp, &self.obs.get())?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
-        Ok(())
+    fn write_manifest_counted(&self, seqs: &[u64]) -> Result<(), DiskError> {
+        let mut fsyncs = 0u64;
+        let result = write_manifest(&self.dir, seqs, &mut fsyncs);
+        self.dir_fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        result
+    }
+
+    fn fsync_dir_counted(&self, dir: &Path) -> Result<(), DiskError> {
+        let mut fsyncs = 0u64;
+        let result = fsync_dir(dir, &mut fsyncs);
+        self.dir_fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        result
     }
 
     /// An intentions-log fsync: counted (for the amortised-cost
     /// metric) and timed.
     fn log_fsync(&self, file: &File, obs: &Obs) -> Result<(), DiskError> {
         self.log_fsyncs.fetch_add(1, Ordering::Relaxed);
-        Self::fsync(file, obs)
+        fsync_timed(file, obs)
     }
+}
 
-    /// `sync_all` with its latency recorded into `store.fsync_us`.
-    fn fsync(file: &File, obs: &Obs) -> Result<(), DiskError> {
-        let started = obs.enabled().then(Instant::now);
+/// `sync_all` with its latency recorded into `store.fsync_us`.
+fn fsync_timed(file: &File, obs: &Obs) -> Result<(), DiskError> {
+    let started = obs.enabled().then(Instant::now);
+    file.sync_all()?;
+    if let Some(started) = started {
+        obs.observe(
+            "store.fsync_us",
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+    Ok(())
+}
+
+fn append_record(log: &mut File, record: &DiskRecord) -> Result<u64, DiskError> {
+    let bytes = codec::to_bytes(record).map_err(|e| DiskError::CorruptLog(e.to_string()))?;
+    let len =
+        u32::try_from(bytes.len()).map_err(|_| DiskError::CorruptLog("record too large".into()))?;
+    let mut frame = Vec::with_capacity(bytes.len() + 8);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&bytes);
+    let crc = crc32(&frame);
+    log.write_all(&frame)?;
+    log.write_all(&crc.to_le_bytes())?;
+    Ok(frame.len() as u64 + 4)
+}
+
+fn segment_file_name(seq: u64) -> String {
+    format!("seg-{seq:08}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")
+        .and_then(|rest| rest.strip_suffix(".log"))
+        .and_then(|digits| digits.parse::<u64>().ok())
+}
+
+/// Fsyncs a directory so renames/creations/removals inside it survive
+/// power loss, counting into `fsyncs`.
+fn fsync_dir(dir: &Path, fsyncs: &mut u64) -> Result<(), DiskError> {
+    File::open(dir)?.sync_all()?;
+    *fsyncs += 1;
+    Ok(())
+}
+
+/// Atomically replaces the manifest: write `MANIFEST.tmp`, fsync it,
+/// rename over `MANIFEST`, fsync the directory.
+fn write_manifest(dir: &Path, seqs: &[u64], fsyncs: &mut u64) -> Result<(), DiskError> {
+    let mut text = String::with_capacity(16 + seqs.len() * 16);
+    text.push_str(MANIFEST_MAGIC);
+    text.push('\n');
+    for seq in seqs {
+        text.push_str("seg ");
+        text.push_str(&seq.to_string());
+        text.push('\n');
+    }
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
         file.sync_all()?;
-        if let Some(started) = started {
-            obs.observe(
-                "store.fsync_us",
-                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
-            );
+    }
+    fs::rename(&tmp, dir.join("MANIFEST"))?;
+    fsync_dir(dir, fsyncs)
+}
+
+/// Parses the manifest's live segment list; `Ok(None)` when no
+/// manifest exists (a fresh or pre-segment store).
+fn read_manifest(dir: &Path) -> Result<Option<Vec<u64>>, DiskError> {
+    let raw = match fs::read_to_string(dir.join("MANIFEST")) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut lines = raw.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(DiskError::CorruptLog("manifest missing magic".into()));
+    }
+    let mut seqs: Vec<u64> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
         }
-        Ok(())
+        let seq = line
+            .strip_prefix("seg ")
+            .and_then(|digits| digits.parse::<u64>().ok())
+            .ok_or_else(|| DiskError::CorruptLog(format!("bad manifest line {line:?}")))?;
+        if seqs.last().is_some_and(|&last| last >= seq) {
+            return Err(DiskError::CorruptLog(
+                "manifest segments out of order".into(),
+            ));
+        }
+        seqs.push(seq);
     }
+    Ok(Some(seqs))
+}
 
-    fn append_record(log: &mut File, record: &DiskRecord) -> Result<u64, DiskError> {
-        let bytes = codec::to_bytes(record).map_err(|e| DiskError::CorruptLog(e.to_string()))?;
-        let len = u32::try_from(bytes.len())
-            .map_err(|_| DiskError::CorruptLog("record too large".into()))?;
-        let mut frame = Vec::with_capacity(bytes.len() + 8);
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&bytes);
-        let crc = crc32(&frame);
-        log.write_all(&frame)?;
-        log.write_all(&crc.to_le_bytes())?;
-        Ok(frame.len() as u64 + 4)
+/// Installs one object state: write-temp, fsync, rename. The caller
+/// batches the `objects/` directory fsync.
+fn install_object(objects_dir: &Path, object: u64, state: &[u8]) -> Result<(), DiskError> {
+    let final_path = objects_dir.join(format!("o{object}.bin"));
+    let tmp_path = final_path.with_extension("tmp");
+    {
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(state)?;
+        tmp.sync_all()?;
     }
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(())
+}
 
-    /// Replays the intentions log: committed batches are (re)installed,
-    /// uncommitted intents are discarded, the log is truncated. Returns
-    /// the highest batch id seen.
-    fn recover_log(&self) -> Result<u64, DiskError> {
-        let raw = match fs::read(self.log_path()) {
-            Ok(raw) => raw,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+/// Streams CRC-framed records out of a log file while holding at most
+/// one frame in memory — recovery cost is bounded by the largest
+/// record, not the log length.
+struct FrameReader {
+    src: io::BufReader<File>,
+    checksummed: bool,
+    /// Bytes left in the file; a frame promising more is a torn tail.
+    remaining: u64,
+    /// Reusable frame buffer: `[len: u32 LE][payload]`, the
+    /// checksummed span.
+    frame: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Opens `path`, consuming the format magic if present (its
+    /// absence selects the pre-checksum `[len][payload]` framing).
+    /// `Ok(None)` means the file does not exist.
+    fn open(path: &Path) -> Result<Option<FrameReader>, DiskError> {
+        let file = match File::open(path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        // Versioned decode: the magic selects checksummed framing;
-        // anything else is a log from before checksums existed.
-        let checksummed = raw.starts_with(LOG_MAGIC);
-        let mut cursor = if checksummed {
-            &raw[LOG_MAGIC.len()..]
-        } else {
-            &raw[..]
-        };
-        let mut records = Vec::new();
-        loop {
-            if cursor.len() < 4 {
-                break; // torn tail (crash mid-append): discard
-            }
-            let len_bytes: [u8; 4] = cursor[..4].try_into().expect("four bytes checked");
-            let len = u32::from_le_bytes(len_bytes) as usize;
-            let payload_end = 4 + len;
-            let frame_end = if checksummed {
-                payload_end + 4
+        let mut remaining = file.metadata()?.len();
+        let mut src = io::BufReader::new(file);
+        let mut magic = [0u8; 8];
+        let checksummed = remaining >= LOG_MAGIC.len() as u64 && {
+            src.read_exact(&mut magic)?;
+            if &magic == LOG_MAGIC {
+                remaining -= LOG_MAGIC.len() as u64;
+                true
             } else {
-                payload_end
-            };
-            if cursor.len() < frame_end {
-                break; // torn record
+                src.seek(io::SeekFrom::Start(0))?;
+                false
             }
-            if checksummed {
-                let stored_bytes: [u8; 4] = cursor[payload_end..frame_end]
-                    .try_into()
-                    .expect("four bytes checked");
-                let stored = u32::from_le_bytes(stored_bytes);
-                let computed = crc32(&cursor[..payload_end]);
-                if stored != computed {
-                    return Err(DiskError::CorruptLog(format!(
-                        "record checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
-                    )));
-                }
-            }
-            match codec::from_bytes::<DiskRecord>(&cursor[4..payload_end]) {
-                Ok(record) => records.push(record),
-                Err(e) => {
-                    // A decodable-length but garbled record inside the
-                    // prefix is real corruption.
-                    return Err(DiskError::CorruptLog(e.to_string()));
-                }
-            }
-            cursor = &cursor[frame_end..];
+        };
+        Ok(Some(FrameReader {
+            src,
+            checksummed,
+            remaining,
+            frame: Vec::new(),
+        }))
+    }
+
+    /// The next record; `Ok(None)` at a clean EOF or a torn tail.
+    fn next(&mut self) -> Result<Option<DiskRecord>, DiskError> {
+        let mut len_bytes = [0u8; 4];
+        if self.remaining < 4 {
+            return Ok(None); // torn tail (or clean EOF)
         }
-        let committed: std::collections::HashSet<u64> = records
-            .iter()
-            .filter_map(|r| match r {
-                DiskRecord::Commit { batch } => Some(*batch),
-                DiskRecord::Intent { .. } => None,
-            })
-            .collect();
-        let mut max_batch = 0;
-        let mut installed = 0u64;
-        for record in &records {
+        self.src.read_exact(&mut len_bytes)?;
+        let len = u64::from(u32::from_le_bytes(len_bytes));
+        let trailer = if self.checksummed { 4 } else { 0 };
+        if self.remaining < 4 + len + trailer {
+            return Ok(None); // torn record: discard from here
+        }
+        self.remaining -= 4 + len + trailer;
+        self.frame.clear();
+        self.frame.extend_from_slice(&len_bytes);
+        self.frame.resize(4 + len as usize, 0);
+        self.src.read_exact(&mut self.frame[4..])?;
+        if self.checksummed {
+            let mut crc_bytes = [0u8; 4];
+            self.src.read_exact(&mut crc_bytes)?;
+            let stored = u32::from_le_bytes(crc_bytes);
+            let computed = crc32(&self.frame);
+            if stored != computed {
+                return Err(DiskError::CorruptLog(format!(
+                    "record checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                )));
+            }
+        }
+        codec::from_bytes::<DiskRecord>(&self.frame[4..])
+            .map(Some)
+            .map_err(|e| DiskError::CorruptLog(e.to_string()))
+    }
+}
+
+/// Replays one log file in two streaming passes: collect the committed
+/// batch set, then install committed intents. Returns the number of
+/// records decoded in the file.
+fn replay_file(
+    path: &Path,
+    objects_dir: &Path,
+    stats: &mut ReplayStats,
+    max_batch: &mut u64,
+) -> Result<u64, DiskError> {
+    let Some(mut reader) = FrameReader::open(path)? else {
+        return Ok(0);
+    };
+    let mut committed: HashSet<u64> = HashSet::new();
+    let mut records = 0u64;
+    while let Some(record) = reader.next()? {
+        records += 1;
+        match record {
+            DiskRecord::Commit { batch } => {
+                committed.insert(batch);
+                *max_batch = (*max_batch).max(batch);
+            }
+            DiskRecord::Intent { batch, .. } => {
+                *max_batch = (*max_batch).max(batch);
+            }
+        }
+    }
+    if !committed.is_empty() {
+        let mut reader = FrameReader::open(path)?.expect("file existed a moment ago");
+        while let Some(record) = reader.next()? {
             if let DiskRecord::Intent {
                 batch,
                 object,
                 state,
             } = record
             {
-                max_batch = max_batch.max(*batch);
-                if committed.contains(batch) {
-                    self.install(ObjectId::from_raw(*object), state)?;
-                    installed += 1;
+                if committed.contains(&batch) {
+                    install_object(objects_dir, object, &state)?;
+                    stats.objects += 1;
                 }
             }
-            if let DiskRecord::Commit { batch } = record {
-                max_batch = max_batch.max(*batch);
-            }
         }
-        fs::write(self.log_path(), LOG_MAGIC)?;
-        if !records.is_empty() {
-            // Tracing cannot be installed yet (recovery runs inside
-            // `open`); remember the stats for `install_obs`.
-            *self.pending_replay.lock() = Some((committed.len() as u64, installed));
-        }
-        Ok(max_batch)
     }
+    stats.batches += committed.len() as u64;
+    stats.records += records;
+    Ok(records)
 }
 
-impl Observable for DiskStore {
-    /// Installs a tracing handle (see the deprecated
-    /// [`DiskStore::set_obs`] for the emitted events); if `open`
-    /// replayed the intentions log, the deferred `DiskReplay` event is
-    /// emitted now.
-    fn install_obs(&self, obs: Obs) {
-        self.obs.set(obs.clone());
-        if let Some((batches, objects)) = self.pending_replay.lock().take() {
-            obs.emit(EventKind::DiskReplay { batches, objects });
+/// What `recover` hands back to `open_with`.
+struct Recovered {
+    active: SegmentInfo,
+    active_file: File,
+    max_batch: u64,
+    stats: ReplayStats,
+    dir_fsyncs: u64,
+}
+
+/// Crash recovery: sweep temp orphans, replay exactly the manifest's
+/// live suffix (or migrate a pre-segment `log`), sweep segment files
+/// the manifest never committed to, then collapse to a single fresh
+/// active segment.
+#[allow(clippy::too_many_lines)]
+fn recover(dir: &Path) -> Result<Recovered, DiskError> {
+    let objects_dir = dir.join("objects");
+    let segments_dir = dir.join("segments");
+    fs::create_dir_all(&objects_dir)?;
+    fs::create_dir_all(&segments_dir)?;
+    let mut dir_fsyncs = 0u64;
+
+    // Sweep leftovers from a crash mid-install or mid-manifest-write:
+    // temp files are invisible to the protocol until renamed, so they
+    // must never be read — or reported by `object_ids`.
+    for entry in fs::read_dir(&objects_dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            fs::remove_file(entry.path())?;
         }
     }
+    if dir.join("MANIFEST.tmp").exists() {
+        fs::remove_file(dir.join("MANIFEST.tmp"))?;
+    }
+
+    let manifest = read_manifest(dir)?;
+    let legacy_log = dir.join("log");
+    let mut stats = ReplayStats::default();
+    let mut max_batch = 0u64;
+    let live: Vec<u64> = match &manifest {
+        Some(seqs) => {
+            // The manifest is authoritative. A legacy `log` alongside
+            // it is a stale leftover (e.g. resurrected bytes from the
+            // pre-segment format's unsynced truncate): never replay
+            // it.
+            if legacy_log.exists() {
+                fs::remove_file(&legacy_log)?;
+            }
+            seqs.clone()
+        }
+        None => {
+            // Pre-segment store: stream the old single log once, fold
+            // it into objects/, then adopt the manifest layout below.
+            if legacy_log.exists() {
+                replay_file(&legacy_log, &objects_dir, &mut stats, &mut max_batch)?;
+            }
+            Vec::new()
+        }
+    };
+
+    // Replay exactly the live suffix, oldest segment first.
+    let mut last_segment_records = 0u64;
+    for &seq in &live {
+        let path = segments_dir.join(segment_file_name(seq));
+        if !path.exists() {
+            return Err(DiskError::CorruptLog(format!(
+                "manifest lists segment {seq} but its file is missing"
+            )));
+        }
+        last_segment_records = replay_file(&path, &objects_dir, &mut stats, &mut max_batch)?;
+    }
+    if stats.objects > 0 {
+        fsync_dir(&objects_dir, &mut dir_fsyncs)?;
+    }
+
+    // Segment files the manifest does not own are dead by definition:
+    // a seal that never reached the manifest, or a fold's GC that
+    // never finished. Sweep, never replay.
+    for entry in fs::read_dir(&segments_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let keep =
+            parse_segment_name(&name.to_string_lossy()).is_some_and(|seq| live.contains(&seq));
+        if !keep {
+            fs::remove_file(entry.path())?;
+        }
+    }
+
+    // Fast path: a lone, empty active segment can simply be reused —
+    // restarting an idle store must not churn the manifest.
+    if manifest.is_some() && live.len() == 1 && last_segment_records == 0 && stats.records == 0 {
+        let seq = live[0];
+        let active_file = OpenOptions::new()
+            .append(true)
+            .open(segments_dir.join(segment_file_name(seq)))?;
+        return Ok(Recovered {
+            active: SegmentInfo {
+                seq,
+                batches: 0,
+                bytes: 0,
+                max_batch: 0,
+            },
+            active_file,
+            max_batch,
+            stats,
+            dir_fsyncs,
+        });
+    }
+
+    // Collapse: everything replayed is in objects/ now, so restart on
+    // a single fresh active segment — the next recovery replays only
+    // what commits after this point.
+    let fresh = live.iter().max().copied().unwrap_or(0) + 1;
+    let mut active_file = File::create(segments_dir.join(segment_file_name(fresh)))?;
+    active_file.write_all(LOG_MAGIC)?;
+    active_file.sync_all()?;
+    fsync_dir(&segments_dir, &mut dir_fsyncs)?;
+    write_manifest(dir, &[fresh], &mut dir_fsyncs)?;
+    for &seq in &live {
+        fs::remove_file(segments_dir.join(segment_file_name(seq)))?;
+    }
+    if manifest.is_none() && legacy_log.exists() {
+        fs::remove_file(&legacy_log)?;
+        fsync_dir(dir, &mut dir_fsyncs)?;
+    }
+    Ok(Recovered {
+        active: SegmentInfo {
+            seq: fresh,
+            batches: 0,
+            bytes: 0,
+            max_batch: 0,
+        },
+        active_file,
+        max_batch,
+        stats,
+        dir_fsyncs,
+    })
 }
 
 #[cfg(test)]
@@ -694,6 +1424,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Barrier};
+    use std::time::Duration;
 
     static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -714,13 +1445,23 @@ mod tests {
         StoreBytes::from(v.to_vec())
     }
 
-    /// Hand-writes a log in the checksummed format.
+    /// Options for tests that want deterministic seals/checkpoints:
+    /// seal after every commit, no background thread.
+    fn manual(segment_bytes: u64) -> DiskStoreOptions {
+        DiskStoreOptions {
+            segment_bytes,
+            auto_checkpoint: false,
+        }
+    }
+
+    /// Hand-writes a pre-segment `log` file in the checksummed format
+    /// (the migration input).
     fn write_log(dir: &Path, records: &[DiskRecord]) {
         fs::create_dir_all(dir.join("objects")).unwrap();
         let mut log = File::create(dir.join("log")).unwrap();
         log.write_all(LOG_MAGIC).unwrap();
         for record in records {
-            DiskStore::append_record(&mut log, record).unwrap();
+            append_record(&mut log, record).unwrap();
         }
     }
 
@@ -771,6 +1512,14 @@ mod tests {
         assert_eq!(
             store.read(o(7)).unwrap().as_deref(),
             Some(&b"recovered"[..])
+        );
+        assert_eq!(
+            store.replay_stats(),
+            ReplayStats {
+                batches: 1,
+                records: 2,
+                objects: 1,
+            }
         );
         // Batch ids continue past the recovered one.
         store.commit_batch(vec![(o(8), bytes(b"next"))]).unwrap();
@@ -846,8 +1595,10 @@ mod tests {
             store.read(o(4)).unwrap().as_deref(),
             Some(&b"old format"[..])
         );
-        // The truncated log is re-stamped in the current format.
-        assert!(fs::read(dir.join("log")).unwrap().starts_with(LOG_MAGIC));
+        // The store is migrated to the manifest layout: the single log
+        // is gone, a manifest with one fresh segment owns the dir.
+        assert!(!dir.join("log").exists());
+        assert_eq!(DiskStore::live_segment_paths(&dir).unwrap().len(), 1);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -886,6 +1637,24 @@ mod tests {
         let dir = temp_dir();
         let store = DiskStore::open(&dir).unwrap();
         store.commit_batch(Vec::new()).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_commit_batch_pays_no_fsyncs() {
+        // Bugfix: an empty batch used to join a group and pay (or make
+        // a whole group pay) both fsyncs for nothing.
+        let dir = temp_dir();
+        let store = DiskStore::open(&dir).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"real"))]).unwrap();
+        let before = store.log_fsync_count();
+        store.commit_batch(Vec::new()).unwrap();
+        store.commit_batch(Vec::new()).unwrap();
+        assert_eq!(
+            store.log_fsync_count(),
+            before,
+            "empty batches must not fsync"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -951,6 +1720,241 @@ mod tests {
         let store = DiskStore::open(&dir).unwrap();
         assert!(store.read(o(1)).unwrap().is_none());
         store.commit_batch(vec![(o(2), bytes(b"y"))]).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_on_open() {
+        // Bugfix: a crash mid-install leaves o<id>.tmp behind; it must
+        // be removed on open and never surface through object_ids.
+        let dir = temp_dir();
+        fs::create_dir_all(dir.join("objects")).unwrap();
+        fs::write(dir.join("objects").join("o5.tmp"), b"torn install").unwrap();
+        fs::write(dir.join("MANIFEST.tmp"), b"torn manifest").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(!dir.join("objects").join("o5.tmp").exists());
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert!(store.object_ids().unwrap().is_empty());
+        assert!(!store.contains(o(5)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seal_and_checkpoint_fold_and_gc() {
+        // segment_bytes: 1 seals after every commit; checkpoint_now
+        // folds the sealed segments into objects/ and GCs their files.
+        let dir = temp_dir();
+        let store = DiskStore::open_with(&dir, manual(1)).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"a"))]).unwrap();
+        store.commit_batch(vec![(o(2), bytes(b"b"))]).unwrap();
+        assert!(store.checkpoint_backlog() >= 2);
+        let sealed_paths = DiskStore::live_segment_paths(&dir).unwrap();
+        assert!(sealed_paths.len() >= 2, "commits should have sealed");
+
+        assert!(store.checkpoint_now().unwrap());
+        assert_eq!(store.checkpoint_backlog(), 0);
+        // Folded into objects/, GC'd from segments/, manifest shrunk
+        // to the lone active segment.
+        assert!(dir.join("objects").join("o1.bin").exists());
+        assert!(dir.join("objects").join("o2.bin").exists());
+        let live = DiskStore::live_segment_paths(&dir).unwrap();
+        assert_eq!(live.len(), 1);
+        let on_disk = fs::read_dir(dir.join("segments")).unwrap().count();
+        assert_eq!(on_disk, 1, "folded segment files must be deleted");
+        // Reads still serve the right values from objects/.
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(store.read(o(2)).unwrap().as_deref(), Some(&b"b"[..]));
+        // Nothing left to fold.
+        assert!(!store.checkpoint_now().unwrap());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_preserves_newest_value() {
+        // Overwrites across segments: the fold must install the newest
+        // committed state, and newer-than-watermark tail entries must
+        // survive the prune.
+        let dir = temp_dir();
+        let store = DiskStore::open_with(&dir, manual(1)).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"v1"))]).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"v2"))]).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"v3"))]).unwrap();
+        store.checkpoint_now().unwrap();
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"v3"[..]));
+        assert_eq!(
+            fs::read(dir.join("objects").join("o1.bin")).unwrap(),
+            b"v3".to_vec()
+        );
+        drop(store);
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"v3"[..]));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lost_truncate_cannot_resurrect_stale_bytes() {
+        // Bugfix regression: the old layout truncated the log with an
+        // unsynced fs::write, so a crash could resurrect stale log
+        // bytes under fresh appends. In the manifest layout the
+        // equivalent failure is a GC'd segment file reappearing (its
+        // delete never hit disk): the manifest does not list it, so
+        // recovery must sweep it, not replay it.
+        let dir = temp_dir();
+        let store = DiskStore::open_with(&dir, manual(1)).unwrap();
+        store.commit_batch(vec![(o(1), bytes(b"stale"))]).unwrap();
+        let stale_seg = DiskStore::live_segment_paths(&dir).unwrap()[0].clone();
+        let stale_bytes = fs::read(&stale_seg).unwrap();
+        store.checkpoint_now().unwrap();
+        assert!(!stale_seg.exists(), "checkpoint should have GC'd it");
+        store.commit_batch(vec![(o(1), bytes(b"fresh"))]).unwrap();
+        drop(store);
+        // "Lose" the truncate/delete: the stale segment file comes
+        // back, exactly as an unsynced unlink would leave it.
+        fs::write(&stale_seg, &stale_bytes).unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.read(o(1)).unwrap().as_deref(), Some(&b"fresh"[..]));
+        assert!(!stale_seg.exists(), "unlisted segment must be swept");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_points_on_seal_and_checkpoint_recover() {
+        for point in [
+            DiskCrashPoint::SealBeforeManifest,
+            DiskCrashPoint::AfterSeal,
+            DiskCrashPoint::CheckpointBeforeManifest,
+            DiskCrashPoint::CheckpointBeforeGc,
+        ] {
+            let dir = temp_dir();
+            let store = DiskStore::open_with(&dir, manual(1 << 20)).unwrap();
+            store.commit_batch(vec![(o(1), bytes(b"base"))]).unwrap();
+            let err = store
+                .commit_batch_with_crash(vec![(o(2), bytes(b"crash"))], point)
+                .unwrap_err();
+            assert!(
+                matches!(err, DiskError::Crashed(p) if p == point),
+                "{point:?}: {err:?}"
+            );
+            assert!(store.checkpoint_now().is_err(), "{point:?}: poisoned");
+            drop(store);
+            let store = DiskStore::open(&dir).unwrap();
+            // All four points sit past the commit point: both batches
+            // must survive the crash, whatever the maintenance step
+            // was doing.
+            assert_eq!(
+                store.read(o(1)).unwrap().as_deref(),
+                Some(&b"base"[..]),
+                "{point:?}"
+            );
+            assert_eq!(
+                store.read(o(2)).unwrap().as_deref(),
+                Some(&b"crash"[..]),
+                "{point:?}"
+            );
+            // Recovery collapsed to a coherent manifest: exactly the
+            // live segments exist on disk, nothing else.
+            let live = DiskStore::live_segment_paths(&dir).unwrap();
+            for path in &live {
+                assert!(path.exists(), "{point:?}: manifest lists {path:?}");
+            }
+            assert_eq!(
+                fs::read_dir(dir.join("segments")).unwrap().count(),
+                live.len(),
+                "{point:?}: orphan segment files survived recovery"
+            );
+            store.commit_batch(vec![(o(3), bytes(b"after"))]).unwrap();
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn background_checkpointer_folds_automatically() {
+        let dir = temp_dir();
+        let store = DiskStore::open_with(
+            &dir,
+            DiskStoreOptions {
+                segment_bytes: 1,
+                auto_checkpoint: true,
+            },
+        )
+        .unwrap();
+        for i in 0..8 {
+            store.commit_batch(vec![(o(i), bytes(&[i as u8]))]).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while store.checkpoint_backlog() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            store.checkpoint_backlog(),
+            0,
+            "checkpointer never caught up"
+        );
+        for i in 0..8 {
+            assert!(dir.join("objects").join(format!("o{i}.bin")).exists());
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_stats_match_live_suffix() {
+        // Replay work is bounded by what committed since the last
+        // checkpoint, not by history.
+        let dir = temp_dir();
+        let store = DiskStore::open_with(&dir, manual(1)).unwrap();
+        for i in 0..6 {
+            store.commit_batch(vec![(o(i), bytes(b"old"))]).unwrap();
+        }
+        store.checkpoint_now().unwrap();
+        for i in 0..3 {
+            store
+                .commit_batch(vec![(o(100 + i), bytes(b"new"))])
+                .unwrap();
+        }
+        let live = store.checkpoint_backlog();
+        assert_eq!(live, 3);
+        drop(store);
+        let store = DiskStore::open(&dir).unwrap();
+        let stats = store.replay_stats();
+        assert_eq!(stats.batches, live, "replayed more than the live suffix");
+        assert_eq!(stats.objects, 3);
+        for i in 0..6 {
+            assert_eq!(store.read(o(i)).unwrap().as_deref(), Some(&b"old"[..]));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_fsyncs_cover_install_and_manifest() {
+        // Bugfix: installs and manifest renames must be followed by a
+        // directory fsync or the rename itself can vanish on power
+        // loss. Count them across a seal + checkpoint cycle.
+        let dir = temp_dir();
+        let store = DiskStore::open_with(&dir, manual(1)).unwrap();
+        let before = store.dir_fsync_count();
+        store.commit_batch(vec![(o(1), bytes(b"x"))]).unwrap();
+        store.checkpoint_now().unwrap();
+        let paid = store.dir_fsync_count() - before;
+        // At least: segments-dir fsync at seal, dir fsync for the seal
+        // manifest, objects-dir fsync for the install, dir fsync for
+        // the checkpoint manifest.
+        assert!(paid >= 4, "only {paid} directory fsyncs paid");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_reopen_reuses_active_segment() {
+        // An idle store must not churn segments/manifest on restart.
+        let dir = temp_dir();
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.commit_batch(vec![(o(1), bytes(b"v"))]).unwrap();
+            store.checkpoint_now().unwrap();
+        }
+        let live_before = DiskStore::live_segment_paths(&dir).unwrap();
+        drop(DiskStore::open(&dir).unwrap());
+        let live_after = DiskStore::live_segment_paths(&dir).unwrap();
+        assert_eq!(live_before, live_after, "idle reopen churned the manifest");
         fs::remove_dir_all(&dir).ok();
     }
 }

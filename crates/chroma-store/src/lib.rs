@@ -51,7 +51,7 @@ mod versions;
 mod volatile;
 mod wal;
 
-pub use disk::{DiskCrashPoint, DiskError, DiskStore};
+pub use disk::{DiskCrashPoint, DiskError, DiskStore, DiskStoreOptions, ReplayStats};
 pub use stable::{BatchId, CommitCrashPoint, Crashed, LogRecord, StableStore};
 pub use versions::{GcStats, SnapshotStamps, StampClock, VersionChains, VisibleVersion};
 pub use volatile::VolatileStore;

@@ -32,6 +32,16 @@ fn o(n: u64) -> ObjectId {
     ObjectId::from_raw(n)
 }
 
+/// The active (newest) live segment of a closed store directory — the
+/// file a torn-power-loss test mutilates.
+fn active_segment(dir: &std::path::Path) -> PathBuf {
+    DiskStore::live_segment_paths(dir)
+        .unwrap()
+        .last()
+        .cloned()
+        .expect("an opened store always has a live segment")
+}
+
 fn bytes(v: &[u8]) -> StoreBytes {
     StoreBytes::from(v.to_vec())
 }
@@ -105,6 +115,9 @@ proptest! {
         {
             let store = DiskStore::open(&dir).unwrap();
             seed_baseline(&store);
+            // Fold the baseline into objects/ so the active segment
+            // holds exactly the batch the tear targets.
+            store.checkpoint_now().unwrap();
             let err = store
                 .commit_batch_with_crash(
                     overwrite_batch(batch_size),
@@ -116,7 +129,7 @@ proptest! {
                 DiskError::Crashed(DiskCrashPoint::AfterCommitRecord)
             ));
         }
-        let log_path = dir.join("log");
+        let log_path = active_segment(&dir);
         let log = std::fs::read(&log_path).unwrap();
         prop_assert!(!log.is_empty(), "crash left no log to tear");
         let cut = usize::try_from(log.len() as u64 * cut_permille / 1000).unwrap();
@@ -137,7 +150,7 @@ proptest! {
     /// correct side of the commit point every time.
     #[test]
     fn every_crash_point_recovers_cleanly(
-        crash_idx in 0usize..4,
+        crash_idx in 0usize..8,
         batch_size in 1u64..=BASELINE_OBJECTS,
     ) {
         let points = [
@@ -145,6 +158,10 @@ proptest! {
             DiskCrashPoint::AfterIntents,
             DiskCrashPoint::AfterCommitRecord,
             DiskCrashPoint::AfterInstall,
+            DiskCrashPoint::SealBeforeManifest,
+            DiskCrashPoint::AfterSeal,
+            DiskCrashPoint::CheckpointBeforeManifest,
+            DiskCrashPoint::CheckpointBeforeGc,
         ];
         let point = points[crash_idx];
         let dir = temp_dir();
@@ -157,9 +174,12 @@ proptest! {
             prop_assert!(matches!(err, DiskError::Crashed(p) if p == point));
         }
         let store = DiskStore::open(&dir).unwrap();
-        let survives = matches!(
+        // The commit point is the marker fsync: every stage at or past
+        // `AfterCommitRecord` (including the seal and checkpoint
+        // stages, which run after the flush) keeps the batch.
+        let survives = !matches!(
             point,
-            DiskCrashPoint::AfterCommitRecord | DiskCrashPoint::AfterInstall
+            DiskCrashPoint::BeforeIntents | DiskCrashPoint::AfterIntents
         );
         assert_all_or_nothing(&store, batch_size, survives);
         // Batch ids continue past the recovered log; commits still work.
@@ -205,6 +225,9 @@ proptest! {
         {
             let store = DiskStore::open(&dir).unwrap();
             seed_baseline(&store);
+            // Fold the baseline away so the flip always lands in the
+            // segment holding the committed-but-uncheckpointed batch.
+            store.checkpoint_now().unwrap();
             store
                 .commit_batch_with_crash(
                     overwrite_batch(batch_size),
@@ -212,7 +235,7 @@ proptest! {
                 )
                 .unwrap_err();
         }
-        let log_path = dir.join("log");
+        let log_path = active_segment(&dir);
         let mut log = std::fs::read(&log_path).unwrap();
         let pos = usize::try_from(flip_pos_seed % log.len() as u64).unwrap();
         log[pos] ^= 1 << flip_bit;
@@ -250,6 +273,7 @@ fn seed_matrix_truncation_torture() {
         {
             let store = DiskStore::open(&dir).unwrap();
             seed_baseline(&store);
+            store.checkpoint_now().unwrap();
             store
                 .commit_batch_with_crash(
                     overwrite_batch(batch_size),
@@ -257,7 +281,7 @@ fn seed_matrix_truncation_torture() {
                 )
                 .unwrap_err();
         }
-        let log_path = dir.join("log");
+        let log_path = active_segment(&dir);
         let log = std::fs::read(&log_path).unwrap();
         let cut = usize::try_from(splitmix(&mut state) % (log.len() as u64 + 1)).unwrap();
         std::fs::write(&log_path, &log[..cut]).unwrap();
@@ -277,10 +301,14 @@ fn seed_matrix_truncation_torture() {
         }
 
         // A post-recovery commit emits the disk vocabulary and times its
-        // fsyncs.
+        // fsyncs; an explicit checkpoint then walks the full segment
+        // lifecycle (seal → fold → GC) under the same trace.
         store.commit_batch(vec![(o(9), bytes(&[9, 9]))]).unwrap();
         assert_eq!(bus.counter("disk_append"), 1, "round {round}");
-        assert_eq!(bus.counter("disk_checkpoint"), 1, "round {round}");
+        store.checkpoint_now().unwrap();
+        assert_eq!(bus.counter("segment_seal"), 1, "round {round}");
+        assert_eq!(bus.counter("checkpoint_end"), 1, "round {round}");
+        assert!(bus.counter("segment_gc") >= 1, "round {round}");
         assert!(bus.snapshot().histogram("store.fsync_us").is_some());
 
         // The whole traced recovery + commit is clean under audit.
@@ -297,7 +325,7 @@ fn seed_matrix_truncation_torture() {
 /// (a committer that got `Ok` keeps its whole batch; a crashed one
 /// keeps all of it or none), and the combined trace — group flushes,
 /// crash, deferred replay, post-recovery commit — must audit clean
-/// under R1–R9.
+/// under R1–R11.
 #[test]
 fn seed_matrix_group_commit_crash_torture() {
     use std::sync::Barrier;
