@@ -9,7 +9,7 @@ use chroma_base::{
     ActionId, Colour, ColourSet, ColourUniverse, LockError, LockMode, NodeId, ObjectId,
 };
 use chroma_locks::{ColouredPolicy, LockTable, DEFAULT_LOCK_SHARDS};
-use chroma_obs::{EventBus, EventKind, Obs, ObsCell, Observable};
+use chroma_obs::{EventKind, Obs, ObsCell, Observable};
 use chroma_store::{
     codec, GcStats, SnapshotStamps, StampClock, StoreBytes, VersionChains, VisibleVersion,
     VolatileStore,
@@ -283,46 +283,6 @@ impl Runtime {
     #[must_use]
     pub fn builder() -> RuntimeBuilder {
         RuntimeBuilder::default()
-    }
-
-    /// Creates a runtime with default configuration.
-    #[deprecated(since = "0.2.0", note = "use `Runtime::builder().build()` instead")]
-    #[must_use]
-    pub fn new() -> Self {
-        Runtime::builder().build()
-    }
-
-    /// Creates a runtime with the given configuration and the default
-    /// single-node permanence backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runtime::builder().config(..).build()` instead"
-    )]
-    #[must_use]
-    pub fn with_config(config: RuntimeConfig) -> Self {
-        Runtime::builder().config(config).build()
-    }
-
-    /// Creates a runtime whose permanence of effect is provided by
-    /// `backend`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runtime::builder().config(..).backend(..).build()` instead"
-    )]
-    #[must_use]
-    pub fn with_backend(config: RuntimeConfig, backend: Arc<dyn PermanenceBackend>) -> Self {
-        Runtime::builder().config(config).backend(backend).build()
-    }
-
-    /// Like [`Observable::install_obs`] with an [`Obs`] bound via
-    /// [`Obs::at_node`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Observable::install_obs` with `Obs::new(bus).at_node(node)`, or \
-                `Runtime::builder().obs(bus).at_node(node)`"
-    )]
-    pub fn install_obs_at(&self, bus: Arc<EventBus>, node: NodeId) {
-        self.install_obs(Obs::new(bus).at_node(node));
     }
 
     /// Returns the colour universe of this runtime.
@@ -795,7 +755,7 @@ impl Runtime {
     pub fn crash_and_recover(&self) {
         let inner = &self.inner;
         let obs = inner.obs.get();
-        // A local runtime is "node 0" in traces unless install_obs_at
+        // A local runtime is "node 0" in traces unless an `at_node` handle
         // bound another id; the distributed layer stamps real node ids
         // through its own simulator.
         let node = obs.node().unwrap_or(NodeId::from_raw(0));

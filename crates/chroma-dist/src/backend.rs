@@ -4,7 +4,7 @@
 //! A [`PartitionedStore`] spreads object states over a set of simulated
 //! fail-silent nodes, `replication` copies each. It implements
 //! [`PermanenceBackend`], so a [`chroma_core::Runtime`] built with
-//! [`Runtime::with_backend`](chroma_core::Runtime::with_backend) gets
+//! `Runtime::builder().backend(..)` gets
 //! *distributed* permanence of effect: every outermost-coloured commit
 //! becomes a presumed-abort two-phase commit across the object stores
 //! holding the written objects' replicas, atomic despite message loss,

@@ -21,15 +21,23 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod masking;
 mod msg;
 mod node;
 mod replica;
 mod sim;
+mod tcp;
+mod transport;
+pub mod wire;
 
 pub use backend::PartitionedStore;
+pub use masking::{Accept, Backoff, DedupWindow, SendWindow};
 pub use msg::{CorrId, Effect, Message, TimerTag, TxnId, Write};
 pub use node::{
-    Node, RpcOp, RpcResult, TpcRecord, MAX_DECISION_ATTEMPTS, MAX_PREPARE_ATTEMPTS, RETRY_INTERVAL,
+    Node, NodeBuilder, RpcOp, RpcResult, TpcRecord, MAX_DECISION_ATTEMPTS, MAX_PREPARE_ATTEMPTS,
+    RETRY_INTERVAL,
 };
 pub use replica::ReplicatedObject;
-pub use sim::{NetConfig, NetStats, Sim, TraceEntry};
+pub use sim::{NetConfig, NetStats, Sim, SimTransport, TraceEntry};
+pub use tcp::{MaskingStats, TcpConfig, TcpTransport};
+pub use transport::{dispatch, dispatch_with, Cluster, Transport, TransportEvent};

@@ -161,10 +161,14 @@ impl Node {
         }
     }
 
-    /// Installs an observability handle.
-    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
-    pub fn set_obs(&mut self, obs: Obs) {
-        self.install_obs(obs);
+    /// Starts building a node, mirroring `Runtime::builder()`: identity
+    /// and observability can come from a [`Transport`], and durable
+    /// state can be restored from a [`DiskStore`].
+    ///
+    /// [`Transport`]: crate::Transport
+    #[must_use]
+    pub fn builder() -> NodeBuilder<'static> {
+        NodeBuilder::default()
     }
 
     /// The node's current observability handle (already bound to its
@@ -200,6 +204,15 @@ impl Node {
         } else {
             None
         }
+    }
+
+    /// Returns `true` while this node, as coordinator, still holds
+    /// volatile state for `txn` — the transaction is in flight (votes
+    /// or acks outstanding). Process hosts poll this to know when a
+    /// transaction no longer needs driving.
+    #[must_use]
+    pub fn coordinator_active(&self, txn: TxnId) -> bool {
+        self.coord.contains_key(&txn)
     }
 
     /// Returns `true` if this node, as a participant, installed `txn`'s
@@ -984,7 +997,84 @@ impl Node {
         }
         effects
     }
+
+    // ------------------------------------------------------------------
+    // Durable mirroring (process deployments)
+    // ------------------------------------------------------------------
+
+    /// Mirrors the node's stable half — installed object states and the
+    /// 2PC log — into `disk`, atomically. A `chroma-node` process calls
+    /// this as its durability barrier: after a handler mutated stable
+    /// state, before the resulting messages leave.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError`](chroma_store::DiskError) on filesystem failure.
+    pub fn persist_durable(
+        &self,
+        disk: &chroma_store::DiskStore,
+    ) -> Result<(), chroma_store::DiskError> {
+        let mut updates: Vec<(ObjectId, StoreBytes)> = Vec::new();
+        for object in self.store.object_ids() {
+            if let Some(state) = self.store.read(object) {
+                updates.push((object, state));
+            }
+        }
+        let records = self.tpc_log.entries();
+        updates.push((
+            TPC_LOG_OBJECT,
+            StoreBytes::from(crate::wire::encode_records(&records)),
+        ));
+        disk.commit_batch(updates)
+    }
+
+    /// Restores the stable half from a [`persist_durable`] mirror:
+    /// object states re-enter the in-memory stable store, 2PC records
+    /// re-enter the durable log. Ignores objects outside the mirror's
+    /// namespace (e.g. ones a co-hosted `Runtime` allocated).
+    ///
+    /// [`persist_durable`]: Node::persist_durable
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError`](chroma_store::DiskError) on filesystem failure or
+    /// an unreadable log blob.
+    pub fn restore_durable(
+        &mut self,
+        disk: &chroma_store::DiskStore,
+    ) -> Result<(), chroma_store::DiskError> {
+        let mut updates = Vec::new();
+        for object in disk.object_ids()? {
+            if object == TPC_LOG_OBJECT {
+                if let Some(blob) = disk.read(object)? {
+                    let records = crate::wire::decode_records(&blob).map_err(|e| {
+                        chroma_store::DiskError::CorruptLog(format!("tpc log blob: {e}"))
+                    })?;
+                    for record in records {
+                        self.tpc_log.append(record);
+                    }
+                }
+            } else if (MIRROR_FLOOR..TPC_LOG_OBJECT.as_raw()).contains(&object.as_raw()) {
+                if let Some(state) = disk.read(object)? {
+                    updates.push((object, state));
+                }
+            }
+        }
+        if !updates.is_empty() {
+            self.store.commit_batch(updates);
+        }
+        Ok(())
+    }
 }
+
+/// Where [`Node::persist_durable`] keeps the encoded 2PC log inside a
+/// shared [`DiskStore`](chroma_store::DiskStore) — far above any real
+/// object id.
+pub const TPC_LOG_OBJECT: ObjectId = ObjectId::from_raw(1 << 62);
+
+/// Lowest object id [`Node::restore_durable`] treats as mirrored node
+/// state; ids below belong to a co-hosted `Runtime`.
+const MIRROR_FLOOR: u64 = 1_000;
 
 impl Observable for Node {
     /// Installs an observability handle, forwarding it to the stable
@@ -998,5 +1088,86 @@ impl Observable for Node {
         self.store.install_obs(obs.clone());
         self.tpc_log.install_obs(obs.clone());
         self.obs.set(obs);
+    }
+}
+
+/// Builds a [`Node`], mirroring `Runtime::builder()`.
+///
+/// # Examples
+///
+/// ```
+/// use chroma_base::NodeId;
+/// use chroma_dist::Node;
+///
+/// let node = Node::builder().id(NodeId::from_raw(3)).build().unwrap();
+/// assert_eq!(node.id(), NodeId::from_raw(3));
+/// ```
+#[derive(Default)]
+pub struct NodeBuilder<'a> {
+    id: Option<NodeId>,
+    obs: Option<Obs>,
+    backend: Option<&'a chroma_store::DiskStore>,
+}
+
+impl<'a> NodeBuilder<'a> {
+    /// Sets the node's identity.
+    #[must_use]
+    pub fn id(mut self, id: NodeId) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Takes identity and observability from `transport` — the usual
+    /// way a process host builds its node.
+    #[must_use]
+    pub fn transport(mut self, transport: &impl crate::Transport) -> Self {
+        self.id = Some(transport.local());
+        let obs = transport.obs();
+        if obs.enabled() {
+            self.obs = Some(obs);
+        }
+        self
+    }
+
+    /// Installs an observability handle on the built node.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Restores the node's stable half from a [`Node::persist_durable`]
+    /// mirror in `disk` at build time.
+    #[must_use]
+    pub fn backend(self, disk: &chroma_store::DiskStore) -> NodeBuilder<'_> {
+        NodeBuilder {
+            id: self.id,
+            obs: self.obs,
+            backend: Some(disk),
+        }
+    }
+
+    /// Builds the node: restore durable state first (quietly), then
+    /// install observability.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError`](chroma_store::DiskError) if restoring from the
+    /// backend fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no identity was provided via [`NodeBuilder::id`] or
+    /// [`NodeBuilder::transport`].
+    pub fn build(self) -> Result<Node, chroma_store::DiskError> {
+        let id = self.id.expect("NodeBuilder requires an id or transport");
+        let mut node = Node::new(id);
+        if let Some(disk) = self.backend {
+            node.restore_durable(disk)?;
+        }
+        if let Some(obs) = self.obs {
+            node.install_obs(obs);
+        }
+        Ok(node)
     }
 }

@@ -19,6 +19,7 @@ use chroma_store::StoreBytes;
 use crate::msg::{TxnId, Write};
 use crate::node::RETRY_INTERVAL;
 use crate::sim::Sim;
+use crate::transport::Cluster;
 
 /// A replicated object: one logical object stored at several nodes.
 ///
@@ -47,10 +48,18 @@ impl ReplicatedObject {
     /// Creates a replicated object with an initial state at every
     /// member (version 0), and registers the peer sets used for
     /// pull-on-recover.
-    pub fn create(sim: &mut Sim, object: ObjectId, members: &[NodeId], initial: &[u8]) -> Self {
+    ///
+    /// Generic over [`Cluster`], so the same replication layer runs on
+    /// the simulator or any other host of a node group.
+    pub fn create<C: Cluster>(
+        cluster: &mut C,
+        object: ObjectId,
+        members: &[NodeId],
+        initial: &[u8],
+    ) -> Self {
         for &member in members {
             let peers: Vec<NodeId> = members.iter().copied().filter(|&m| m != member).collect();
-            let node = sim.node_mut(member);
+            let node = cluster.node_mut(member);
             node.write_versioned(object, 0, initial);
             node.replica_peers.insert(object, peers);
         }
@@ -79,23 +88,24 @@ impl ReplicatedObject {
     /// The new version is one above the highest version among up
     /// replicas; run the simulation to quiescence for the write to
     /// settle.
-    pub fn write(&self, sim: &mut Sim, state: &[u8]) -> Option<TxnId> {
+    pub fn write<C: Cluster>(&self, cluster: &mut C, state: &[u8]) -> Option<TxnId> {
         let up: Vec<NodeId> = self
             .members
             .iter()
             .copied()
-            .filter(|&m| sim.node(m).up)
+            .filter(|&m| cluster.node(m).up)
             .collect();
         let coordinator = *up.first()?;
         let version = up
             .iter()
-            .filter_map(|&m| sim.node(m).read_versioned(self.object).map(|(v, _)| v))
+            .filter_map(|&m| cluster.node(m).read_versioned(self.object).map(|(v, _)| v))
             .max()
             .unwrap_or(0)
             + 1;
         // Attribute the write to the coordinating replica so the trace
         // shows which node drove the 2PC round.
-        sim.obs()
+        cluster
+            .obs()
             .at_node(coordinator)
             .emit(EventKind::ReplicaWrite {
                 object: self.object,
@@ -116,36 +126,37 @@ impl ReplicatedObject {
                 )
             })
             .collect();
-        Some(sim.begin_transaction(coordinator, writes))
+        Some(cluster.begin_transaction(coordinator, writes))
     }
 
     /// Reads from any single up, non-stale replica (read-one),
     /// preferring the freshest available copy. Returns `None` if no
     /// such replica exists (the object is unavailable).
     #[must_use]
-    pub fn read(&self, sim: &Sim) -> Option<(u64, StoreBytes)> {
+    pub fn read<C: Cluster>(&self, cluster: &C) -> Option<(u64, StoreBytes)> {
         let (member, version, state) = self
             .members
             .iter()
             .copied()
             .filter(|&m| {
-                let node = sim.node(m);
+                let node = cluster.node(m);
                 node.up && !node.stale.contains(&self.object)
             })
             .filter_map(|m| {
-                sim.node(m)
+                cluster
+                    .node(m)
                     .read_versioned(self.object)
                     .map(|(v, s)| (m, v, s))
             })
             .max_by_key(|&(_, version, _)| version)?;
-        sim.obs().emit(EventKind::ReplicaRead {
+        cluster.obs().emit(EventKind::ReplicaRead {
             node: member,
             object: self.object,
             version,
             // the filter above excludes stale copies; report the
             // serving copy's actual flag so a filtering bug is visible
             // in the trace rather than masked
-            stale: sim.node(member).stale.contains(&self.object),
+            stale: cluster.node(member).stale.contains(&self.object),
         });
         Some((version, state))
     }
@@ -153,12 +164,17 @@ impl ReplicatedObject {
     /// Returns each up member's `(node, version)` — for convergence
     /// assertions in tests.
     #[must_use]
-    pub fn versions(&self, sim: &Sim) -> Vec<(NodeId, u64)> {
+    pub fn versions<C: Cluster>(&self, cluster: &C) -> Vec<(NodeId, u64)> {
         self.members
             .iter()
             .copied()
-            .filter(|&m| sim.node(m).up)
-            .filter_map(|m| sim.node(m).read_versioned(self.object).map(|(v, _)| (m, v)))
+            .filter(|&m| cluster.node(m).up)
+            .filter_map(|m| {
+                cluster
+                    .node(m)
+                    .read_versioned(self.object)
+                    .map(|(v, _)| (m, v))
+            })
             .collect()
     }
 

@@ -2,6 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Duration;
 
 use chroma_base::NodeId;
 use chroma_obs::{EventKind, Obs, ObsCell, Observable};
@@ -10,6 +11,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::msg::{CorrId, Effect, Message, TimerTag, TxnId, Write};
 use crate::node::Node;
+use crate::transport::{dispatch, Cluster, Transport, TransportEvent};
+use crate::wire;
 
 /// Network behaviour knobs (the paper's §2 failure model: messages may
 /// be lost, duplicated or delayed).
@@ -42,7 +45,10 @@ enum Event {
     Deliver {
         from: NodeId,
         to: NodeId,
-        msg: Message,
+        /// The message in shared wire encoding ([`crate::wire`]): sim
+        /// traffic goes through the same codec as TCP traffic, so codec
+        /// bugs surface in deterministic tests too.
+        payload: Vec<u8>,
         /// Correlation id pairing this delivery with its send event
         /// (duplicated deliveries share the original's).
         corr: CorrId,
@@ -348,13 +354,14 @@ impl Sim {
                 .emit_corr(corr, EventKind::MsgDrop { from, to, kind });
             return;
         }
+        let payload = wire::encode(&msg);
         let delay = self.rng.gen_range(self.net.delay_min..=self.net.delay_max);
         self.push(
             self.now + delay,
             Event::Deliver {
                 from,
                 to,
-                msg: msg.clone(),
+                payload: payload.clone(),
                 corr,
                 send_lc,
             },
@@ -369,12 +376,23 @@ impl Sim {
                 Event::Deliver {
                     from,
                     to,
-                    msg,
+                    payload,
                     corr,
                     send_lc,
                 },
             );
         }
+    }
+
+    /// Runs one transport event against `id`'s node through the shared
+    /// [`dispatch`] path. The node is lifted out of the map for the
+    /// duration so the [`SimTransport`] view can borrow the simulation
+    /// mutably.
+    fn dispatch_to(&mut self, id: NodeId, event: TransportEvent) {
+        let mut node = self.nodes.remove(&id).expect("node present");
+        let mut view = SimTransport { sim: self, id };
+        dispatch(&mut node, &mut view, event);
+        self.nodes.insert(id, node);
     }
 
     /// Processes the next event; returns `false` when the queue is
@@ -390,10 +408,11 @@ impl Sim {
             Event::Deliver {
                 from,
                 to,
-                msg,
+                payload,
                 corr,
                 send_lc,
             } => {
+                let msg = wire::decode(&payload).expect("sim frames use the shared wire codec");
                 if self.trace.is_some() {
                     let up = self.nodes.get(&to).is_some_and(|n| n.up);
                     self.record(format!(
@@ -403,7 +422,7 @@ impl Sim {
                 }
                 let kind = msg.kind();
                 let obs = self.obs();
-                let Some(node) = self.nodes.get_mut(&to) else {
+                let Some(node) = self.nodes.get(&to) else {
                     return true;
                 };
                 if !node.up {
@@ -412,22 +431,24 @@ impl Sim {
                     return true;
                 }
                 self.stats.delivered += 1;
-                // merge before emitting: the delivery's clock must
-                // strictly exceed the send's (audit rule R8)
-                obs.merge_clock(to, send_lc);
-                obs.emit_corr(corr, EventKind::MsgDeliver { from, to, kind });
-                let effects = node.handle_message(from, msg);
-                self.apply_effects(to, effects);
+                self.dispatch_to(
+                    to,
+                    TransportEvent::Deliver {
+                        from,
+                        msg,
+                        corr,
+                        send_lc,
+                    },
+                );
             }
             Event::Timer { node: id, tag } => {
-                let Some(node) = self.nodes.get_mut(&id) else {
+                let Some(node) = self.nodes.get(&id) else {
                     return true;
                 };
                 if !node.up {
                     return true;
                 }
-                let effects = node.handle_timer(tag);
-                self.apply_effects(id, effects);
+                self.dispatch_to(id, TransportEvent::Timer { tag });
             }
             Event::Crash { node: id } => {
                 self.record(format!("{id} CRASH"));
@@ -520,6 +541,82 @@ impl Sim {
             .rpc_call(server, op);
         self.apply_effects(client, effects);
         call
+    }
+
+    /// Returns node `id`'s [`Transport`] view of the simulation —
+    /// sends enter the seeded lossy network, timers join the event
+    /// queue, connect/disconnect map to partition healing/severing.
+    pub fn transport(&mut self, id: NodeId) -> SimTransport<'_> {
+        SimTransport { sim: self, id }
+    }
+}
+
+/// One node's [`Transport`] view of a [`Sim`]: the simulator side of
+/// the trait [`TcpTransport`](crate::TcpTransport) implements with real
+/// sockets.
+///
+/// Push-driven: the scheduler dispatches deliveries and timers eagerly,
+/// so [`poll`](Transport::poll) always returns `None`.
+#[derive(Debug)]
+pub struct SimTransport<'a> {
+    sim: &'a mut Sim,
+    id: NodeId,
+}
+
+impl Transport for SimTransport<'_> {
+    fn local(&self) -> NodeId {
+        self.id
+    }
+
+    fn obs(&self) -> Obs {
+        self.sim.obs()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.sim.now
+    }
+
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.sim.send(self.id, to, msg);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, tag: TimerTag) {
+        let at = self.sim.now + delay_us;
+        self.sim.push(at, Event::Timer { node: self.id, tag });
+    }
+
+    fn connect(&mut self, peer: NodeId) {
+        self.sim.heal_partition(self.id, peer);
+    }
+
+    fn disconnect(&mut self, peer: NodeId) {
+        self.sim.partition(self.id, peer);
+    }
+
+    fn poll(&mut self, _timeout: Option<Duration>) -> Option<TransportEvent> {
+        None
+    }
+}
+
+impl Cluster for Sim {
+    fn node(&self, id: NodeId) -> &Node {
+        Sim::node(self, id)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        Sim::node_mut(self, id)
+    }
+
+    fn obs(&self) -> Obs {
+        Sim::obs(self)
+    }
+
+    fn begin_transaction(
+        &mut self,
+        coordinator: NodeId,
+        writes: Vec<(NodeId, Vec<Write>)>,
+    ) -> TxnId {
+        Sim::begin_transaction(self, coordinator, writes)
     }
 }
 

@@ -365,16 +365,6 @@ impl<P> LockTable<P> {
             .collect()
     }
 
-    /// Installs an observability handle; subsequent lock traffic emits
-    /// `LockRequest`/`LockGrant`/`LockConflict`/`LockInherit`/
-    /// `LockRelease` events and feeds the `locks.wait_us`,
-    /// `locks.wait_us.shard<k>` and `locks.shard_contention`
-    /// histograms.
-    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
-    pub fn set_obs(&self, obs: Obs) {
-        self.install_obs(obs);
-    }
-
     /// Plants `interrupt` for `victim` in whichever shard it is parked
     /// on and wakes it. A no-op if the victim is not currently waiting
     /// (it may have been granted or given up since the cycle was
@@ -402,6 +392,11 @@ impl<P> LockTable<P> {
 }
 
 impl<P> Observable for LockTable<P> {
+    /// Installs an observability handle; subsequent lock traffic emits
+    /// `LockRequest`/`LockGrant`/`LockConflict`/`LockInherit`/
+    /// `LockRelease` events and feeds the `locks.wait_us`,
+    /// `locks.wait_us.shard<k>` and `locks.shard_contention`
+    /// histograms.
     fn install_obs(&self, obs: Obs) {
         for shard in self.shards.iter() {
             shard.state.lock().obs = obs.clone();

@@ -5,10 +5,18 @@
 //! chroma-trace export <trace.jsonl> [out.json]   write Chrome trace-event JSON
 //! chroma-trace critical-path <trace.jsonl>       per-colour latency phase breakdown
 //! chroma-trace watch <trace.jsonl> [--once]      tail live gauges and violations
+//! chroma-trace merge <out.jsonl> <in.jsonl>...   merge per-process traces causally
 //! ```
 //!
 //! `analyze` exits non-zero on any invariant violation or malformed
 //! line, so it slots straight into CI after a traced run.
+//!
+//! `merge` combines the per-process traces of a real (`chroma-node`)
+//! cluster into one stream ordered by `(lc, node)` — Lamport clocks
+//! put every send before its receives — so `analyze` audits a real
+//! deployment exactly as it audits a simulation. Unlike `analyze`, the
+//! merge is lenient: a line torn by `kill -9` is skipped and counted,
+//! not fatal.
 //!
 //! `watch` tails a trace a live system is appending to, printing each
 //! `metrics_snapshot` gauge record and every `watchdog_violation` as
@@ -24,6 +32,9 @@ use chroma_obs::{chrome_trace_from, Event, EventKind, SpanForest, TraceAuditor};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, path, out) = match args.as_slice() {
+        [cmd, out, inputs @ ..] if cmd == "merge" && !inputs.is_empty() => {
+            return merge(out, inputs);
+        }
         [cmd, path] => (cmd.as_str(), path.as_str(), None),
         [cmd, path, out] if cmd == "export" => (cmd.as_str(), path.as_str(), Some(out.clone())),
         [cmd, path, flag] if cmd == "watch" && flag == "--once" => {
@@ -32,7 +43,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: chroma-trace <analyze|export|critical-path> <trace.jsonl> [out.json]\n\
-                 \x20      chroma-trace watch <trace.jsonl> [--once]"
+                 \x20      chroma-trace watch <trace.jsonl> [--once]\n\
+                 \x20      chroma-trace merge <out.jsonl> <in.jsonl>..."
             );
             return ExitCode::from(2);
         }
@@ -69,6 +81,39 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Merges per-process traces into `out` in causal `(lc, node)` order.
+fn merge(out: &str, inputs: &[String]) -> ExitCode {
+    let outcome = match chroma_obs::merge_trace_files(inputs) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("chroma-trace: merge failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut text = String::new();
+    for event in &outcome.events {
+        text.push_str(&event.to_json_line());
+        text.push('\n');
+    }
+    if let Err(e) = std::fs::write(out, &text) {
+        eprintln!("chroma-trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    let detail: Vec<String> = inputs
+        .iter()
+        .zip(&outcome.per_file)
+        .map(|(path, n)| format!("{path}: {n}"))
+        .collect();
+    println!(
+        "merged {} event(s) from {} file(s) into {out} ({}; {} malformed line(s) skipped)",
+        outcome.events.len(),
+        inputs.len(),
+        detail.join(", "),
+        outcome.skipped,
+    );
+    ExitCode::SUCCESS
 }
 
 fn parse(text: &str) -> Result<Vec<Event>, String> {

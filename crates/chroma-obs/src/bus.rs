@@ -589,6 +589,62 @@ impl EventSink for JsonlSink {
     }
 }
 
+/// A crash-tolerant JSONL file sink for real processes: each event is
+/// written as **one** `write(2)` of a complete line to a file opened in
+/// append mode.
+///
+/// [`JsonlSink`] buffers through `writeln!`, so a `kill -9` can leave a
+/// torn line mid-buffer. Here a line either fully reaches the kernel or
+/// was never issued — the strongest guarantee available without fsync
+/// per event — so a killed process's trace ends at a line boundary
+/// (modulo filesystem-level tearing, which lenient merge parsing
+/// tolerates). Append mode also makes restarts of the same process
+/// continue the same trace file.
+pub struct AppendJsonlSink {
+    file: Mutex<std::fs::File>,
+    failed: AtomicBool,
+}
+
+impl AppendJsonlSink {
+    /// Opens (creating if necessary) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(AppendJsonlSink {
+            file: Mutex::new(file),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// `true` if any write failed.
+    #[must_use]
+    pub fn had_errors(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for AppendJsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        if self.file.lock().write_all(line.as_bytes()).is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        if self.file.lock().flush().is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

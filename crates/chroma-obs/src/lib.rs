@@ -66,15 +66,19 @@ mod audit;
 mod bus;
 mod event;
 mod export;
+mod merge;
 mod metrics;
 mod recorder;
 mod span;
 mod watchdog;
 
 pub use audit::{AuditReport, TraceAuditor, Violation};
-pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell, Observable};
+pub use bus::{
+    AppendJsonlSink, EventBus, EventSink, JsonlSink, MemorySink, Obs, ObsCell, Observable,
+};
 pub use event::{escape_json_str, Event, EventKind, MsgKind, TraceParseError, WatchdogRule};
 pub use export::{chrome_trace, chrome_trace_from};
+pub use merge::{merge_events, merge_trace_files, MergeOutcome};
 pub use metrics::{Histogram, Snapshot, Summary};
 pub use recorder::FlightRecorder;
 pub use span::{

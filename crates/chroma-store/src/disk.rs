@@ -462,17 +462,6 @@ impl DiskStore {
         })
     }
 
-    /// Installs a tracing handle. Fsync latency flows into the
-    /// `store.fsync_us` histogram, group sizes into
-    /// `store.group_size`, and log/segment activity is emitted as
-    /// `DiskAppend`/`DiskGroupCommit`/`SegmentSeal`/`CheckpointBegin`/
-    /// `CheckpointEnd`/`SegmentGc` events; if `open` replayed the
-    /// live suffix, the deferred `DiskReplay` event is emitted now.
-    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
-    pub fn set_obs(&self, obs: Obs) {
-        self.install_obs(obs);
-    }
-
     /// Total fsyncs paid on the active segment since `open` — two per
     /// flushed group, so `log_fsync_count() / commits` is the
     /// amortised cost group commit exists to shrink. Seal, manifest
@@ -654,10 +643,12 @@ impl Drop for DiskStore {
 }
 
 impl Observable for DiskStore {
-    /// Installs a tracing handle (see the deprecated
-    /// [`DiskStore::set_obs`] for the emitted events); if `open`
-    /// replayed the live suffix, the deferred `DiskReplay` event is
-    /// emitted now.
+    /// Installs a tracing handle. Fsync latency flows into the
+    /// `store.fsync_us` histogram, group sizes into
+    /// `store.group_size`, and log/segment activity is emitted as
+    /// `DiskAppend`/`DiskGroupCommit`/`SegmentSeal`/`CheckpointBegin`/
+    /// `CheckpointEnd`/`SegmentGc` events; if `open` replayed the
+    /// live suffix, the deferred `DiskReplay` event is emitted now.
     fn install_obs(&self, obs: Obs) {
         self.shared.obs.set(obs.clone());
         if let Some(stats) = self.shared.pending_replay.lock().take() {

@@ -142,14 +142,6 @@ impl StableStore {
         StableStore::default()
     }
 
-    /// Installs an observability handle; commits emit `WalAppend` (log
-    /// records reaching stable storage) and `WalFlush` (a batch of
-    /// object states installed).
-    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
-    pub fn set_obs(&self, obs: Obs) {
-        self.install_obs(obs);
-    }
-
     /// Returns the installed state of `object`, if any.
     #[must_use]
     pub fn read(&self, object: ObjectId) -> Option<StoreBytes> {

@@ -43,12 +43,6 @@ impl<T> DurableLog<T> {
         DurableLog::default()
     }
 
-    /// Installs an observability handle; appends emit `WalAppend`.
-    #[deprecated(since = "0.2.0", note = "use `Observable::install_obs` instead")]
-    pub fn set_obs(&self, obs: Obs) {
-        self.obs.set(obs);
-    }
-
     /// Appends a record; the append is atomic and durable.
     pub fn append(&self, record: T) {
         self.records.lock().push(record);

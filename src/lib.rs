@@ -89,3 +89,10 @@ pub use chroma_typed::{EscrowCounter, KeyedDirectory};
 // Declared read-only actions are the recommended way to run long
 // scans, so the scope type is first-class too.
 pub use chroma_core::SnapshotScope;
+
+// The transport boundary is how a deployment graduates from the
+// simulator to real processes (the `chroma-node` binary), so the trait
+// and both implementations are first-class: `Transport` for writing a
+// host, `TcpTransport` for real sockets, `NetConfig` for configuring
+// the simulated network's fault injection.
+pub use chroma_dist::{NetConfig, TcpTransport, Transport};

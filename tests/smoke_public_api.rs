@@ -7,13 +7,19 @@
 //! API surface rather than pass vacuously. (Full per-crate coverage
 //! still needs `cargo test --workspace` — see the README.)
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use chroma::base::ObjectId;
+use chroma::base::{NodeId, ObjectId};
 use chroma::core::{DiskBackend, Runtime, RuntimeConfig};
-use chroma::dist::{PartitionedStore, ReplicatedObject, Sim};
+use chroma::dist::{
+    dispatch, Node, PartitionedStore, ReplicatedObject, Sim, TcpConfig, TxnId, Write,
+};
 use chroma::obs::{EventBus, MemorySink, Obs, Observable, TraceAuditor};
+use chroma::store::StoreBytes;
+use chroma::{NetConfig, TcpTransport, Transport};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -192,4 +198,67 @@ fn builder_observability_and_sharded_locks_through_the_facade() {
     rt.atomic(|a| a.modify(objects[0], |v: &mut i64| *v += 1))
         .unwrap();
     assert!(bus.snapshot().histogram("core.commit_us").is_some());
+}
+
+#[test]
+fn transport_boundary_through_the_facade() {
+    // The first-class transport re-exports are the door from the
+    // simulator to real processes: the same `Node` state machine that
+    // the sim drives runs one two-phase commit here over loopback
+    // sockets, through `chroma::{Transport, TcpTransport}` alone.
+    let n1 = NodeId::from_raw(1);
+    let n2 = NodeId::from_raw(2);
+    let mut t1 = TcpTransport::bind(n1, "127.0.0.1:0", TcpConfig::default()).unwrap();
+    let mut t2 = TcpTransport::bind(n2, "127.0.0.1:0", TcpConfig::default()).unwrap();
+    t1.add_peer(n2, t2.local_addr());
+    t2.add_peer(n1, t1.local_addr());
+
+    // `Node::builder().transport(..)` is the process-host construction
+    // path: identity comes from the transport.
+    let mut coord = Node::builder().transport(&t1).build().unwrap();
+    let mut worker = Node::builder().transport(&t2).build().unwrap();
+
+    let txn = TxnId(1);
+    let object = ObjectId::from_raw(5_000);
+    let mut writes = HashMap::new();
+    writes.insert(
+        n2,
+        vec![Write {
+            object,
+            state: StoreBytes::from(b"facade".to_vec()),
+        }],
+    );
+    t1.apply_effects(coord.begin_transaction(txn, writes));
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coord.coordinator_active(txn) {
+        assert!(Instant::now() < deadline, "loopback 2PC timed out");
+        if let Some(event) = t1.poll(Some(Duration::from_millis(5))) {
+            dispatch(&mut coord, &mut t1, event);
+        }
+        if let Some(event) = t2.poll(Some(Duration::from_millis(5))) {
+            dispatch(&mut worker, &mut t2, event);
+        }
+    }
+    assert_eq!(
+        coord.coordinator_outcome(txn),
+        Some(true),
+        "a healthy loopback commit must succeed"
+    );
+    assert!(worker.installed(txn), "the participant must have resolved");
+
+    // `NetConfig` is the simulator's failure-model knob — the same
+    // replication workload shrugs off a duplicating network.
+    let mut sim = Sim::new(9);
+    sim.net = NetConfig {
+        duplication: 0.5,
+        ..NetConfig::default()
+    };
+    let members = vec![sim.add_node(), sim.add_node()];
+    let replica = ReplicatedObject::create(&mut sim, ObjectId::from_raw(77), &members, b"d0");
+    replica.write(&mut sim, b"d1").unwrap();
+    sim.run_to_quiescence();
+    let (version, state) = replica.read(&sim).unwrap();
+    assert_eq!(version, 1);
+    assert_eq!(&state[..], b"d1");
 }
